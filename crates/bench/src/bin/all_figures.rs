@@ -1,0 +1,21 @@
+//! Regenerates every evaluation artifact and writes
+//! `target/figures.json`; exits nonzero if any qualitative claim fails.
+//! Pass `--quick` for smaller machine sweeps.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reports = aov_bench::all_reports(!quick);
+    let mut failures = 0;
+    for r in &reports {
+        print!("{}", r.render());
+        if !r.reproduced {
+            failures += 1;
+        }
+    }
+    let json = serde_json::to_string_pretty(&reports).expect("serializable");
+    let path = std::path::Path::new("target").join("figures.json");
+    if std::fs::write(&path, json).is_ok() {
+        println!("(wrote {})", path.display());
+    }
+    println!("{} artifacts, {} failures", reports.len(), failures);
+    assert_eq!(failures, 0, "{failures} artifacts failed to reproduce");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's 04 artifact; exits nonzero if the
+//! qualitative claim fails to reproduce.
+fn main() {
+    let r = aov_bench::fig04();
+    print!("{}", r.render());
+    aov_bench::assert_reproduced(&r);
+}

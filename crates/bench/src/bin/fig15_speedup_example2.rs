@@ -1,0 +1,8 @@
+//! Figure 15: speedup vs processors for Example 2 (diagonal strips).
+//! Pass `--quick` for a smaller sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = aov_bench::fig15(!quick);
+    print!("{}", r.render());
+    aov_bench::assert_reproduced(&r);
+}

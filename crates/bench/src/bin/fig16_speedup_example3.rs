@@ -1,0 +1,8 @@
+//! Figure 16: speedup vs processors for Example 3 (blocked wavefront).
+//! Pass `--quick` for a smaller sweep.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let r = aov_bench::fig16(!quick);
+    print!("{}", r.render());
+    aov_bench::assert_reproduced(&r);
+}

@@ -1,0 +1,6 @@
+//! §5.1.4 / §7: AOV vs the Strout et al. UOV baseline on Example 1.
+fn main() {
+    let r = aov_bench::fig05();
+    print!("{}", r.render());
+    aov_bench::assert_reproduced(&r);
+}

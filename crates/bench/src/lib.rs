@@ -1,0 +1,386 @@
+//! Regeneration harness for every figure of the paper's evaluation.
+//!
+//! Each `figNN` function recomputes one paper artifact and returns a
+//! [`FigureReport`] with the series/rows the paper prints, a short
+//! conclusion, and a pass/fail against the expected qualitative shape.
+//! The binaries under `src/bin/` print single figures;
+//! `cargo run -p aov-bench --bin all_figures` regenerates everything
+//! (the data recorded in `EXPERIMENTS.md`).
+
+use aov_core::{problems, transform::StorageTransform, uov, OccupancyVector};
+use aov_ir::examples;
+use aov_linalg::{AffineExpr, QVector};
+use aov_machine::{experiments, MachineConfig};
+use aov_schedule::{legal, Schedule, ScheduleSpace};
+use serde::Serialize;
+
+/// A regenerated artifact: headline result plus printable lines.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureReport {
+    /// Figure identifier (e.g. `"fig05"`).
+    pub id: String,
+    /// One-line title.
+    pub title: String,
+    /// What the paper reports.
+    pub paper: String,
+    /// What this reproduction measures.
+    pub measured: String,
+    /// Whether the qualitative claim is reproduced.
+    pub reproduced: bool,
+    /// Printable detail lines (series, code, constraint systems).
+    pub lines: Vec<String>,
+}
+
+impl FigureReport {
+    /// Renders the report for terminals.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "== {} — {}\n   paper:    {}\n   measured: {}\n   reproduced: {}\n",
+            self.id, self.title, self.paper, self.measured, self.reproduced
+        );
+        for l in &self.lines {
+            out.push_str("   | ");
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Figure 3: shortest OV for Example 1 under the row-parallel schedule.
+pub fn fig03() -> FigureReport {
+    let p = examples::example1();
+    let row = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
+    let lp = problems::ov_for_schedule(&p, &row).expect("solvable");
+    let search = problems::ov_for_schedule_search(&p, &row, 6).expect("solvable");
+    let v = lp.vector_for("A").expect("array A").clone();
+    let agree = search.vector_for("A") == Some(&v);
+    FigureReport {
+        id: "fig03".into(),
+        title: "OV for the row-parallel schedule of Example 1".into(),
+        paper: "shortest valid occupancy vector (0, 1)".into(),
+        measured: format!("LP method: {v}; exact search agrees: {agree}"),
+        reproduced: v.components() == [0, 1] && agree,
+        lines: vec![
+            format!("schedule: Θ(i,j) = j"),
+            format!("storage constraints instantiated at Θ; ILP minimum: {v}"),
+        ],
+    }
+}
+
+/// Figure 4: the schedules valid for Example 1 under OV (0, 2).
+pub fn fig04() -> FigureReport {
+    let p = examples::example1();
+    let v = OccupancyVector::new(vec![0, 2]);
+    let (space, poly) = problems::schedules_for_ov(&p, &[v]).expect("solvable");
+    let sid = aov_ir::StmtId(0);
+    let dim = space.dim();
+    // Admissible slope interval a/b at fixed b; the paper's lower bound
+    // −1/2 is only approached asymptotically (the inhomogeneous "−1" of
+    // the causality constraints vanishes as b grows).
+    let slope_range = |b_val: i64| -> (f64, f64) {
+        let mut fixed = poly.clone();
+        fixed.add_constraint(aov_polyhedra::Constraint::eq0(
+            &AffineExpr::var(dim, space.iter_coeff(sid, 1))
+                - &AffineExpr::constant(dim, b_val.into()),
+        ));
+        let a_expr = AffineExpr::var(dim, space.iter_coeff(sid, 0));
+        let amin = fixed.minimum(&a_expr).expect("bounded").to_f64() / b_val as f64;
+        let amax = fixed.maximum(&a_expr).expect("bounded").to_f64() / b_val as f64;
+        (amin, amax)
+    };
+    let (lo6, hi6) = slope_range(6);
+    let (lo60, hi60) = slope_range(60);
+    let (lo600, hi600) = slope_range(600);
+    // Upper bound is exactly 1/2 (attained at b = 2a); lower bound
+    // strictly decreases toward −1/2 without reaching it.
+    let ok = hi6 == 0.5
+        && hi60 == 0.5
+        && hi600 == 0.5
+        && lo60 < lo6
+        && lo600 < lo60
+        && lo600 > -0.5;
+    let mut lines = vec![
+        format!("slope range at b = 6:   [{lo6:.5}, {hi6:.5}]"),
+        format!("slope range at b = 60:  [{lo60:.5}, {hi60:.5}]"),
+        format!("slope range at b = 600: [{lo600:.5}, {hi600:.5}] (→ (-1/2, 1/2])"),
+    ];
+    for (a, b, expect) in [(0i64, 1i64, true), (1, 3, true), (-1, 3, true), (2, 3, false), (1, 0, false)] {
+        let mut pt = QVector::zeros(dim);
+        pt[space.iter_coeff(sid, 0)] = a.into();
+        pt[space.iter_coeff(sid, 1)] = b.into();
+        let inside = poly.contains(&pt);
+        lines.push(format!("Θ = {a}i + {b}j: valid = {inside} (expected {expect})"));
+    }
+    FigureReport {
+        id: "fig04".into(),
+        title: "schedules valid for OV (0,2) on Example 1".into(),
+        paper: "slopes a/b in (-1/2, 1/2), upper end approached / lower asymptotic".into(),
+        measured: format!(
+            "upper bound exactly 1/2; lower bound {lo6:.4} → {lo600:.4} approaching -1/2"
+        ),
+        reproduced: ok,
+        lines,
+    }
+}
+
+/// Figure 5 (+ §5.1.4): the AOV of Example 1, vs the UOV baseline.
+pub fn fig05() -> FigureReport {
+    let p = examples::example1();
+    let aov = problems::aov(&p).expect("solvable").vector_for("A").unwrap().clone();
+    let search = problems::aov_search(&p, 6).expect("solvable");
+    let uov = uov::shortest_uov(&p, aov_ir::ArrayId(0), 6).expect("stencil");
+    FigureReport {
+        id: "fig05".into(),
+        title: "AOV of Example 1 vs the Strout et al. UOV".into(),
+        paper: "AOV (1,2), shorter (Euclidean) than the UOV (0,3)".into(),
+        measured: format!(
+            "AOV {aov} (search agrees: {}), UOV {uov}; |AOV|₂² = {} vs |UOV|₂² = {}",
+            search.vector_for("A") == Some(&aov),
+            aov.euclidean_sq(),
+            uov.euclidean_sq()
+        ),
+        reproduced: aov.components() == [1, 2]
+            && uov.components() == [0, 3]
+            && aov.euclidean_sq() < uov.euclidean_sq(),
+        lines: vec![
+            "any legal affine schedule may run against the transformed storage".into(),
+        ],
+    }
+}
+
+/// Figure 6: transformed code of Example 1 under the AOV.
+pub fn fig06() -> FigureReport {
+    let p = examples::example1();
+    let a = p.array_by_name("A").unwrap();
+    let v = problems::aov(&p).expect("solvable").vector_for("A").unwrap().clone();
+    let t = StorageTransform::new(&p, a, &v).expect("transformable");
+    let (n, m) = (100i64, 100i64);
+    let orig = t.original_size(&[n, m]);
+    let new = t.transformed_size(&[n, m]);
+    let code = aov_core::codegen::transformed_code(&p, &[t]);
+    FigureReport {
+        id: "fig06".into(),
+        title: "transformed code for Example 1 (AOV)".into(),
+        paper: "A[2i−j+m]: storage n·m → 2n+m".into(),
+        measured: format!("storage {orig} → {new} at (n,m) = ({n},{m})"),
+        reproduced: new == 2 * n + m - 2 && new < orig,
+        lines: code.lines().map(str::to_string).collect(),
+    }
+}
+
+/// Figure 9: Example 2's AOVs and transformed code.
+pub fn fig09() -> FigureReport {
+    let p = examples::example2();
+    let r = problems::aov(&p).expect("solvable");
+    let va = r.vector_for("A").unwrap().clone();
+    let vb = r.vector_for("B").unwrap().clone();
+    let ts: Vec<StorageTransform> = [("A", &va), ("B", &vb)]
+        .into_iter()
+        .map(|(n, v)| StorageTransform::new(&p, p.array_by_name(n).unwrap(), v).unwrap())
+        .collect();
+    let (n, m) = (100i64, 100i64);
+    let sizes: Vec<String> = ts
+        .iter()
+        .map(|t| {
+            format!(
+                "{}: {} → {}",
+                t.array_name(),
+                t.original_size(&[n, m]),
+                t.transformed_size(&[n, m])
+            )
+        })
+        .collect();
+    let code = aov_core::codegen::transformed_code(&p, &ts);
+    let ok = va.components() == [1, 1] && vb.components() == [1, 1];
+    let mut lines = sizes;
+    lines.extend(code.lines().map(str::to_string));
+    FigureReport {
+        id: "fig09".into(),
+        title: "AOVs and transformed code for Example 2".into(),
+        paper: "v_A = v_B = (1,1); arrays collapse to n+m vectors".into(),
+        measured: format!("v_A = {va}, v_B = {vb}"),
+        reproduced: ok,
+        lines,
+    }
+}
+
+/// Figure 11: Example 3's AOV and transformed code (the Z-emptiness
+/// pruning case).
+pub fn fig11() -> FigureReport {
+    let p = examples::example3();
+    let r = problems::aov(&p).expect("solvable");
+    let v = r.vector_for("D").unwrap().clone();
+    let d = p.array_by_name("D").unwrap();
+    let t = StorageTransform::new(&p, d, &v).expect("transformable");
+    let (x, y, z) = (50i64, 50, 50);
+    let orig = t.original_size(&[x, y, z]);
+    let new = t.transformed_size(&[x, y, z]);
+    FigureReport {
+        id: "fig11".into(),
+        title: "AOV and transformed storage for Example 3".into(),
+        paper: "v = (1,1,1); 3-d cube collapses to a 2-d array".into(),
+        measured: format!("v = {v}; storage {orig} → {new} at {x}³ ({}d → {}d)", 3, t.transformed_dim()),
+        reproduced: v.components() == [1, 1, 1] && t.transformed_dim() == 2 && new < orig,
+        lines: vec![
+            "boundary storage constraints pruned: Z = ∅ for v ≥ (1,1,1) (§5.3)".into(),
+        ],
+    }
+}
+
+/// Figure 14: Example 4's AOVs (non-uniform dependences).
+pub fn fig14() -> FigureReport {
+    let p = examples::example4();
+    let r = problems::aov(&p).expect("solvable");
+    let va = r.vector_for("A").unwrap().clone();
+    let vb = r.vector_for("B").unwrap().clone();
+    // The paper's hand derivation reports (1,1); our exact dependence
+    // domains admit the shorter (1,0), which the exact checker confirms.
+    let mut checker = aov_core::check::Checker::new(&p);
+    let a = p.array_by_name("A").unwrap();
+    let paper_valid = checker.valid_for_all_schedules(a, &[1, 1]).unwrap_or(false);
+    let ours_valid = checker.valid_for_all_schedules(a, va.components()).unwrap_or(false);
+    FigureReport {
+        id: "fig14".into(),
+        title: "AOVs for Example 4 (non-uniform dependences)".into(),
+        paper: "v_A = (1,1), v_B = 1".into(),
+        measured: format!(
+            "v_A = {va} (exact-checker valid: {ours_valid}), v_B = {vb}; the paper's (1,1) also checks: {paper_valid}"
+        ),
+        reproduced: vb.components() == [1] && ours_valid && paper_valid,
+        lines: vec![
+            "deviation: exact dependence domains (S2 reads A[i][n-i] only for i <= n-1) \
+             admit v_A = (1,0), protected by causality Θ1(i+1,·) >= Θ2(i)+1"
+                .into(),
+        ],
+    }
+}
+
+/// Figure 15: Example 2 speedups (diagonal strips).
+pub fn fig15(full_scale: bool) -> FigureReport {
+    let cfg = MachineConfig::scaled_down();
+    let (n, m) = if full_scale { (384, 384) } else { (128, 128) };
+    let procs: Vec<usize> = if full_scale {
+        vec![1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 70]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let pts = experiments::example2_speedup(&cfg, n, m, &procs);
+    let lines: Vec<String> = pts
+        .iter()
+        .map(|p| format!("P={:>3}  original {:>7.2}  transformed {:>7.2}", p.procs, p.original, p.transformed))
+        .collect();
+    let always_ahead = pts.iter().all(|p| p.transformed > p.original);
+    let last = pts.last().unwrap();
+    let mid = &pts[pts.len() / 2];
+    let plateau = last.original < mid.original * 2.0;
+    FigureReport {
+        id: "fig15".into(),
+        title: format!("speedup vs processors, Example 2 ({n}×{m})"),
+        paper: "same trend for both; little improvement past ~16 procs; transformed ahead by a sizable constant factor".into(),
+        measured: format!(
+            "transformed ahead at every P: {always_ahead}; saturation: {plateau}; final gap {:.2}×",
+            last.transformed / last.original
+        ),
+        reproduced: always_ahead && last.transformed / last.original > 1.3,
+        lines,
+    }
+}
+
+/// Figure 16: Example 3 speedups (blocked wavefront, superlinear).
+pub fn fig16(full_scale: bool) -> FigureReport {
+    let cfg = MachineConfig::memory_bound();
+    let (x, y, z) = if full_scale { (48, 96, 96) } else { (24, 48, 48) };
+    let procs: Vec<usize> = if full_scale {
+        vec![1, 2, 4, 6, 8, 10, 12, 14, 16]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let pts = experiments::example3_speedup(&cfg, x, y, z, &procs);
+    let lines: Vec<String> = pts
+        .iter()
+        .map(|p| format!("P={:>3}  original {:>7.2}  transformed {:>7.2}", p.procs, p.original, p.transformed))
+        .collect();
+    let ahead = pts.iter().all(|p| p.transformed >= p.original);
+    let superlinear = pts.iter().any(|p| p.transformed > p.procs as f64);
+    FigureReport {
+        id: "fig16".into(),
+        title: format!("speedup vs processors, Example 3 ({x}×{y}×{z})"),
+        paper: "transformed substantially better; superlinear speedup from improved caching".into(),
+        measured: format!("transformed ahead everywhere: {ahead}; superlinear point exists: {superlinear}"),
+        reproduced: ahead && superlinear,
+        lines,
+    }
+}
+
+/// Extra: observed storage cells from dynamic runs (confirms the static
+/// size predictions of the transforms).
+pub fn storage_footprints() -> FigureReport {
+    use aov_interp::store::StorageMode;
+    let p = examples::example1();
+    let row = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
+    let a = p.array_by_name("A").unwrap();
+    let (n, m) = (12i64, 10i64);
+    let mut lines = Vec::new();
+    let mut all_ok = true;
+    for v in [vec![0, 1], vec![1, 2], vec![0, 2]] {
+        let ov = OccupancyVector::new(v.clone());
+        let t = StorageTransform::new(&p, a, &ov).unwrap();
+        let modes = vec![StorageMode::Transformed(&t)];
+        let (_, stats) = aov_interp::exec::run_scheduled(&p, &[n, m], &row, &modes);
+        let predicted = t.transformed_size(&[n, m]);
+        let used = stats.cells_used[0] as i64;
+        let ok = used <= predicted;
+        all_ok &= ok;
+        lines.push(format!(
+            "v = {ov}: predicted {predicted} cells, observed {used} (within bound: {ok})"
+        ));
+    }
+    FigureReport {
+        id: "storage".into(),
+        title: "observed vs predicted storage footprints (Example 1)".into(),
+        paper: "(implicit) the transformed array bounds hold at runtime".into(),
+        measured: "dynamic footprints within static bounds".into(),
+        reproduced: all_ok,
+        lines,
+    }
+}
+
+/// All reports (figure order).
+pub fn all_reports(full_scale: bool) -> Vec<FigureReport> {
+    vec![
+        fig03(),
+        fig04(),
+        fig05(),
+        fig06(),
+        fig09(),
+        fig11(),
+        fig14(),
+        fig15(full_scale),
+        fig16(full_scale),
+        storage_footprints(),
+    ]
+}
+
+/// Helper for benches: the Example 1 row schedule.
+pub fn example1_row_schedule() -> (aov_ir::Program, Schedule) {
+    let p = examples::example1();
+    let s = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
+    (p, s)
+}
+
+/// Helper for benches: schedule-space dimension of a program.
+pub fn schedule_space_dim(p: &aov_ir::Program) -> usize {
+    ScheduleSpace::new(p).dim()
+}
+
+/// Sanity helper shared by bins: panic (nonzero exit) when a report
+/// fails to reproduce.
+pub fn assert_reproduced(r: &FigureReport) {
+    assert!(r.reproduced, "{} failed to reproduce:\n{}", r.id, r.render());
+}
+
+/// Quick legality probe used by the explorer example and tests.
+pub fn is_legal(p: &aov_ir::Program, s: &Schedule) -> bool {
+    legal::is_legal(p, s)
+}

@@ -1,0 +1,197 @@
+//! Exact validity checkers for concrete occupancy vectors.
+//!
+//! These are independent of the LP/Farkas solvers: validity of a *fixed*
+//! integer vector is decided by exact polyhedral reasoning (vertex
+//! elimination over the exact domain `Z`, then an emptiness/implication
+//! LP per row). The solvers' results are cross-checked against these in
+//! tests, and the `_search` solver variants in [`crate::problems`] are
+//! built directly on them.
+
+use crate::storage::exact_z;
+use aov_ir::{analysis, ArrayId, Dependence, Program};
+use aov_linalg::AffineExpr;
+use aov_polyhedra::{Polyhedron, PolyhedraError};
+use aov_schedule::linearize::eliminate_to_linear;
+use aov_schedule::{legal, Schedule, ScheduleSpace};
+
+/// Context reused across many validity checks on one program.
+pub struct Checker<'a> {
+    p: &'a Program,
+    space: ScheduleSpace,
+    deps: Vec<Dependence>,
+    /// Legal-schedule polyhedron ℛ (computed lazily for the all-schedules
+    /// check).
+    legal: Option<Polyhedron>,
+}
+
+impl<'a> Checker<'a> {
+    /// Builds a checker (computes dependences).
+    pub fn new(p: &'a Program) -> Self {
+        Checker {
+            p,
+            space: ScheduleSpace::new(p),
+            deps: analysis::dependences(p),
+            legal: None,
+        }
+    }
+
+    /// The schedule space used by this checker.
+    pub fn space(&self) -> &ScheduleSpace {
+        &self.space
+    }
+
+    /// The program's dependences.
+    pub fn deps(&self) -> &[Dependence] {
+        &self.deps
+    }
+
+    /// Dependences whose source writes `array` (those constrain the
+    /// array's occupancy vector).
+    pub fn deps_on_array(&self, array: ArrayId) -> Vec<&Dependence> {
+        self.deps
+            .iter()
+            .filter(|d| self.p.statement(d.source).writes() == array)
+            .collect()
+    }
+
+    /// The legal-schedule polyhedron ℛ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolyhedraError`] from constraint linearization.
+    pub fn legal_polyhedron(&mut self) -> Result<&Polyhedron, PolyhedraError> {
+        if self.legal.is_none() {
+            let (_, poly) = legal::legal_schedule_polyhedron(self.p)?;
+            self.legal = Some(poly);
+        }
+        Ok(self.legal.as_ref().expect("just set"))
+    }
+
+    /// Whether `v` is a valid occupancy vector for `array` under the
+    /// concrete schedule `sched` (Eq. 3, exact `Z`).
+    pub fn valid_for_schedule(&self, array: ArrayId, v: &[i64], sched: &Schedule) -> bool {
+        let point = legal::point_of(self.p, &self.space, sched);
+        for dep in self.deps_on_array(array) {
+            let t = self.p.statement(dep.source);
+            let r = self.p.statement(dep.target);
+            let dim = r.depth() + self.p.num_params();
+            assert_eq!(v.len(), t.depth(), "vector dimension");
+            let z = exact_z(self.p, dep, v);
+            let region = z.intersect(&self.p.embed_param_domain(r.depth()));
+            if region.is_empty() {
+                continue;
+            }
+            let h_plus_v: Vec<AffineExpr> = dep
+                .h
+                .iter()
+                .zip(v)
+                .map(|(hk, &vk)| hk + &AffineExpr::constant(dim, vk.into()))
+                .collect();
+            let form = legal::difference_form(self.p, &self.space, dep, &h_plus_v, 0).negated();
+            let over_domain = form.fix_unknowns(&point);
+            if !region.implies_nonneg(&over_domain) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether `v` is an AOV for `array`: valid for *every* legal affine
+    /// schedule (Definition 1 of the paper). Exact `Z` per dependence;
+    /// each linearized row must hold over all of ℛ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolyhedraError`] from vertex elimination.
+    pub fn valid_for_all_schedules(
+        &mut self,
+        array: ArrayId,
+        v: &[i64],
+    ) -> Result<bool, PolyhedraError> {
+        // Borrow dance: compute ℛ first.
+        self.legal_polyhedron()?;
+        let legal_poly = self.legal.clone().expect("computed above");
+        for dep in self.deps_on_array(array).into_iter().cloned().collect::<Vec<_>>() {
+            let t = self.p.statement(dep.source);
+            let r = self.p.statement(dep.target);
+            let dim = r.depth() + self.p.num_params();
+            assert_eq!(v.len(), t.depth(), "vector dimension");
+            let z = exact_z(self.p, &dep, v);
+            if z.intersect(&self.p.embed_param_domain(r.depth())).is_empty() {
+                continue;
+            }
+            let h_plus_v: Vec<AffineExpr> = dep
+                .h
+                .iter()
+                .zip(v)
+                .map(|(hk, &vk)| hk + &AffineExpr::constant(dim, vk.into()))
+                .collect();
+            let form = legal::difference_form(self.p, &self.space, &dep, &h_plus_v, 0).negated();
+            let rows = eliminate_to_linear(&form, &z, r.depth(), self.p.param_domain())?;
+            for row in rows {
+                if !legal_poly.implies_nonneg(&row) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aov_ir::examples::{example1, example2};
+    use aov_ir::{ArrayId, StmtId};
+
+    #[test]
+    fn example1_fig3_ov_for_row_schedule() {
+        let p = example1();
+        let checker = Checker::new(&p);
+        let row = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
+        let a = ArrayId(0);
+        // Figure 3: (0,1) is valid for the row-parallel schedule.
+        assert!(checker.valid_for_schedule(a, &[0, 1], &row));
+        assert!(checker.valid_for_schedule(a, &[0, 2], &row));
+        // Immediate reuse is not.
+        assert!(!checker.valid_for_schedule(a, &[0, 0], &row));
+        // A vector pointing against time is not.
+        assert!(!checker.valid_for_schedule(a, &[0, -1], &row));
+    }
+
+    #[test]
+    fn example1_fig5_aov_validity() {
+        let p = example1();
+        let mut checker = Checker::new(&p);
+        let a = ArrayId(0);
+        // Figure 5 / §5.1.4: (1,2) is an AOV, (0,3) (the UOV) too.
+        assert!(checker.valid_for_all_schedules(a, &[1, 2]).unwrap());
+        assert!(checker.valid_for_all_schedules(a, &[0, 3]).unwrap());
+        // (0,1) is valid for Θ=j but NOT for all schedules.
+        assert!(!checker.valid_for_all_schedules(a, &[0, 1]).unwrap());
+        assert!(!checker.valid_for_all_schedules(a, &[0, 2]).unwrap());
+        assert!(!checker.valid_for_all_schedules(a, &[1, 1]).unwrap());
+    }
+
+    #[test]
+    fn example2_fig9_aovs() {
+        let p = example2();
+        let mut checker = Checker::new(&p);
+        let a = p.array_by_name("A").unwrap();
+        let b = p.array_by_name("B").unwrap();
+        assert!(checker.valid_for_all_schedules(a, &[1, 1]).unwrap());
+        assert!(checker.valid_for_all_schedules(b, &[1, 1]).unwrap());
+        assert!(!checker.valid_for_all_schedules(a, &[0, 1]).unwrap());
+        assert!(!checker.valid_for_all_schedules(a, &[1, 0]).unwrap());
+    }
+
+    #[test]
+    fn deps_on_array_filters_by_writer() {
+        let p = example2();
+        let checker = Checker::new(&p);
+        let a = p.array_by_name("A").unwrap();
+        let on_a = checker.deps_on_array(a);
+        assert_eq!(on_a.len(), 1);
+        assert_eq!(on_a[0].source, StmtId(0)); // S1 writes A
+    }
+}

@@ -1,0 +1,110 @@
+//! The unified schedule/storage optimization framework of Thies, Vivien,
+//! Sheldon & Amarasinghe (PLDI 2001).
+//!
+//! Occupancy vectors (§3.2) define storage reuse: transforming array `A`
+//! under `v` stores iterations `i` and `i + k·v` in the same cell. This
+//! crate implements the paper's three problems:
+//!
+//! 1. [`problems::ov_for_schedule`] — the shortest occupancy vector valid
+//!    for a *given* affine schedule (§4.5.1),
+//! 2. [`problems::schedules_for_ov`] / [`problems::best_schedule_for_ov`]
+//!    — the affine schedules valid for *given* occupancy vectors
+//!    (§4.5.2),
+//! 3. [`problems::aov`] / [`problems::AovSolver`] — the shortest *Affine
+//!    Occupancy Vector*, valid for every legal one-dimensional affine
+//!    schedule, via the affine form of Farkas' lemma (§4.5.3).
+//!
+//! Each LP-based solver has an independent exact cross-check
+//! ([`check`] + the `_search` variants in [`problems`]) that enumerates
+//! integer candidate vectors by increasing objective and decides validity
+//! per candidate. The [`uov`] module implements Strout et al.'s
+//! schedule-independent Universal Occupancy Vector as the baseline the
+//! paper compares against, and [`transform`]/[`codegen`] implement the
+//! storage transformation (projection onto the hyperplane perpendicular
+//! to `v`, with modulation) and the transformed pseudo-code of the
+//! paper's Figures 2, 6, 9, 11 and 14.
+//!
+//! # Examples
+//!
+//! ```
+//! use aov_ir::examples::example1;
+//! use aov_core::problems::AovSolver;
+//!
+//! # fn main() -> Result<(), aov_core::CoreError> {
+//! let program = example1();
+//! let solution = AovSolver::new(&program)?.solve()?;
+//! let v = solution.vector_for("A").unwrap();
+//! assert_eq!(v.components(), [1, 2]); // the paper's Figure 5 AOV
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod check;
+pub mod codegen;
+mod objective;
+mod ov;
+pub mod multi_ov;
+pub mod problems;
+pub mod storage;
+pub mod tiling;
+pub mod transform;
+pub mod uov;
+
+pub use objective::{evenness, objective_value, LENGTH_WEIGHT};
+pub use ov::{OccupancyVector, OvSpace};
+
+use aov_polyhedra::PolyhedraError;
+use aov_schedule::scheduler::ScheduleError;
+
+/// Errors from the schedule/storage solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Polyhedral machinery failed (unbounded domain, chamber explosion).
+    Polyhedra(PolyhedraError),
+    /// No legal one-dimensional affine schedule exists, so occupancy
+    /// vector problems over "all legal schedules" are vacuous.
+    Unschedulable,
+    /// No valid occupancy vector was found within the search bounds.
+    NoVectorFound,
+    /// The given schedule is not legal for the program.
+    IllegalSchedule,
+    /// The program violates the single-assignment structural invariants.
+    InvalidProgram(String),
+    /// The request is outside the implemented fragment (e.g. storage
+    /// offsets that would be piecewise in the parameters).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Polyhedra(e) => write!(f, "polyhedral failure: {e}"),
+            CoreError::Unschedulable => {
+                write!(f, "no one-dimensional affine schedule exists")
+            }
+            CoreError::NoVectorFound => {
+                write!(f, "no valid occupancy vector within search bounds")
+            }
+            CoreError::IllegalSchedule => write!(f, "schedule violates dependences"),
+            CoreError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PolyhedraError> for CoreError {
+    fn from(e: PolyhedraError) -> Self {
+        CoreError::Polyhedra(e)
+    }
+}
+
+impl From<ScheduleError> for CoreError {
+    fn from(e: ScheduleError) -> Self {
+        match e {
+            ScheduleError::Infeasible => CoreError::Unschedulable,
+            ScheduleError::Polyhedra(p) => CoreError::Polyhedra(p),
+        }
+    }
+}

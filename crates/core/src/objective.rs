@@ -1,0 +1,59 @@
+//! The paper's two-term occupancy-vector objective (§4.5.1):
+//!
+//! `k · Σ_i |v_i|  +  Σ_{i,j} | |v_i| − |v_j| |`
+//!
+//! The first term is the Manhattan length (the proxy for storage size),
+//! the second prefers "even" vectors — among equal Manhattan lengths, a
+//! more even distribution has a shorter Euclidean length. `k` is chosen
+//! large enough that the length term dominates.
+
+/// Weight of the Manhattan-length term; dominates the evenness term for
+/// all vectors the search considers (components bounded well below
+/// `LENGTH_WEIGHT / dim²`).
+pub const LENGTH_WEIGHT: i64 = 64;
+
+/// The evenness term `Σ_{i<j} | |v_i| − |v_j| |` (counted once per pair).
+pub fn evenness(v: &[i64]) -> i64 {
+    let mut acc = 0;
+    for (i, a) in v.iter().enumerate() {
+        for b in v.iter().skip(i + 1) {
+            acc += (a.abs() - b.abs()).abs();
+        }
+    }
+    acc
+}
+
+/// Full objective for one vector.
+pub fn objective_value(v: &[i64]) -> i64 {
+    LENGTH_WEIGHT * v.iter().map(|c| c.abs()).sum::<i64>() + evenness(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evenness_prefers_balanced_vectors() {
+        // The paper: AOV (1,2) beats the UOV (0,3) on the secondary term.
+        assert_eq!(evenness(&[1, 2]), 1);
+        assert_eq!(evenness(&[0, 3]), 3);
+        assert!(objective_value(&[1, 2]) < objective_value(&[0, 3]));
+        // But a shorter unbalanced vector still beats a longer balanced
+        // one (length dominates).
+        assert!(objective_value(&[0, 2]) < objective_value(&[2, 2]));
+    }
+
+    #[test]
+    fn evenness_of_uniform_vectors_is_zero() {
+        assert_eq!(evenness(&[2, 2, 2]), 0);
+        assert_eq!(evenness(&[1]), 0);
+        assert_eq!(evenness(&[]), 0);
+        assert_eq!(evenness(&[-1, 1]), 0); // absolute values compared
+    }
+
+    #[test]
+    fn objective_examples() {
+        assert_eq!(objective_value(&[1, 2]), 64 * 3 + 1);
+        assert_eq!(objective_value(&[0, 1]), 64 + 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Enumeration of the integer points of statement domains for concrete
+//! parameter values.
+
+use aov_ir::{Program, StmtId};
+use aov_linalg::{AffineExpr, QVector};
+use aov_polyhedra::{Constraint, Polyhedron};
+
+/// Fixes the parameter dimensions of a statement-space polyhedron,
+/// returning a polyhedron over the iteration dimensions only.
+pub fn fix_params(domain: &Polyhedron, depth: usize, params: &[i64]) -> Polyhedron {
+    let np = params.len();
+    assert_eq!(domain.dim(), depth + np, "domain space mismatch");
+    // Substitution: iter_k -> iter_k (over depth dims), param_j -> const.
+    let mut subs: Vec<AffineExpr> = (0..depth).map(|k| AffineExpr::var(depth, k)).collect();
+    for &v in params {
+        subs.push(AffineExpr::constant(depth, v.into()));
+    }
+    Polyhedron::from_constraints(
+        depth,
+        domain
+            .constraints()
+            .iter()
+            .map(|c| {
+                let e = c.expr().substitute(&subs);
+                if c.is_equality() {
+                    Constraint::eq0(e)
+                } else {
+                    Constraint::ge0(e)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// All integer points of a statement's iteration domain for the given
+/// parameter values, enumerated over the domain's bounding box.
+///
+/// # Panics
+///
+/// Panics if the domain is unbounded (statement domains in this IR are
+/// polytopes once parameters are fixed).
+pub fn iteration_points(p: &Program, s: StmtId, params: &[i64]) -> Vec<Vec<i64>> {
+    let st = p.statement(s);
+    let fixed = fix_params(st.domain(), st.depth(), params);
+    if fixed.is_empty() {
+        return Vec::new();
+    }
+    let depth = st.depth();
+    let mut lo = Vec::with_capacity(depth);
+    let mut hi = Vec::with_capacity(depth);
+    for k in 0..depth {
+        let x = AffineExpr::var(depth, k);
+        let min = fixed
+            .minimum(&x)
+            .expect("statement domain bounded below")
+            .ceil()
+            .to_i64()
+            .expect("small domain bound");
+        let max = fixed
+            .maximum(&x)
+            .expect("statement domain bounded above")
+            .floor()
+            .to_i64()
+            .expect("small domain bound");
+        lo.push(min);
+        hi.push(max);
+    }
+    let mut out = Vec::new();
+    let mut cur = lo.clone();
+    'outer: loop {
+        let pt = QVector::from_i64(&cur);
+        if fixed.contains(&pt) {
+            out.push(cur.clone());
+        }
+        // Odometer increment.
+        for k in (0..depth).rev() {
+            if cur[k] < hi[k] {
+                cur[k] += 1;
+                for (j, c) in cur.iter_mut().enumerate().skip(k + 1) {
+                    *c = lo[j];
+                }
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// Whether any writer of `array` covers `index` for the given parameters
+/// (i.e. the cell is produced by the program rather than input data).
+pub fn written_by_program(p: &Program, array: aov_ir::ArrayId, index: &[i64], params: &[i64]) -> bool {
+    p.writers_of(array).into_iter().any(|w| {
+        let st = p.statement(w);
+        if st.depth() != index.len() {
+            return false;
+        }
+        let fixed = fix_params(st.domain(), st.depth(), params);
+        fixed.contains(&QVector::from_i64(index))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aov_ir::examples::{example1, example3};
+
+    #[test]
+    fn rectangle_enumeration() {
+        let p = example1();
+        let pts = iteration_points(&p, StmtId(0), &[3, 2]);
+        assert_eq!(pts.len(), 6); // 3 × 2
+        assert!(pts.contains(&vec![1, 1]));
+        assert!(pts.contains(&vec![3, 2]));
+        assert!(!pts.contains(&vec![4, 1]));
+    }
+
+    #[test]
+    fn boundary_statement_enumeration() {
+        let p = example3();
+        let s1a = p.stmt_by_name("S1a").unwrap();
+        // i == 1 plane with jmax=3, kmax=4 (imax=5): 3 * 4 points.
+        let pts = iteration_points(&p, s1a, &[5, 3, 4]);
+        assert_eq!(pts.len(), 12);
+        assert!(pts.iter().all(|pt| pt[0] == 1));
+    }
+
+    #[test]
+    fn empty_domain() {
+        let p = example3();
+        let s2 = p.stmt_by_name("S2").unwrap();
+        // imax = 1 < 2: interior empty.
+        let pts = iteration_points(&p, s2, &[1, 5, 5]);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn written_by_program_boundaries() {
+        let p = example1();
+        let a = p.array_by_name("A").unwrap();
+        assert!(written_by_program(&p, a, &[1, 1], &[4, 4]));
+        assert!(written_by_program(&p, a, &[4, 4], &[4, 4]));
+        assert!(!written_by_program(&p, a, &[0, 1], &[4, 4])); // boundary read
+        assert!(!written_by_program(&p, a, &[5, 1], &[4, 4]));
+    }
+}

@@ -1,0 +1,100 @@
+//! Function-symbol semantics.
+//!
+//! `add`, `sub`, `min`, `max` get their arithmetic meaning (Example 3's
+//! dynamic program really computes a min-plus recurrence). Every other
+//! symbol (`f`, `g`, `w`, …) is an *uninterpreted* function realized as a
+//! deterministic hash mix of its name and arguments: injectivity is not
+//! guaranteed, but any single changed argument changes the result with
+//! overwhelming probability, which is what the equivalence oracle needs.
+
+/// Applies a function symbol to evaluated arguments.
+pub fn apply(name: &str, args: &[i64]) -> i64 {
+    match name {
+        "add" => args.iter().fold(0i64, |a, &b| a.wrapping_add(b)),
+        "sub" => match args {
+            [a, b] => a.wrapping_sub(*b),
+            _ => panic!("sub expects 2 arguments, got {}", args.len()),
+        },
+        "min" => args.iter().copied().min().expect("min of no arguments"),
+        "max" => args.iter().copied().max().expect("max of no arguments"),
+        "id" => match args {
+            [a] => *a,
+            _ => panic!("id expects 1 argument"),
+        },
+        _ => mix(name, args),
+    }
+}
+
+/// Deterministic initial value of a never-written array cell (a model of
+/// the input data / boundary conditions).
+pub fn initial(array: &str, index: &[i64]) -> i64 {
+    mix_with(0x9e37_79b9_7f4a_7c15, array, index)
+}
+
+/// Marker value for reading a cell before any write reached it under the
+/// evaluated schedule (only possible when the schedule or the occupancy
+/// vector is invalid).
+pub fn missing(array: &str, index: &[i64]) -> i64 {
+    mix_with(0xbf58_476d_1ce4_e5b9, array, index)
+}
+
+fn mix(name: &str, args: &[i64]) -> i64 {
+    mix_with(0x94d0_49bb_1331_11eb, name, args)
+}
+
+fn mix_with(seed: u64, name: &str, args: &[i64]) -> i64 {
+    let mut h = seed;
+    for b in name.as_bytes() {
+        h = splitmix(h ^ u64::from(*b));
+    }
+    for &a in args {
+        h = splitmix(h ^ (a as u64));
+    }
+    h as i64
+}
+
+/// splitmix64 finalizer — fast avalanche mixing.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_symbols() {
+        assert_eq!(apply("add", &[1, 2, 3]), 6);
+        assert_eq!(apply("sub", &[5, 3]), 2);
+        assert_eq!(apply("min", &[4, -2, 9]), -2);
+        assert_eq!(apply("max", &[4, -2, 9]), 9);
+        assert_eq!(apply("id", &[7]), 7);
+    }
+
+    #[test]
+    fn uninterpreted_symbols_are_deterministic_and_sensitive() {
+        let a = apply("f", &[1, 2, 3]);
+        assert_eq!(a, apply("f", &[1, 2, 3]));
+        assert_ne!(a, apply("f", &[1, 2, 4]));
+        assert_ne!(a, apply("f", &[2, 1, 3]));
+        assert_ne!(a, apply("g", &[1, 2, 3]));
+        assert_ne!(a, apply("f", &[1, 2]));
+    }
+
+    #[test]
+    fn initial_and_missing_differ() {
+        assert_ne!(initial("A", &[1, 2]), missing("A", &[1, 2]));
+        assert_ne!(initial("A", &[1, 2]), initial("A", &[2, 1]));
+        assert_ne!(initial("A", &[1, 2]), initial("B", &[1, 2]));
+        assert_eq!(initial("A", &[0]), initial("A", &[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sub expects 2")]
+    fn sub_arity_checked() {
+        let _ = apply("sub", &[1, 2, 3]);
+    }
+}

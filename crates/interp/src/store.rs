@@ -1,0 +1,90 @@
+//! Array storage under original or transformed mappings.
+
+use aov_core::transform::StorageTransform;
+use std::collections::HashMap;
+
+/// How an array's data space maps to storage cells.
+pub enum StorageMode<'a> {
+    /// One cell per data-space point (the original, fully expanded
+    /// storage of the single-assignment program).
+    Original,
+    /// Cells given by an occupancy-vector transformation.
+    Transformed(&'a StorageTransform),
+}
+
+impl StorageMode<'_> {
+    /// The storage cell of a data-space index.
+    pub fn cell(&self, index: &[i64], params: &[i64]) -> Vec<i64> {
+        match self {
+            StorageMode::Original => index.to_vec(),
+            StorageMode::Transformed(t) => t.map_point(index, params),
+        }
+    }
+}
+
+/// A sparse store for one array.
+#[derive(Debug, Default, Clone)]
+pub struct ArrayStore {
+    cells: HashMap<Vec<i64>, i64>,
+}
+
+impl ArrayStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        ArrayStore::default()
+    }
+
+    /// Reads a cell (`None` when never written).
+    pub fn read(&self, cell: &[i64]) -> Option<i64> {
+        self.cells.get(cell).copied()
+    }
+
+    /// Writes a cell.
+    pub fn write(&mut self, cell: Vec<i64>, value: i64) {
+        self.cells.insert(cell, value);
+    }
+
+    /// Number of distinct cells ever written (observed storage size).
+    pub fn cells_used(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aov_core::OccupancyVector;
+    use aov_ir::examples::example1;
+
+    #[test]
+    fn original_mode_is_identity() {
+        let m = StorageMode::Original;
+        assert_eq!(m.cell(&[3, 4], &[10, 10]), vec![3, 4]);
+    }
+
+    #[test]
+    fn transformed_mode_collapses() {
+        let p = example1();
+        let a = p.array_by_name("A").unwrap();
+        let t = aov_core::transform::StorageTransform::new(
+            &p,
+            a,
+            &OccupancyVector::new(vec![0, 1]),
+        )
+        .unwrap();
+        let m = StorageMode::Transformed(&t);
+        assert_eq!(m.cell(&[3, 4], &[10, 10]), m.cell(&[3, 5], &[10, 10]));
+        assert_ne!(m.cell(&[3, 4], &[10, 10]), m.cell(&[4, 4], &[10, 10]));
+    }
+
+    #[test]
+    fn store_read_write() {
+        let mut s = ArrayStore::new();
+        assert_eq!(s.read(&[1]), None);
+        s.write(vec![1], 42);
+        assert_eq!(s.read(&[1]), Some(42));
+        s.write(vec![1], 7);
+        assert_eq!(s.read(&[1]), Some(7));
+        assert_eq!(s.cells_used(), 1);
+    }
+}

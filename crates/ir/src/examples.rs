@@ -1,0 +1,421 @@
+//! The paper's example programs (Thies et al., PLDI 2001, §5) plus
+//! auxiliary programs used in tests and benchmarks.
+
+use crate::{Expr, Program, ProgramBuilder};
+use aov_polyhedra::Constraint;
+
+/// **Example 1** (Figure 1): the 3-point stencil
+///
+/// ```text
+/// for j = 1 to m
+///   for i = 1 to n
+///     A[i][j] = f(A[i-2][j-1], A[i][j-1], A[i+1][j-1])
+/// ```
+///
+/// One statement, three uniform self-dependences. The paper derives:
+/// shortest OV `(0,1)` for the row-parallel schedule `Θ = j` (Fig. 3),
+/// schedule range `a/b ∈ (−1/2, 1/2)` for OV `(0,2)` (Fig. 4), and AOV
+/// `(1,2)` (Fig. 5) giving the transformed code `A[2i−j+m]` (Fig. 6).
+pub fn example1() -> Program {
+    let mut b = ProgramBuilder::new("example1");
+    let n = b.param_min("n", 1);
+    let m = b.param_min("m", 1);
+    let a = b.array("A", 2);
+    let mut s = b.statement("S", &["i", "j"]);
+    s.bound(0, s.constant(1), s.param(n));
+    s.bound(1, s.constant(1), s.param(m));
+    s.writes(a);
+    let (i, j) = (s.iter(0), s.iter(1));
+    let r1 = s.read(a, vec![&i - &s.constant(2), &j - &s.constant(1)]);
+    let r2 = s.read(a, vec![i.clone(), &j - &s.constant(1)]);
+    let r3 = s.read(a, vec![&i + &s.constant(1), &j - &s.constant(1)]);
+    s.body(Expr::call(
+        "f",
+        vec![Expr::Read(r1), Expr::Read(r2), Expr::Read(r3)],
+    ));
+    b.add_statement(s);
+    b.build().expect("example1 is well-formed")
+}
+
+/// **Example 2** (Figure 7): the two-statement stencil from Lim & Lam.
+///
+/// ```text
+/// for i = 1 to n
+///   for j = 1 to m
+///     A[i][j] = f(B[i-1][j])   (S1)
+///     B[i][j] = g(A[i][j-1])   (S2)
+/// ```
+///
+/// The paper finds AOV `(1,1)` for both arrays (Fig. 9) and uses this
+/// program for the Figure 15 speedup experiment (diagonal strips).
+pub fn example2() -> Program {
+    let mut b = ProgramBuilder::new("example2");
+    let n = b.param_min("n", 1);
+    let m = b.param_min("m", 1);
+    let a = b.array("A", 2);
+    let bb = b.array("B", 2);
+
+    let mut s1 = b.statement("S1", &["i", "j"]);
+    s1.bound(0, s1.constant(1), s1.param(n));
+    s1.bound(1, s1.constant(1), s1.param(m));
+    s1.writes(a);
+    let r = s1.read(bb, vec![&s1.iter(0) - &s1.constant(1), s1.iter(1)]);
+    s1.body(Expr::call("f", vec![Expr::Read(r)]));
+    b.add_statement(s1);
+
+    let mut s2 = b.statement("S2", &["i", "j"]);
+    s2.bound(0, s2.constant(1), s2.param(n));
+    s2.bound(1, s2.constant(1), s2.param(m));
+    s2.writes(bb);
+    let r = s2.read(a, vec![s2.iter(0), &s2.iter(1) - &s2.constant(1)]);
+    s2.body(Expr::call("g", vec![Expr::Read(r)]));
+    b.add_statement(s2);
+
+    b.build().expect("example2 is well-formed")
+}
+
+/// **Example 3** (Figure 10): 3-string Needleman–Wunsch multiple sequence
+/// alignment by dynamic programming.
+///
+/// ```text
+/// for i = 1 to imax, j = 1 to jmax, k = 1 to kmax
+///   if (i==1) or (j==1) or (k==1) then
+///     D[i][j][k] = f(i,j,k)                                (S1)
+///   else
+///     D[i][j][k] = min( D[i-1][j-1][k-1] + w(a_i,b_j,c_k),
+///                       D[i][j-1][k-1]  + w(GAP,b_j,c_k),
+///                       D[i-1][j][k-1]  + w(a_i,GAP,c_k),
+///                       D[i-1][j-1][k]  + w(a_i,b_j,GAP),
+///                       D[i-1][j][k]    + w(a_i,GAP,GAP),
+///                       D[i][j-1][k]    + w(GAP,b_j,GAP),
+///                       D[i][j][k-1]    + w(GAP,GAP,c_k) ) (S2)
+/// ```
+///
+/// The boundary statement's domain (`i==1 ∨ j==1 ∨ k==1`) is a union, so
+/// it is split into three disjoint polyhedral statements `S1a` (`i==1`),
+/// `S1b` (`j==1, i>=2`) and `S1c` (`k==1, i>=2, j>=2`) — a standard
+/// statement-splitting normalization that preserves the paper's
+/// dependences. The paper finds AOV `(1,1,1)` (Fig. 11) and uses this
+/// program for the Figure 16 speedup experiment.
+pub fn example3() -> Program {
+    let mut b = ProgramBuilder::new("example3");
+    let imax = b.param_min("imax", 2);
+    let jmax = b.param_min("jmax", 2);
+    let kmax = b.param_min("kmax", 2);
+    let d = b.array("D", 3);
+
+    // Boundary pieces: f(i, j, k).
+    let boundary_body = Expr::call(
+        "f",
+        vec![Expr::Iter(0), Expr::Iter(1), Expr::Iter(2)],
+    );
+    {
+        let mut s = b.statement("S1a", &["i", "j", "k"]);
+        s.bound(0, s.constant(1), s.constant(1)); // i == 1
+        s.bound(1, s.constant(1), s.param(jmax));
+        s.bound(2, s.constant(1), s.param(kmax));
+        s.writes(d);
+        s.body(boundary_body.clone());
+        b.add_statement(s);
+    }
+    {
+        let mut s = b.statement("S1b", &["i", "j", "k"]);
+        s.bound(0, s.constant(2), s.param(imax)); // i >= 2
+        s.bound(1, s.constant(1), s.constant(1)); // j == 1
+        s.bound(2, s.constant(1), s.param(kmax));
+        s.writes(d);
+        s.body(boundary_body.clone());
+        b.add_statement(s);
+    }
+    {
+        let mut s = b.statement("S1c", &["i", "j", "k"]);
+        s.bound(0, s.constant(2), s.param(imax));
+        s.bound(1, s.constant(2), s.param(jmax)); // j >= 2
+        s.bound(2, s.constant(1), s.constant(1)); // k == 1
+        s.writes(d);
+        s.body(boundary_body);
+        b.add_statement(s);
+    }
+
+    // Interior: the 7-way min.
+    let mut s2 = b.statement("S2", &["i", "j", "k"]);
+    s2.bound(0, s2.constant(2), s2.param(imax));
+    s2.bound(1, s2.constant(2), s2.param(jmax));
+    s2.bound(2, s2.constant(2), s2.param(kmax));
+    s2.writes(d);
+    let offsets: [(i64, i64, i64); 7] = [
+        (-1, -1, -1),
+        (0, -1, -1),
+        (-1, 0, -1),
+        (-1, -1, 0),
+        (-1, 0, 0),
+        (0, -1, 0),
+        (0, 0, -1),
+    ];
+    let mut args = Vec::new();
+    for &(oi, oj, ok) in &offsets {
+        let idx = vec![
+            &s2.iter(0) + &s2.constant(oi),
+            &s2.iter(1) + &s2.constant(oj),
+            &s2.iter(2) + &s2.constant(ok),
+        ];
+        let r = s2.read(d, idx);
+        // w's arguments encode which strings contribute (GAP = 0 flag).
+        args.push(Expr::call(
+            "add",
+            vec![
+                Expr::Read(r),
+                Expr::call(
+                    "w",
+                    vec![
+                        Expr::Const(i64::from(oi != 0)),
+                        Expr::Const(i64::from(oj != 0)),
+                        Expr::Const(i64::from(ok != 0)),
+                        Expr::Iter(0),
+                        Expr::Iter(1),
+                        Expr::Iter(2),
+                    ],
+                ),
+            ],
+        ));
+    }
+    s2.body(Expr::call("min", args));
+    b.add_statement(s2);
+
+    b.build().expect("example3 is well-formed")
+}
+
+/// **Example 4** (Figure 12): non-uniform dependences.
+///
+/// ```text
+/// for i = 1 to n
+///   for j = 1 to n
+///     A[i][j] = B[i-1] + j     (S1)
+///   B[i] = A[i][n-i]           (S2)
+/// ```
+///
+/// `S2` reads `A[i][n-i]` — an affine, non-uniform access. The paper
+/// finds AOVs `v_A = (1,1)` and `v_B = (1)` (Fig. 14).
+pub fn example4() -> Program {
+    let mut b = ProgramBuilder::new("example4");
+    let n = b.param_min("n", 1);
+    let a = b.array("A", 2);
+    let bb = b.array("B", 1);
+
+    let mut s1 = b.statement("S1", &["i", "j"]);
+    s1.bound(0, s1.constant(1), s1.param(n));
+    s1.bound(1, s1.constant(1), s1.param(n));
+    s1.writes(a);
+    let r = s1.read(bb, vec![&s1.iter(0) - &s1.constant(1)]);
+    s1.body(Expr::call("add", vec![Expr::Read(r), Expr::Iter(1)]));
+    b.add_statement(s1);
+
+    let mut s2 = b.statement("S2", &["i"]);
+    s2.bound(0, s2.constant(1), s2.param(n));
+    s2.writes(bb);
+    let idx = &s2.param(n) - &s2.iter(0); // n - i
+    let r = s2.read(a, vec![s2.iter(0), idx]);
+    s2.body(Expr::call("g", vec![Expr::Read(r)]));
+    b.add_statement(s2);
+
+    b.build().expect("example4 is well-formed")
+}
+
+/// Example 1 with constant loop bounds (no structural parameters) —
+/// used by the tilability checks, where sequential loop orders must be
+/// expressible as one-dimensional affine schedules.
+pub fn example1_sized(n: i64, m: i64) -> Program {
+    let mut b = ProgramBuilder::new("example1_sized");
+    let a = b.array("A", 2);
+    let mut s = b.statement("S", &["i", "j"]);
+    s.bound(0, s.constant(1), s.constant(n));
+    s.bound(1, s.constant(1), s.constant(m));
+    s.writes(a);
+    let (i, j) = (s.iter(0), s.iter(1));
+    let r1 = s.read(a, vec![&i - &s.constant(2), &j - &s.constant(1)]);
+    let r2 = s.read(a, vec![i.clone(), &j - &s.constant(1)]);
+    let r3 = s.read(a, vec![&i + &s.constant(1), &j - &s.constant(1)]);
+    s.body(Expr::call(
+        "f",
+        vec![Expr::Read(r1), Expr::Read(r2), Expr::Read(r3)],
+    ));
+    b.add_statement(s);
+    b.build().expect("example1_sized is well-formed")
+}
+
+/// [`wavefront2d`] with constant loop bounds (see [`example1_sized`]).
+pub fn wavefront2d_sized(n: i64, m: i64) -> Program {
+    let mut b = ProgramBuilder::new("wavefront2d_sized");
+    let a = b.array("A", 2);
+    let mut s = b.statement("S", &["i", "j"]);
+    s.bound(0, s.constant(1), s.constant(n));
+    s.bound(1, s.constant(1), s.constant(m));
+    s.writes(a);
+    let (i, j) = (s.iter(0), s.iter(1));
+    let r1 = s.read(a, vec![&i - &s.constant(1), j.clone()]);
+    let r2 = s.read(a, vec![i, &j - &s.constant(1)]);
+    s.body(Expr::call("f", vec![Expr::Read(r1), Expr::Read(r2)]));
+    b.add_statement(s);
+    b.build().expect("wavefront2d_sized is well-formed")
+}
+
+/// Auxiliary: 1-D symmetric 3-point stencil over time (`heat equation`
+/// style), used for extra coverage beyond the paper's examples.
+///
+/// ```text
+/// for t = 1 to T
+///   for i = 1 to n
+///     A[i][t] = f(A[i-1][t-1], A[i][t-1], A[i+1][t-1])
+/// ```
+pub fn heat1d() -> Program {
+    let mut b = ProgramBuilder::new("heat1d");
+    let n = b.param_min("n", 1);
+    let t = b.param_min("T", 1);
+    let a = b.array("A", 2);
+    let mut s = b.statement("S", &["i", "t"]);
+    s.bound(0, s.constant(1), s.param(n));
+    s.bound(1, s.constant(1), s.param(t));
+    s.writes(a);
+    let (i, tt) = (s.iter(0), s.iter(1));
+    let r1 = s.read(a, vec![&i - &s.constant(1), &tt - &s.constant(1)]);
+    let r2 = s.read(a, vec![i.clone(), &tt - &s.constant(1)]);
+    let r3 = s.read(a, vec![&i + &s.constant(1), &tt - &s.constant(1)]);
+    s.body(Expr::call(
+        "f",
+        vec![Expr::Read(r1), Expr::Read(r2), Expr::Read(r3)],
+    ));
+    b.add_statement(s);
+    b.build().expect("heat1d is well-formed")
+}
+
+/// Auxiliary: a 1-D running reduction (prefix chain), the smallest
+/// program with a nontrivial occupancy vector (`v = 1`).
+///
+/// ```text
+/// for i = 1 to n
+///   P[i] = add(P[i-1], i)
+/// ```
+pub fn prefix_sum() -> Program {
+    let mut b = ProgramBuilder::new("prefix_sum");
+    let n = b.param_min("n", 1);
+    let p = b.array("P", 1);
+    let mut s = b.statement("S", &["i"]);
+    s.bound(0, s.constant(1), s.param(n));
+    s.writes(p);
+    let r = s.read(p, vec![&s.iter(0) - &s.constant(1)]);
+    s.body(Expr::call("add", vec![Expr::Read(r), Expr::Iter(0)]));
+    b.add_statement(s);
+    b.build().expect("prefix_sum is well-formed")
+}
+
+/// Auxiliary: a 2-D wavefront (Gauss–Seidel-like sweep) with dependences
+/// `(1,0)` and `(0,1)`; its AOV analysis exercises diagonal storage
+/// collapses.
+///
+/// ```text
+/// for i = 1 to n
+///   for j = 1 to m
+///     A[i][j] = f(A[i-1][j], A[i][j-1])
+/// ```
+pub fn wavefront2d() -> Program {
+    let mut b = ProgramBuilder::new("wavefront2d");
+    let n = b.param_min("n", 1);
+    let m = b.param_min("m", 1);
+    let a = b.array("A", 2);
+    let mut s = b.statement("S", &["i", "j"]);
+    s.bound(0, s.constant(1), s.param(n));
+    s.bound(1, s.constant(1), s.param(m));
+    s.writes(a);
+    let (i, j) = (s.iter(0), s.iter(1));
+    let r1 = s.read(a, vec![&i - &s.constant(1), j.clone()]);
+    let r2 = s.read(a, vec![i, &j - &s.constant(1)]);
+    s.body(Expr::call("f", vec![Expr::Read(r1), Expr::Read(r2)]));
+    b.add_statement(s);
+    b.build().expect("wavefront2d is well-formed")
+}
+
+/// Auxiliary: Example 1 with the iteration domain restricted by an extra
+/// non-rectangular constraint `i <= j + K`; exercises the
+/// parameterized-vertex machinery on non-box domains.
+pub fn skewed_stencil() -> Program {
+    let mut b = ProgramBuilder::new("skewed_stencil");
+    let n = b.param_min("n", 1);
+    let m = b.param_min("m", 1);
+    let a = b.array("A", 2);
+    let mut s = b.statement("S", &["i", "j"]);
+    s.bound(0, s.constant(1), s.param(n));
+    s.bound(1, s.constant(1), s.param(m));
+    // i <= j + n (always-ish true but non-rectangular).
+    let expr = &(&s.iter(1) + &s.param(n)) - &s.iter(0);
+    s.constraint(Constraint::ge0(expr));
+    s.writes(a);
+    let (i, j) = (s.iter(0), s.iter(1));
+    let r1 = s.read(a, vec![&i - &s.constant(2), &j - &s.constant(1)]);
+    let r2 = s.read(a, vec![i.clone(), &j - &s.constant(1)]);
+    let r3 = s.read(a, vec![&i + &s.constant(1), &j - &s.constant(1)]);
+    s.body(Expr::call(
+        "f",
+        vec![Expr::Read(r1), Expr::Read(r2), Expr::Read(r3)],
+    ));
+    b.add_statement(s);
+    b.build().expect("skewed_stencil is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_examples_validate() {
+        for p in [
+            example1(),
+            example2(),
+            example3(),
+            example4(),
+            heat1d(),
+            prefix_sum(),
+            wavefront2d(),
+            skewed_stencil(),
+        ] {
+            assert!(p.validate().is_ok(), "{} invalid", p.name());
+        }
+    }
+
+    #[test]
+    fn example1_shape() {
+        let p = example1();
+        assert_eq!(p.num_params(), 2);
+        assert_eq!(p.arrays().len(), 1);
+        assert_eq!(p.statements().len(), 1);
+        assert_eq!(p.statements()[0].reads().len(), 3);
+    }
+
+    #[test]
+    fn example3_shape() {
+        let p = example3();
+        assert_eq!(p.statements().len(), 4); // 3 boundary pieces + interior
+        assert_eq!(p.arrays().len(), 1);
+        let s2 = p.statement(p.stmt_by_name("S2").unwrap());
+        assert_eq!(s2.reads().len(), 7);
+        // Writers of D are pairwise disjoint (validated) and cover the
+        // boundary.
+        assert_eq!(p.writers_of(p.array_by_name("D").unwrap()).len(), 4);
+    }
+
+    #[test]
+    fn example4_shape() {
+        let p = example4();
+        assert_eq!(p.statements().len(), 2);
+        let s2 = p.statement(p.stmt_by_name("S2").unwrap());
+        assert_eq!(s2.depth(), 1);
+        assert_eq!(p.array(p.array_by_name("B").unwrap()).dim(), 1);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let p = example2();
+        let text = p.to_string();
+        assert!(text.contains("S1"));
+        assert!(text.contains("read#0"));
+    }
+}

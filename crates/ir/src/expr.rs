@@ -1,0 +1,105 @@
+//! Statement-body expressions (for the interpreter and code generator).
+
+use std::fmt;
+
+/// The right-hand side of a statement, as an expression tree.
+///
+/// Array reads refer to the statement's [`Access`](crate::Access) list by
+/// index; function symbols (`f`, `g`, `w`, `min`, `add`, …) are resolved
+/// by the interpreter — unknown names get deterministic uninterpreted
+/// (hash-mixing) semantics so that *any* reordering or storage bug
+/// changes the observable output.
+///
+/// # Examples
+///
+/// ```
+/// use aov_ir::Expr;
+///
+/// // f(read#0, read#1)
+/// let e = Expr::call("f", vec![Expr::Read(0), Expr::Read(1)]);
+/// assert_eq!(e.to_string(), "f(read#0, read#1)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// The value loaded by read access `k` of the statement.
+    Read(usize),
+    /// Function application.
+    Call(String, Vec<Expr>),
+    /// Integer literal.
+    Const(i64),
+    /// Value of the statement's `k`-th loop index.
+    Iter(usize),
+    /// Value of the program's `k`-th structural parameter.
+    Param(usize),
+}
+
+impl Expr {
+    /// Convenience constructor for [`Expr::Call`].
+    pub fn call<S: Into<String>>(name: S, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.into(), args)
+    }
+
+    /// All read-access indices appearing in the expression.
+    pub fn reads(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Read(k) => out.push(*k),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_reads(out);
+                }
+            }
+            Expr::Const(_) | Expr::Iter(_) | Expr::Param(_) => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Read(k) => write!(f, "read#{k}"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Iter(k) => write!(f, "iter#{k}"),
+            Expr::Param(k) => write!(f, "param#{k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_collected_in_order() {
+        let e = Expr::call(
+            "min",
+            vec![
+                Expr::call("add", vec![Expr::Read(2), Expr::Const(1)]),
+                Expr::Read(0),
+                Expr::Iter(1),
+            ],
+        );
+        assert_eq!(e.reads(), vec![2, 0]);
+    }
+
+    #[test]
+    fn display() {
+        let e = Expr::call("f", vec![Expr::Read(0), Expr::Param(1), Expr::Const(-3)]);
+        assert_eq!(e.to_string(), "f(read#0, param#1, -3)");
+    }
+}

@@ -1,0 +1,39 @@
+//! Program IR for the `aov` workspace.
+//!
+//! Represents the input domain of Thies et al. (PLDI 2001, §3.1):
+//! single-assignment programs with static control flow, affine loop
+//! bounds and affine array accesses, where the data space of each array
+//! coincides with the iteration space of the statement(s) writing it.
+//!
+//! * [`Program`] / [`ProgramBuilder`] — arrays, structural parameters
+//!   with a parameter domain, and statements with polyhedral iteration
+//!   domains, one written array, affine read accesses and an expression
+//!   body (used by the interpreter).
+//! * [`Dependence`] — the paper's 4-tuples `P = (R, T, h, P)`:
+//!   statement `R` at iteration `i ∈ P` depends on `T(h(i, N))`.
+//! * [`analysis::dependences`] — exact value-based dependence analysis
+//!   for this program class.
+//! * [`examples`] — the paper's Examples 1–4 plus auxiliary programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use aov_ir::examples::example1;
+//!
+//! let p = example1();
+//! assert_eq!(p.statements().len(), 1);
+//! let deps = aov_ir::analysis::dependences(&p);
+//! assert_eq!(deps.len(), 3); // the three stencil reads
+//! ```
+
+pub mod analysis;
+mod expr;
+pub mod examples;
+mod program;
+
+pub use expr::Expr;
+pub use program::{
+    Access, Array, ArrayId, Program, ProgramBuilder, Statement, StatementBuilder, StmtId,
+};
+
+pub use analysis::Dependence;

@@ -1,0 +1,212 @@
+//! Integer-lattice utilities for the occupancy-vector storage transform.
+//!
+//! Transforming an array under an occupancy vector `v` (Strout et al.;
+//! §3.2 of Thies et al.) projects the data space onto the hyperplane
+//! perpendicular to `v`. Concretely we complete `v` to a unimodular basis:
+//! a matrix `U` with `|det U| = 1` and `U·v = (g, 0, …, 0)ᵀ` where
+//! `g = gcd(v)`. Rows `2..n` of `U·x` are the projected coordinates and the
+//! first coordinate modulo `g` is the *modulation* needed when `v` crosses
+//! `g > 1` lattice points.
+
+use aov_numeric::extended_gcd;
+
+/// Greatest common divisor of all components (nonnegative; 0 for the zero
+/// vector).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(aov_linalg::lattice::gcd_vec(&[4, -6, 8]), 2);
+/// assert_eq!(aov_linalg::lattice::gcd_vec(&[0, 0]), 0);
+/// ```
+pub fn gcd_vec(v: &[i64]) -> i64 {
+    v.iter().fold(0i64, |g, &x| aov_numeric::gcd(g, x))
+}
+
+/// Divides out the gcd, returning `(g, primitive_vector)`.
+///
+/// # Panics
+///
+/// Panics if `v` is the zero vector.
+pub fn primitive(v: &[i64]) -> (i64, Vec<i64>) {
+    let g = gcd_vec(v);
+    assert!(g != 0, "zero vector has no primitive form");
+    (g, v.iter().map(|&x| x / g).collect())
+}
+
+/// Completes `v` to a unimodular basis: returns `U` (row-major `n × n`,
+/// `|det U| = 1`) such that `U·v = (g, 0, …, 0)ᵀ` with `g = gcd(v) > 0`.
+///
+/// Each off-first row of `U` is a lattice vector orthogonal to `v` in the
+/// sense of the elimination (the image of `v` is supported on the first
+/// coordinate only); together the rows form a basis of `ℤⁿ`.
+///
+/// # Panics
+///
+/// Panics if `v` is the zero vector, or on (astronomically unlikely for
+/// the small vectors of this domain) `i64` overflow.
+///
+/// # Examples
+///
+/// ```
+/// let u = aov_linalg::lattice::unimodular_completion(&[1, 2]);
+/// // U * (1,2)^T = (1, 0)^T
+/// assert_eq!(u[0][0] * 1 + u[0][1] * 2, 1);
+/// assert_eq!(u[1][0] * 1 + u[1][1] * 2, 0);
+/// ```
+pub fn unimodular_completion(v: &[i64]) -> Vec<Vec<i64>> {
+    let n = v.len();
+    assert!(v.iter().any(|&x| x != 0), "zero vector cannot be completed");
+    let mut u: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..n).map(|j| i64::from(i == j)).collect())
+        .collect();
+    let mut w = v.to_vec();
+    for i in 1..n {
+        if w[i] == 0 {
+            continue;
+        }
+        let (g, x, y) = extended_gcd(w[0], w[i]);
+        // The 2x2 block [[x, y], [-w[i]/g, w[0]/g]] has determinant 1 and
+        // maps (w[0], w[i]) to (g, 0).
+        let (a, b) = (x, y);
+        let (c, d) = (-w[i] / g, w[0] / g);
+        for col in 0..n {
+            let r0 = u[0][col];
+            let ri = u[i][col];
+            u[0][col] = a
+                .checked_mul(r0)
+                .and_then(|p| b.checked_mul(ri).and_then(|q| p.checked_add(q)))
+                .expect("unimodular completion overflow");
+            u[i][col] = c
+                .checked_mul(r0)
+                .and_then(|p| d.checked_mul(ri).and_then(|q| p.checked_add(q)))
+                .expect("unimodular completion overflow");
+        }
+        w[0] = g;
+        w[i] = 0;
+    }
+    if w[0] < 0 {
+        // Flip the first row so the image of v is +gcd.
+        for col in 0..n {
+            u[0][col] = -u[0][col];
+        }
+    }
+    u
+}
+
+/// Applies a row-major integer matrix to a vector.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or overflow.
+pub fn apply(m: &[Vec<i64>], v: &[i64]) -> Vec<i64> {
+    m.iter()
+        .map(|row| {
+            assert_eq!(row.len(), v.len(), "matrix-vector dimension mismatch");
+            row.iter()
+                .zip(v)
+                .map(|(&a, &b)| a.checked_mul(b).expect("overflow"))
+                .try_fold(0i64, |acc, t| acc.checked_add(t))
+                .expect("overflow")
+        })
+        .collect()
+}
+
+/// Determinant of a small integer matrix (exact, via rational elimination).
+pub fn determinant(m: &[Vec<i64>]) -> i64 {
+    let rows: Vec<&[i64]> = m.iter().map(|r| r.as_slice()).collect();
+    crate::QMatrix::from_i64(&rows)
+        .determinant()
+        .to_i64()
+        .expect("integer matrix has integer determinant")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_vec_basics() {
+        assert_eq!(gcd_vec(&[6, 9]), 3);
+        assert_eq!(gcd_vec(&[-4, 6]), 2);
+        assert_eq!(gcd_vec(&[5]), 5);
+        assert_eq!(gcd_vec(&[0, 7, 0]), 7);
+        assert_eq!(gcd_vec(&[0, 0]), 0);
+    }
+
+    #[test]
+    fn primitive_divides_out() {
+        assert_eq!(primitive(&[2, 4]), (2, vec![1, 2]));
+        assert_eq!(primitive(&[-3, 6]), (3, vec![-1, 2]));
+        assert_eq!(primitive(&[1, 2]), (1, vec![1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn primitive_zero_panics() {
+        let _ = primitive(&[0, 0]);
+    }
+
+    fn check_completion(v: &[i64]) {
+        let u = unimodular_completion(v);
+        let g = gcd_vec(v);
+        let img = apply(&u, v);
+        assert_eq!(img[0], g, "image first coord for {v:?}");
+        for (k, &x) in img.iter().enumerate().skip(1) {
+            assert_eq!(x, 0, "image coord {k} for {v:?}");
+        }
+        assert_eq!(determinant(&u).abs(), 1, "unimodularity for {v:?}");
+    }
+
+    #[test]
+    fn completion_2d() {
+        for v in [
+            [1i64, 2],
+            [0, 1],
+            [1, 0],
+            [2, 0],
+            [0, 2],
+            [-1, 2],
+            [3, 5],
+            [4, 6],
+            [-4, -6],
+        ] {
+            check_completion(&v);
+        }
+    }
+
+    #[test]
+    fn completion_3d() {
+        for v in [
+            [1i64, 1, 1],
+            [2, 4, 6],
+            [0, 0, 5],
+            [3, 0, 2],
+            [-1, 2, -3],
+            [6, 10, 15],
+        ] {
+            check_completion(&v);
+        }
+    }
+
+    #[test]
+    fn completion_paper_example1_aov() {
+        // AOV (1,2) of the paper's Example 1: the projected coordinate must
+        // be proportional to 2i - j (the paper maps A[i][j] -> A[2i-j+m]).
+        let u = unimodular_completion(&[1, 2]);
+        // Second row is orthogonal to (1,2) in the image sense; the
+        // projected coordinate is u[1]·(i,j), a primitive normal of (1,2).
+        let row = &u[1];
+        assert_eq!(row[0] * 1 + row[1] * 2, 0);
+        assert_eq!(gcd_vec(row).abs(), 1);
+    }
+
+    #[test]
+    fn modulation_when_gcd_greater_than_one() {
+        // v = (0,2) crosses 2 lattice points; g = 2 requires modulation.
+        let v = [0i64, 2];
+        let u = unimodular_completion(&v);
+        let img = apply(&u, &v);
+        assert_eq!(img, vec![2, 0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Exact rational linear algebra for the `aov` workspace.
+//!
+//! Provides the dense kernels the polyhedral library and LP solver are
+//! built on:
+//!
+//! * [`QVector`] — a vector of [`aov_numeric::Rational`]s,
+//! * [`QMatrix`] — a dense rational matrix with Gaussian elimination,
+//!   rank, solving, inversion and nullspace computation,
+//! * [`AffineExpr`] / [`VarSet`] — affine forms `c·x + b` over a named
+//!   variable space (the workhorse representation for schedules,
+//!   dependence functions and Farkas elimination),
+//! * [`lattice`] — integer-lattice utilities (primitive vectors,
+//!   unimodular completion) used by the occupancy-vector storage
+//!   transformation.
+//!
+//! # Examples
+//!
+//! ```
+//! use aov_linalg::{QMatrix, QVector};
+//! use aov_numeric::Rational;
+//!
+//! let m = QMatrix::from_i64(&[&[2, 1], &[1, 3]]);
+//! let b = QVector::from_i64(&[5, 10]);
+//! let x = m.solve(&b).expect("nonsingular");
+//! assert_eq!(x, QVector::from_i64(&[1, 3]));
+//! ```
+
+mod affine;
+pub mod lattice;
+mod matrix;
+mod vector;
+
+pub use affine::{AffineExpr, VarSet};
+pub use matrix::QMatrix;
+pub use vector::QVector;

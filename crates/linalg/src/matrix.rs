@@ -1,0 +1,428 @@
+//! Dense rational matrices with exact Gaussian elimination.
+
+use crate::QVector;
+use aov_numeric::Rational;
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+
+/// A dense matrix of [`Rational`]s in row-major order.
+///
+/// All algorithms are exact: Gaussian elimination with partial
+/// (first-nonzero) pivoting over the rationals never introduces error.
+///
+/// # Examples
+///
+/// ```
+/// use aov_linalg::QMatrix;
+///
+/// let m = QMatrix::from_i64(&[&[1, 2], &[3, 4]]);
+/// assert_eq!(m.rank(), 2);
+/// assert!(m.inverse().is_some());
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct QMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl QMatrix {
+    /// The `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        QMatrix {
+            rows,
+            cols,
+            data: vec![Rational::zero(); rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = QMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rational::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_i64(rows: &[&[i64]]) -> Self {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        assert!(
+            rows.iter().all(|r| r.len() == ncols),
+            "ragged rows in matrix literal"
+        );
+        QMatrix {
+            rows: rows.len(),
+            cols: ncols,
+            data: rows
+                .iter()
+                .flat_map(|r| r.iter().map(|&v| Rational::from(v)))
+                .collect(),
+        }
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal dimensions.
+    pub fn from_rows(rows: Vec<QVector>) -> Self {
+        let ncols = rows.first().map_or(0, QVector::dim);
+        assert!(
+            rows.iter().all(|r| r.dim() == ncols),
+            "ragged rows in matrix"
+        );
+        QMatrix {
+            rows: rows.len(),
+            cols: ncols,
+            data: rows.into_iter().flat_map(QVector::into_iter).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// A copy of row `r` as a vector.
+    pub fn row(&self, r: usize) -> QVector {
+        QVector::from_vec(self.data[r * self.cols..(r + 1) * self.cols].to_vec())
+    }
+
+    /// A copy of column `c` as a vector.
+    pub fn col(&self, c: usize) -> QVector {
+        (0..self.rows).map(|r| self[(r, c)].clone()).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> QMatrix {
+        let mut t = QMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)].clone();
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.ncols()`.
+    pub fn mul_vec(&self, v: &QVector) -> QVector {
+        assert_eq!(v.dim(), self.cols, "matrix-vector dimension mismatch");
+        (0..self.rows).map(|r| self.row(r).dot(v)).collect()
+    }
+
+    /// Reduced row echelon form; returns `(rref, pivot_columns)`.
+    pub fn rref(&self) -> (QMatrix, Vec<usize>) {
+        let mut m = self.clone();
+        let mut pivots = Vec::new();
+        let mut lead = 0usize;
+        for col in 0..m.cols {
+            if lead >= m.rows {
+                break;
+            }
+            // Find a pivot row.
+            let Some(pr) = (lead..m.rows).find(|&r| !m[(r, col)].is_zero()) else {
+                continue;
+            };
+            m.swap_rows(lead, pr);
+            let inv = m[(lead, col)].recip();
+            for c in col..m.cols {
+                m[(lead, c)] = &m[(lead, c)] * &inv;
+            }
+            for r in 0..m.rows {
+                if r != lead && !m[(r, col)].is_zero() {
+                    let factor = m[(r, col)].clone();
+                    for c in col..m.cols {
+                        let delta = &factor * &m[(lead, c)];
+                        m[(r, c)] = &m[(r, c)] - &delta;
+                    }
+                }
+            }
+            pivots.push(col);
+            lead += 1;
+        }
+        (m, pivots)
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.rref().1.len()
+    }
+
+    /// Determinant (square matrices only), by fraction-free elimination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn determinant(&self) -> Rational {
+        assert_eq!(self.rows, self.cols, "determinant of non-square matrix");
+        let n = self.rows;
+        let mut m = self.clone();
+        let mut det = Rational::one();
+        for col in 0..n {
+            let Some(pr) = (col..n).find(|&r| !m[(r, col)].is_zero()) else {
+                return Rational::zero();
+            };
+            if pr != col {
+                m.swap_rows(col, pr);
+                det = -det;
+            }
+            det = &det * &m[(col, col)];
+            let inv = m[(col, col)].recip();
+            for r in col + 1..n {
+                if m[(r, col)].is_zero() {
+                    continue;
+                }
+                let factor = &m[(r, col)] * &inv;
+                for c in col..n {
+                    let delta = &factor * &m[(col, c)];
+                    m[(r, c)] = &m[(r, c)] - &delta;
+                }
+            }
+        }
+        det
+    }
+
+    /// Solves `self * x = b` for square nonsingular `self`.
+    ///
+    /// Returns `None` if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b` has the wrong dimension.
+    pub fn solve(&self, b: &QVector) -> Option<QVector> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.dim(), self.rows, "rhs dimension mismatch");
+        let mut aug = QMatrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                aug[(r, c)] = self[(r, c)].clone();
+            }
+            aug[(r, self.cols)] = b[r].clone();
+        }
+        let (rr, pivots) = aug.rref();
+        if pivots.len() < self.rows || pivots.contains(&self.cols) {
+            return None;
+        }
+        Some((0..self.rows).map(|r| rr[(r, self.cols)].clone()).collect())
+    }
+
+    /// The inverse, or `None` when singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<QMatrix> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut aug = QMatrix::zeros(n, 2 * n);
+        for r in 0..n {
+            for c in 0..n {
+                aug[(r, c)] = self[(r, c)].clone();
+            }
+            aug[(r, n + r)] = Rational::one();
+        }
+        let (rr, pivots) = aug.rref();
+        if pivots.len() < n || pivots.iter().any(|&p| p >= n) {
+            return None;
+        }
+        let mut inv = QMatrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                inv[(r, c)] = rr[(r, n + c)].clone();
+            }
+        }
+        Some(inv)
+    }
+
+    /// A basis of the (right) nullspace `{x | self * x = 0}`.
+    pub fn nullspace(&self) -> Vec<QVector> {
+        let (rr, pivots) = self.rref();
+        let free: Vec<usize> = (0..self.cols).filter(|c| !pivots.contains(c)).collect();
+        let mut basis = Vec::with_capacity(free.len());
+        for &f in &free {
+            let mut v = QVector::zeros(self.cols);
+            v[f] = Rational::one();
+            for (prow, &pcol) in pivots.iter().enumerate() {
+                v[pcol] = -&rr[(prow, f)];
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for QMatrix {
+    type Output = Rational;
+    fn index(&self, (r, c): (usize, usize)) -> &Rational {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for QMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Rational {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Mul<&QMatrix> for &QMatrix {
+    type Output = QMatrix;
+    fn mul(self, rhs: &QMatrix) -> QMatrix {
+        assert_eq!(self.cols, rhs.rows, "matrix product dimension mismatch");
+        let mut out = QMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..rhs.cols {
+                let mut acc = Rational::zero();
+                for k in 0..self.cols {
+                    acc += &(&self[(r, k)] * &rhs[(k, c)]);
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for QMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for QMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QMatrix({}x{})\n{}", self.rows, self.cols, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_product() {
+        let i3 = QMatrix::identity(3);
+        let m = QMatrix::from_i64(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 10]]);
+        assert_eq!(&i3 * &m, m);
+        assert_eq!(&m * &i3, m);
+    }
+
+    #[test]
+    fn rref_and_rank() {
+        let m = QMatrix::from_i64(&[&[1, 2, 3], &[2, 4, 6], &[1, 0, 1]]);
+        assert_eq!(m.rank(), 2);
+        let full = QMatrix::from_i64(&[&[1, 0], &[0, 2]]);
+        assert_eq!(full.rank(), 2);
+        assert_eq!(QMatrix::zeros(3, 3).rank(), 0);
+    }
+
+    #[test]
+    fn determinant() {
+        assert_eq!(
+            QMatrix::from_i64(&[&[1, 2], &[3, 4]]).determinant(),
+            Rational::from(-2)
+        );
+        assert_eq!(
+            QMatrix::from_i64(&[&[2, 0, 0], &[0, 3, 0], &[0, 0, 4]]).determinant(),
+            Rational::from(24)
+        );
+        assert_eq!(
+            QMatrix::from_i64(&[&[1, 2], &[2, 4]]).determinant(),
+            Rational::zero()
+        );
+        // Row swap flips sign.
+        assert_eq!(
+            QMatrix::from_i64(&[&[0, 1], &[1, 0]]).determinant(),
+            Rational::from(-1)
+        );
+    }
+
+    #[test]
+    fn solve_nonsingular() {
+        let m = QMatrix::from_i64(&[&[2, 1], &[1, 3]]);
+        let b = QVector::from_i64(&[5, 10]);
+        let x = m.solve(&b).unwrap();
+        assert_eq!(m.mul_vec(&x), b);
+        assert_eq!(x, QVector::from_i64(&[1, 3]));
+    }
+
+    #[test]
+    fn solve_singular_is_none() {
+        let m = QMatrix::from_i64(&[&[1, 2], &[2, 4]]);
+        assert!(m.solve(&QVector::from_i64(&[1, 3])).is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = QMatrix::from_i64(&[&[1, 2, 0], &[0, 1, 0], &[2, 0, 1]]);
+        let inv = m.inverse().unwrap();
+        assert_eq!(&m * &inv, QMatrix::identity(3));
+        assert_eq!(&inv * &m, QMatrix::identity(3));
+        assert!(QMatrix::from_i64(&[&[1, 1], &[1, 1]]).inverse().is_none());
+    }
+
+    #[test]
+    fn nullspace_basis() {
+        let m = QMatrix::from_i64(&[&[1, 2, 3]]);
+        let ns = m.nullspace();
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            assert!(m.mul_vec(v).is_zero());
+        }
+        // Full-rank square matrix has trivial nullspace.
+        assert!(QMatrix::from_i64(&[&[1, 0], &[0, 1]]).nullspace().is_empty());
+    }
+
+    #[test]
+    fn transpose() {
+        let m = QMatrix::from_i64(&[&[1, 2, 3], &[4, 5, 6]]);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t[(2, 1)], Rational::from(6));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn rows_and_cols() {
+        let m = QMatrix::from_i64(&[&[1, 2], &[3, 4]]);
+        assert_eq!(m.row(1), QVector::from_i64(&[3, 4]));
+        assert_eq!(m.col(0), QVector::from_i64(&[1, 3]));
+    }
+}

@@ -1,0 +1,267 @@
+//! Dense vectors of exact rationals.
+
+use aov_numeric::Rational;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense vector of [`Rational`]s.
+///
+/// # Examples
+///
+/// ```
+/// use aov_linalg::QVector;
+/// use aov_numeric::Rational;
+///
+/// let v = QVector::from_i64(&[1, -2, 3]);
+/// let w = QVector::from_i64(&[0, 1, 1]);
+/// assert_eq!((&v + &w).as_slice()[1], Rational::from(-1));
+/// assert_eq!(v.dot(&w), Rational::from(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct QVector {
+    elems: Vec<Rational>,
+}
+
+impl QVector {
+    /// The zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        QVector {
+            elems: vec![Rational::zero(); dim],
+        }
+    }
+
+    /// Builds a vector from rationals.
+    pub fn from_vec(elems: Vec<Rational>) -> Self {
+        QVector { elems }
+    }
+
+    /// Builds a vector from machine integers.
+    pub fn from_i64(elems: &[i64]) -> Self {
+        QVector {
+            elems: elems.iter().map(|&v| Rational::from(v)).collect(),
+        }
+    }
+
+    /// The `i`-th standard basis vector in dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    pub fn unit(dim: usize, i: usize) -> Self {
+        assert!(i < dim, "unit index {i} out of range for dimension {dim}");
+        let mut v = QVector::zeros(dim);
+        v.elems[i] = Rational::one();
+        v
+    }
+
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Returns `true` when every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.elems.iter().all(Rational::is_zero)
+    }
+
+    /// Immutable view of the components.
+    pub fn as_slice(&self) -> &[Rational] {
+        &self.elems
+    }
+
+    /// Mutable view of the components.
+    pub fn as_mut_slice(&mut self) -> &mut [Rational] {
+        &mut self.elems
+    }
+
+    /// Iterator over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Rational> {
+        self.elems.iter()
+    }
+
+    /// Inner product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot(&self, other: &QVector) -> Rational {
+        assert_eq!(self.dim(), other.dim(), "dot of mismatched dimensions");
+        self.elems
+            .iter()
+            .zip(other.elems.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Multiplies every component by `s`.
+    pub fn scale(&self, s: &Rational) -> QVector {
+        QVector {
+            elems: self.elems.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Manhattan norm `Σ|x_i|`.
+    pub fn manhattan(&self) -> Rational {
+        self.elems.iter().map(Rational::abs).sum()
+    }
+
+    /// Exact integer components if every entry is an integer fitting `i64`.
+    pub fn to_i64(&self) -> Option<Vec<i64>> {
+        self.elems.iter().map(Rational::to_i64).collect()
+    }
+
+    /// Appends a component.
+    pub fn push(&mut self, v: Rational) {
+        self.elems.push(v);
+    }
+}
+
+impl From<Vec<Rational>> for QVector {
+    fn from(elems: Vec<Rational>) -> Self {
+        QVector { elems }
+    }
+}
+
+impl FromIterator<Rational> for QVector {
+    fn from_iter<T: IntoIterator<Item = Rational>>(iter: T) -> Self {
+        QVector {
+            elems: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for QVector {
+    type Item = Rational;
+    type IntoIter = std::vec::IntoIter<Rational>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a QVector {
+    type Item = &'a Rational;
+    type IntoIter = std::slice::Iter<'a, Rational>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+impl Index<usize> for QVector {
+    type Output = Rational;
+    fn index(&self, i: usize) -> &Rational {
+        &self.elems[i]
+    }
+}
+
+impl IndexMut<usize> for QVector {
+    fn index_mut(&mut self, i: usize) -> &mut Rational {
+        &mut self.elems[i]
+    }
+}
+
+impl Add<&QVector> for &QVector {
+    type Output = QVector;
+    fn add(self, rhs: &QVector) -> QVector {
+        assert_eq!(self.dim(), rhs.dim(), "adding mismatched dimensions");
+        self.elems
+            .iter()
+            .zip(&rhs.elems)
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+}
+
+impl Sub<&QVector> for &QVector {
+    type Output = QVector;
+    fn sub(self, rhs: &QVector) -> QVector {
+        assert_eq!(self.dim(), rhs.dim(), "subtracting mismatched dimensions");
+        self.elems
+            .iter()
+            .zip(&rhs.elems)
+            .map(|(a, b)| a - b)
+            .collect()
+    }
+}
+
+impl Neg for &QVector {
+    type Output = QVector;
+    fn neg(self) -> QVector {
+        self.elems.iter().map(|v| -v).collect()
+    }
+}
+
+impl Mul<&QVector> for &Rational {
+    type Output = QVector;
+    fn mul(self, rhs: &QVector) -> QVector {
+        rhs.scale(self)
+    }
+}
+
+impl fmt::Display for QVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for QVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QVector{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(QVector::zeros(3).dim(), 3);
+        assert!(QVector::zeros(3).is_zero());
+        assert_eq!(QVector::unit(3, 1).as_slice()[1], Rational::one());
+        assert!(!QVector::unit(3, 1).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unit_out_of_range() {
+        let _ = QVector::unit(2, 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let v = QVector::from_i64(&[1, 2, 3]);
+        let w = QVector::from_i64(&[4, 5, 6]);
+        assert_eq!(&v + &w, QVector::from_i64(&[5, 7, 9]));
+        assert_eq!(&w - &v, QVector::from_i64(&[3, 3, 3]));
+        assert_eq!(-&v, QVector::from_i64(&[-1, -2, -3]));
+        assert_eq!(v.dot(&w), Rational::from(32));
+        assert_eq!(v.scale(&Rational::new(1, 2)), QVector::from_vec(vec![
+            Rational::new(1, 2), Rational::from(1), Rational::new(3, 2)
+        ]));
+    }
+
+    #[test]
+    fn manhattan_norm() {
+        assert_eq!(QVector::from_i64(&[1, -2, 3]).manhattan(), Rational::from(6));
+        assert_eq!(QVector::zeros(4).manhattan(), Rational::zero());
+    }
+
+    #[test]
+    fn integer_roundtrip() {
+        assert_eq!(QVector::from_i64(&[3, -4]).to_i64(), Some(vec![3, -4]));
+        let half = QVector::from_vec(vec![Rational::new(1, 2)]);
+        assert_eq!(half.to_i64(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(QVector::from_i64(&[1, -2]).to_string(), "(1, -2)");
+    }
+}

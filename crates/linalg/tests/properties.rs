@@ -1,0 +1,96 @@
+//! Property tests for the exact linear algebra kernels.
+
+use aov_linalg::{lattice, AffineExpr, QMatrix, QVector};
+use aov_numeric::Rational;
+use proptest::prelude::*;
+
+fn small_matrix(n: usize) -> impl Strategy<Value = QMatrix> {
+    proptest::collection::vec(proptest::collection::vec(-9i64..=9, n), n).prop_map(move |rows| {
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        QMatrix::from_i64(&refs)
+    })
+}
+
+fn small_vec(n: usize) -> impl Strategy<Value = QVector> {
+    proptest::collection::vec(-9i64..=9, n).prop_map(|v| QVector::from_i64(&v))
+}
+
+proptest! {
+    #[test]
+    fn solve_is_inverse_application(m in small_matrix(3), b in small_vec(3)) {
+        match m.solve(&b) {
+            Some(x) => {
+                prop_assert_eq!(m.mul_vec(&x), b);
+                prop_assert!(m.inverse().is_some());
+            }
+            None => prop_assert!(m.inverse().is_none()),
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips(m in small_matrix(3)) {
+        if let Some(inv) = m.inverse() {
+            prop_assert_eq!(&m * &inv, QMatrix::identity(3));
+            prop_assert_eq!(&inv * &m, QMatrix::identity(3));
+        }
+    }
+
+    #[test]
+    fn rank_plus_nullity(m in small_matrix(4)) {
+        let rank = m.rank();
+        let ns = m.nullspace();
+        prop_assert_eq!(rank + ns.len(), 4);
+        for v in &ns {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    #[test]
+    fn determinant_zero_iff_singular(m in small_matrix(3)) {
+        let det = m.determinant();
+        prop_assert_eq!(det.is_zero(), m.inverse().is_none());
+    }
+
+    #[test]
+    fn determinant_multiplicative(a in small_matrix(3), b in small_matrix(3)) {
+        let prod = &a * &b;
+        prop_assert_eq!(prod.determinant(), &a.determinant() * &b.determinant());
+    }
+
+    #[test]
+    fn transpose_involution_and_rank(m in small_matrix(3)) {
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        prop_assert_eq!(m.transpose().rank(), m.rank());
+    }
+
+    #[test]
+    fn affine_substitution_is_composition(
+        fc in proptest::collection::vec(-5i64..=5, 2), f0 in -5i64..=5,
+        g1 in proptest::collection::vec(-5i64..=5, 3), c1 in -5i64..=5,
+        g2 in proptest::collection::vec(-5i64..=5, 3), c2 in -5i64..=5,
+        y in proptest::collection::vec(-5i64..=5, 3),
+    ) {
+        let f = AffineExpr::from_i64(&fc, f0);
+        let s1 = AffineExpr::from_i64(&g1, c1);
+        let s2 = AffineExpr::from_i64(&g2, c2);
+        let comp = f.substitute(&[s1.clone(), s2.clone()]);
+        let inner = [s1.eval_i64(&y), s2.eval_i64(&y)];
+        let direct = &(&inner[0] * &Rational::from(fc[0])
+            + &inner[1] * &Rational::from(fc[1]))
+            + &Rational::from(f0);
+        prop_assert_eq!(comp.eval_i64(&y), direct);
+    }
+
+    #[test]
+    fn unimodular_completion_properties(v in proptest::collection::vec(-20i64..=20, 2..=4)) {
+        prop_assume!(v.iter().any(|&x| x != 0));
+        let u = lattice::unimodular_completion(&v);
+        let g = lattice::gcd_vec(&v);
+        let img = lattice::apply(&u, &v);
+        prop_assert_eq!(img[0], g);
+        for &x in &img[1..] {
+            prop_assert_eq!(x, 0);
+        }
+        prop_assert_eq!(lattice::determinant(&u).abs(), 1);
+    }
+}

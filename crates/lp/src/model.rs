@@ -1,0 +1,305 @@
+//! LP/ILP model builder.
+
+use crate::branch_bound;
+use crate::simplex;
+use aov_linalg::{AffineExpr, QVector, VarSet};
+use aov_numeric::Rational;
+use std::fmt;
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of this variable in the model's variable space (the
+    /// coefficient position in [`AffineExpr`]s passed to
+    /// [`Model::constrain`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from an index previously obtained via
+    /// [`VarId::index`] (or from a parallel variable layout like a
+    /// schedule space). The index must refer to an existing variable of
+    /// the model it is used with.
+    pub fn from_index(index: usize) -> VarId {
+        VarId(index)
+    }
+}
+
+/// Relation of a constraint expression to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr >= 0`
+    Ge,
+    /// `expr <= 0`
+    Le,
+    /// `expr == 0`
+    Eq,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Value of each model variable, indexed by [`VarId::index`].
+    pub values: QVector,
+    /// Objective value at `values`.
+    pub objective: Rational,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, v: VarId) -> &Rational {
+        &self.values[v.0]
+    }
+}
+
+/// Outcome of an LP/ILP solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal(Solution),
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// Branch-and-bound exceeded its node limit (ILP only).
+    LimitReached,
+}
+
+impl LpOutcome {
+    /// The solution, if optimal.
+    pub fn optimal(self) -> Option<Solution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A linear (or mixed-integer) program: minimize `c·x` subject to affine
+/// constraints, bounds and optional integrality marks.
+///
+/// Variables are unbounded (free) by default. Constraint expressions are
+/// affine forms over the model variables in creation order; expressions of
+/// smaller dimension (built before later variables were added) are padded
+/// with zero coefficients at solve time.
+///
+/// # Examples
+///
+/// ```
+/// use aov_lp::{Model, Cmp};
+/// use aov_linalg::AffineExpr;
+///
+/// let mut m = Model::new();
+/// let _x = m.add_var("x");
+/// m.set_lower_bound(_x, 1.into());
+/// m.minimize(AffineExpr::from_i64(&[3], 0));
+/// let sol = m.solve_lp().optimal().unwrap();
+/// assert_eq!(sol.objective, 3.into());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    vars: VarSet,
+    lower: Vec<Option<Rational>>,
+    upper: Vec<Option<Rational>>,
+    integer: Vec<bool>,
+    constraints: Vec<(AffineExpr, Cmp)>,
+    objective: Option<AffineExpr>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a free continuous variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn add_var<S: Into<String>>(&mut self, name: S) -> VarId {
+        let idx = self.vars.add(name);
+        self.lower.push(None);
+        self.upper.push(None);
+        self.integer.push(false);
+        VarId(idx)
+    }
+
+    /// Adds a nonnegative continuous variable.
+    pub fn add_nonneg_var<S: Into<String>>(&mut self, name: S) -> VarId {
+        let v = self.add_var(name);
+        self.set_lower_bound(v, Rational::zero());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Iterator over all variable handles, in creation order.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.num_vars()).map(VarId)
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        self.vars.name(v.0)
+    }
+
+    /// Sets a lower bound.
+    pub fn set_lower_bound(&mut self, v: VarId, bound: Rational) {
+        self.lower[v.0] = Some(bound);
+    }
+
+    /// Sets an upper bound.
+    pub fn set_upper_bound(&mut self, v: VarId, bound: Rational) {
+        self.upper[v.0] = Some(bound);
+    }
+
+    /// Marks a variable as integer for [`Model::solve_ilp`].
+    pub fn set_integer(&mut self, v: VarId) {
+        self.integer[v.0] = true;
+    }
+
+    /// Adds the constraint `expr cmp 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` has more coefficients than the model has
+    /// variables.
+    pub fn constrain(&mut self, expr: AffineExpr, cmp: Cmp) {
+        assert!(
+            expr.dim() <= self.num_vars(),
+            "constraint over {} vars but model has {}",
+            expr.dim(),
+            self.num_vars()
+        );
+        self.constraints.push((expr, cmp));
+    }
+
+    /// Convenience: `expr >= 0`.
+    pub fn require_nonneg(&mut self, expr: AffineExpr) {
+        self.constrain(expr, Cmp::Ge);
+    }
+
+    /// Sets the objective to minimize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` has more coefficients than the model has
+    /// variables.
+    pub fn minimize(&mut self, expr: AffineExpr) {
+        assert!(expr.dim() <= self.num_vars(), "objective dimension mismatch");
+        self.objective = Some(expr);
+    }
+
+    /// Sets the objective to maximize (stored negated).
+    pub fn maximize(&mut self, expr: AffineExpr) {
+        self.minimize(-&expr);
+        // Note: reported objective is the minimized value; callers that
+        // maximize should negate `Solution::objective`.
+    }
+
+    /// Adds a variable `a` with `a >= x` and `a >= -x`, so that minimizing
+    /// `a` yields `|x|`.
+    ///
+    /// The paper's §4.5.1 uses the equivalent `x = w − z, w,z ≥ 0`
+    /// encoding; both give the same optimum for objectives that press the
+    /// absolute value down.
+    pub fn add_abs_bound<S: Into<String>>(&mut self, x: VarId, name: S) -> VarId {
+        let a = self.add_var(name);
+        let n = self.num_vars();
+        let e1 = &AffineExpr::var(n, a.0) - &AffineExpr::var(n, x.0); // a - x >= 0
+        let e2 = &AffineExpr::var(n, a.0) + &AffineExpr::var(n, x.0); // a + x >= 0
+        self.constrain(e1, Cmp::Ge);
+        self.constrain(e2, Cmp::Ge);
+        a
+    }
+
+    /// Pads an expression with zero coefficients up to the current
+    /// variable count.
+    pub(crate) fn pad(&self, e: &AffineExpr) -> AffineExpr {
+        if e.dim() == self.num_vars() {
+            e.clone()
+        } else {
+            let map: Vec<usize> = (0..e.dim()).collect();
+            e.embed(self.num_vars(), &map)
+        }
+    }
+
+    pub(crate) fn padded_constraints(&self) -> Vec<(AffineExpr, Cmp)> {
+        self.constraints
+            .iter()
+            .map(|(e, c)| (self.pad(e), *c))
+            .collect()
+    }
+
+    pub(crate) fn padded_objective(&self) -> AffineExpr {
+        match &self.objective {
+            Some(e) => self.pad(e),
+            None => AffineExpr::zero(self.num_vars()),
+        }
+    }
+
+    pub(crate) fn bounds(&self) -> (&[Option<Rational>], &[Option<Rational>]) {
+        (&self.lower, &self.upper)
+    }
+
+    pub(crate) fn integer_marks(&self) -> &[bool] {
+        &self.integer
+    }
+
+    /// Solves the continuous relaxation with exact two-phase simplex.
+    pub fn solve_lp(&self) -> LpOutcome {
+        simplex::solve(self)
+    }
+
+    /// Solves with integrality on variables marked by
+    /// [`Model::set_integer`], via branch-and-bound on the exact simplex.
+    pub fn solve_ilp(&self) -> LpOutcome {
+        branch_bound::solve(self)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "minimize {}",
+            self.padded_objective().display(&self.vars)
+        )?;
+        writeln!(f, "subject to")?;
+        for (e, c) in &self.constraints {
+            let rel = match c {
+                Cmp::Ge => ">=",
+                Cmp::Le => "<=",
+                Cmp::Eq => "==",
+            };
+            writeln!(f, "  {} {rel} 0", self.pad(e).display(&self.vars))?;
+        }
+        for (i, (lo, hi)) in self.lower.iter().zip(&self.upper).enumerate() {
+            if lo.is_some() || hi.is_some() || self.integer[i] {
+                write!(f, "  {}", self.vars.name(i))?;
+                if let Some(l) = lo {
+                    write!(f, " >= {l}")?;
+                }
+                if let Some(u) = hi {
+                    write!(f, " <= {u}")?;
+                }
+                if self.integer[i] {
+                    write!(f, " integer")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,483 @@
+//! Exact two-phase primal simplex with Bland's rule.
+//!
+//! The model is standardized (free variables split, lower bounds shifted,
+//! slacks/surpluses and artificials added) into `A y = b, y >= 0, b >= 0`,
+//! then solved in two phases over exact rationals. Bland's smallest-index
+//! pivoting rule guarantees termination without cycling.
+
+use crate::model::{Cmp, LpOutcome, Model, Solution};
+use aov_linalg::QVector;
+use aov_numeric::Rational;
+
+/// How each original model variable maps into standardized columns.
+#[derive(Debug, Clone)]
+enum VarMap {
+    /// `x = lower + y[col]`
+    Shifted { col: usize, lower: Rational },
+    /// `x = y[pos] - y[neg]`
+    Split { pos: usize, neg: usize },
+}
+
+pub(crate) struct Standardized {
+    /// Rows: coefficients over standardized columns; parallel `rhs`.
+    rows: Vec<Vec<Rational>>,
+    rhs: Vec<Rational>,
+    /// Cost of each standardized column (phase-2 objective).
+    costs: Vec<Rational>,
+    /// Objective constant (added to the tableau objective at the end).
+    obj_constant: Rational,
+    maps: Vec<VarMap>,
+    num_cols: usize,
+}
+
+pub(crate) fn standardize(model: &Model) -> Standardized {
+    let n = model.num_vars();
+    let (lower, upper) = model.bounds();
+    let mut num_cols = 0usize;
+    let mut maps = Vec::with_capacity(n);
+    for lo in lower.iter().take(n) {
+        match lo {
+            Some(l) => {
+                maps.push(VarMap::Shifted {
+                    col: num_cols,
+                    lower: l.clone(),
+                });
+                num_cols += 1;
+            }
+            None => {
+                maps.push(VarMap::Split {
+                    pos: num_cols,
+                    neg: num_cols + 1,
+                });
+                num_cols += 2;
+            }
+        }
+    }
+
+    let mut rows: Vec<Vec<Rational>> = Vec::new();
+    let mut rhs: Vec<Rational> = Vec::new();
+    let mut relations: Vec<Cmp> = Vec::new();
+
+    // Affine constraint `e cmp 0` becomes `coeffs·x cmp -const`.
+    let mut push_constraint = |coeffs: &[(usize, Rational)], constant: &Rational, cmp: Cmp| {
+        let mut row = vec![Rational::zero(); num_cols];
+        let mut b = -constant;
+        for (var, c) in coeffs {
+            if c.is_zero() {
+                continue;
+            }
+            match &maps[*var] {
+                VarMap::Shifted { col, lower } => {
+                    row[*col] = &row[*col] + c;
+                    b = &b - &(c * lower);
+                }
+                VarMap::Split { pos, neg } => {
+                    row[*pos] = &row[*pos] + c;
+                    row[*neg] = &row[*neg] - c;
+                }
+            }
+        }
+        rows.push(row);
+        rhs.push(b);
+        relations.push(cmp);
+    };
+
+    for (e, cmp) in model.padded_constraints() {
+        let coeffs: Vec<(usize, Rational)> = e
+            .coeffs()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.clone()))
+            .collect();
+        push_constraint(&coeffs, e.constant_term(), cmp);
+    }
+    // Upper bounds as `x <= u`.
+    for (i, u) in upper.iter().enumerate().take(n) {
+        if let Some(u) = u {
+            push_constraint(&[(i, Rational::one())], &-u, Cmp::Le);
+        }
+    }
+
+    // Slack/surplus columns.
+    for (r, rel) in relations.iter().enumerate() {
+        match rel {
+            Cmp::Eq => {}
+            Cmp::Le | Cmp::Ge => {
+                let sign = if matches!(rel, Cmp::Le) {
+                    Rational::one()
+                } else {
+                    -Rational::one()
+                };
+                for (rr, row) in rows.iter_mut().enumerate() {
+                    row.push(if rr == r { sign.clone() } else { Rational::zero() });
+                }
+                num_cols += 1;
+            }
+        }
+    }
+
+    // Make all rhs nonnegative.
+    for (r, b) in rhs.iter_mut().enumerate() {
+        if b.is_negative() {
+            *b = -&*b;
+            for v in rows[r].iter_mut() {
+                *v = -&*v;
+            }
+        }
+    }
+
+    // Phase-2 costs over standardized columns.
+    let obj = model.padded_objective();
+    let mut costs = vec![Rational::zero(); num_cols];
+    let mut obj_constant = obj.constant_term().clone();
+    for (i, c) in obj.coeffs().iter().enumerate() {
+        if c.is_zero() {
+            continue;
+        }
+        match &maps[i] {
+            VarMap::Shifted { col, lower } => {
+                costs[*col] = &costs[*col] + c;
+                obj_constant = &obj_constant + &(c * lower);
+            }
+            VarMap::Split { pos, neg } => {
+                costs[*pos] = &costs[*pos] + c;
+                costs[*neg] = &costs[*neg] - c;
+            }
+        }
+    }
+
+    Standardized {
+        rows,
+        rhs,
+        costs,
+        obj_constant,
+        maps,
+        num_cols,
+    }
+}
+
+/// Dense simplex tableau. `rows[r]` has `num_cols` coefficients; `rhs[r]`
+/// is the current basic value of `basis[r]`. The objective row holds
+/// reduced costs and `obj_rhs == -(current objective)`.
+struct Tableau {
+    rows: Vec<Vec<Rational>>,
+    rhs: Vec<Rational>,
+    basis: Vec<usize>,
+    obj: Vec<Rational>,
+    obj_rhs: Rational,
+}
+
+impl Tableau {
+    fn pivot(&mut self, r: usize, c: usize) {
+        let inv = self.rows[r][c].recip();
+        for v in self.rows[r].iter_mut() {
+            *v = &*v * &inv;
+        }
+        self.rhs[r] = &self.rhs[r] * &inv;
+        let pivot_row = self.rows[r].clone();
+        let pivot_rhs = self.rhs[r].clone();
+        for rr in 0..self.rows.len() {
+            if rr == r || self.rows[rr][c].is_zero() {
+                continue;
+            }
+            let f = self.rows[rr][c].clone();
+            for (v, p) in self.rows[rr].iter_mut().zip(&pivot_row) {
+                *v = &*v - &(&f * p);
+            }
+            self.rhs[rr] = &self.rhs[rr] - &(&f * &pivot_rhs);
+        }
+        if !self.obj[c].is_zero() {
+            let f = self.obj[c].clone();
+            for (v, p) in self.obj.iter_mut().zip(&pivot_row) {
+                *v = &*v - &(&f * p);
+            }
+            self.obj_rhs = &self.obj_rhs - &(&f * &pivot_rhs);
+        }
+        self.basis[r] = c;
+    }
+
+    /// Runs simplex iterations with Bland's rule on the columns in
+    /// `0..active_cols`. Returns `false` when unbounded.
+    fn run(&mut self, active_cols: usize) -> bool {
+        loop {
+            // Bland: entering column = smallest index with negative
+            // reduced cost.
+            let Some(c) = (0..active_cols).find(|&j| self.obj[j].is_negative()) else {
+                return true; // optimal
+            };
+            // Ratio test; Bland tie-break on smallest basis variable.
+            let mut best: Option<(Rational, usize)> = None;
+            for r in 0..self.rows.len() {
+                if self.rows[r][c].is_positive() {
+                    let ratio = &self.rhs[r] / &self.rows[r][c];
+                    let better = match &best {
+                        None => true,
+                        Some((bratio, brow)) => {
+                            ratio < *bratio
+                                || (ratio == *bratio && self.basis[r] < self.basis[*brow])
+                        }
+                    };
+                    if better {
+                        best = Some((ratio, r));
+                    }
+                }
+            }
+            match best {
+                None => return false, // unbounded
+                Some((_, r)) => self.pivot(r, c),
+            }
+        }
+    }
+
+    /// Re-derives the objective row for costs `c` given the current basis
+    /// (price-out).
+    fn install_objective(&mut self, costs: &[Rational], constant: &Rational) {
+        let n = self.obj.len();
+        self.obj = costs.to_vec();
+        self.obj.resize(n, Rational::zero());
+        self.obj_rhs = -constant;
+        for r in 0..self.rows.len() {
+            let b = self.basis[r];
+            if !self.obj[b].is_zero() {
+                let f = self.obj[b].clone();
+                for (v, p) in self.obj.iter_mut().zip(&self.rows[r]) {
+                    *v = &*v - &(&f * p);
+                }
+                self.obj_rhs = &self.obj_rhs - &(&f * &self.rhs[r]);
+            }
+        }
+    }
+}
+
+pub(crate) fn solve(model: &Model) -> LpOutcome {
+    let std = standardize(model);
+    match solve_standardized(&std) {
+        StdOutcome::Optimal(y, objective) => {
+            let values = destandardize(&std, &y);
+            LpOutcome::Optimal(Solution { values, objective })
+        }
+        StdOutcome::Infeasible => LpOutcome::Infeasible,
+        StdOutcome::Unbounded => LpOutcome::Unbounded,
+    }
+}
+
+enum StdOutcome {
+    Optimal(Vec<Rational>, Rational),
+    Infeasible,
+    Unbounded,
+}
+
+fn destandardize(std: &Standardized, y: &[Rational]) -> QVector {
+    std.maps
+        .iter()
+        .map(|m| match m {
+            VarMap::Shifted { col, lower } => lower + &y[*col],
+            VarMap::Split { pos, neg } => &y[*pos] - &y[*neg],
+        })
+        .collect()
+}
+
+fn solve_standardized(std: &Standardized) -> StdOutcome {
+    let m = std.rows.len();
+    let n = std.num_cols;
+    // Add one artificial per row.
+    let total = n + m;
+    let mut rows = Vec::with_capacity(m);
+    for (r, row) in std.rows.iter().enumerate() {
+        let mut full = row.clone();
+        full.resize(total, Rational::zero());
+        full[n + r] = Rational::one();
+        rows.push(full);
+    }
+    let mut t = Tableau {
+        rows,
+        rhs: std.rhs.clone(),
+        basis: (n..n + m).collect(),
+        obj: vec![Rational::zero(); total],
+        obj_rhs: Rational::zero(),
+    };
+    // Phase 1: minimize sum of artificials.
+    let mut phase1 = vec![Rational::zero(); total];
+    for c in phase1.iter_mut().skip(n) {
+        *c = Rational::one();
+    }
+    t.install_objective(&phase1, &Rational::zero());
+    let bounded = t.run(total);
+    debug_assert!(bounded, "phase 1 is always bounded below by 0");
+    // Optimal phase-1 objective is -obj_rhs.
+    if !t.obj_rhs.is_zero() {
+        return StdOutcome::Infeasible;
+    }
+    // Drive remaining artificials out of the basis.
+    let mut r = 0;
+    while r < t.rows.len() {
+        if t.basis[r] >= n {
+            if let Some(c) = (0..n).find(|&c| !t.rows[r][c].is_zero()) {
+                t.pivot(r, c);
+            } else {
+                // Redundant row: drop it.
+                t.rows.remove(r);
+                t.rhs.remove(r);
+                t.basis.remove(r);
+                continue;
+            }
+        }
+        r += 1;
+    }
+    // Phase 2 on original costs; artificial columns are excluded from
+    // pricing by passing `active_cols = n`.
+    t.install_objective(&std.costs, &std.obj_constant);
+    if !t.run(n) {
+        return StdOutcome::Unbounded;
+    }
+    let mut y = vec![Rational::zero(); n];
+    for (r, &b) in t.basis.iter().enumerate() {
+        if b < n {
+            y[b] = t.rhs[r].clone();
+        }
+    }
+    let objective = -&t.obj_rhs;
+    StdOutcome::Optimal(y, objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cmp, LpOutcome, Model};
+    use aov_linalg::AffineExpr;
+    use aov_numeric::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min 2x + y s.t. x + y >= 2, x - y >= -1, x,y >= 0 -> (1/2, 3/2), obj 5/2?
+        // Check: vertices of feasible region: (2,0): obj 4; (1/2,3/2): obj 5/2; unbounded dir increases obj.
+        let mut m = Model::new();
+        let _x = m.add_nonneg_var("x");
+        let _y = m.add_nonneg_var("y");
+        m.constrain(AffineExpr::from_i64(&[1, 1], -2), Cmp::Ge);
+        m.constrain(AffineExpr::from_i64(&[1, -1], 1), Cmp::Ge);
+        m.minimize(AffineExpr::from_i64(&[2, 1], 0));
+        let sol = m.solve_lp().optimal().expect("feasible");
+        assert_eq!(sol.objective, r(5, 2));
+        assert_eq!(sol.values.as_slice()[0], r(1, 2));
+        assert_eq!(sol.values.as_slice()[1], r(3, 2));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y == 4, x >= 0, y >= 0 -> (0, 2) obj 2.
+        let mut m = Model::new();
+        m.add_nonneg_var("x");
+        m.add_nonneg_var("y");
+        m.constrain(AffineExpr::from_i64(&[1, 2], -4), Cmp::Eq);
+        m.minimize(AffineExpr::from_i64(&[1, 1], 0));
+        let sol = m.solve_lp().optimal().unwrap();
+        assert_eq!(sol.objective, Rational::from(2));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        m.add_nonneg_var("x");
+        m.constrain(AffineExpr::from_i64(&[1], -3), Cmp::Ge); // x >= 3
+        m.constrain(AffineExpr::from_i64(&[1], -1), Cmp::Le); // x <= 1
+        assert_eq!(m.solve_lp(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        m.add_nonneg_var("x");
+        m.minimize(AffineExpr::from_i64(&[-1], 0)); // min -x, x unbounded above
+        assert_eq!(m.solve_lp(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn free_variables_split() {
+        // min |shape|: x free, minimize x s.t. x >= -5.
+        let mut m = Model::new();
+        let x = m.add_var("x");
+        m.constrain(AffineExpr::from_i64(&[1], 5), Cmp::Ge); // x + 5 >= 0
+        m.minimize(AffineExpr::from_i64(&[1], 0));
+        let sol = m.solve_lp().optimal().unwrap();
+        assert_eq!(sol.value(x), &Rational::from(-5));
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut m = Model::new();
+        let x = m.add_nonneg_var("x");
+        m.set_upper_bound(x, Rational::from(7));
+        m.minimize(AffineExpr::from_i64(&[-1], 0)); // max x
+        let sol = m.solve_lp().optimal().unwrap();
+        assert_eq!(sol.value(x), &Rational::from(7));
+    }
+
+    #[test]
+    fn objective_constant_carried() {
+        let mut m = Model::new();
+        let x = m.add_nonneg_var("x");
+        m.minimize(AffineExpr::from_i64(&[1], 10));
+        let sol = m.solve_lp().optimal().unwrap();
+        assert_eq!(sol.objective, Rational::from(10));
+        assert_eq!(sol.value(x), &Rational::zero());
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // x >= 3 via bound, min x -> 3 with objective including shift.
+        let mut m = Model::new();
+        let x = m.add_var("x");
+        m.set_lower_bound(x, Rational::from(3));
+        m.minimize(AffineExpr::from_i64(&[2], 1));
+        let sol = m.solve_lp().optimal().unwrap();
+        assert_eq!(sol.value(x), &Rational::from(3));
+        assert_eq!(sol.objective, Rational::from(7));
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic Beale-style degeneracy; Bland's rule must terminate.
+        let mut m = Model::new();
+        for name in ["x1", "x2", "x3", "x4"] {
+            m.add_nonneg_var(name);
+        }
+        m.constrain(
+            AffineExpr::from_parts(
+                aov_linalg::QVector::from_vec(vec![r(1, 4), r(-60, 1), r(-1, 25), r(9, 1)]),
+                Rational::zero(),
+            ),
+            Cmp::Le,
+        );
+        m.constrain(
+            AffineExpr::from_parts(
+                aov_linalg::QVector::from_vec(vec![r(1, 2), r(-90, 1), r(-1, 50), r(3, 1)]),
+                Rational::zero(),
+            ),
+            Cmp::Le,
+        );
+        m.constrain(AffineExpr::from_i64(&[0, 0, 1, 0], -1), Cmp::Le);
+        m.minimize(AffineExpr::from_parts(
+            aov_linalg::QVector::from_vec(vec![r(-3, 4), r(150, 1), r(-1, 50), r(6, 1)]),
+            Rational::zero(),
+        ));
+        let sol = m.solve_lp().optimal().expect("Beale LP is feasible");
+        assert_eq!(sol.objective, r(-1, 20));
+    }
+
+    #[test]
+    fn abs_bound_helper() {
+        // min |x| s.t. x <= -2  ->  2 at x = -2.
+        let mut m = Model::new();
+        let x = m.add_var("x");
+        m.constrain(AffineExpr::from_i64(&[1], 2), Cmp::Le);
+        let a = m.add_abs_bound(x, "abs_x");
+        m.minimize(AffineExpr::var(2, a.index()));
+        let sol = m.solve_lp().optimal().unwrap();
+        assert_eq!(sol.value(a), &Rational::from(2));
+        assert_eq!(sol.value(x), &Rational::from(-2));
+    }
+}

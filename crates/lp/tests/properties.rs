@@ -1,0 +1,119 @@
+//! Property tests: the exact simplex returns feasible, optimal points.
+
+use aov_linalg::AffineExpr;
+use aov_lp::{Cmp, LpOutcome, Model};
+use aov_numeric::Rational;
+use proptest::prelude::*;
+
+/// A random small LP with nonnegative vars, `<=` rows with nonnegative
+/// rhs (always feasible at 0) and a nonnegative objective — bounded.
+fn bounded_lp() -> impl Strategy<Value = (Model, Vec<Vec<i64>>, Vec<i64>, Vec<i64>)> {
+    (2usize..=4, 1usize..=4).prop_flat_map(|(nv, nc)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(-5i64..=5, nv), nc),
+            proptest::collection::vec(0i64..=20, nc),
+            proptest::collection::vec(0i64..=9, nv),
+        )
+            .prop_map(move |(rows, rhs, obj)| {
+                let mut m = Model::new();
+                for i in 0..nv {
+                    m.add_nonneg_var(format!("x{i}"));
+                }
+                for (row, b) in rows.iter().zip(&rhs) {
+                    // row . x - b <= 0
+                    m.constrain(AffineExpr::from_i64(row, -b), Cmp::Le);
+                }
+                m.minimize(AffineExpr::from_i64(&obj.iter().map(|&v| -v).collect::<Vec<_>>(), 0));
+                (m, rows, rhs, obj)
+            })
+    })
+}
+
+fn is_feasible(rows: &[Vec<i64>], rhs: &[i64], x: &[Rational]) -> bool {
+    rows.iter().zip(rhs).all(|(row, &b)| {
+        let lhs: Rational = row
+            .iter()
+            .zip(x)
+            .map(|(&a, v)| v * &Rational::from(a))
+            .sum();
+        lhs <= Rational::from(b)
+    }) && x.iter().all(|v| !v.is_negative())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_solution_is_feasible_and_beats_random_points(
+        (m, rows, rhs, obj) in bounded_lp(),
+        samples in proptest::collection::vec(proptest::collection::vec(0i64..=6, 4), 8),
+    ) {
+        match m.solve_lp() {
+            LpOutcome::Optimal(sol) => {
+                let x = sol.values.as_slice();
+                prop_assert!(is_feasible(&rows, &rhs, x), "returned point infeasible");
+                // Objective at solution must beat every feasible sample.
+                for s in &samples {
+                    let s = &s[..rows[0].len()];
+                    let sq: Vec<Rational> = s.iter().map(|&v| Rational::from(v)).collect();
+                    if is_feasible(&rows, &rhs, &sq) {
+                        let val: Rational = s.iter().zip(&obj)
+                            .map(|(&xi, &ci)| Rational::from(-ci * xi)).sum();
+                        prop_assert!(sol.objective <= val,
+                            "sample {s:?} beats 'optimal' ({} > {val})", sol.objective);
+                    }
+                }
+            }
+            LpOutcome::Unbounded => {
+                // Verify by truncation: capping Σx at growing bounds must
+                // give strictly improving optima.
+                let nv = rows[0].len();
+                let mut vals = Vec::new();
+                for cap in [1_000i64, 10_000] {
+                    let mut capped = m.clone();
+                    capped.constrain(
+                        AffineExpr::from_i64(&vec![1; nv], -cap),
+                        Cmp::Le,
+                    );
+                    match capped.solve_lp() {
+                        LpOutcome::Optimal(s) => vals.push(s.objective),
+                        other => prop_assert!(false, "capped LP reported {other:?}"),
+                    }
+                }
+                prop_assert!(vals[1] < vals[0],
+                    "declared unbounded but capped optima do not improve: {vals:?}");
+            }
+            other => prop_assert!(false, "LP with feasible origin reported {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ilp_solution_is_integral_and_no_worse_than_integer_samples(
+        (m0, rows, rhs, obj) in bounded_lp(),
+        samples in proptest::collection::vec(proptest::collection::vec(0i64..=5, 4), 8),
+    ) {
+        let mut m = m0.clone();
+        let ids: Vec<_> = m.var_ids().collect();
+        for &id in &ids {
+            m.set_integer(id);
+        }
+        match m.solve_ilp() {
+            LpOutcome::Optimal(sol) => {
+                let x = sol.values.as_slice();
+                prop_assert!(x.iter().all(Rational::is_integer), "non-integral ILP solution");
+                prop_assert!(is_feasible(&rows, &rhs, x));
+                for s in &samples {
+                    let s = &s[..rows[0].len()];
+                    let sq: Vec<Rational> = s.iter().map(|&v| Rational::from(v)).collect();
+                    if is_feasible(&rows, &rhs, &sq) {
+                        let val: Rational = s.iter().zip(&obj)
+                            .map(|(&xi, &ci)| Rational::from(-ci * xi)).sum();
+                        prop_assert!(sol.objective <= val);
+                    }
+                }
+            }
+            LpOutcome::Unbounded => {}
+            other => prop_assert!(false, "ILP with feasible origin reported {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Byte-address layouts for original and occupancy-vector-transformed
+//! arrays.
+//!
+//! The closed-form transformed mappings used here (`A[i−j+m]` for
+//! Example 2, `D[i−j+ymax][i−k+zmax]` for Example 3) are the paper's
+//! Figures 9 and 11; `aov-core`'s `StorageTransform` tests confirm the
+//! same collapse behaviour, so the trace generators can use the compact
+//! closed forms directly.
+
+/// Bytes per array element (double precision, as on the Origin).
+pub const ELEM_BYTES: i64 = 8;
+
+/// Address mapping of one array.
+#[derive(Debug, Clone)]
+pub enum Layout {
+    /// Row-major `dims` box, `base` byte offset.
+    Original { base: i64, dims: Vec<i64> },
+    /// Example 2 transformed: `A[i − j + m]` (1-d of extent n+m−1).
+    DiagonalCollapse2D { base: i64, m: i64 },
+    /// Example 3 transformed: `D[i−j+ymax][i−k+zmax]`
+    /// (2-d of extents (x+y−1) × (x+z−1)).
+    DiagonalCollapse3D { base: i64, ymax: i64, zmax: i64, xmax: i64 },
+}
+
+impl Layout {
+    /// Byte address of an element (indices are 1-based like the paper's
+    /// loops; callers pass original data-space indices).
+    pub fn addr(&self, idx: &[i64]) -> u64 {
+        let a = match self {
+            Layout::Original { base, dims } => {
+                assert_eq!(idx.len(), dims.len(), "index arity");
+                let mut off = 0i64;
+                for (x, d) in idx.iter().zip(dims) {
+                    off = off * d + (x - 1).rem_euclid(*d);
+                }
+                base + off * ELEM_BYTES
+            }
+            Layout::DiagonalCollapse2D { base, m } => {
+                let [i, j] = idx else { panic!("2-d index expected") };
+                base + (i - j + m) * ELEM_BYTES
+            }
+            Layout::DiagonalCollapse3D { base, ymax, zmax, xmax } => {
+                let [i, j, k] = idx else { panic!("3-d index expected") };
+                let r = i - j + ymax; // in [1, xmax + ymax - 1]
+                let c = i - k + zmax;
+                base + (r * (xmax + zmax) + c) * ELEM_BYTES
+            }
+        };
+        a as u64
+    }
+
+    /// Total footprint in bytes (for placing several arrays).
+    pub fn footprint(&self) -> i64 {
+        match self {
+            Layout::Original { dims, .. } => dims.iter().product::<i64>() * ELEM_BYTES,
+            Layout::DiagonalCollapse2D { m, .. } => {
+                // Callers size n via dims; extent bounded by n+m; use a
+                // generous bound of 4m for placement.
+                4 * m * ELEM_BYTES
+            }
+            Layout::DiagonalCollapse3D { ymax, zmax, xmax, .. } => {
+                (xmax + ymax) * (xmax + zmax) * ELEM_BYTES
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_row_major() {
+        let l = Layout::Original { base: 0, dims: vec![4, 5] };
+        assert_eq!(l.addr(&[1, 1]), 0);
+        assert_eq!(l.addr(&[1, 2]), 8);
+        assert_eq!(l.addr(&[2, 1]), 5 * 8);
+        assert_eq!(l.footprint(), 20 * 8);
+    }
+
+    #[test]
+    fn diagonal_2d_collapses_along_1_1() {
+        let l = Layout::DiagonalCollapse2D { base: 0, m: 10 };
+        assert_eq!(l.addr(&[3, 4]), l.addr(&[4, 5]));
+        assert_ne!(l.addr(&[3, 4]), l.addr(&[3, 5]));
+    }
+
+    #[test]
+    fn diagonal_3d_collapses_along_1_1_1() {
+        let l = Layout::DiagonalCollapse3D { base: 0, ymax: 8, zmax: 8, xmax: 8 };
+        assert_eq!(l.addr(&[2, 3, 4]), l.addr(&[3, 4, 5]));
+        assert_ne!(l.addr(&[2, 3, 4]), l.addr(&[2, 4, 4]));
+        assert_ne!(l.addr(&[2, 3, 4]), l.addr(&[2, 3, 5]));
+    }
+
+    #[test]
+    fn distinct_bases_do_not_collide() {
+        let a = Layout::Original { base: 0, dims: vec![10, 10] };
+        let b = Layout::Original { base: a.footprint(), dims: vec![10, 10] };
+        assert_ne!(a.addr(&[10, 10]), b.addr(&[1, 1]));
+    }
+}

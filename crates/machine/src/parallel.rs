@@ -1,0 +1,137 @@
+//! Parallel decompositions and timing models.
+
+use crate::MachineConfig;
+
+/// Aggregate cost of a processor's (or block's) work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkCost {
+    /// Statement instances executed.
+    pub ops: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+impl WorkCost {
+    /// Local execution cycles under a machine configuration.
+    pub fn cycles(&self, cfg: &MachineConfig) -> u64 {
+        self.ops * cfg.op_cost
+            + self.hits * cfg.hit_cost
+            + self.misses * (cfg.hit_cost + cfg.miss_cost)
+    }
+
+    /// Accumulates another cost.
+    pub fn add(&mut self, other: WorkCost) {
+        self.ops += other.ops;
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Cyclic assignment of work units to processors (balances the varying
+/// diagonal lengths of Example 2's strips).
+pub fn cyclic_assignment(num_units: usize, procs: usize) -> Vec<usize> {
+    (0..num_units).map(|u| u % procs.max(1)).collect()
+}
+
+/// Completion time of fully independent per-processor work: the slowest
+/// processor bounds compute; all misses serialize on the shared bus; a
+/// per-processor coordination overhead grows with the machine size.
+pub fn independent_time(cfg: &MachineConfig, per_proc: &[WorkCost]) -> u64 {
+    let compute = per_proc.iter().map(|c| c.cycles(cfg)).max().unwrap_or(0);
+    let total_misses: u64 = per_proc.iter().map(|c| c.misses).sum();
+    let bus = total_misses * cfg.bus_cost;
+    compute.max(bus) + per_proc.len() as u64 * cfg.proc_overhead
+}
+
+/// Completion time of a pipelined wavefront over a `stages × panels`
+/// block grid: block `(s, p)` starts after `(s−1, p)` and `(s, p−1)`
+/// (Example 3's stencil offsets never increase `j`, so no dependence
+/// flows from higher panels), each block paying a synchronization cost.
+pub fn wavefront_time(cfg: &MachineConfig, block_cycles: &[Vec<u64>]) -> u64 {
+    let stages = block_cycles.len();
+    if stages == 0 {
+        return 0;
+    }
+    let panels = block_cycles[0].len();
+    let mut done = vec![vec![0u64; panels]; stages];
+    for s in 0..stages {
+        for p in 0..panels {
+            let mut start = 0u64;
+            if s > 0 {
+                start = start.max(done[s - 1][p]);
+            }
+            if p > 0 {
+                start = start.max(done[s][p - 1]);
+            }
+            done[s][p] = start + block_cycles[s][p] + cfg.sync_cost;
+        }
+    }
+    let mut finish = 0;
+    for row in &done {
+        for &d in row {
+            finish = finish.max(d);
+        }
+    }
+    finish + panels as u64 * cfg.proc_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::scaled_down()
+    }
+
+    #[test]
+    fn work_cost_cycles() {
+        let c = WorkCost { ops: 10, hits: 5, misses: 2 };
+        let cfg = cfg();
+        assert_eq!(
+            c.cycles(&cfg),
+            10 * cfg.op_cost + 5 * cfg.hit_cost + 2 * (cfg.hit_cost + cfg.miss_cost)
+        );
+    }
+
+    #[test]
+    fn cyclic_assignment_balances() {
+        let a = cyclic_assignment(10, 3);
+        assert_eq!(a.len(), 10);
+        let count = |p| a.iter().filter(|&&x| x == p).count();
+        assert_eq!(count(0), 4);
+        assert_eq!(count(1), 3);
+        assert_eq!(count(2), 3);
+    }
+
+    #[test]
+    fn independent_time_bounded_by_slowest_and_bus() {
+        let cfg = cfg();
+        let fast = WorkCost { ops: 10, hits: 0, misses: 0 };
+        let slow = WorkCost { ops: 1000, hits: 0, misses: 0 };
+        let t = independent_time(&cfg, &[fast, slow]);
+        assert!(t >= slow.cycles(&cfg));
+        // Bus-bound case.
+        let missy = WorkCost { ops: 1, hits: 0, misses: 100_000 };
+        let t2 = independent_time(&cfg, &[missy, missy]);
+        assert!(t2 >= 200_000 * cfg.bus_cost);
+    }
+
+    #[test]
+    fn wavefront_degenerates_to_serial_chain_on_one_panel() {
+        let cfg = cfg();
+        let blocks = vec![vec![10], vec![20], vec![30]];
+        let t = wavefront_time(&cfg, &blocks);
+        assert_eq!(t, 60 + 3 * cfg.sync_cost + cfg.proc_overhead);
+    }
+
+    #[test]
+    fn wavefront_pipelines_across_panels() {
+        let cfg = MachineConfig { sync_cost: 0, proc_overhead: 0, ..cfg() };
+        // 4 stages × 2 panels of unit blocks: pipeline fills in
+        // stages + panels − 1 = 5 steps.
+        let blocks = vec![vec![1, 1]; 4];
+        assert_eq!(wavefront_time(&cfg, &blocks), 5);
+    }
+}

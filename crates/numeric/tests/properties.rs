@@ -1,0 +1,115 @@
+//! Property-based tests: BigInt/Rational obey ring/field axioms and agree
+//! with i128 reference arithmetic on small values.
+
+use aov_numeric::{extended_gcd, gcd, gcd_big, BigInt, Rational};
+use proptest::prelude::*;
+
+fn bigint_strategy() -> impl Strategy<Value = BigInt> {
+    // Mix small values with multi-limb magnitudes.
+    prop_oneof![
+        any::<i64>().prop_map(BigInt::from),
+        (any::<i128>(), any::<u64>()).prop_map(|(a, b)| BigInt::from(a) * BigInt::from(b)),
+        (any::<i128>(), any::<i128>())
+            .prop_map(|(a, b)| BigInt::from(a) * BigInt::from(b) + BigInt::from(a)),
+    ]
+}
+
+fn rational_strategy() -> impl Strategy<Value = Rational> {
+    (any::<i64>(), 1i64..=1_000_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = BigInt::from(a) + BigInt::from(b);
+        prop_assert_eq!(sum.to_i128(), Some(a as i128 + b as i128));
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let prod = BigInt::from(a) * BigInt::from(b);
+        prop_assert_eq!(prod.to_i128(), Some(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn bigint_div_rem_invariant(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Remainder has the sign of the dividend (or is zero).
+        prop_assert!(r.is_zero() || r.signum() == a.signum());
+    }
+
+    #[test]
+    fn bigint_add_commutes_and_associates(
+        a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()
+    ) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    }
+
+    #[test]
+    fn bigint_mul_distributes(a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a in bigint_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+    }
+
+    #[test]
+    fn bigint_ordering_consistent_with_subtraction(a in bigint_strategy(), b in bigint_strategy()) {
+        let diff = &a - &b;
+        prop_assert_eq!(a.cmp(&b), diff.cmp(&BigInt::zero()));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in any::<i32>(), b in any::<i32>()) {
+        let (a, b) = (a as i64, b as i64);
+        let g = gcd(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+        prop_assert_eq!(gcd_big(&BigInt::from(a), &BigInt::from(b)).to_i64(), Some(g));
+    }
+
+    #[test]
+    fn extended_gcd_is_bezout(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let (g, x, y) = extended_gcd(a, b);
+        prop_assert_eq!(g, gcd(a, b));
+        prop_assert_eq!(a * x + b * y, g);
+    }
+
+    #[test]
+    fn rational_field_axioms(a in rational_strategy(), b in rational_strategy(), c in rational_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a + Rational::zero(), a.clone());
+        prop_assert_eq!(&a * Rational::one(), a.clone());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * a.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_order_translation_invariant(
+        a in rational_strategy(), b in rational_strategy(), c in rational_strategy()
+    ) {
+        prop_assert_eq!(a.cmp(&b), (&a + &c).cmp(&(&b + &c)));
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(a in rational_strategy()) {
+        let f = Rational::from(a.floor());
+        let c = Rational::from(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(&c - &f <= Rational::one());
+    }
+}

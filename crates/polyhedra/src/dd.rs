@@ -1,0 +1,449 @@
+//! Chernikova's double-description method.
+//!
+//! Computes the generator representation (vertices, rays, lines) of a
+//! polyhedron given by constraints — the decomposition `D = P + C` of the
+//! paper's Theorem 1. The polyhedron is homogenized into a cone over
+//! `(λ, x)` with `λ >= 0` processed first; bidirectional rays (lines) are
+//! kept separately and "consumed" by the first constraint they are not
+//! orthogonal to, exactly as in Le Verge's presentation of Chernikova's
+//! algorithm.
+
+use crate::{ConstraintKind, Polyhedron};
+use aov_linalg::QVector;
+use aov_numeric::Rational;
+
+/// Generators of a polyhedron: `conv(vertices) + cone(rays) + span(lines)`.
+///
+/// An empty `vertices` list means the polyhedron is empty (a nonempty
+/// polyhedron always has at least one generator with positive
+/// homogenizing coordinate).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GeneratorSet {
+    /// Extreme points (dimension = ambient dimension).
+    pub vertices: Vec<QVector>,
+    /// Extreme unidirectional rays (primitive integer directions).
+    pub rays: Vec<QVector>,
+    /// Basis of the lineality space (primitive integer directions).
+    pub lines: Vec<QVector>,
+}
+
+impl GeneratorSet {
+    /// Whether the polyhedron is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether the polyhedron is a bounded polytope.
+    pub fn is_bounded(&self) -> bool {
+        self.rays.is_empty() && self.lines.is_empty()
+    }
+}
+
+/// One generator of the homogenized cone plus its tight set over the
+/// inequality constraints processed so far.
+#[derive(Clone, Debug)]
+struct Gen {
+    /// Homogenized coordinates `(λ, x_0, …, x_{d-1})`, primitive integer.
+    v: QVector,
+    /// `tight[k]` iff inequality `k` holds with equality on this ray.
+    tight: Vec<bool>,
+}
+
+/// Scales to a primitive integer vector (direction preserved).
+fn normalize(v: &QVector) -> QVector {
+    use aov_numeric::BigInt;
+    let mut l = BigInt::one();
+    for c in v.iter() {
+        let d = c.denom();
+        let g = aov_numeric::gcd_big(&l, d);
+        l = &l * &(d / &g);
+    }
+    let ints: Vec<BigInt> = v
+        .iter()
+        .map(|c| (c * &Rational::from(l.clone())).to_integer().expect("cleared"))
+        .collect();
+    let mut g = BigInt::zero();
+    for x in &ints {
+        g = aov_numeric::gcd_big(&g, x);
+    }
+    if g.is_zero() {
+        return v.clone();
+    }
+    ints.into_iter()
+        .map(|x| Rational::from(&x / &g))
+        .collect()
+}
+
+/// Computes the generators of `p`.
+pub(crate) fn generators(p: &Polyhedron) -> GeneratorSet {
+    let d = p.dim();
+    let hdim = d + 1;
+    // Homogenized constraint rows: (coeff on λ = constant term, then x
+    // coefficients), with a kind. λ >= 0 goes first.
+    let mut rows: Vec<(QVector, ConstraintKind)> = Vec::with_capacity(p.constraints().len() + 1);
+    rows.push((QVector::unit(hdim, 0), ConstraintKind::Ineq));
+    for c in p.constraints() {
+        let mut row = QVector::zeros(hdim);
+        row[0] = c.expr().constant_term().clone();
+        for (k, coeff) in c.expr().coeffs().iter().enumerate() {
+            row[k + 1] = coeff.clone();
+        }
+        rows.push((row, c.kind()));
+    }
+    let total_ineqs = rows
+        .iter()
+        .filter(|(_, k)| *k == ConstraintKind::Ineq)
+        .count();
+
+    // Initial cone: all of Q^{d+1} — lines along every axis.
+    let mut bi: Vec<QVector> = (0..hdim).map(|k| QVector::unit(hdim, k)).collect();
+    let mut uni: Vec<Gen> = Vec::new();
+    let mut processed_ineqs = 0usize;
+
+    for (row, kind) in rows {
+        let f = |v: &QVector| row.dot(v);
+        // Case 1: some line is non-orthogonal to the constraint.
+        if let Some(pos) = bi.iter().position(|b| !f(b).is_zero()) {
+            let b0 = bi.remove(pos);
+            let fb0 = f(&b0);
+            for b in bi.iter_mut() {
+                let fb = f(b);
+                if !fb.is_zero() {
+                    *b = normalize(&(&*b - &b0.scale(&(&fb / &fb0))));
+                }
+            }
+            for g in uni.iter_mut() {
+                let fg = f(&g.v);
+                if !fg.is_zero() {
+                    g.v = normalize(&(&g.v - &b0.scale(&(&fg / &fb0))));
+                    // Previously processed constraints are unaffected
+                    // (b0 was orthogonal to all of them); the current one
+                    // now holds with equality.
+                }
+                if *kindof(&kind) == ConstraintKind::Ineq {
+                    g.tight.push(true);
+                }
+            }
+            match kind {
+                ConstraintKind::Ineq => {
+                    // b0 becomes a unidirectional ray, oriented so f > 0;
+                    // tight on all previous inequalities, not the current.
+                    let oriented = if fb0.is_negative() { -&b0 } else { b0 };
+                    let mut tight = vec![true; processed_ineqs];
+                    tight.push(false);
+                    uni.push(Gen {
+                        v: normalize(&oriented),
+                        tight,
+                    });
+                    processed_ineqs += 1;
+                }
+                ConstraintKind::Eq => {
+                    // The line is simply removed.
+                }
+            }
+            continue;
+        }
+        // Case 2: all lines orthogonal — combine unidirectional rays.
+        let values: Vec<Rational> = uni.iter().map(|g| f(&g.v)).collect();
+        let mut next: Vec<Gen> = Vec::new();
+        for (g, val) in uni.iter().zip(&values) {
+            let keep = match kind {
+                ConstraintKind::Ineq => !val.is_negative(),
+                ConstraintKind::Eq => val.is_zero(),
+            };
+            if keep {
+                let mut g = g.clone();
+                if kind == ConstraintKind::Ineq {
+                    g.tight.push(val.is_zero());
+                }
+                next.push(g);
+            }
+        }
+        // Adjacent (+,−) pairs produce new rays on the hyperplane.
+        for (ip, vp) in values.iter().enumerate() {
+            if !vp.is_positive() {
+                continue;
+            }
+            for (in_, vn) in values.iter().enumerate() {
+                if !vn.is_negative() {
+                    continue;
+                }
+                if !adjacent(&uni, ip, in_, processed_ineqs) {
+                    continue;
+                }
+                let combo = &uni[ip].v.scale(&-vn) + &uni[in_].v.scale(vp);
+                let combo = normalize(&combo);
+                if combo.is_zero() {
+                    continue;
+                }
+                let mut tight: Vec<bool> = (0..processed_ineqs)
+                    .map(|k| uni[ip].tight[k] && uni[in_].tight[k])
+                    .collect();
+                if kind == ConstraintKind::Ineq {
+                    tight.push(true);
+                }
+                next.push(Gen { v: combo, tight });
+            }
+        }
+        if kind == ConstraintKind::Ineq {
+            processed_ineqs += 1;
+        }
+        uni = dedup_gens(next);
+    }
+    debug_assert_eq!(processed_ineqs, total_ineqs);
+
+    // Extract polyhedron generators from the cone.
+    let mut out = GeneratorSet::default();
+    for b in bi {
+        debug_assert!(b[0].is_zero(), "line with nonzero homogenizing coord");
+        out.lines.push(normalize(&drop_lambda(&b)));
+    }
+    for g in uni {
+        let lambda = &g.v[0];
+        if lambda.is_positive() {
+            let x = drop_lambda(&g.v);
+            out.vertices.push(x.scale(&lambda.recip()));
+        } else {
+            debug_assert!(lambda.is_zero());
+            let dir = drop_lambda(&g.v);
+            if !dir.is_zero() {
+                out.rays.push(normalize(&dir));
+            }
+        }
+    }
+    out
+}
+
+fn kindof(k: &ConstraintKind) -> &ConstraintKind {
+    k
+}
+
+fn drop_lambda(v: &QVector) -> QVector {
+    v.iter().skip(1).cloned().collect()
+}
+
+/// Combinatorial adjacency: `p` and `n` are adjacent iff no *other* ray's
+/// tight set contains `tight(p) ∩ tight(n)`.
+fn adjacent(uni: &[Gen], p: usize, n: usize, num_ineqs: usize) -> bool {
+    let common: Vec<usize> = (0..num_ineqs)
+        .filter(|&k| uni[p].tight[k] && uni[n].tight[k])
+        .collect();
+    for (i, g) in uni.iter().enumerate() {
+        if i == p || i == n {
+            continue;
+        }
+        if common.iter().all(|&k| g.tight[k]) {
+            return false;
+        }
+    }
+    true
+}
+
+fn dedup_gens(gens: Vec<Gen>) -> Vec<Gen> {
+    let mut out: Vec<Gen> = Vec::with_capacity(gens.len());
+    for g in gens {
+        if !out.iter().any(|h| h.v == g.v) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Constraint;
+    use aov_linalg::AffineExpr;
+
+    fn ge(coeffs: &[i64], c: i64) -> Constraint {
+        Constraint::ge0(AffineExpr::from_i64(coeffs, c))
+    }
+
+    fn sorted(vs: &[QVector]) -> Vec<String> {
+        let mut out: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn unit_square() {
+        let p = Polyhedron::from_constraints(
+            2,
+            vec![ge(&[1, 0], 0), ge(&[0, 1], 0), ge(&[-1, 0], 1), ge(&[0, -1], 1)],
+        );
+        let g = p.generators();
+        assert!(g.is_bounded());
+        assert_eq!(
+            sorted(&g.vertices),
+            vec!["(0, 0)", "(0, 1)", "(1, 0)", "(1, 1)"]
+        );
+    }
+
+    #[test]
+    fn triangle_with_rational_vertex() {
+        // x >= 0, y >= 0, 2x + 3y <= 1 -> vertices (0,0), (1/2,0), (0,1/3).
+        let p = Polyhedron::from_constraints(
+            2,
+            vec![ge(&[1, 0], 0), ge(&[0, 1], 0), ge(&[-2, -3], 1)],
+        );
+        let g = p.generators();
+        assert_eq!(
+            sorted(&g.vertices),
+            vec!["(0, 0)", "(0, 1/3)", "(1/2, 0)"]
+        );
+    }
+
+    #[test]
+    fn halfplane_has_vertex_ray_line() {
+        let p = Polyhedron::from_constraints(2, vec![ge(&[1, 0], 0)]); // x >= 0
+        let g = p.generators();
+        assert_eq!(g.vertices.len(), 1);
+        assert_eq!(g.rays.len(), 1);
+        assert_eq!(g.lines.len(), 1);
+        assert_eq!(g.rays[0], QVector::from_i64(&[1, 0]));
+        assert!(g.lines[0] == QVector::from_i64(&[0, 1]) || g.lines[0] == QVector::from_i64(&[0, -1]));
+    }
+
+    #[test]
+    fn positive_quadrant() {
+        let p = Polyhedron::from_constraints(2, vec![ge(&[1, 0], 0), ge(&[0, 1], 0)]);
+        let g = p.generators();
+        assert_eq!(sorted(&g.vertices), vec!["(0, 0)"]);
+        assert_eq!(sorted(&g.rays), vec!["(0, 1)", "(1, 0)"]);
+        assert!(g.lines.is_empty());
+    }
+
+    #[test]
+    fn empty_polyhedron_has_no_vertices() {
+        let p = Polyhedron::from_constraints(1, vec![ge(&[1], -3), ge(&[-1], 1)]);
+        assert!(p.generators().is_empty());
+    }
+
+    #[test]
+    fn single_point_from_equalities() {
+        let p = Polyhedron::from_constraints(
+            2,
+            vec![
+                Constraint::eq0(AffineExpr::from_i64(&[1, 0], -2)),
+                Constraint::eq0(AffineExpr::from_i64(&[0, 1], -3)),
+            ],
+        );
+        let g = p.generators();
+        assert_eq!(g.vertices, vec![QVector::from_i64(&[2, 3])]);
+        assert!(g.is_bounded());
+    }
+
+    #[test]
+    fn paper_parameter_domain_vertex_and_rays() {
+        // N = {(n, m) | n >= 1, m >= 1}: vertex (1,1), rays (1,0), (0,1)
+        // (§5.2 of the paper).
+        let p = Polyhedron::from_constraints(2, vec![ge(&[1, 0], -1), ge(&[0, 1], -1)]);
+        let g = p.generators();
+        assert_eq!(sorted(&g.vertices), vec!["(1, 1)"]);
+        assert_eq!(sorted(&g.rays), vec!["(0, 1)", "(1, 0)"]);
+        assert!(g.lines.is_empty());
+    }
+
+    #[test]
+    fn line_from_unconstrained_direction() {
+        // {(x, y) | 0 <= x <= 1}: y is a lineality direction.
+        let p = Polyhedron::from_constraints(2, vec![ge(&[1, 0], 0), ge(&[-1, 0], 1)]);
+        let g = p.generators();
+        assert_eq!(g.lines.len(), 1);
+        assert_eq!(g.vertices.len(), 2);
+        assert!(g.rays.is_empty());
+    }
+
+    #[test]
+    fn degenerate_vertex_square_with_cut() {
+        // Unit square cut by x + y <= 1: triangle (0,0),(1,0),(0,1).
+        let p = Polyhedron::from_constraints(
+            2,
+            vec![
+                ge(&[1, 0], 0),
+                ge(&[0, 1], 0),
+                ge(&[-1, 0], 1),
+                ge(&[0, -1], 1),
+                ge(&[-1, -1], 1),
+            ],
+        );
+        let g = p.generators();
+        assert_eq!(
+            sorted(&g.vertices),
+            vec!["(0, 0)", "(0, 1)", "(1, 0)"]
+        );
+    }
+
+    /// Brute-force vertex enumeration for bounded polytopes: solve every
+    /// d-subset of tight constraints and keep feasible solutions.
+    fn brute_force_vertices(p: &Polyhedron) -> Vec<QVector> {
+        use aov_linalg::QMatrix;
+        let d = p.dim();
+        let cs = p.constraints();
+        let n = cs.len();
+        let mut found: Vec<QVector> = Vec::new();
+        let mut idx: Vec<usize> = (0..d).collect();
+        loop {
+            // Solve the subset `idx`.
+            let rows: Vec<QVector> = idx.iter().map(|&i| cs[i].expr().coeffs().clone()).collect();
+            let m = QMatrix::from_rows(rows);
+            let b: QVector = idx
+                .iter()
+                .map(|&i| -cs[i].expr().constant_term())
+                .collect();
+            if let Some(x) = m.solve(&b) {
+                if p.contains(&x) && !found.contains(&x) {
+                    found.push(x);
+                }
+            }
+            // Next combination.
+            let mut k = d;
+            loop {
+                if k == 0 {
+                    return found;
+                }
+                k -= 1;
+                if idx[k] + (d - k) < n {
+                    idx[k] += 1;
+                    for j in k + 1..d {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dd_matches_brute_force_on_random_polytopes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _case in 0..40 {
+            let d = rng.gen_range(2..=3);
+            // Random cuts plus a bounding box to keep it a polytope.
+            let mut cs = Vec::new();
+            for k in 0..d {
+                let mut lo = vec![0i64; d];
+                lo[k] = 1;
+                cs.push(ge(&lo.clone(), 5));
+                let mut hi = vec![0i64; d];
+                hi[k] = -1;
+                cs.push(ge(&hi, 5));
+            }
+            for _ in 0..rng.gen_range(1..=3) {
+                let coeffs: Vec<i64> = (0..d).map(|_| rng.gen_range(-3..=3)).collect();
+                let c = rng.gen_range(-4..=6);
+                cs.push(ge(&coeffs, c));
+            }
+            let p = Polyhedron::from_constraints(d, cs);
+            let dd = p.generators();
+            assert!(dd.is_bounded(), "boxed polytope must be bounded");
+            let bf = brute_force_vertices(&p);
+            assert_eq!(
+                sorted(&dd.vertices),
+                sorted(&bf),
+                "vertex mismatch on {p:?}"
+            );
+        }
+    }
+}

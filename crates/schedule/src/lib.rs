@@ -1,0 +1,40 @@
+//! One-dimensional affine scheduling for the `aov` workspace.
+//!
+//! Implements the schedule half of Thies et al. (PLDI 2001):
+//!
+//! * [`ScheduleSpace`] — the coordinate space `ℰ` of all scheduling
+//!   parameters `Θ_S(i, N) = a_S·i + b_S·N + c_S` (§4.1),
+//! * [`Schedule`] — a concrete point of `ℰ`, i.e. one affine schedule
+//!   per statement,
+//! * [`BilinearForm`] and [`linearize::eliminate_to_linear`] — the
+//!   vertex-based linearization of §4.4.2–4.4.3 (Theorem 1): eliminate
+//!   the iteration vector at parameterized domain vertices, then the
+//!   structural parameters at the vertices/rays of the parameter domain,
+//! * [`legal::schedule_constraints`] / [`legal::legal_schedule_polyhedron`]
+//!   — the causality constraints (Eq. 2 / Eq. 11) and the polyhedron `ℛ`
+//!   of legal schedules,
+//! * [`farkas`] — the affine form of Farkas' lemma (Theorem 2), used by
+//!   the AOV solver in `aov-core`,
+//! * [`scheduler::find_schedule`] — a Feautrier-style LP scheduler
+//!   picking a shortest-coefficient legal schedule.
+//!
+//! # Examples
+//!
+//! ```
+//! use aov_ir::examples::example1;
+//! use aov_schedule::{legal, scheduler};
+//!
+//! let p = example1();
+//! let sched = scheduler::find_schedule(&p).expect("example1 is schedulable");
+//! assert!(legal::is_legal(&p, &sched));
+//! ```
+
+mod bilinear;
+pub mod farkas;
+pub mod legal;
+pub mod linearize;
+pub mod scheduler;
+mod space;
+
+pub use bilinear::BilinearForm;
+pub use space::{Schedule, ScheduleSpace};

@@ -1,0 +1,241 @@
+//! Vertex-based constraint linearization (§4.4 of the paper).
+//!
+//! Given a [`BilinearForm`] `F(u, (i, N))` that must be nonnegative for
+//! all `i` in a (parameterized) polytope and all `N` in the parameter
+//! domain, produce finitely many affine constraints over `u`:
+//!
+//! 1. eliminate `i` at the parameterized vertices of the domain
+//!    (§4.4.2, using chamber decomposition when the vertex structure
+//!    varies),
+//! 2. eliminate `N` at the vertices and rays of each chamber's parameter
+//!    region (§4.4.3; rays contribute "linear part nonnegative"
+//!    constraints per Theorem 1, lines contribute equalities encoded as
+//!    two inequalities).
+
+use crate::BilinearForm;
+use aov_polyhedra::{param, Polyhedron, PolyhedraError};
+
+/// Linearizes `F(u, (i, N)) >= 0  ∀ (i, N) ∈ system, N ∈ param_domain`
+/// into affine constraints `g(u) >= 0`.
+///
+/// * `form` — over domain space `(i, N)` (`n_elim` iteration dims
+///   followed by the parameter dims).
+/// * `system` — polyhedron over the same space (the constraint's
+///   domain `Z` or `P_j`).
+/// * `param_domain` — polyhedron over the parameter dims only.
+///
+/// # Errors
+///
+/// Propagates [`PolyhedraError`] from the parameterized-vertex
+/// computation (unbounded iteration domains, pathological chambers).
+pub fn eliminate_to_linear(
+    form: &BilinearForm,
+    system: &Polyhedron,
+    n_elim: usize,
+    param_domain: &Polyhedron,
+) -> Result<Vec<aov_linalg::AffineExpr>, PolyhedraError> {
+    Ok(eliminate_to_linear_tagged(form, system, n_elim, param_domain)?
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect())
+}
+
+/// Where a linearized row came from — a parameter-domain vertex (the form
+/// evaluated at a point) or a ray/line (the form's linear part along a
+/// direction). The storage solvers need the distinction: point rows carry
+/// the `v·Θ` coupling of the occupancy vector, direction rows do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// Evaluated at a concrete `(i, N)` point.
+    Point,
+    /// Linear part along an unbounded parameter direction.
+    Direction,
+}
+
+/// As [`eliminate_to_linear`], tagging each row with its [`RowKind`].
+pub fn eliminate_to_linear_tagged(
+    form: &BilinearForm,
+    system: &Polyhedron,
+    n_elim: usize,
+    param_domain: &Polyhedron,
+) -> Result<Vec<(aov_linalg::AffineExpr, RowKind)>, PolyhedraError> {
+    assert_eq!(
+        form.domain_dim(),
+        system.dim(),
+        "form/system domain mismatch"
+    );
+    let n_params = system.dim() - n_elim;
+    assert_eq!(param_domain.dim(), n_params, "param domain dimension");
+
+    let chambers = param::parameterized_vertices(system, n_elim, param_domain)?;
+    let mut out = Vec::new();
+    for chamber in &chambers {
+        if chamber.vertices.is_empty() {
+            continue; // empty polytope on this chamber: nothing to require
+        }
+        let gens = chamber.domain.generators();
+        for vertex in &chamber.vertices {
+            // Substitute i := Γ(N): the domain space becomes N alone.
+            let mut subs = vertex.coords.clone();
+            for j in 0..n_params {
+                subs.push(aov_linalg::AffineExpr::var(n_params, j));
+            }
+            let over_params = form.substitute_domain(&subs);
+            for w in &gens.vertices {
+                push_nontrivial(&mut out, over_params.at_point(w), RowKind::Point);
+            }
+            for r in &gens.rays {
+                push_nontrivial(&mut out, over_params.linear_part_along(r), RowKind::Direction);
+            }
+            for l in &gens.lines {
+                let lin = over_params.linear_part_along(l);
+                push_nontrivial(&mut out, lin.clone(), RowKind::Direction);
+                push_nontrivial(&mut out, -&lin, RowKind::Direction);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_nontrivial(
+    out: &mut Vec<(aov_linalg::AffineExpr, RowKind)>,
+    e: aov_linalg::AffineExpr,
+    kind: RowKind,
+) {
+    if e.is_constant() {
+        // A constant >= 0 requirement: either trivially true (drop) or a
+        // contradiction (keep — the LP will report infeasibility).
+        if !e.constant_term().is_negative() {
+            return;
+        }
+    }
+    if !out.iter().any(|(x, k)| *x == e && *k == kind) {
+        out.push((e, kind));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aov_linalg::{AffineExpr, QVector};
+    use aov_polyhedra::Constraint;
+
+    fn ge(coeffs: &[i64], c: i64) -> Constraint {
+        Constraint::ge0(AffineExpr::from_i64(coeffs, c))
+    }
+
+    /// Paper §5.1.1: for uniform dependences, the iteration vector drops
+    /// out and a single constraint per dependence remains.
+    #[test]
+    fn uniform_form_yields_single_constraint() {
+        // F(u, (i, j, n, m)) = 2·u0 + u1 − 1 (no domain dependence at all):
+        // mimics Θ(i,j) − Θ(i−2, j−1) − 1 with Θ = a·i + b·j.
+        let form = BilinearForm::new(
+            vec![
+                AffineExpr::constant(4, 2.into()),
+                AffineExpr::constant(4, 1.into()),
+            ],
+            AffineExpr::constant(4, (-1).into()),
+        );
+        // Domain: rectangle 1<=i<=n, 1<=j<=m; params n,m >= 1.
+        let system = Polyhedron::from_constraints(
+            4,
+            vec![
+                ge(&[1, 0, 0, 0], -1),
+                ge(&[-1, 0, 1, 0], 0),
+                ge(&[0, 1, 0, 0], -1),
+                ge(&[0, -1, 0, 1], 0),
+            ],
+        );
+        let params = Polyhedron::from_constraints(2, vec![ge(&[1, 0], -1), ge(&[0, 1], -1)]);
+        let cs = eliminate_to_linear(&form, &system, 2, &params).unwrap();
+        // All vertices and rays give the same constraint 2u0 + u1 - 1 >= 0.
+        assert_eq!(cs, vec![AffineExpr::from_i64(&[2, 1], -1)]);
+    }
+
+    /// When coefficients genuinely depend on (i, N), distinct constraints
+    /// appear for distinct vertices, and parameter rays add linear-part
+    /// constraints (§5.2's 24-constraint expansion, in miniature).
+    #[test]
+    fn vertex_and_ray_constraints() {
+        // F(u, (i, n)) = i·u0 − n: requires i·u0 >= n on 0 <= i <= n,
+        // n >= 1 (unbounded).
+        let form = BilinearForm::new(
+            vec![AffineExpr::from_i64(&[1, 0], 0)],
+            AffineExpr::from_i64(&[0, -1], 0),
+        );
+        let system = Polyhedron::from_constraints(
+            2,
+            vec![ge(&[1, 0], 0), ge(&[-1, 1], 0)],
+        );
+        let params = Polyhedron::from_constraints(1, vec![ge(&[1], -1)]);
+        let cs = eliminate_to_linear(&form, &system, 1, &params).unwrap();
+        // Vertices i=0 and i=n; param vertex n=1 and ray n→∞:
+        //   i=0: −n >= 0 at n=1 → constant −1 (kept as contradiction);
+        //        ray: −1 >= 0 → constant (kept as contradiction).
+        // Infeasibility must be visible in the constraint set: some
+        // constraint is constant-negative.
+        assert!(
+            cs.iter().any(|c| c.is_constant() && c.constant_term().is_negative()),
+            "expected an infeasible constant constraint, got {cs:?}"
+        );
+        // And the i=n vertex yields n-dependent rows like u0 − 1 >= 0
+        // (vertex n=1) plus ray row u0 − ... — check u0-involving row
+        // exists.
+        assert!(cs.iter().any(|c| !c.coeff(0).is_zero()));
+    }
+
+    /// The constraint domain `Z` can be empty (paper Example 3): no
+    /// constraints are produced.
+    #[test]
+    fn empty_system_produces_nothing() {
+        let form = BilinearForm::new(
+            vec![AffineExpr::from_i64(&[1, 0], 0)],
+            AffineExpr::zero(2),
+        );
+        let system = Polyhedron::from_constraints(
+            2,
+            vec![ge(&[1, 0], -2), ge(&[-1, 0], 1)], // 2 <= i <= 1: empty
+        );
+        let params = Polyhedron::from_constraints(1, vec![ge(&[1], -1)]);
+        let cs = eliminate_to_linear(&form, &system, 1, &params).unwrap();
+        assert!(cs.is_empty());
+    }
+
+    /// Correctness spot check: every produced constraint is implied by
+    /// the original quantified statement, and conversely the produced
+    /// set forces nonnegativity at sampled domain points.
+    #[test]
+    fn linearization_sound_on_samples() {
+        // F(u, (i, n)) = (n − i)·u0 + i·u1 − n over 0<=i<=n, 1<=n<=6.
+        let form = BilinearForm::new(
+            vec![
+                AffineExpr::from_i64(&[-1, 1], 0),
+                AffineExpr::from_i64(&[1, 0], 0),
+            ],
+            AffineExpr::from_i64(&[0, -1], 0),
+        );
+        let system =
+            Polyhedron::from_constraints(2, vec![ge(&[1, 0], 0), ge(&[-1, 1], 0)]);
+        let params = Polyhedron::from_constraints(1, vec![ge(&[1], -1), ge(&[-1], 6)]);
+        let cs = eliminate_to_linear(&form, &system, 1, &params).unwrap();
+        // For a grid of u values: u satisfies all linearized constraints
+        // ⇔ F(u, ·) >= 0 on all integer domain points.
+        for u0 in -2i64..=3 {
+            for u1 in -2i64..=3 {
+                let u = QVector::from_i64(&[u0, u1]);
+                let lin_ok = cs.iter().all(|c| !c.eval(&u).is_negative());
+                let mut true_ok = true;
+                for n in 1i64..=6 {
+                    for i in 0..=n {
+                        let x = QVector::from_i64(&[i, n]);
+                        if form.eval(&u, &x).is_negative() {
+                            true_ok = false;
+                        }
+                    }
+                }
+                assert_eq!(lin_ok, true_ok, "u = ({u0}, {u1})");
+            }
+        }
+    }
+}

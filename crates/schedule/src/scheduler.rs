@@ -1,0 +1,207 @@
+//! A Feautrier-style one-dimensional LP scheduler.
+//!
+//! Searches the legal-schedule polyhedron ℛ for a "small" schedule:
+//! integer coefficients minimizing (lexicographically, via weights) the
+//! total magnitude of iteration coefficients, then parameter
+//! coefficients, then constants. This favors maximally parallel
+//! schedules like the paper's `Θ = j` for Example 1.
+
+use crate::{legal, Schedule, ScheduleSpace};
+use aov_ir::Program;
+use aov_linalg::AffineExpr;
+use aov_lp::{Cmp, Model};
+use aov_polyhedra::{Constraint, PolyhedraError};
+
+/// Outcome of scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No one-dimensional affine schedule satisfies the dependences
+    /// (a multi-dimensional schedule would be required; see Feautrier,
+    /// part II).
+    Infeasible,
+    /// Polyhedral machinery failed.
+    Polyhedra(PolyhedraError),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Infeasible => {
+                write!(f, "no one-dimensional affine schedule exists")
+            }
+            ScheduleError::Polyhedra(e) => write!(f, "polyhedral failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<PolyhedraError> for ScheduleError {
+    fn from(e: PolyhedraError) -> Self {
+        ScheduleError::Polyhedra(e)
+    }
+}
+
+/// Finds a legal schedule with small integer coefficients.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when ℛ is empty (no one-dimensional
+/// affine schedule exists).
+pub fn find_schedule(p: &Program) -> Result<Schedule, ScheduleError> {
+    find_schedule_with(p, &[])
+}
+
+/// Finds a legal schedule additionally satisfying `extra` affine
+/// constraints over the schedule space (used for Problem 2: a schedule
+/// valid for given occupancy vectors).
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when no schedule satisfies the combined
+/// constraints.
+pub fn find_schedule_with(
+    p: &Program,
+    extra: &[Constraint],
+) -> Result<Schedule, ScheduleError> {
+    let (space, rows) = legal::schedule_constraints(p)?;
+    solve(p, &space, rows, extra)
+}
+
+/// Shared LP construction for schedule search.
+pub fn solve(
+    p: &Program,
+    space: &ScheduleSpace,
+    rows: Vec<AffineExpr>,
+    extra: &[Constraint],
+) -> Result<Schedule, ScheduleError> {
+    let mut m = Model::new();
+    for name in space.vars().names() {
+        let v = m.add_var(name.clone());
+        m.set_integer(v);
+    }
+    for r in rows {
+        m.constrain(r, Cmp::Ge);
+    }
+    for c in extra {
+        assert_eq!(c.dim(), space.dim(), "extra constraint dimension");
+        m.constrain(
+            c.expr().clone(),
+            if c.is_equality() { Cmp::Eq } else { Cmp::Ge },
+        );
+    }
+    // Objective: weighted Manhattan norms — iteration coefficients
+    // dominate, then parameter coefficients, then constants.
+    let mut objective = AffineExpr::zero(space.dim());
+    let mut abs_terms: Vec<(aov_lp::VarId, i64)> = Vec::new();
+    for s in p.stmt_ids() {
+        let st = p.statement(s);
+        for k in 0..st.depth() {
+            abs_terms.push((aov_lp::VarId::from_index(space.iter_coeff(s, k)), 100));
+        }
+        for j in 0..p.num_params() {
+            abs_terms.push((aov_lp::VarId::from_index(space.param_coeff(s, j)), 10));
+        }
+        abs_terms.push((aov_lp::VarId::from_index(space.const_coeff(s)), 1));
+    }
+    let _ = &mut objective;
+    let mut obj_terms: Vec<(usize, i64)> = Vec::new();
+    for (var, weight) in abs_terms {
+        let a = m.add_abs_bound(var, format!("abs_{}", var.index()));
+        obj_terms.push((a.index(), weight));
+    }
+    let total = m.num_vars();
+    let mut obj = AffineExpr::zero(total);
+    for (idx, w) in obj_terms {
+        obj = &obj + &AffineExpr::var(total, idx).scale(&w.into());
+    }
+    m.minimize(obj);
+    match m.solve_ilp() {
+        aov_lp::LpOutcome::Optimal(sol) => {
+            let point: aov_linalg::QVector = (0..space.dim())
+                .map(|k| sol.values.as_slice()[k].clone())
+                .collect();
+            Ok(space.schedule_at(&point))
+        }
+        aov_lp::LpOutcome::Infeasible => Err(ScheduleError::Infeasible),
+        aov_lp::LpOutcome::Unbounded => {
+            unreachable!("objective is a nonnegative weighted norm")
+        }
+        aov_lp::LpOutcome::LimitReached => Err(ScheduleError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aov_ir::examples::{example1, example2, example3, example4, prefix_sum, wavefront2d};
+    use aov_ir::StmtId;
+
+    #[test]
+    fn example1_scheduler_finds_row_schedule() {
+        let p = example1();
+        let s = find_schedule(&p).unwrap();
+        assert!(legal::is_legal(&p, &s));
+        // The minimal-coefficient legal schedule is Θ = j (+ const 0).
+        let th = s.theta(StmtId(0));
+        assert_eq!(th.coeff(0).to_i64(), Some(0));
+        assert_eq!(th.coeff(1).to_i64(), Some(1));
+    }
+
+    #[test]
+    fn example2_schedule_found_and_legal() {
+        let p = example2();
+        let s = find_schedule(&p).unwrap();
+        assert!(legal::is_legal(&p, &s));
+    }
+
+    #[test]
+    fn example3_schedule_found_and_legal() {
+        let p = example3();
+        let s = find_schedule(&p).unwrap();
+        assert!(legal::is_legal(&p, &s));
+    }
+
+    #[test]
+    fn example4_schedule_found_and_legal() {
+        let p = example4();
+        let s = find_schedule(&p).unwrap();
+        assert!(legal::is_legal(&p, &s));
+    }
+
+    #[test]
+    fn auxiliary_programs_schedulable() {
+        for p in [prefix_sum(), wavefront2d()] {
+            let s = find_schedule(&p).unwrap();
+            assert!(legal::is_legal(&p, &s), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn extra_constraints_respected() {
+        let p = example1();
+        let space = ScheduleSpace::new(&p);
+        // Force a_i = 1 via an extra equality.
+        let dim = space.dim();
+        let c = Constraint::eq0(
+            &AffineExpr::var(dim, space.iter_coeff(StmtId(0), 0))
+                - &AffineExpr::constant(dim, 1.into()),
+        );
+        let s = find_schedule_with(&p, &[c]).unwrap();
+        assert!(legal::is_legal(&p, &s));
+        assert_eq!(s.theta(StmtId(0)).coeff(0).to_i64(), Some(1));
+    }
+
+    #[test]
+    fn contradictory_extras_infeasible() {
+        let p = example1();
+        let space = ScheduleSpace::new(&p);
+        let dim = space.dim();
+        // a_j = 0 contradicts b - 1 >= 0 (paper constraint b >= 1).
+        let c = Constraint::eq0(AffineExpr::var(dim, space.iter_coeff(StmtId(0), 1)));
+        assert_eq!(
+            find_schedule_with(&p, &[c]).unwrap_err(),
+            ScheduleError::Infeasible
+        );
+    }
+}

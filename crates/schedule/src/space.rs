@@ -1,0 +1,241 @@
+//! The schedule coordinate space `ℰ` and concrete schedules.
+
+use aov_ir::{Program, StmtId};
+use aov_linalg::{AffineExpr, QVector, VarSet};
+use aov_numeric::Rational;
+use std::fmt;
+
+/// The space `ℰ` of scheduling parameters for a program.
+///
+/// For each statement `S` of depth `d_S` the space has `d_S` iteration
+/// coefficients `a_S`, one coefficient `b_S` per structural parameter,
+/// and a constant `c_S` — laid out consecutively per statement:
+/// `Θ_S(i, N) = a_S·i + b_S·N + c_S` (paper §4.1).
+///
+/// # Examples
+///
+/// ```
+/// use aov_ir::examples::example2;
+/// use aov_schedule::ScheduleSpace;
+///
+/// let p = example2();
+/// let space = ScheduleSpace::new(&p);
+/// // Two statements, each with 2 iter coeffs + 2 param coeffs + 1 const.
+/// assert_eq!(space.dim(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduleSpace {
+    offsets: Vec<usize>,
+    depths: Vec<usize>,
+    num_params: usize,
+    total: usize,
+    vars: VarSet,
+}
+
+impl ScheduleSpace {
+    /// Builds the space for a program.
+    pub fn new(p: &Program) -> Self {
+        let mut offsets = Vec::new();
+        let mut depths = Vec::new();
+        let mut vars = VarSet::new();
+        let mut total = 0usize;
+        for s in p.statements() {
+            offsets.push(total);
+            depths.push(s.depth());
+            for it in s.iters() {
+                vars.add(format!("a_{}_{}", s.name(), it));
+            }
+            for pn in p.params().names() {
+                vars.add(format!("b_{}_{}", s.name(), pn));
+            }
+            vars.add(format!("c_{}", s.name()));
+            total += s.depth() + p.num_params() + 1;
+        }
+        ScheduleSpace {
+            offsets,
+            depths,
+            num_params: p.num_params(),
+            total,
+            vars,
+        }
+    }
+
+    /// Total dimension of `ℰ`.
+    pub fn dim(&self) -> usize {
+        self.total
+    }
+
+    /// Number of statements covered.
+    pub fn num_statements(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Index of iteration coefficient `k` of statement `s`.
+    pub fn iter_coeff(&self, s: StmtId, k: usize) -> usize {
+        assert!(k < self.depths[s.0], "iter coefficient out of range");
+        self.offsets[s.0] + k
+    }
+
+    /// Index of structural-parameter coefficient `j` of statement `s`.
+    pub fn param_coeff(&self, s: StmtId, j: usize) -> usize {
+        assert!(j < self.num_params, "param coefficient out of range");
+        self.offsets[s.0] + self.depths[s.0] + j
+    }
+
+    /// Index of the constant coefficient of statement `s`.
+    pub fn const_coeff(&self, s: StmtId) -> usize {
+        self.offsets[s.0] + self.depths[s.0] + self.num_params
+    }
+
+    /// Named variables (for LP model construction and display).
+    pub fn vars(&self) -> &VarSet {
+        &self.vars
+    }
+
+    /// Reconstructs a [`Schedule`] from a point of `ℰ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.dim() != self.dim()`.
+    pub fn schedule_at(&self, point: &QVector) -> Schedule {
+        assert_eq!(point.dim(), self.total, "schedule point dimension");
+        let mut thetas = Vec::with_capacity(self.offsets.len());
+        for s in 0..self.offsets.len() {
+            let depth = self.depths[s];
+            let dim = depth + self.num_params;
+            let mut coeffs = QVector::zeros(dim);
+            for k in 0..depth {
+                coeffs[k] = point[self.iter_coeff(StmtId(s), k)].clone();
+            }
+            for j in 0..self.num_params {
+                coeffs[depth + j] = point[self.param_coeff(StmtId(s), j)].clone();
+            }
+            let constant = point[self.const_coeff(StmtId(s))].clone();
+            thetas.push(AffineExpr::from_parts(coeffs, constant));
+        }
+        Schedule { thetas }
+    }
+}
+
+/// A concrete one-dimensional affine schedule: one `Θ_S` per statement,
+/// each an affine form over the statement's space (iters ++ params).
+///
+/// # Examples
+///
+/// ```
+/// use aov_ir::{examples::example1, StmtId};
+/// use aov_schedule::Schedule;
+/// use aov_linalg::AffineExpr;
+///
+/// let p = example1();
+/// // The row-parallel schedule Θ(i, j) = j of the paper's Figure 3.
+/// let sched = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
+/// assert_eq!(
+///     sched.eval(StmtId(0), &[4, 7], &[100, 100]),
+///     aov_numeric::Rational::from(7)
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    thetas: Vec<AffineExpr>,
+}
+
+impl Schedule {
+    /// Builds from per-statement affine forms (over iters ++ params).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count or dimensions disagree with the program.
+    pub fn uniform_for(p: &Program, thetas: &[AffineExpr]) -> Self {
+        assert_eq!(thetas.len(), p.statements().len(), "one theta per statement");
+        for (s, th) in p.statements().iter().zip(thetas) {
+            assert_eq!(
+                th.dim(),
+                s.depth() + p.num_params(),
+                "theta dimension for {}",
+                s.name()
+            );
+        }
+        Schedule {
+            thetas: thetas.to_vec(),
+        }
+    }
+
+    /// The scheduling function of a statement.
+    pub fn theta(&self, s: StmtId) -> &AffineExpr {
+        &self.thetas[s.0]
+    }
+
+    /// All scheduling functions in statement order.
+    pub fn thetas(&self) -> &[AffineExpr] {
+        &self.thetas
+    }
+
+    /// Evaluates `Θ_S(i, N)`.
+    pub fn eval(&self, s: StmtId, iters: &[i64], params: &[i64]) -> Rational {
+        let point: Vec<i64> = iters.iter().chain(params).copied().collect();
+        self.thetas[s.0].eval_i64(&point)
+    }
+
+    /// Renders the schedule with a program's names.
+    pub fn display<'a>(&'a self, p: &'a Program) -> impl fmt::Display + 'a {
+        DisplaySchedule { sched: self, p }
+    }
+}
+
+struct DisplaySchedule<'a> {
+    sched: &'a Schedule,
+    p: &'a Program,
+}
+
+impl fmt::Display for DisplaySchedule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (s, th) in self.p.statements().iter().zip(&self.sched.thetas) {
+            let space = s.space(self.p.params());
+            writeln!(f, "Θ_{} = {}", s.name(), th.display(&space))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aov_ir::examples::{example1, example4};
+
+    #[test]
+    fn space_layout() {
+        let p = example4();
+        let space = ScheduleSpace::new(&p);
+        // S1: 2 iters + 1 param + 1 const = 4; S2: 1 + 1 + 1 = 3.
+        assert_eq!(space.dim(), 7);
+        assert_eq!(space.iter_coeff(StmtId(0), 1), 1);
+        assert_eq!(space.param_coeff(StmtId(0), 0), 2);
+        assert_eq!(space.const_coeff(StmtId(0)), 3);
+        assert_eq!(space.iter_coeff(StmtId(1), 0), 4);
+        assert_eq!(space.const_coeff(StmtId(1)), 6);
+        assert_eq!(space.vars().name(0), "a_S1_i");
+        assert_eq!(space.vars().name(6), "c_S2");
+    }
+
+    #[test]
+    fn schedule_roundtrip_through_space() {
+        let p = example1();
+        let space = ScheduleSpace::new(&p);
+        // Θ(i, j, n, m) = 2i + 3j + n + 5.
+        let mut pt = QVector::zeros(space.dim());
+        pt[space.iter_coeff(StmtId(0), 0)] = 2.into();
+        pt[space.iter_coeff(StmtId(0), 1)] = 3.into();
+        pt[space.param_coeff(StmtId(0), 0)] = 1.into();
+        pt[space.const_coeff(StmtId(0))] = 5.into();
+        let sched = space.schedule_at(&pt);
+        assert_eq!(sched.eval(StmtId(0), &[1, 1], &[10, 20]), Rational::from(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta dimension")]
+    fn uniform_for_checks_dims() {
+        let p = example1();
+        let _ = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[1], 0)]);
+    }
+}

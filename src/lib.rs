@@ -1,0 +1,43 @@
+//! # aov — unified schedule and storage optimization
+//!
+//! An implementation of *"A Unified Framework for Schedule and Storage
+//! Optimization"* (Thies, Vivien, Sheldon, Amarasinghe; PLDI 2001).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`numeric`] — arbitrary-precision integers and exact rationals.
+//! * [`linalg`] — vectors/matrices over rationals and lattice tools.
+//! * [`polyhedra`] — convex polyhedra, generators, projection.
+//! * [`lp`] — exact simplex and branch-and-bound ILP.
+//! * [`ir`] — affine loop-nest programs and dependence analysis.
+//! * [`schedule`] — one-dimensional affine scheduling (Feautrier-style).
+//! * [`core`] — occupancy vectors: the paper's three problems, the UOV
+//!   baseline, the storage transformation and code generation.
+//! * [`interp`] — dynamic semantic validation of storage mappings.
+//! * [`machine`] — a simulated multiprocessor reproducing the paper's
+//!   speedup experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aov::ir::examples::example1;
+//! use aov::core::problems::AovSolver;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = example1();
+//! let solution = AovSolver::new(&program)?.solve()?;
+//! let v = &solution.vector_for("A").unwrap();
+//! assert_eq!(v.components(), [1, 2]); // the paper's Figure 5 AOV
+//! # Ok(())
+//! # }
+//! ```
+
+pub use aov_core as core;
+pub use aov_interp as interp;
+pub use aov_ir as ir;
+pub use aov_linalg as linalg;
+pub use aov_lp as lp;
+pub use aov_machine as machine;
+pub use aov_numeric as numeric;
+pub use aov_polyhedra as polyhedra;
+pub use aov_schedule as schedule;
