@@ -1,126 +1,97 @@
-//! Criterion benchmarks of the paper's analyses, one per evaluation
-//! artifact (Figures 3–14). Example 3's full AOV is benched through its
-//! dominant component (schedule-constraint generation) because a single
-//! solve takes ~a minute; the `fig11_example3` binary runs it end to end.
+//! Benchmarks of the paper's analyses, one per evaluation artifact
+//! (Figures 3–14). Example 3's full AOV is benched through its dominant
+//! component (schedule-constraint generation) because a single solve
+//! takes ~a minute; the `fig11_example3` binary runs it end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use aov_support::bench::Harness;
 use std::hint::black_box;
 
-fn bench_fig03_ov_for_schedule(c: &mut Criterion) {
-    let (p, s) = aov_bench::example1_row_schedule();
-    c.bench_function("fig03/ov_for_schedule/example1", |b| {
-        b.iter(|| aov_core::problems::ov_for_schedule(black_box(&p), black_box(&s)).unwrap())
-    });
-}
+fn main() {
+    let mut h = Harness::from_args();
 
-fn bench_fig04_schedules_for_ov(c: &mut Criterion) {
-    let p = aov_ir::examples::example1();
-    let v = aov_core::OccupancyVector::new(vec![0, 2]);
-    c.bench_function("fig04/schedules_for_ov/example1", |b| {
-        b.iter(|| aov_core::problems::schedules_for_ov(black_box(&p), &[v.clone()]).unwrap())
-    });
-}
+    {
+        let (p, s) = aov_bench::example1_row_schedule();
+        h.bench("fig03/ov_for_schedule/example1", || {
+            aov_core::problems::ov_for_schedule(black_box(&p), black_box(&s)).unwrap()
+        });
+    }
 
-fn bench_fig05_aov_example1(c: &mut Criterion) {
-    let p = aov_ir::examples::example1();
-    c.bench_function("fig05/aov/example1", |b| {
-        b.iter(|| aov_core::problems::aov(black_box(&p)).unwrap())
-    });
-}
+    {
+        let p = aov_ir::examples::example1();
+        let v = aov_core::OccupancyVector::new(vec![0, 2]);
+        h.bench("fig04/schedules_for_ov/example1", || {
+            aov_core::problems::schedules_for_ov(black_box(&p), std::slice::from_ref(&v)).unwrap()
+        });
+    }
 
-fn bench_fig05_uov_baseline(c: &mut Criterion) {
-    let p = aov_ir::examples::example1();
-    c.bench_function("fig05/uov_baseline/example1", |b| {
-        b.iter(|| aov_core::uov::shortest_uov(black_box(&p), aov_ir::ArrayId(0), 6).unwrap())
-    });
-}
+    {
+        let p = aov_ir::examples::example1();
+        h.bench("fig05/aov/example1", || {
+            aov_core::problems::aov(black_box(&p)).unwrap()
+        });
+        h.bench("fig05/uov_baseline/example1", || {
+            aov_core::uov::shortest_uov(black_box(&p), aov_ir::ArrayId(0), 6).unwrap()
+        });
+    }
 
-fn bench_fig06_transform(c: &mut Criterion) {
-    let p = aov_ir::examples::example1();
-    let a = p.array_by_name("A").unwrap();
-    let v = aov_core::OccupancyVector::new(vec![1, 2]);
-    c.bench_function("fig06/storage_transform/example1", |b| {
-        b.iter(|| aov_core::transform::StorageTransform::new(black_box(&p), a, &v).unwrap())
-    });
-}
+    {
+        let p = aov_ir::examples::example1();
+        let a = p.array_by_name("A").unwrap();
+        let v = aov_core::OccupancyVector::new(vec![1, 2]);
+        h.bench("fig06/storage_transform/example1", || {
+            aov_core::transform::StorageTransform::new(black_box(&p), a, &v).unwrap()
+        });
+    }
 
-fn bench_fig09_aov_example2(c: &mut Criterion) {
-    let p = aov_ir::examples::example2();
-    let mut g = c.benchmark_group("fig09");
-    g.sample_size(10);
-    g.bench_function("aov/example2", |b| {
-        b.iter(|| aov_core::problems::aov(black_box(&p)).unwrap())
-    });
-    g.finish();
-}
+    {
+        let p = aov_ir::examples::example2();
+        h.bench("fig09/aov/example2", || {
+            aov_core::problems::aov(black_box(&p)).unwrap()
+        });
+    }
 
-fn bench_fig11_components(c: &mut Criterion) {
-    let p = aov_ir::examples::example3();
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    g.bench_function("schedule_constraints/example3", |b| {
-        b.iter(|| aov_schedule::legal::schedule_constraints(black_box(&p)).unwrap())
-    });
-    g.bench_function("dependences/example3", |b| {
-        b.iter(|| aov_ir::analysis::dependences(black_box(&p)))
-    });
-    g.finish();
-}
+    {
+        let p = aov_ir::examples::example3();
+        h.bench("fig11/schedule_constraints/example3", || {
+            aov_schedule::legal::schedule_constraints(black_box(&p)).unwrap()
+        });
+        h.bench("fig11/dependences/example3", || {
+            aov_ir::analysis::dependences(black_box(&p))
+        });
+    }
 
-fn bench_fig14_aov_example4(c: &mut Criterion) {
-    let p = aov_ir::examples::example4();
-    let mut g = c.benchmark_group("fig14");
-    g.sample_size(10);
-    g.bench_function("aov/example4", |b| {
-        b.iter(|| aov_core::problems::aov(black_box(&p)).unwrap())
-    });
-    g.finish();
-}
+    {
+        let p = aov_ir::examples::example4();
+        h.bench("fig14/aov/example4", || {
+            aov_core::problems::aov(black_box(&p)).unwrap()
+        });
+    }
 
-fn bench_scheduler(c: &mut Criterion) {
-    let p = aov_ir::examples::example2();
-    c.bench_function("scheduler/find_schedule/example2", |b| {
-        b.iter(|| aov_schedule::scheduler::find_schedule(black_box(&p)).unwrap())
-    });
-}
+    {
+        let p = aov_ir::examples::example2();
+        h.bench("scheduler/find_schedule/example2", || {
+            aov_schedule::scheduler::find_schedule(black_box(&p)).unwrap()
+        });
+    }
 
-fn bench_interp_oracle(c: &mut Criterion) {
-    let (p, s) = aov_bench::example1_row_schedule();
-    let a = p.array_by_name("A").unwrap();
-    let t = aov_core::transform::StorageTransform::new(
-        &p,
-        a,
-        &aov_core::OccupancyVector::new(vec![0, 1]),
-    )
-    .unwrap();
-    c.bench_function("oracle/semantics_preserved/example1_16x16", |b| {
-        b.iter(|| {
+    {
+        let (p, s) = aov_bench::example1_row_schedule();
+        let a = p.array_by_name("A").unwrap();
+        let t = aov_core::transform::StorageTransform::new(
+            &p,
+            a,
+            &aov_core::OccupancyVector::new(vec![0, 1]),
+        )
+        .unwrap();
+        h.bench("oracle/semantics_preserved/example1_16x16", || {
             aov_interp::validate::semantics_preserved(
                 black_box(&p),
                 &[16, 16],
                 &s,
                 std::slice::from_ref(&t),
             )
-        })
-    });
-}
+        });
+    }
 
-criterion_group!(
-    name = analyses;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets =
-    bench_fig03_ov_for_schedule,
-    bench_fig04_schedules_for_ov,
-    bench_fig05_aov_example1,
-    bench_fig05_uov_baseline,
-    bench_fig06_transform,
-    bench_fig09_aov_example2,
-    bench_fig11_components,
-    bench_fig14_aov_example4,
-    bench_scheduler,
-    bench_interp_oracle,
-);
-criterion_main!(analyses);
+    h.finish();
+}

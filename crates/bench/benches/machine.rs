@@ -1,16 +1,16 @@
-//! Criterion benchmarks of the machine simulator behind Figures 15–16
+//! Benchmarks of the machine simulator behind Figures 15–16
 //! (small sweeps; the figure binaries run the full-scale versions).
 
 use aov_machine::{experiments, MachineConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use aov_support::bench::Harness;
 use std::hint::black_box;
 
-fn bench_fig15_simulation(c: &mut Criterion) {
-    let cfg = MachineConfig::scaled_down();
-    let mut g = c.benchmark_group("fig15");
-    g.sample_size(10);
-    g.bench_function("example2_speedup_128x128_p8", |b| {
-        b.iter(|| {
+fn main() {
+    let mut h = Harness::from_args();
+
+    {
+        let cfg = MachineConfig::scaled_down();
+        h.bench("fig15/example2_speedup_128x128_p8", || {
             experiments::example2_time(
                 black_box(&cfg),
                 128,
@@ -18,20 +18,11 @@ fn bench_fig15_simulation(c: &mut Criterion) {
                 8,
                 experiments::Variant::Transformed,
             )
-        })
-    });
-    g.bench_function("example2_speedup_curve_small", |b| {
-        b.iter(|| experiments::example2_speedup(black_box(&cfg), 96, 96, &[1, 2, 4, 8]))
-    });
-    g.finish();
-}
-
-fn bench_fig16_simulation(c: &mut Criterion) {
-    let cfg = MachineConfig::scaled_down();
-    let mut g = c.benchmark_group("fig16");
-    g.sample_size(10);
-    g.bench_function("example3_time_24x48x48_p4", |b| {
-        b.iter(|| {
+        });
+        h.bench("fig15/example2_speedup_curve_small", || {
+            experiments::example2_speedup(black_box(&cfg), 96, 96, &[1, 2, 4, 8])
+        });
+        h.bench("fig16/example3_time_24x48x48_p4", || {
             experiments::example3_time(
                 black_box(&cfg),
                 24,
@@ -40,35 +31,24 @@ fn bench_fig16_simulation(c: &mut Criterion) {
                 4,
                 experiments::Variant::Transformed,
             )
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_cache(c: &mut Criterion) {
-    use aov_machine::{Cache, CacheConfig};
-    let cfg = CacheConfig {
-        size_bytes: 64 << 10,
-        line_bytes: 128,
-        associativity: 2,
-    };
-    c.bench_function("cache/stream_64k", |b| {
-        b.iter(|| {
+    {
+        use aov_machine::{Cache, CacheConfig};
+        let cfg = CacheConfig {
+            size_bytes: 64 << 10,
+            line_bytes: 128,
+            associativity: 2,
+        };
+        h.bench("cache/stream_64k", || {
             let mut cache = Cache::new(cfg.clone());
             for k in 0..65_536u64 {
                 cache.access(black_box(k * 8));
             }
             cache.stats()
-        })
-    });
-}
+        });
+    }
 
-criterion_group!(
-    name = machine;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_fig15_simulation, bench_fig16_simulation, bench_cache
-);
-criterion_main!(machine);
+    h.finish();
+}

@@ -1,34 +1,36 @@
-//! Criterion benchmarks of the substrate layers (exact arithmetic, LP,
-//! polyhedra) — the knobs that dominate analysis time.
+//! Benchmarks of the substrate layers (exact arithmetic, LP, polyhedra)
+//! — the knobs that dominate analysis time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use aov_support::bench::Harness;
 use std::hint::black_box;
 
-fn bench_bigint(c: &mut Criterion) {
-    use aov_numeric::BigInt;
-    let a = BigInt::from(0x1234_5678_9abc_def0i64).pow(8);
-    let b = BigInt::from(0x0fed_cba9_8765_4321i64).pow(5);
-    c.bench_function("numeric/bigint_mul_512bit", |bch| {
-        bch.iter(|| black_box(&a) * black_box(&b))
-    });
-    c.bench_function("numeric/bigint_divrem_512bit", |bch| {
-        bch.iter(|| black_box(&a).div_rem(black_box(&b)))
-    });
-}
+fn main() {
+    let mut h = Harness::from_args();
 
-fn bench_rational_sum(c: &mut Criterion) {
-    use aov_numeric::Rational;
-    let terms: Vec<Rational> = (1..=60).map(|k| Rational::new(1, k)).collect();
-    c.bench_function("numeric/harmonic_sum_60", |b| {
-        b.iter(|| terms.iter().cloned().sum::<Rational>())
-    });
-}
+    {
+        use aov_numeric::BigInt;
+        let a = BigInt::from(0x1234_5678_9abc_def0i64).pow(8);
+        let b = BigInt::from(0x0fed_cba9_8765_4321i64).pow(5);
+        h.bench("numeric/bigint_mul_512bit", || {
+            black_box(&a) * black_box(&b)
+        });
+        h.bench("numeric/bigint_divrem_512bit", || {
+            black_box(&a).div_rem(black_box(&b))
+        });
+    }
 
-fn bench_simplex(c: &mut Criterion) {
-    use aov_linalg::AffineExpr;
-    use aov_lp::{Cmp, Model};
-    // A 12-var assignment-like LP.
-    let build = || {
+    {
+        use aov_numeric::Rational;
+        let terms: Vec<Rational> = (1..=60).map(|k| Rational::new(1, k)).collect();
+        h.bench("numeric/harmonic_sum_60", || {
+            terms.iter().cloned().sum::<Rational>()
+        });
+    }
+
+    {
+        use aov_linalg::AffineExpr;
+        use aov_lp::{Cmp, Model};
+        // A 12-var assignment-like LP.
         let mut m = Model::new();
         for k in 0..12 {
             m.add_nonneg_var(format!("x{k}"));
@@ -38,81 +40,66 @@ fn bench_simplex(c: &mut Criterion) {
             m.constrain(AffineExpr::from_i64(&coeffs, -(r as i64 + 3)), Cmp::Le);
             m.constrain(AffineExpr::from_i64(&coeffs, 20), Cmp::Ge);
         }
-        m.minimize(AffineExpr::from_i64(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8], 0));
-        m
-    };
-    let m = build();
-    c.bench_function("lp/simplex_12v_16c", |b| b.iter(|| black_box(&m).solve_lp()));
-}
-
-fn bench_dd(c: &mut Criterion) {
-    use aov_linalg::AffineExpr;
-    use aov_polyhedra::{Constraint, Polyhedron};
-    // A 4-d hypercube with two cuts: 10 constraints.
-    let mut cs = Vec::new();
-    for k in 0..4 {
-        let mut lo = vec![0i64; 4];
-        lo[k] = 1;
-        cs.push(Constraint::ge0(AffineExpr::from_i64(&lo, 0)));
-        let mut hi = vec![0i64; 4];
-        hi[k] = -1;
-        cs.push(Constraint::ge0(AffineExpr::from_i64(&hi, 3)));
+        m.minimize(AffineExpr::from_i64(
+            &[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8],
+            0,
+        ));
+        h.bench("lp/simplex_12v_16c", || black_box(&m).solve_lp());
     }
-    cs.push(Constraint::ge0(AffineExpr::from_i64(&[-1, -1, -1, -1], 9)));
-    cs.push(Constraint::ge0(AffineExpr::from_i64(&[1, -1, 1, -1], 2)));
-    let p = Polyhedron::from_constraints(4, cs);
-    c.bench_function("polyhedra/dd_4cube_cut", |b| {
-        b.iter(|| black_box(&p).generators())
-    });
-    c.bench_function("polyhedra/fm_eliminate_2", |b| {
-        b.iter(|| black_box(&p).eliminate_dims(&[1, 3]))
-    });
-}
 
-fn bench_param_vertices(c: &mut Criterion) {
-    use aov_linalg::AffineExpr;
-    use aov_polyhedra::{param, Constraint, Polyhedron};
-    // The paper's rectangle 1<=i<=n, 1<=j<=m over n, m >= 1.
-    let system = Polyhedron::from_constraints(
-        4,
-        vec![
-            Constraint::ge0(AffineExpr::from_i64(&[1, 0, 0, 0], -1)),
-            Constraint::ge0(AffineExpr::from_i64(&[-1, 0, 1, 0], 0)),
-            Constraint::ge0(AffineExpr::from_i64(&[0, 1, 0, 0], -1)),
-            Constraint::ge0(AffineExpr::from_i64(&[0, -1, 0, 1], 0)),
-        ],
-    );
-    let params = Polyhedron::from_constraints(
-        2,
-        vec![
-            Constraint::ge0(AffineExpr::from_i64(&[1, 0], -1)),
-            Constraint::ge0(AffineExpr::from_i64(&[0, 1], -1)),
-        ],
-    );
-    c.bench_function("polyhedra/param_vertices_rect", |b| {
-        b.iter(|| param::parameterized_vertices(black_box(&system), 2, &params).unwrap())
-    });
-}
+    {
+        use aov_linalg::AffineExpr;
+        use aov_polyhedra::{Constraint, Polyhedron};
+        // A 4-d hypercube with two cuts: 10 constraints.
+        let mut cs = Vec::new();
+        for k in 0..4 {
+            let mut lo = vec![0i64; 4];
+            lo[k] = 1;
+            cs.push(Constraint::ge0(AffineExpr::from_i64(&lo, 0)));
+            let mut hi = vec![0i64; 4];
+            hi[k] = -1;
+            cs.push(Constraint::ge0(AffineExpr::from_i64(&hi, 3)));
+        }
+        cs.push(Constraint::ge0(AffineExpr::from_i64(&[-1, -1, -1, -1], 9)));
+        cs.push(Constraint::ge0(AffineExpr::from_i64(&[1, -1, 1, -1], 2)));
+        let p = Polyhedron::from_constraints(4, cs);
+        h.bench("polyhedra/dd_4cube_cut", || black_box(&p).generators());
+        h.bench("polyhedra/fm_eliminate_2", || {
+            black_box(&p).eliminate_dims(&[1, 3])
+        });
+    }
 
-fn bench_dependence_analysis(c: &mut Criterion) {
-    let p = aov_ir::examples::example2();
-    c.bench_function("ir/dependences/example2", |b| {
-        b.iter(|| aov_ir::analysis::dependences(black_box(&p)))
-    });
-}
+    {
+        use aov_linalg::AffineExpr;
+        use aov_polyhedra::{param, Constraint, Polyhedron};
+        // The paper's rectangle 1<=i<=n, 1<=j<=m over n, m >= 1.
+        let system = Polyhedron::from_constraints(
+            4,
+            vec![
+                Constraint::ge0(AffineExpr::from_i64(&[1, 0, 0, 0], -1)),
+                Constraint::ge0(AffineExpr::from_i64(&[-1, 0, 1, 0], 0)),
+                Constraint::ge0(AffineExpr::from_i64(&[0, 1, 0, 0], -1)),
+                Constraint::ge0(AffineExpr::from_i64(&[0, -1, 0, 1], 0)),
+            ],
+        );
+        let params = Polyhedron::from_constraints(
+            2,
+            vec![
+                Constraint::ge0(AffineExpr::from_i64(&[1, 0], -1)),
+                Constraint::ge0(AffineExpr::from_i64(&[0, 1], -1)),
+            ],
+        );
+        h.bench("polyhedra/param_vertices_rect", || {
+            param::parameterized_vertices(black_box(&system), 2, &params).unwrap()
+        });
+    }
 
-criterion_group!(
-    name = substrates;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(1500));
-    targets =
-    bench_bigint,
-    bench_rational_sum,
-    bench_simplex,
-    bench_dd,
-    bench_param_vertices,
-    bench_dependence_analysis,
-);
-criterion_main!(substrates);
+    {
+        let p = aov_ir::examples::example2();
+        h.bench("ir/dependences/example2", || {
+            aov_ir::analysis::dependences(black_box(&p))
+        });
+    }
+
+    h.finish();
+}

@@ -11,7 +11,8 @@ fn main() {
             failures += 1;
         }
     }
-    let json = serde_json::to_string_pretty(&reports).expect("serializable");
+    use aov_support::ToJson;
+    let json = reports.to_json().to_pretty();
     let path = std::path::Path::new("target").join("figures.json");
     if std::fs::write(&path, json).is_ok() {
         println!("(wrote {})", path.display());

@@ -21,6 +21,9 @@ fn main() {
                 StorageTransform::new(&p, aov_ir::ArrayId(aidx), v).expect("transformable")
             })
             .collect();
-        println!("-- transformed under AOVs --\n{}", codegen::transformed_code(&p, &ts));
+        println!(
+            "-- transformed under AOVs --\n{}",
+            codegen::transformed_code(&p, &ts)
+        );
     }
 }

@@ -12,10 +12,10 @@ use aov_ir::examples;
 use aov_linalg::{AffineExpr, QVector};
 use aov_machine::{experiments, MachineConfig};
 use aov_schedule::{legal, Schedule, ScheduleSpace};
-use serde::Serialize;
+use aov_support::{Json, ToJson};
 
 /// A regenerated artifact: headline result plus printable lines.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Figure identifier (e.g. `"fig05"`).
     pub id: String,
@@ -44,6 +44,24 @@ impl FigureReport {
             out.push('\n');
         }
         out
+    }
+}
+
+impl ToJson for FigureReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("id", self.id.as_str())
+            .field("title", self.title.as_str())
+            .field("paper", self.paper.as_str())
+            .field("measured", self.measured.as_str())
+            .field("reproduced", self.reproduced)
+            .field(
+                "lines",
+                self.lines
+                    .iter()
+                    .map(|l| Json::from(l.as_str()))
+                    .collect::<Vec<_>>(),
+            )
     }
 }
 
@@ -94,23 +112,27 @@ pub fn fig04() -> FigureReport {
     let (lo600, hi600) = slope_range(600);
     // Upper bound is exactly 1/2 (attained at b = 2a); lower bound
     // strictly decreases toward −1/2 without reaching it.
-    let ok = hi6 == 0.5
-        && hi60 == 0.5
-        && hi600 == 0.5
-        && lo60 < lo6
-        && lo600 < lo60
-        && lo600 > -0.5;
+    let ok =
+        hi6 == 0.5 && hi60 == 0.5 && hi600 == 0.5 && lo60 < lo6 && lo600 < lo60 && lo600 > -0.5;
     let mut lines = vec![
         format!("slope range at b = 6:   [{lo6:.5}, {hi6:.5}]"),
         format!("slope range at b = 60:  [{lo60:.5}, {hi60:.5}]"),
         format!("slope range at b = 600: [{lo600:.5}, {hi600:.5}] (→ (-1/2, 1/2])"),
     ];
-    for (a, b, expect) in [(0i64, 1i64, true), (1, 3, true), (-1, 3, true), (2, 3, false), (1, 0, false)] {
+    for (a, b, expect) in [
+        (0i64, 1i64, true),
+        (1, 3, true),
+        (-1, 3, true),
+        (2, 3, false),
+        (1, 0, false),
+    ] {
         let mut pt = QVector::zeros(dim);
         pt[space.iter_coeff(sid, 0)] = a.into();
         pt[space.iter_coeff(sid, 1)] = b.into();
         let inside = poly.contains(&pt);
-        lines.push(format!("Θ = {a}i + {b}j: valid = {inside} (expected {expect})"));
+        lines.push(format!(
+            "Θ = {a}i + {b}j: valid = {inside} (expected {expect})"
+        ));
     }
     FigureReport {
         id: "fig04".into(),
@@ -127,7 +149,11 @@ pub fn fig04() -> FigureReport {
 /// Figure 5 (+ §5.1.4): the AOV of Example 1, vs the UOV baseline.
 pub fn fig05() -> FigureReport {
     let p = examples::example1();
-    let aov = problems::aov(&p).expect("solvable").vector_for("A").unwrap().clone();
+    let aov = problems::aov(&p)
+        .expect("solvable")
+        .vector_for("A")
+        .unwrap()
+        .clone();
     let search = problems::aov_search(&p, 6).expect("solvable");
     let uov = uov::shortest_uov(&p, aov_ir::ArrayId(0), 6).expect("stencil");
     FigureReport {
@@ -143,9 +169,7 @@ pub fn fig05() -> FigureReport {
         reproduced: aov.components() == [1, 2]
             && uov.components() == [0, 3]
             && aov.euclidean_sq() < uov.euclidean_sq(),
-        lines: vec![
-            "any legal affine schedule may run against the transformed storage".into(),
-        ],
+        lines: vec!["any legal affine schedule may run against the transformed storage".into()],
     }
 }
 
@@ -153,7 +177,11 @@ pub fn fig05() -> FigureReport {
 pub fn fig06() -> FigureReport {
     let p = examples::example1();
     let a = p.array_by_name("A").unwrap();
-    let v = problems::aov(&p).expect("solvable").vector_for("A").unwrap().clone();
+    let v = problems::aov(&p)
+        .expect("solvable")
+        .vector_for("A")
+        .unwrap()
+        .clone();
     let t = StorageTransform::new(&p, a, &v).expect("transformable");
     let (n, m) = (100i64, 100i64);
     let orig = t.original_size(&[n, m]);
@@ -220,11 +248,13 @@ pub fn fig11() -> FigureReport {
         id: "fig11".into(),
         title: "AOV and transformed storage for Example 3".into(),
         paper: "v = (1,1,1); 3-d cube collapses to a 2-d array".into(),
-        measured: format!("v = {v}; storage {orig} → {new} at {x}³ ({}d → {}d)", 3, t.transformed_dim()),
+        measured: format!(
+            "v = {v}; storage {orig} → {new} at {x}³ ({}d → {}d)",
+            3,
+            t.transformed_dim()
+        ),
         reproduced: v.components() == [1, 1, 1] && t.transformed_dim() == 2 && new < orig,
-        lines: vec![
-            "boundary storage constraints pruned: Z = ∅ for v ≥ (1,1,1) (§5.3)".into(),
-        ],
+        lines: vec!["boundary storage constraints pruned: Z = ∅ for v ≥ (1,1,1) (§5.3)".into()],
     }
 }
 
@@ -239,7 +269,9 @@ pub fn fig14() -> FigureReport {
     let mut checker = aov_core::check::Checker::new(&p);
     let a = p.array_by_name("A").unwrap();
     let paper_valid = checker.valid_for_all_schedules(a, &[1, 1]).unwrap_or(false);
-    let ours_valid = checker.valid_for_all_schedules(a, va.components()).unwrap_or(false);
+    let ours_valid = checker
+        .valid_for_all_schedules(a, va.components())
+        .unwrap_or(false);
     FigureReport {
         id: "fig14".into(),
         title: "AOVs for Example 4 (non-uniform dependences)".into(),
@@ -268,7 +300,12 @@ pub fn fig15(full_scale: bool) -> FigureReport {
     let pts = experiments::example2_speedup(&cfg, n, m, &procs);
     let lines: Vec<String> = pts
         .iter()
-        .map(|p| format!("P={:>3}  original {:>7.2}  transformed {:>7.2}", p.procs, p.original, p.transformed))
+        .map(|p| {
+            format!(
+                "P={:>3}  original {:>7.2}  transformed {:>7.2}",
+                p.procs, p.original, p.transformed
+            )
+        })
         .collect();
     let always_ahead = pts.iter().all(|p| p.transformed > p.original);
     let last = pts.last().unwrap();
@@ -290,7 +327,11 @@ pub fn fig15(full_scale: bool) -> FigureReport {
 /// Figure 16: Example 3 speedups (blocked wavefront, superlinear).
 pub fn fig16(full_scale: bool) -> FigureReport {
     let cfg = MachineConfig::memory_bound();
-    let (x, y, z) = if full_scale { (48, 96, 96) } else { (24, 48, 48) };
+    let (x, y, z) = if full_scale {
+        (48, 96, 96)
+    } else {
+        (24, 48, 48)
+    };
     let procs: Vec<usize> = if full_scale {
         vec![1, 2, 4, 6, 8, 10, 12, 14, 16]
     } else {
@@ -299,7 +340,12 @@ pub fn fig16(full_scale: bool) -> FigureReport {
     let pts = experiments::example3_speedup(&cfg, x, y, z, &procs);
     let lines: Vec<String> = pts
         .iter()
-        .map(|p| format!("P={:>3}  original {:>7.2}  transformed {:>7.2}", p.procs, p.original, p.transformed))
+        .map(|p| {
+            format!(
+                "P={:>3}  original {:>7.2}  transformed {:>7.2}",
+                p.procs, p.original, p.transformed
+            )
+        })
         .collect();
     let ahead = pts.iter().all(|p| p.transformed >= p.original);
     let superlinear = pts.iter().any(|p| p.transformed > p.procs as f64);
@@ -307,7 +353,9 @@ pub fn fig16(full_scale: bool) -> FigureReport {
         id: "fig16".into(),
         title: format!("speedup vs processors, Example 3 ({x}×{y}×{z})"),
         paper: "transformed substantially better; superlinear speedup from improved caching".into(),
-        measured: format!("transformed ahead everywhere: {ahead}; superlinear point exists: {superlinear}"),
+        measured: format!(
+            "transformed ahead everywhere: {ahead}; superlinear point exists: {superlinear}"
+        ),
         reproduced: ahead && superlinear,
         lines,
     }
@@ -377,7 +425,12 @@ pub fn schedule_space_dim(p: &aov_ir::Program) -> usize {
 /// Sanity helper shared by bins: panic (nonzero exit) when a report
 /// fails to reproduce.
 pub fn assert_reproduced(r: &FigureReport) {
-    assert!(r.reproduced, "{} failed to reproduce:\n{}", r.id, r.render());
+    assert!(
+        r.reproduced,
+        "{} failed to reproduce:\n{}",
+        r.id,
+        r.render()
+    );
 }
 
 /// Quick legality probe used by the explorer example and tests.

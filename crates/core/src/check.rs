@@ -10,7 +10,7 @@
 use crate::storage::exact_z;
 use aov_ir::{analysis, ArrayId, Dependence, Program};
 use aov_linalg::AffineExpr;
-use aov_polyhedra::{Polyhedron, PolyhedraError};
+use aov_polyhedra::{PolyhedraError, Polyhedron};
 use aov_schedule::linearize::eliminate_to_linear;
 use aov_schedule::{legal, Schedule, ScheduleSpace};
 
@@ -111,13 +111,20 @@ impl<'a> Checker<'a> {
         // Borrow dance: compute ℛ first.
         self.legal_polyhedron()?;
         let legal_poly = self.legal.clone().expect("computed above");
-        for dep in self.deps_on_array(array).into_iter().cloned().collect::<Vec<_>>() {
+        for dep in self
+            .deps_on_array(array)
+            .into_iter()
+            .cloned()
+            .collect::<Vec<_>>()
+        {
             let t = self.p.statement(dep.source);
             let r = self.p.statement(dep.target);
             let dim = r.depth() + self.p.num_params();
             assert_eq!(v.len(), t.depth(), "vector dimension");
             let z = exact_z(self.p, &dep, v);
-            if z.intersect(&self.p.embed_param_domain(r.depth())).is_empty() {
+            if z.intersect(&self.p.embed_param_domain(r.depth()))
+                .is_empty()
+            {
                 continue;
             }
             let h_plus_v: Vec<AffineExpr> = dep

@@ -60,13 +60,7 @@ fn render(p: &Program, transforms: &[StorageTransform]) -> String {
         let (bounds, guards) = loop_structure(s, &space);
         let mut indent = String::new();
         for (k, lo, hi) in &bounds {
-            let _ = writeln!(
-                out,
-                "{indent}for {} = {} to {} {{",
-                s.iters()[*k],
-                lo,
-                hi
-            );
+            let _ = writeln!(out, "{indent}for {} = {} to {} {{", s.iters()[*k], lo, hi);
             indent.push_str("  ");
         }
         if !guards.is_empty() {
@@ -217,8 +211,10 @@ mod tests {
         let code = original_code(&p);
         assert!(code.contains("for i = 1 to n"), "{code}");
         assert!(code.contains("for j = 1 to m"), "{code}");
-        assert!(code.contains("A[i][j] = f(A[i - 2][j - 1], A[i][j - 1], A[i + 1][j - 1])"),
-            "{code}");
+        assert!(
+            code.contains("A[i][j] = f(A[i - 2][j - 1], A[i][j - 1], A[i + 1][j - 1])"),
+            "{code}"
+        );
     }
 
     /// Figure 6: transformed Example 1 indexes A by 2i − j (+ offset).
@@ -235,7 +231,10 @@ mod tests {
             code.contains("2*i - j") || code.contains("-2*i + j") || code.contains("2*i + j"),
             "{code}"
         );
-        assert!(code.contains("2*n + m - 2") || code.contains("m + 2*n - 2"), "{code}");
+        assert!(
+            code.contains("2*n + m - 2") || code.contains("m + 2*n - 2"),
+            "{code}"
+        );
     }
 
     /// Figure 9: Example 2 transformed under (1,1): indexes i − j + off.
@@ -249,7 +248,10 @@ mod tests {
         }
         let code = transformed_code(&p, &ts);
         assert!(code.contains("i - j") || code.contains("-i + j"), "{code}");
-        assert!(code.contains("n + m - 1") || code.contains("m + n - 1"), "{code}");
+        assert!(
+            code.contains("n + m - 1") || code.contains("m + n - 1"),
+            "{code}"
+        );
     }
 
     /// Figure 11: Example 3's guards (boundary planes) survive printing.
@@ -258,7 +260,10 @@ mod tests {
         let p = example3();
         let code = original_code(&p);
         assert!(code.contains("min("), "{code}");
-        assert!(code.contains("for k = 2 to kmax") || code.contains("for k = 1 to kmax"), "{code}");
+        assert!(
+            code.contains("for k = 2 to kmax") || code.contains("for k = 1 to kmax"),
+            "{code}"
+        );
     }
 
     #[test]

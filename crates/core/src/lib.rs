@@ -41,9 +41,9 @@
 
 pub mod check;
 pub mod codegen;
+pub mod multi_ov;
 mod objective;
 mod ov;
-pub mod multi_ov;
 pub mod problems;
 pub mod storage;
 pub mod tiling;

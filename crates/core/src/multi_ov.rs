@@ -107,8 +107,7 @@ pub fn lattice_valid_for_all_schedules(
                 let dim = space.dim();
                 let mut row = AffineExpr::constant(dim, (-1).into());
                 for (k, &wk) in w.iter().enumerate() {
-                    row = &row
-                        + &AffineExpr::var(dim, space.iter_coeff(t, k)).scale(&wk.into());
+                    row = &row + &AffineExpr::var(dim, space.iter_coeff(t, k)).scale(&wk.into());
                 }
                 let legal = checker.legal_polyhedron()?;
                 if !legal.implies_nonneg(&row) {
@@ -216,9 +215,7 @@ mod tests {
         );
         // Orientation handling: the negated generator describes the same
         // lattice and must validate too.
-        assert!(
-            lattice_valid_for_all_schedules(&p, a, &[vec![-1, -2]], &[6, 6]).unwrap()
-        );
+        assert!(lattice_valid_for_all_schedules(&p, a, &[vec![-1, -2]], &[6, 6]).unwrap());
     }
 
     /// The paper's open question, answered negatively for live 2-d

@@ -18,6 +18,96 @@ use aov_schedule::{legal, scheduler, Schedule, ScheduleSpace};
 /// candidate-enumeration solvers.
 pub const DEFAULT_SEARCH_RADIUS: i64 = 8;
 
+/// Solves the per-orthant subproblems with a deterministic reduction.
+///
+/// The sequential scan keeps the first pattern achieving a strictly
+/// smaller objective, which is exactly the minimum under the key
+/// `(objective, pattern index)`. The parallel branch distributes
+/// patterns over `std::thread::scope` workers and reduces by the same
+/// key, so both modes return bit-identical results. The incumbent bound
+/// is shared for pruning; the parallel branch prunes strictly (`>`
+/// instead of `>=`) so equal-objective patterns with smaller indices are
+/// never lost to a later-indexed pattern that merely finished first.
+type OrthantSolution = (i64, Vec<OccupancyVector>);
+
+fn fan_out_patterns(
+    patterns: &[Orthant],
+    workers: usize,
+    prune: &(dyn Fn(&Orthant) -> i64 + Sync),
+    solve: &(dyn Fn(&Orthant) -> Option<OrthantSolution> + Sync),
+) -> Option<OrthantSolution> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    if workers <= 1 || patterns.len() <= 1 {
+        let mut best: Option<(i64, Vec<OccupancyVector>)> = None;
+        for pat in patterns {
+            if let Some((bound, _)) = &best {
+                if prune(pat) >= *bound {
+                    continue;
+                }
+            }
+            if let Some((obj, vs)) = solve(pat) {
+                if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                    best = Some((obj, vs));
+                }
+            }
+        }
+        return best;
+    }
+    let next = AtomicUsize::new(0);
+    let bound = Mutex::new(i64::MAX);
+    let results: Mutex<Vec<(usize, i64, Vec<OccupancyVector>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(patterns.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= patterns.len() {
+                    break;
+                }
+                let pat = &patterns[i];
+                if prune(pat) > *bound.lock().unwrap() {
+                    continue;
+                }
+                aov_support::static_counter!("core.fanout.patterns")
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some((obj, vs)) = solve(pat) {
+                    let mut b = bound.lock().unwrap();
+                    if obj < *b {
+                        *b = obj;
+                    }
+                    drop(b);
+                    results.lock().unwrap().push((i, obj, vs));
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .min_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)))
+        .map(|(_, obj, vs)| (obj, vs))
+}
+
+/// Extracts an integral candidate and its exact objective from an ILP
+/// outcome (the reduction key of [`fan_out_patterns`]).
+fn candidate_of(ov_space: &OvSpace, outcome: LpOutcome) -> Option<(i64, Vec<OccupancyVector>)> {
+    if let LpOutcome::Optimal(sol) = outcome {
+        let point: Option<Vec<i64>> = (0..ov_space.dim())
+            .map(|k| sol.values.as_slice()[k].to_i64())
+            .collect();
+        let point = point?;
+        let vectors = ov_space.split(&point);
+        let obj: i64 = vectors
+            .iter()
+            .map(|v| objective_value(v.components()))
+            .sum();
+        Some((obj, vectors))
+    } else {
+        None
+    }
+}
+
 /// Occupancy vectors per array (array order of the program).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OvResult {
@@ -79,6 +169,21 @@ impl std::fmt::Display for OvResult {
 /// * [`CoreError::IllegalSchedule`] — the schedule violates dependences.
 /// * [`CoreError::NoVectorFound`] — no orthant admits a valid vector.
 pub fn ov_for_schedule(p: &Program, sched: &Schedule) -> Result<OvResult, CoreError> {
+    ov_for_schedule_with(p, sched, 1)
+}
+
+/// [`ov_for_schedule`] with the per-orthant subproblems fanned out over
+/// `workers` threads (`<= 1` means sequential). Results are bit-identical
+/// to the sequential solver regardless of worker count.
+///
+/// # Errors
+///
+/// As for [`ov_for_schedule`].
+pub fn ov_for_schedule_with(
+    p: &Program,
+    sched: &Schedule,
+    workers: usize,
+) -> Result<OvResult, CoreError> {
     if !legal::is_legal(p, sched) {
         return Err(CoreError::IllegalSchedule);
     }
@@ -92,29 +197,30 @@ pub fn ov_for_schedule(p: &Program, sched: &Schedule) -> Result<OvResult, CoreEr
         let forms = storage_forms_for_dep(p, &space, &ov_space, dep)?;
         dep_rows.push(forms.iter().map(|f| f.at_point(&theta)).collect());
     }
-    let mut best: Option<(i64, Vec<OccupancyVector>)> = None;
-    for pattern in sign_patterns(ov_space.dim()) {
-        if pattern_has_zero_array(p, &ov_space, &pattern) {
-            continue;
-        }
+    let patterns: Vec<Orthant> = sign_patterns(ov_space.dim())
+        .into_iter()
+        .filter(|pat| !pattern_has_zero_array(p, &ov_space, pat))
+        .collect();
+    let solve = |pattern: &Orthant| {
         let mut m = Model::new();
         for name in ov_space.vars().names() {
             let v = m.add_var(name.clone());
             m.set_integer(v);
         }
         for (dep, rows) in deps.iter().zip(&dep_rows) {
-            if !dependence_active_in_pattern(p, &ov_space, dep, &pattern) {
+            if !dependence_active_in_pattern(p, &ov_space, dep, pattern) {
                 continue;
             }
             for r in rows {
                 m.constrain(r.clone(), Cmp::Ge);
             }
         }
-        let obj = install_pattern_objective(&mut m, p, &ov_space, &pattern);
+        let obj = install_pattern_objective(&mut m, p, &ov_space, pattern);
         m.minimize(obj);
-        consider(&mut best, &ov_space, m.solve_ilp());
-    }
-    best.map(|(_, vs)| OvResult::new(p, vs))
+        candidate_of(&ov_space, m.solve_ilp())
+    };
+    fan_out_patterns(&patterns, workers, &|_| i64::MIN, &solve)
+        .map(|(_, vs)| OvResult::new(p, vs))
         .ok_or(CoreError::NoVectorFound)
 }
 
@@ -179,10 +285,8 @@ pub fn schedules_for_ov(
             rows.push(r);
         }
     }
-    let poly = Polyhedron::from_constraints(
-        space.dim(),
-        rows.into_iter().map(Constraint::ge0).collect(),
-    );
+    let poly =
+        Polyhedron::from_constraints(space.dim(), rows.into_iter().map(Constraint::ge0).collect());
     Ok((space, poly))
 }
 
@@ -224,6 +328,18 @@ pub fn best_schedule_for_ov(
 ///   affine schedule, so "valid for all legal schedules" is vacuous.
 /// * [`CoreError::NoVectorFound`] — no orthant admits a vector.
 pub fn aov(p: &Program) -> Result<OvResult, CoreError> {
+    aov_with(p, 1)
+}
+
+/// [`aov`] with the per-orthant Farkas ILPs fanned out over `workers`
+/// threads (`<= 1` means sequential). The reduction is deterministic:
+/// results are bit-identical to the sequential solver for any worker
+/// count.
+///
+/// # Errors
+///
+/// As for [`aov`].
+pub fn aov_with(p: &Program, workers: usize) -> Result<OvResult, CoreError> {
     let (space, sched_rows) = legal::schedule_constraints(p)?;
     // Farkas needs ℛ nonempty; also drop redundant rows to shrink the
     // multiplier count.
@@ -248,21 +364,24 @@ pub fn aov(p: &Program) -> Result<OvResult, CoreError> {
         Vec::with_capacity(deps.len());
     for dep in &deps {
         let forms = storage_forms_for_dep(p, &space, &ov_space, dep)?;
-        dep_systems.push(forms.iter().map(|f| farkas_system(f, &sched_rows)).collect());
+        dep_systems.push(
+            forms
+                .iter()
+                .map(|f| farkas_system(f, &sched_rows))
+                .collect(),
+        );
     }
-    let mut best: Option<(i64, Vec<OccupancyVector>)> = None;
-    for pattern in sign_patterns(ov_space.dim()) {
-        if pattern_has_zero_array(p, &ov_space, &pattern) {
-            continue;
-        }
-        // Bound: with |v| >= objective of the incumbent, skip the pattern
-        // early by its minimum possible length.
-        if let Some((bound, _)) = &best {
-            let min_len: i64 = pattern.iter().map(|&s| i64::from(s != 0)).sum();
-            if LENGTH_WEIGHT * min_len >= *bound {
-                continue;
-            }
-        }
+    let patterns: Vec<Orthant> = sign_patterns(ov_space.dim())
+        .into_iter()
+        .filter(|pat| !pattern_has_zero_array(p, &ov_space, pat))
+        .collect();
+    // Bound: with |v| >= objective of the incumbent, skip the pattern
+    // early by its minimum possible length.
+    let prune = |pattern: &Orthant| -> i64 {
+        let min_len: i64 = pattern.iter().map(|&s| i64::from(s != 0)).sum();
+        LENGTH_WEIGHT * min_len
+    };
+    let solve = |pattern: &Orthant| {
         let mut m = Model::new();
         for name in ov_space.vars().names() {
             let v = m.add_var(name.clone());
@@ -270,7 +389,7 @@ pub fn aov(p: &Program) -> Result<OvResult, CoreError> {
         }
         let mut fi = 0usize;
         for (dep, systems) in deps.iter().zip(&dep_systems) {
-            if !dependence_active_in_pattern(p, &ov_space, dep, &pattern) {
+            if !dependence_active_in_pattern(p, &ov_space, dep, pattern) {
                 continue;
             }
             for sys in systems {
@@ -294,11 +413,12 @@ pub fn aov(p: &Program) -> Result<OvResult, CoreError> {
                 }
             }
         }
-        let obj = install_pattern_objective(&mut m, p, &ov_space, &pattern);
+        let obj = install_pattern_objective(&mut m, p, &ov_space, pattern);
         m.minimize(obj);
-        consider(&mut best, &ov_space, m.solve_ilp());
-    }
-    best.map(|(_, vs)| OvResult::new(p, vs))
+        candidate_of(&ov_space, m.solve_ilp())
+    };
+    fan_out_patterns(&patterns, workers, &prune, &solve)
+        .map(|(_, vs)| OvResult::new(p, vs))
         .ok_or(CoreError::NoVectorFound)
 }
 
@@ -311,18 +431,33 @@ pub fn aov(p: &Program) -> Result<OvResult, CoreError> {
 /// * [`CoreError::Unschedulable`] / [`CoreError::NoVectorFound`] as for
 ///   [`aov`].
 pub fn aov_search(p: &Program, max_radius: i64) -> Result<OvResult, CoreError> {
+    aov_search_with(p, max_radius, 1)
+}
+
+/// [`aov_search`] with the per-array searches fanned out over `workers`
+/// threads (`<= 1` means sequential). Arrays are independent, so the
+/// result is bit-identical to the sequential search.
+///
+/// # Errors
+///
+/// As for [`aov_search`].
+pub fn aov_search_with(
+    p: &Program,
+    max_radius: i64,
+    workers: usize,
+) -> Result<OvResult, CoreError> {
     let mut checker = Checker::new(p);
     if checker.legal_polyhedron()?.is_empty() {
         return Err(CoreError::Unschedulable);
     }
-    let mut vectors = Vec::new();
-    for (aidx, a) in p.arrays().iter().enumerate() {
+    let narrays = p.arrays().len();
+    let search_one = |aidx: usize, checker: &mut Checker| -> Result<OccupancyVector, CoreError> {
         let aid = aov_ir::ArrayId(aidx);
+        let dim = p.arrays()[aidx].dim();
         let mut err: Option<CoreError> = None;
         let found = {
-            let checker = &mut checker;
             let e = &mut err;
-            search_shells(a.dim(), max_radius, |v| {
+            search_shells(dim, max_radius, |v| {
                 match checker.valid_for_all_schedules(aid, v) {
                     Ok(ok) => ok,
                     Err(pe) => {
@@ -335,10 +470,43 @@ pub fn aov_search(p: &Program, max_radius: i64) -> Result<OvResult, CoreError> {
         if let Some(e) = err {
             return Err(e);
         }
-        match found {
-            Some(v) => vectors.push(OccupancyVector::new(v)),
-            None => return Err(CoreError::NoVectorFound),
+        found
+            .map(OccupancyVector::new)
+            .ok_or(CoreError::NoVectorFound)
+    };
+    if workers <= 1 || narrays <= 1 {
+        let mut vectors = Vec::with_capacity(narrays);
+        for aidx in 0..narrays {
+            vectors.push(search_one(aidx, &mut checker)?);
         }
+        return Ok(OvResult::new(p, vectors));
+    }
+    // One checker per thread (its legality cache is not shareable);
+    // results land in array order.
+    let mut slots: Vec<Option<Result<OccupancyVector, CoreError>>> = Vec::new();
+    slots.resize_with(narrays, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<Result<OccupancyVector, CoreError>>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(narrays) {
+            s.spawn(|| {
+                let mut local = Checker::new(p);
+                loop {
+                    let aidx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if aidx >= narrays {
+                        break;
+                    }
+                    let r = search_one(aidx, &mut local);
+                    **slot_refs[aidx].lock().unwrap() = Some(r);
+                }
+            });
+        }
+    });
+    drop(slot_refs);
+    let mut vectors = Vec::with_capacity(narrays);
+    for slot in slots {
+        vectors.push(slot.expect("every array searched")?);
     }
     Ok(OvResult::new(p, vectors))
 }
@@ -412,13 +580,12 @@ fn install_pattern_objective(
     pattern: &Orthant,
 ) -> AffineExpr {
     let vdim = ov_space.dim();
-    for k in 0..vdim {
+    for (k, &sign) in pattern.iter().enumerate().take(vdim) {
         let var = AffineExpr::var(vdim, k);
-        if pattern[k] == 0 {
+        if sign == 0 {
             m.constrain(var, Cmp::Eq);
         } else {
-            let e = &var.scale(&i64::from(pattern[k]).into())
-                - &AffineExpr::constant(vdim, 1.into());
+            let e = &var.scale(&i64::from(sign).into()) - &AffineExpr::constant(vdim, 1.into());
             m.constrain(e, Cmp::Ge);
         }
     }
@@ -459,27 +626,6 @@ fn install_pattern_objective(
         obj = &obj + &part.embed(total, &map);
     }
     obj
-}
-
-fn consider(
-    best: &mut Option<(i64, Vec<OccupancyVector>)>,
-    ov_space: &OvSpace,
-    outcome: LpOutcome,
-) {
-    if let LpOutcome::Optimal(sol) = outcome {
-        let point: Option<Vec<i64>> = (0..ov_space.dim())
-            .map(|k| sol.values.as_slice()[k].to_i64())
-            .collect();
-        let Some(point) = point else { return };
-        let vectors = ov_space.split(&point);
-        let obj: i64 = vectors
-            .iter()
-            .map(|v| objective_value(v.components()))
-            .sum();
-        if best.as_ref().map_or(true, |(b, _)| obj < *b) {
-            *best = Some((obj, vectors));
-        }
-    }
 }
 
 /// Enumerates integer vectors by increasing Manhattan length, breaking
@@ -650,8 +796,7 @@ mod tests {
         let p = example1();
         // Given OV (0, 2), the legal schedules satisfy b >= 2a, b >= 1+a,
         // b >= 1−2a (paper §5.1.3): slope a/b ∈ (−1/2, 1/2).
-        let (space, poly) =
-            schedules_for_ov(&p, &[OccupancyVector::new(vec![0, 2])]).unwrap();
+        let (space, poly) = schedules_for_ov(&p, &[OccupancyVector::new(vec![0, 2])]).unwrap();
         let sid = aov_ir::StmtId(0);
         let mk = |a: i64, b: i64| {
             let mut pt = QVector::zeros(space.dim());
@@ -672,7 +817,7 @@ mod tests {
     fn problem2_best_schedule_exists_and_respects_storage() {
         let p = example1();
         let v = OccupancyVector::new(vec![0, 2]);
-        let s = best_schedule_for_ov(&p, &[v.clone()]).unwrap();
+        let s = best_schedule_for_ov(&p, std::slice::from_ref(&v)).unwrap();
         assert!(legal::is_legal(&p, &s));
         let checker = Checker::new(&p);
         assert!(checker.valid_for_schedule(aov_ir::ArrayId(0), v.components(), &s));

@@ -21,7 +21,7 @@
 use crate::OvSpace;
 use aov_ir::{Dependence, Program};
 use aov_linalg::AffineExpr;
-use aov_polyhedra::{Constraint, Polyhedron, PolyhedraError};
+use aov_polyhedra::{Constraint, PolyhedraError, Polyhedron};
 use aov_schedule::linearize::{eliminate_to_linear, eliminate_to_linear_tagged, RowKind};
 use aov_schedule::{legal, BilinearForm, ScheduleSpace};
 
@@ -176,8 +176,7 @@ pub fn dependence_active_in_orthant(
         if s == 0 {
             cs.push(Constraint::eq0(var));
         } else {
-            let e = &var.scale(&i64::from(s).into())
-                - &AffineExpr::constant(dim, 1.into());
+            let e = &var.scale(&i64::from(s).into()) - &AffineExpr::constant(dim, 1.into());
             cs.push(Constraint::ge0(e));
         }
     }
@@ -255,10 +254,7 @@ pub fn storage_forms_for_dep(
     let tagged = eliminate_to_linear_tagged(&f0, &dep.domain, r.depth(), p.param_domain())?;
     let mut out = Vec::with_capacity(tagged.len());
     for (row, kind) in tagged {
-        let mut bf = BilinearForm::new(
-            vec![AffineExpr::zero(space.dim()); ov_space.dim()],
-            row,
-        );
+        let mut bf = BilinearForm::new(vec![AffineExpr::zero(space.dim()); ov_space.dim()], row);
         if kind == RowKind::Point {
             // Θ_T(h + v) − Θ_T(h) = Σ_k v_k · a_{T,k}.
             for k in 0..t.depth() {
@@ -290,8 +286,7 @@ mod tests {
         let space = ScheduleSpace::new(&p);
         let ov = OvSpace::new(&p);
         let deps = analysis::dependences(&p);
-        let forms =
-            storage_forms_symbolic(&p, &space, &ov, &deps, &vec![1, 1]).unwrap();
+        let forms = storage_forms_symbolic(&p, &space, &ov, &deps, &vec![1, 1]).unwrap();
         assert_eq!(forms.len(), 3, "one row per uniform dependence");
         let _ = &forms;
         let ai = space.iter_coeff(StmtId(0), 0);
@@ -314,10 +309,7 @@ mod tests {
             for (k, cf) in c.coeffs().iter().enumerate() {
                 assert!(k == ai || k == aj || cf.is_zero(), "stray coefficient");
             }
-            consts.push((
-                c.coeff(ai).to_i64().unwrap(),
-                c.coeff(aj).to_i64().unwrap(),
-            ));
+            consts.push((c.coeff(ai).to_i64().unwrap(), c.coeff(aj).to_i64().unwrap()));
         }
         consts.sort_unstable();
         assert_eq!(consts, vec![(-2, -1), (0, -1), (1, -1)]);
@@ -331,8 +323,7 @@ mod tests {
         let space = ScheduleSpace::new(&p);
         let ov = OvSpace::new(&p);
         let deps = analysis::dependences(&p);
-        let forms =
-            storage_forms_symbolic(&p, &space, &ov, &deps, &vec![1, 1]).unwrap();
+        let forms = storage_forms_symbolic(&p, &space, &ov, &deps, &vec![1, 1]).unwrap();
         // Θ = j: a = 0, b = 1, rest 0.
         let mut theta = QVector::zeros(space.dim());
         theta[space.iter_coeff(StmtId(0), 1)] = 1.into();
@@ -407,13 +398,8 @@ mod tests {
         let p = example1();
         let space = ScheduleSpace::new(&p);
         let deps = analysis::dependences(&p);
-        let rows = storage_rows_concrete(
-            &p,
-            &space,
-            &deps,
-            &[OccupancyVector::new(vec![1, 2])],
-        )
-        .unwrap();
+        let rows =
+            storage_rows_concrete(&p, &space, &deps, &[OccupancyVector::new(vec![1, 2])]).unwrap();
         assert!(!rows.is_empty());
         // Θ = j satisfies all rows for v = (1,2): a·1 + b·2 − … ≥ 0 with
         // a=0, b=1: 2 − 1 = 1 >= 0 etc.

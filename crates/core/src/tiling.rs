@@ -103,7 +103,10 @@ mod tests {
         let p = example1_sized(6, 6);
         assert!(!loops_permutable(&p, 100));
         let aov = problems::aov(&p).expect("solvable");
-        assert_eq!(tiling_preserved(&p, aov.vectors(), 100).expect("checkable"), None);
+        assert_eq!(
+            tiling_preserved(&p, aov.vectors(), 100).expect("checkable"),
+            None
+        );
     }
 
     /// The wavefront nest is also permutable, and its AOV (1,1) keeps it

@@ -158,18 +158,13 @@ impl StorageTransform {
     /// expressions over that statement space. The modulation coordinate
     /// (if any) is returned last and must be taken `mod` the modulation
     /// factor by the consumer.
-    pub fn map_access(
-        &self,
-        index: &[AffineExpr],
-        num_params: usize,
-    ) -> Vec<AffineExpr> {
+    pub fn map_access(&self, index: &[AffineExpr], num_params: usize) -> Vec<AffineExpr> {
         let stmt_dim = index.first().map_or(num_params, AffineExpr::dim);
         let mut subs: Vec<AffineExpr> = index.to_vec();
         for j in 0..num_params {
             subs.push(AffineExpr::var(stmt_dim, stmt_dim - num_params + j));
         }
-        let mut out: Vec<AffineExpr> =
-            self.coords.iter().map(|c| c.substitute(&subs)).collect();
+        let mut out: Vec<AffineExpr> = self.coords.iter().map(|c| c.substitute(&subs)).collect();
         if let Some(mc) = &self.mod_coord {
             out.push(mc.substitute(&subs));
         }
@@ -323,8 +318,7 @@ mod tests {
         let p = example2();
         for name in ["A", "B"] {
             let a = p.array_by_name(name).unwrap();
-            let t =
-                StorageTransform::new(&p, a, &OccupancyVector::new(vec![1, 1])).unwrap();
+            let t = StorageTransform::new(&p, a, &OccupancyVector::new(vec![1, 1])).unwrap();
             let (n, m) = (6i64, 9i64);
             assert_eq!(t.transformed_size(&[n, m]), n + m - 1);
             let base = t.map_point(&[2, 3], &[n, m]);
@@ -349,7 +343,10 @@ mod tests {
         // from 3-d to 2-d is what matters.
         let size = t.transformed_size(&[x, y, z]);
         assert!(size < x * y * z, "storage must shrink, got {size}");
-        assert!(size >= (x + y - 1) * (x + z - 1).min(x + y - 1), "sane extent");
+        assert!(
+            size >= (x + y - 1) * (x + z - 1).min(x + y - 1),
+            "sane extent"
+        );
         let base = t.map_point(&[2, 3, 4], &[x, y, z]);
         assert_eq!(t.map_point(&[3, 4, 5], &[x, y, z]), base);
         assert_ne!(t.map_point(&[3, 4, 4], &[x, y, z]), base);

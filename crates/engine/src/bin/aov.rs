@@ -1,0 +1,140 @@
+//! The `aov` command line: run the instrumented pipeline on one of the
+//! paper's examples and print a JSON report.
+//!
+//! ```text
+//! aov <example1|example2|example3|example4|all> [options]
+//!
+//!   --workers N    fan the per-orthant solvers out over N threads
+//!                  (default: available parallelism, capped at 8)
+//!   --sequential   shorthand for --workers 1
+//!   --memoize      enable the LP memoization cache
+//!   --machine      include the §6 simulated-speedup stage
+//!   --params A,B   parameter sizes for the equivalence oracle
+//!   --compact      one-line JSON instead of pretty-printed
+//! ```
+//!
+//! Exit status: 0 on success (and dynamic equivalence holding), 1 when a
+//! stage fails or equivalence does not hold, 2 on a usage error.
+
+use aov_engine::Pipeline;
+use aov_support::{Json, ToJson};
+
+struct Options {
+    programs: Vec<String>,
+    workers: usize,
+    memoize: bool,
+    machine: bool,
+    params: Option<Vec<i64>>,
+    compact: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aov <example1|example2|example3|example4|all> \
+         [--workers N] [--sequential] [--memoize] [--machine] \
+         [--params A,B,..] [--compact]"
+    );
+    std::process::exit(2);
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn parse(args: &[String]) -> Options {
+    let mut opts = Options {
+        programs: Vec::new(),
+        workers: default_workers(),
+        memoize: false,
+        machine: false,
+        params: None,
+        compact: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => opts.workers = w,
+                None => usage(),
+            },
+            "--sequential" => opts.workers = 1,
+            "--memoize" => opts.memoize = true,
+            "--machine" => opts.machine = true,
+            "--params" => match it.next() {
+                Some(spec) => {
+                    let parsed: Option<Vec<i64>> =
+                        spec.split(',').map(|s| s.trim().parse().ok()).collect();
+                    match parsed {
+                        Some(ps) if !ps.is_empty() => opts.params = Some(ps),
+                        _ => usage(),
+                    }
+                }
+                None => usage(),
+            },
+            "--compact" => opts.compact = true,
+            "all" => {
+                opts.programs.extend((1..=4).map(|k| format!("example{k}")));
+            }
+            name if !name.starts_with('-') => opts.programs.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+    if opts.programs.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse(&args);
+
+    let mut reports = Vec::new();
+    let mut all_equivalent = true;
+    for name in &opts.programs {
+        let mut pipeline = match Pipeline::for_example(name) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("aov: {e}");
+                std::process::exit(2);
+            }
+        };
+        pipeline = pipeline
+            .workers(opts.workers)
+            .memoize(opts.memoize)
+            .machine(opts.machine);
+        if let Some(ps) = &opts.params {
+            pipeline = pipeline.check_params(ps.clone());
+        }
+        match pipeline.run() {
+            Ok(report) => {
+                all_equivalent &= report.equivalent;
+                reports.push(report.to_json());
+            }
+            Err(e) => {
+                eprintln!("aov: {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let json = if reports.len() == 1 {
+        reports.pop().unwrap()
+    } else {
+        Json::Arr(reports)
+    };
+    let text = if opts.compact {
+        let mut line = json.to_compact();
+        line.push('\n');
+        line
+    } else {
+        json.to_pretty()
+    };
+    // Ignore broken pipes (e.g. `aov … | head`).
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+    std::process::exit(if all_equivalent { 0 } else { 1 });
+}

@@ -1,0 +1,12 @@
+//! Instrumented end-to-end pipeline engine.
+//!
+//! Runs a program through the paper's tool chain (dependences →
+//! legal-schedule polyhedron → Problems 1/2/3 → storage transform →
+//! codegen → dynamic equivalence) as named, timed, counter-instrumented
+//! stages, with deterministic parallel fan-out of the per-orthant
+//! solvers. The `aov` binary exposes the same pipeline on the command
+//! line and emits a JSON report.
+
+pub mod pipeline;
+
+pub use pipeline::{run_example, EngineError, Pipeline, Report, StageReport};

@@ -1,0 +1,517 @@
+//! The instrumented end-to-end pipeline.
+//!
+//! A [`Pipeline`] runs one program through the paper's full tool chain —
+//! dependence analysis, the legal-schedule polyhedron, Problems 1/2/3,
+//! the storage transformation, code generation and the dynamic
+//! equivalence oracle — as named stages. Every stage records its
+//! wall-clock time and the delta of every global solver counter
+//! (`lp.simplex.pivots`, `polyhedra.fm.eliminations`, …), so a single
+//! run doubles as a profile of where the analysis effort goes.
+//!
+//! The per-orthant solvers of Problems 1 and 3 fan out over a
+//! configurable number of worker threads; the reduction is deterministic,
+//! so a parallel run is bit-identical to a sequential one.
+
+use std::time::Instant;
+
+use aov_core::problems::{self, OvResult};
+use aov_core::transform::StorageTransform;
+use aov_core::{codegen, CoreError};
+use aov_interp::validate::semantics_preserved;
+use aov_ir::{analysis, examples, Program};
+use aov_machine::experiments::{example2_speedup_with, example3_speedup_with, SpeedupPoint};
+use aov_machine::MachineConfig;
+use aov_schedule::{legal, scheduler};
+use aov_support::{counters, Json, ToJson};
+
+/// Errors from running a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A solver stage failed.
+    Core(CoreError),
+    /// No legal one-dimensional affine schedule exists.
+    Schedule(String),
+    /// The request is outside the engine's fragment (unknown program,
+    /// wrong parameter count, …).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "solver error: {e}"),
+            EngineError::Schedule(m) => write!(f, "scheduling error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<scheduler::ScheduleError> for EngineError {
+    fn from(e: scheduler::ScheduleError) -> Self {
+        EngineError::Schedule(e.to_string())
+    }
+}
+
+/// One executed stage: its name, wall-clock time and the solver-counter
+/// increments it caused.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    pub name: &'static str,
+    pub micros: u128,
+    /// `(counter name, increment)` for every counter that moved.
+    pub counters: Vec<(String, u64)>,
+    /// Stage-specific payload (vectors, schedule text, code, …).
+    pub detail: Json,
+}
+
+impl ToJson for StageReport {
+    fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| Json::obj().field("name", k.as_str()).field("count", *v))
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("name", self.name)
+            .field("micros", self.micros as i64)
+            .field("counters", counters)
+            .field("detail", self.detail.clone())
+    }
+}
+
+/// The result of a full pipeline run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Program name (`example1` … `example4`).
+    pub program: String,
+    /// Worker threads used for the per-orthant fan-out.
+    pub workers: usize,
+    /// Whether LP memoization was on.
+    pub memoized: bool,
+    /// Executed stages, in order.
+    pub stages: Vec<StageReport>,
+    /// Problem 3 result: the AOV per array, in array order.
+    pub aov: OvResult,
+    /// Names of the arrays, aligned with [`Report::aov`].
+    pub arrays: Vec<String>,
+    /// Transformed pseudo-code under the AOV storage mapping.
+    pub code: String,
+    /// Dynamic equivalence verdict (original vs transformed+scheduled).
+    pub equivalent: bool,
+    /// Parameter values used by the equivalence oracle.
+    pub check_params: Vec<i64>,
+    /// Total wall-clock across stages.
+    pub total_micros: u128,
+}
+
+impl Report {
+    /// The stage with the given name, if it ran.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of one counter across all stages.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.counters)
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        let vectors = self
+            .arrays
+            .iter()
+            .zip(self.aov.vectors())
+            .map(|(name, v)| {
+                Json::obj().field("array", name.as_str()).field(
+                    "vector",
+                    v.components()
+                        .iter()
+                        .map(|&c| Json::Int(c))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>();
+        Json::obj()
+            .field("program", self.program.as_str())
+            .field("workers", self.workers)
+            .field("memoized", self.memoized)
+            .field("total_micros", self.total_micros as i64)
+            .field("aov", vectors)
+            .field("objective", self.aov.objective())
+            .field("equivalent", self.equivalent)
+            .field(
+                "check_params",
+                self.check_params
+                    .iter()
+                    .map(|&p| Json::Int(p))
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "code",
+                self.code.lines().map(Json::from).collect::<Vec<_>>(),
+            )
+            .field("stages", self.stages.to_json())
+    }
+}
+
+/// A configured pipeline over one program.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    program: Program,
+    workers: usize,
+    memoize: bool,
+    machine: bool,
+    params: Option<Vec<i64>>,
+}
+
+impl Pipeline {
+    /// A sequential pipeline over `program` with the machine-model stage
+    /// off and default equivalence-check parameter sizes.
+    pub fn new(program: Program) -> Self {
+        Pipeline {
+            program,
+            workers: 1,
+            memoize: false,
+            machine: false,
+            params: None,
+        }
+    }
+
+    /// A pipeline over one of the paper's named examples
+    /// (`example1` … `example4`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Unsupported`] for an unknown name.
+    pub fn for_example(name: &str) -> Result<Self, EngineError> {
+        let program = match name {
+            "example1" => examples::example1(),
+            "example2" => examples::example2(),
+            "example3" => examples::example3(),
+            "example4" => examples::example4(),
+            other => {
+                return Err(EngineError::Unsupported(format!(
+                    "unknown example {other:?} (expected example1..example4)"
+                )))
+            }
+        };
+        Ok(Pipeline::new(program))
+    }
+
+    /// Fans the per-orthant solvers out over `workers` threads
+    /// (`<= 1` means sequential). Results are bit-identical either way.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables the process-global LP memoization cache for this run.
+    /// Identical LP relaxations (common across sign orthants and
+    /// branch-and-bound nodes) are then solved once.
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.memoize = on;
+        self
+    }
+
+    /// Enables the machine-model speedup stage (§6 of the paper;
+    /// simulated only for `example2` and `example3`).
+    pub fn machine(mut self, on: bool) -> Self {
+        self.machine = on;
+        self
+    }
+
+    /// Overrides the parameter sizes for the dynamic equivalence check.
+    pub fn check_params(mut self, params: Vec<i64>) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Runs every stage and collects the instrumented report.
+    ///
+    /// # Errors
+    ///
+    /// The first stage failure, wrapped as [`EngineError`].
+    pub fn run(&self) -> Result<Report, EngineError> {
+        let p = &self.program;
+        let check_params = self.resolved_params()?;
+        if self.memoize {
+            aov_lp::memo::set_enabled(true);
+        }
+        let mut stages: Vec<StageReport> = Vec::new();
+        let t_start = Instant::now();
+
+        stage(&mut stages, "ir", || {
+            p.validate()
+                .map_err(|e| EngineError::Unsupported(format!("invalid program: {e}")))?;
+            Ok((
+                (),
+                Json::obj()
+                    .field("statements", p.statements().len())
+                    .field("arrays", p.arrays().len())
+                    .field("params", p.params().len()),
+            ))
+        })?;
+
+        stage(&mut stages, "dependences", || {
+            let deps = analysis::dependences(p);
+            let detail = Json::obj().field("count", deps.len());
+            Ok(((), detail))
+        })?;
+
+        stage(&mut stages, "legal_schedule", || {
+            let (space, poly) = legal::legal_schedule_polyhedron(p)
+                .map_err(|e| EngineError::Schedule(e.to_string()))?;
+            // Project away the parameter/constant coefficients (FM
+            // elimination) to expose the cone of legal iteration
+            // coefficients — the part of ℛ the occupancy vectors fight.
+            let mut drop_dims: Vec<usize> = Vec::new();
+            for s in 0..space.num_statements() {
+                let s = aov_ir::StmtId(s);
+                for j in 0..p.params().len() {
+                    drop_dims.push(space.param_coeff(s, j));
+                }
+                drop_dims.push(space.const_coeff(s));
+            }
+            let cone = poly.eliminate_dims(&drop_dims);
+            let detail = Json::obj()
+                .field("space_dim", space.dim())
+                .field("constraints", poly.constraints().len())
+                .field("iter_cone_constraints", cone.constraints().len());
+            Ok(((), detail))
+        })?;
+
+        let sched = stage(&mut stages, "schedule", || {
+            let sched = scheduler::find_schedule(p)?;
+            let detail = Json::obj().field("theta", sched.display(p).to_string());
+            Ok((sched, detail))
+        })?;
+
+        stage(&mut stages, "problem1", || {
+            let ov = problems::ov_for_schedule_with(p, &sched, self.workers)?;
+            Ok(((), ov_detail(p, &ov)))
+        })?;
+
+        let aov = stage(&mut stages, "aov", || {
+            let aov = problems::aov_with(p, self.workers)?;
+            let detail = ov_detail(p, &aov);
+            Ok((aov, detail))
+        })?;
+
+        let sched2 = stage(&mut stages, "problem2", || {
+            let sched2 = problems::best_schedule_for_ov(p, aov.vectors())?;
+            let detail = Json::obj().field("theta", sched2.display(p).to_string());
+            Ok((sched2, detail))
+        })?;
+
+        let transforms = stage(&mut stages, "storage_transform", || {
+            let transforms = p
+                .arrays()
+                .iter()
+                .enumerate()
+                .zip(aov.vectors())
+                .map(|((aidx, _), v)| StorageTransform::new(p, aov_ir::ArrayId(aidx), v))
+                .collect::<Result<Vec<_>, _>>()?;
+            let detail = transforms
+                .iter()
+                .map(|t| {
+                    Json::obj()
+                        .field("array", t.array_name())
+                        .field("dims", t.transformed_dim())
+                        .field("modulation", t.modulation())
+                })
+                .collect::<Vec<_>>();
+            Ok((transforms, Json::Arr(detail)))
+        })?;
+
+        let code = stage(&mut stages, "codegen", || {
+            let code = codegen::transformed_code(p, &transforms);
+            let detail = Json::obj().field("lines", code.lines().count());
+            Ok((code, detail))
+        })?;
+
+        let equivalent = stage(&mut stages, "equivalence", || {
+            // The AOV must work under both the dependence-only schedule
+            // and the storage-constrained one from Problem 2.
+            let under_found = semantics_preserved(p, &check_params, &sched, &transforms);
+            let under_best = semantics_preserved(p, &check_params, &sched2, &transforms);
+            let detail = Json::obj()
+                .field("under_found_schedule", under_found)
+                .field("under_best_schedule", under_best);
+            Ok((under_found && under_best, detail))
+        })?;
+
+        if self.machine {
+            self.machine_stage(&mut stages)?;
+        }
+
+        Ok(Report {
+            program: p.name().to_string(),
+            workers: self.workers,
+            memoized: self.memoize,
+            arrays: p.arrays().iter().map(|a| a.name().to_string()).collect(),
+            aov,
+            code,
+            equivalent,
+            check_params,
+            total_micros: t_start.elapsed().as_micros(),
+            stages,
+        })
+    }
+
+    /// The §6 simulated-speedup stage (Figures 15/16); a no-op detail
+    /// for programs without a machine model.
+    fn machine_stage(&self, stages: &mut Vec<StageReport>) -> Result<(), EngineError> {
+        let name = self.program.name().to_string();
+        let workers = self.workers;
+        stage(stages, "machine", move || {
+            let cfg = MachineConfig::scaled_down();
+            let procs = [1, 2, 4, 8];
+            let points: Option<Vec<SpeedupPoint>> = match name.as_str() {
+                "example2" => Some(example2_speedup_with(&cfg, 64, 64, &procs, workers)),
+                "example3" => Some(example3_speedup_with(&cfg, 12, 24, 24, &procs, workers)),
+                _ => None,
+            };
+            let detail = match &points {
+                None => Json::obj().field("simulated", false),
+                Some(pts) => Json::obj().field("simulated", true).field(
+                    "speedups",
+                    pts.iter()
+                        .map(|pt| {
+                            Json::obj()
+                                .field("procs", pt.procs)
+                                .field("original", pt.original)
+                                .field("transformed", pt.transformed)
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+            };
+            Ok(((), detail))
+        })
+    }
+
+    /// Parameter sizes for the equivalence oracle: the caller's override,
+    /// or per-example defaults compatible with each program's
+    /// `param_min` bounds.
+    fn resolved_params(&self) -> Result<Vec<i64>, EngineError> {
+        let want = self.program.params().len();
+        if let Some(ps) = &self.params {
+            if ps.len() != want {
+                return Err(EngineError::Unsupported(format!(
+                    "{} takes {} parameter(s), got {}",
+                    self.program.name(),
+                    want,
+                    ps.len()
+                )));
+            }
+            return Ok(ps.clone());
+        }
+        Ok(match self.program.name() {
+            "example3" => vec![4, 4, 4],
+            "example4" => vec![6],
+            _ => vec![8; want],
+        })
+    }
+}
+
+/// Runs `f` as the named stage: times it, captures the counter delta and
+/// appends the [`StageReport`].
+fn stage<T>(
+    stages: &mut Vec<StageReport>,
+    name: &'static str,
+    f: impl FnOnce() -> Result<(T, Json), EngineError>,
+) -> Result<T, EngineError> {
+    let before = counters::snapshot();
+    let t0 = Instant::now();
+    let (value, detail) = f()?;
+    let micros = t0.elapsed().as_micros();
+    let after = counters::snapshot();
+    stages.push(StageReport {
+        name,
+        micros,
+        counters: counters::delta(&before, &after),
+        detail,
+    });
+    Ok(value)
+}
+
+/// Shared detail payload for the occupancy-vector stages.
+fn ov_detail(p: &Program, ov: &OvResult) -> Json {
+    let vectors = p
+        .arrays()
+        .iter()
+        .zip(ov.vectors())
+        .map(|(a, v)| {
+            Json::obj().field("array", a.name()).field(
+                "vector",
+                v.components()
+                    .iter()
+                    .map(|&c| Json::Int(c))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect::<Vec<_>>();
+    Json::obj()
+        .field("objective", ov.objective())
+        .field("vectors", vectors)
+}
+
+/// Convenience: run the instrumented pipeline on a named example.
+///
+/// # Errors
+///
+/// As for [`Pipeline::run`].
+pub fn run_example(name: &str, workers: usize) -> Result<Report, EngineError> {
+    Pipeline::for_example(name)?.workers(workers).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_example_is_rejected() {
+        assert!(matches!(
+            Pipeline::for_example("example9"),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_param_count_is_rejected() {
+        let p = Pipeline::for_example("example1")
+            .unwrap()
+            .check_params(vec![5]);
+        assert!(matches!(p.run(), Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn report_json_has_stage_timings() {
+        let report = run_example("example1", 1).expect("example1 runs");
+        let json = report.to_json();
+        let Some(Json::Arr(stages)) = json.get("stages") else {
+            panic!("stages array missing");
+        };
+        assert!(
+            stages.len() >= 9,
+            "expected all stages, got {}",
+            stages.len()
+        );
+        for s in stages {
+            assert!(s.get("micros").is_some(), "stage without timing: {s:?}");
+        }
+    }
+}

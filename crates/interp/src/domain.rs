@@ -89,7 +89,12 @@ pub fn iteration_points(p: &Program, s: StmtId, params: &[i64]) -> Vec<Vec<i64>>
 
 /// Whether any writer of `array` covers `index` for the given parameters
 /// (i.e. the cell is produced by the program rather than input data).
-pub fn written_by_program(p: &Program, array: aov_ir::ArrayId, index: &[i64], params: &[i64]) -> bool {
+pub fn written_by_program(
+    p: &Program,
+    array: aov_ir::ArrayId,
+    index: &[i64],
+    params: &[i64],
+) -> bool {
     p.writers_of(array).into_iter().any(|w| {
         let st = p.statement(w);
         if st.depth() != index.len() {

@@ -66,12 +66,9 @@ mod tests {
     fn transformed_mode_collapses() {
         let p = example1();
         let a = p.array_by_name("A").unwrap();
-        let t = aov_core::transform::StorageTransform::new(
-            &p,
-            a,
-            &OccupancyVector::new(vec![0, 1]),
-        )
-        .unwrap();
+        let t =
+            aov_core::transform::StorageTransform::new(&p, a, &OccupancyVector::new(vec![0, 1]))
+                .unwrap();
         let m = StorageMode::Transformed(&t);
         assert_eq!(m.cell(&[3, 4], &[10, 10]), m.cell(&[3, 5], &[10, 10]));
         assert_ne!(m.cell(&[3, 4], &[10, 10]), m.cell(&[4, 4], &[10, 10]));

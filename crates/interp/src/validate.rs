@@ -58,9 +58,9 @@ mod tests {
         let aov = problems::aov(&p).unwrap();
         let ts = transforms_for(&p, aov.vectors());
         for theta in [
-            AffineExpr::from_i64(&[0, 1, 0, 0], 0),   // rows
-            AffineExpr::from_i64(&[1, 2, 0, 0], 0),   // skew right
-            AffineExpr::from_i64(&[-1, 3, 0, 0], 5),  // skew left + offset
+            AffineExpr::from_i64(&[0, 1, 0, 0], 0),  // rows
+            AffineExpr::from_i64(&[1, 2, 0, 0], 0),  // skew right
+            AffineExpr::from_i64(&[-1, 3, 0, 0], 5), // skew left + offset
             AffineExpr::from_i64(&[1, 3, 0, 0], 0),
         ] {
             let s = Schedule::uniform_for(&p, &[theta]);
@@ -91,8 +91,14 @@ mod tests {
         let aov = problems::aov(&p).unwrap();
         let ts = transforms_for(&p, aov.vectors());
         for (t1, t2) in [
-            (AffineExpr::from_i64(&[1, 1, 0, 0], 0), AffineExpr::from_i64(&[1, 1, 0, 0], 0)),
-            (AffineExpr::from_i64(&[2, 2, 0, 0], 0), AffineExpr::from_i64(&[2, 2, 0, 0], 1)),
+            (
+                AffineExpr::from_i64(&[1, 1, 0, 0], 0),
+                AffineExpr::from_i64(&[1, 1, 0, 0], 0),
+            ),
+            (
+                AffineExpr::from_i64(&[2, 2, 0, 0], 0),
+                AffineExpr::from_i64(&[2, 2, 0, 0], 1),
+            ),
         ] {
             let s = Schedule::uniform_for(&p, &[t1, t2]);
             assert!(aov_schedule::legal::is_legal(&p, &s));
@@ -117,7 +123,7 @@ mod tests {
     fn problem2_schedules_respect_storage_dynamically() {
         let p = example1();
         let v = OccupancyVector::new(vec![0, 2]);
-        let ts = transforms_for(&p, &[v.clone()]);
+        let ts = transforms_for(&p, std::slice::from_ref(&v));
         let sched = problems::best_schedule_for_ov(&p, &[v]).unwrap();
         assert!(semantics_preserved(&p, &[6, 6], &sched, &ts));
     }

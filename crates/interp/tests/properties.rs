@@ -9,37 +9,36 @@ use aov_interp::validate::semantics_preserved;
 use aov_ir::examples::{example1, heat1d};
 use aov_linalg::AffineExpr;
 use aov_schedule::{legal, Schedule};
-use proptest::prelude::*;
+use aov_support::{prop_assume, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    #![cases = 24, seed = 0x1A7E_0CA5]
 
     /// For Example 1's AOV (1,2): any legal random schedule plus any
     /// small problem size preserves semantics.
-    #[test]
-    fn aov_survives_random_legal_schedules(
-        a in -2i64..=2,
-        b in 1i64..=4,
-        c in -3i64..=3,
-        n in 2i64..=7,
-        m in 2i64..=7,
-    ) {
+    fn aov_survives_random_legal_schedules(g) {
+        let a = g.i64_in(-2, 2);
+        let b = g.i64_in(1, 4);
+        let c = g.i64_in(-3, 3);
+        let n = g.i64_in(2, 7);
+        let m = g.i64_in(2, 7);
         let p = example1();
         let s = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[a, b, 0, 0], c)]);
         prop_assume!(legal::is_legal(&p, &s));
         let arr = p.array_by_name("A").unwrap();
         let t = StorageTransform::new(&p, arr, &OccupancyVector::new(vec![1, 2])).unwrap();
-        prop_assert!(semantics_preserved(&p, &[n, m], &s, &[t]));
+        assert!(semantics_preserved(&p, &[n, m], &s, &[t]));
     }
 
     /// Original-storage runs are schedule-independent (single
     /// assignment): any two legal schedules give identical values.
-    #[test]
-    fn original_storage_confluence(
-        a1 in -2i64..=2, b1 in 1i64..=4,
-        a2 in -2i64..=2, b2 in 1i64..=4,
-        n in 2i64..=6, m in 2i64..=6,
-    ) {
+    fn original_storage_confluence(g) {
+        let a1 = g.i64_in(-2, 2);
+        let b1 = g.i64_in(1, 4);
+        let a2 = g.i64_in(-2, 2);
+        let b2 = g.i64_in(1, 4);
+        let n = g.i64_in(2, 6);
+        let m = g.i64_in(2, 6);
         let p = heat1d();
         let s1 = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[a1, b1, 0, 0], 0)]);
         let s2 = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[a2, b2, 0, 0], 0)]);
@@ -50,26 +49,27 @@ proptest! {
             p.arrays().iter().map(|_| StorageMode::Original).collect();
         let (v1, _) = run_scheduled(&p, &[n, m], &s1, &modes1);
         let (v2, _) = run_scheduled(&p, &[n, m], &s2, &modes2);
-        prop_assert_eq!(v1, v2);
+        assert_eq!(v1, v2);
     }
 
     /// Run statistics are structurally consistent: instance counts match
     /// the domain size; max_width * time_steps >= instances.
-    #[test]
-    fn run_stats_consistent(n in 1i64..=8, m in 1i64..=8) {
+    fn run_stats_consistent(g) {
+        let n = g.i64_in(1, 8);
+        let m = g.i64_in(1, 8);
         let p = example1();
         let s = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
         let modes: Vec<StorageMode<'_>> =
             p.arrays().iter().map(|_| StorageMode::Original).collect();
         let (vals, stats) = run_scheduled(&p, &[n, m], &s, &modes);
-        prop_assert_eq!(stats.instances, (n * m) as usize);
-        prop_assert_eq!(vals.len(), stats.instances);
-        prop_assert_eq!(stats.time_steps, m as usize);
-        prop_assert_eq!(stats.max_width, n as usize);
-        prop_assert!(stats.max_width * stats.time_steps >= stats.instances);
+        assert_eq!(stats.instances, (n * m) as usize);
+        assert_eq!(vals.len(), stats.instances);
+        assert_eq!(stats.time_steps, m as usize);
+        assert_eq!(stats.max_width, n as usize);
+        assert!(stats.max_width * stats.time_steps >= stats.instances);
         // Original storage uses exactly one cell per instance.
-        prop_assert_eq!(stats.cells_used, vec![(n * m) as usize]);
+        assert_eq!(stats.cells_used, vec![(n * m) as usize]);
         // Reference agrees with itself (determinism).
-        prop_assert_eq!(reference_values(&p, &[n, m]), reference_values(&p, &[n, m]));
+        assert_eq!(reference_values(&p, &[n, m]), reference_values(&p, &[n, m]));
     }
 }

@@ -142,12 +142,10 @@ mod tests {
         // S1 reads B[i-1][j] produced by S2; S2 reads A[i][j-1] from S1.
         assert!(deps
             .iter()
-            .any(|d| d.target == s1 && d.source == s2
-                && d.uniform_distance() == Some(vec![1, 0])));
+            .any(|d| d.target == s1 && d.source == s2 && d.uniform_distance() == Some(vec![1, 0])));
         assert!(deps
             .iter()
-            .any(|d| d.target == s2 && d.source == s1
-                && d.uniform_distance() == Some(vec![0, 1])));
+            .any(|d| d.target == s2 && d.source == s1 && d.uniform_distance() == Some(vec![0, 1])));
     }
 
     #[test]

@@ -105,10 +105,7 @@ pub fn example3() -> Program {
     let d = b.array("D", 3);
 
     // Boundary pieces: f(i, j, k).
-    let boundary_body = Expr::call(
-        "f",
-        vec![Expr::Iter(0), Expr::Iter(1), Expr::Iter(2)],
-    );
+    let boundary_body = Expr::call("f", vec![Expr::Iter(0), Expr::Iter(1), Expr::Iter(2)]);
     {
         let mut s = b.statement("S1a", &["i", "j", "k"]);
         s.bound(0, s.constant(1), s.constant(1)); // i == 1

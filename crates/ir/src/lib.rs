@@ -27,8 +27,8 @@
 //! ```
 
 pub mod analysis;
-mod expr;
 pub mod examples;
+mod expr;
 mod program;
 
 pub use expr::Expr;

@@ -184,10 +184,7 @@ impl Program {
 
     /// Looks up an array by name.
     pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
-        self.arrays
-            .iter()
-            .position(|a| a.name == name)
-            .map(ArrayId)
+        self.arrays.iter().position(|a| a.name == name).map(ArrayId)
     }
 
     /// Looks up a statement by name.
@@ -259,10 +256,7 @@ impl Program {
                 }
                 for e in &acc.index {
                     if e.dim() != s.depth() + self.num_params() {
-                        return Err(format!(
-                            "access index in {} over wrong space",
-                            s.name
-                        ));
+                        return Err(format!("access index in {} over wrong space", s.name));
                     }
                 }
             }
@@ -297,8 +291,7 @@ impl Program {
     /// domain — the set of `(i, N)` that can actually occur.
     pub fn full_domain(&self, s: StmtId) -> Polyhedron {
         let st = self.statement(s);
-        st.domain()
-            .intersect(&self.embed_param_domain(st.depth()))
+        st.domain().intersect(&self.embed_param_domain(st.depth()))
     }
 }
 
@@ -307,7 +300,11 @@ impl fmt::Display for Program {
         writeln!(f, "program {} params {:?}", self.name, self.params.names())?;
         for s in &self.statements {
             let space = s.space(&self.params);
-            writeln!(f, "  {}{:?}: writes {}", s.name, s.iters, self.arrays[s.writes.0].name)?;
+            writeln!(
+                f,
+                "  {}{:?}: writes {}",
+                s.name, s.iters, self.arrays[s.writes.0].name
+            )?;
             writeln!(f, "    domain {}", s.domain.display(&space))?;
             for (k, acc) in s.reads.iter().enumerate() {
                 let idx: Vec<String> = acc
@@ -380,7 +377,8 @@ impl ProgramBuilder {
     /// be unbounded above (handled by the ray form of Theorem 1).
     pub fn param_min<S: Into<String>>(&mut self, name: S, min: i64) -> usize {
         let k = self.param(name);
-        self.param_constraints.push(PendingParamMin { k, min }.into());
+        self.param_constraints
+            .push(PendingParamMin { k, min }.into());
         k
     }
 
@@ -458,7 +456,9 @@ struct PendingParamMin {
 impl From<PendingParamMin> for Constraint {
     fn from(p: PendingParamMin) -> Constraint {
         // x_k - min >= 0 over a space of k+1 dims; padded at build time.
-        Constraint::ge0(&AffineExpr::var(p.k + 1, p.k) - &AffineExpr::constant(p.k + 1, p.min.into()))
+        Constraint::ge0(
+            &AffineExpr::var(p.k + 1, p.k) - &AffineExpr::constant(p.k + 1, p.min.into()),
+        )
     }
 }
 

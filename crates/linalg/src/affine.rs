@@ -309,7 +309,12 @@ impl fmt::Display for DisplayExpr<'_> {
         let k = &self.expr.constant;
         if !k.is_zero() || !wrote {
             if wrote {
-                write!(f, " {} {}", if k.is_negative() { "-" } else { "+" }, k.abs())?;
+                write!(
+                    f,
+                    " {} {}",
+                    if k.is_negative() { "-" } else { "+" },
+                    k.abs()
+                )?;
             } else {
                 write!(f, "{k}")?;
             }
@@ -414,7 +419,10 @@ mod tests {
         assert_eq!((&e + &f).eval_i64(&[1, 1]), Rational::from(4));
         assert_eq!((&e - &f).eval_i64(&[1, 1]), Rational::from(4));
         assert_eq!((-&e).eval_i64(&[0, 0]), Rational::from(-3));
-        assert_eq!(e.scale(&Rational::from(2)).eval_i64(&[1, 0]), Rational::from(10));
+        assert_eq!(
+            e.scale(&Rational::from(2)).eval_i64(&[1, 0]),
+            Rational::from(10)
+        );
     }
 
     #[test]
@@ -439,10 +447,22 @@ mod tests {
     #[test]
     fn display_pretty() {
         let vs = VarSet::from_names(["i", "j"]);
-        assert_eq!(AffineExpr::from_i64(&[2, -1], 3).display(&vs).to_string(), "2*i - j + 3");
-        assert_eq!(AffineExpr::from_i64(&[0, 0], 0).display(&vs).to_string(), "0");
-        assert_eq!(AffineExpr::from_i64(&[-1, 0], 0).display(&vs).to_string(), "-i");
-        assert_eq!(AffineExpr::from_i64(&[0, 1], -2).display(&vs).to_string(), "j - 2");
+        assert_eq!(
+            AffineExpr::from_i64(&[2, -1], 3).display(&vs).to_string(),
+            "2*i - j + 3"
+        );
+        assert_eq!(
+            AffineExpr::from_i64(&[0, 0], 0).display(&vs).to_string(),
+            "0"
+        );
+        assert_eq!(
+            AffineExpr::from_i64(&[-1, 0], 0).display(&vs).to_string(),
+            "-i"
+        );
+        assert_eq!(
+            AffineExpr::from_i64(&[0, 1], -2).display(&vs).to_string(),
+            "j - 2"
+        );
     }
 
     #[test]

@@ -70,14 +70,14 @@ pub fn unimodular_completion(v: &[i64]) -> Vec<Vec<i64>> {
         // maps (w[0], w[i]) to (g, 0).
         let (a, b) = (x, y);
         let (c, d) = (-w[i] / g, w[0] / g);
-        for col in 0..n {
-            let r0 = u[0][col];
-            let ri = u[i][col];
-            u[0][col] = a
+        let (head, tail) = u.split_at_mut(1);
+        for (x0, xi) in head[0].iter_mut().zip(tail[i - 1].iter_mut()) {
+            let (r0, ri) = (*x0, *xi);
+            *x0 = a
                 .checked_mul(r0)
                 .and_then(|p| b.checked_mul(ri).and_then(|q| p.checked_add(q)))
                 .expect("unimodular completion overflow");
-            u[i][col] = c
+            *xi = c
                 .checked_mul(r0)
                 .and_then(|p| d.checked_mul(ri).and_then(|q| p.checked_add(q)))
                 .expect("unimodular completion overflow");
@@ -87,8 +87,8 @@ pub fn unimodular_completion(v: &[i64]) -> Vec<Vec<i64>> {
     }
     if w[0] < 0 {
         // Flip the first row so the image of v is +gcd.
-        for col in 0..n {
-            u[0][col] = -u[0][col];
+        for x in u[0].iter_mut() {
+            *x = -*x;
         }
     }
     u
@@ -197,7 +197,7 @@ mod tests {
         // Second row is orthogonal to (1,2) in the image sense; the
         // projected coordinate is u[1]·(i,j), a primitive normal of (1,2).
         let row = &u[1];
-        assert_eq!(row[0] * 1 + row[1] * 2, 0);
+        assert_eq!(row[0] + row[1] * 2, 0);
         assert_eq!(gcd_vec(row).abs(), 1);
     }
 

@@ -406,7 +406,9 @@ mod tests {
             assert!(m.mul_vec(v).is_zero());
         }
         // Full-rank square matrix has trivial nullspace.
-        assert!(QMatrix::from_i64(&[&[1, 0], &[0, 1]]).nullspace().is_empty());
+        assert!(QMatrix::from_i64(&[&[1, 0], &[0, 1]])
+            .nullspace()
+            .is_empty());
     }
 
     #[test]

@@ -242,14 +242,22 @@ mod tests {
         assert_eq!(&w - &v, QVector::from_i64(&[3, 3, 3]));
         assert_eq!(-&v, QVector::from_i64(&[-1, -2, -3]));
         assert_eq!(v.dot(&w), Rational::from(32));
-        assert_eq!(v.scale(&Rational::new(1, 2)), QVector::from_vec(vec![
-            Rational::new(1, 2), Rational::from(1), Rational::new(3, 2)
-        ]));
+        assert_eq!(
+            v.scale(&Rational::new(1, 2)),
+            QVector::from_vec(vec![
+                Rational::new(1, 2),
+                Rational::from(1),
+                Rational::new(3, 2)
+            ])
+        );
     }
 
     #[test]
     fn manhattan_norm() {
-        assert_eq!(QVector::from_i64(&[1, -2, 3]).manhattan(), Rational::from(6));
+        assert_eq!(
+            QVector::from_i64(&[1, -2, 3]).manhattan(),
+            Rational::from(6)
+        );
         assert_eq!(QVector::zeros(4).manhattan(), Rational::zero());
     }
 

@@ -2,74 +2,78 @@
 
 use aov_linalg::{lattice, AffineExpr, QMatrix, QVector};
 use aov_numeric::Rational;
-use proptest::prelude::*;
+use aov_support::{prop_assume, props, Rng};
 
-fn small_matrix(n: usize) -> impl Strategy<Value = QMatrix> {
-    proptest::collection::vec(proptest::collection::vec(-9i64..=9, n), n).prop_map(move |rows| {
-        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
-        QMatrix::from_i64(&refs)
-    })
+fn small_matrix(g: &mut Rng, n: usize) -> QMatrix {
+    let rows: Vec<Vec<i64>> = (0..n).map(|_| g.vec_i64(-9, 9, n)).collect();
+    let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+    QMatrix::from_i64(&refs)
 }
 
-fn small_vec(n: usize) -> impl Strategy<Value = QVector> {
-    proptest::collection::vec(-9i64..=9, n).prop_map(|v| QVector::from_i64(&v))
+fn small_vec(g: &mut Rng, n: usize) -> QVector {
+    QVector::from_i64(&g.vec_i64(-9, 9, n))
 }
 
-proptest! {
-    #[test]
-    fn solve_is_inverse_application(m in small_matrix(3), b in small_vec(3)) {
+props! {
+    #![cases = 256, seed = 0x11A1_6EB2]
+
+    fn solve_is_inverse_application(g) {
+        let m = small_matrix(g, 3);
+        let b = small_vec(g, 3);
         match m.solve(&b) {
             Some(x) => {
-                prop_assert_eq!(m.mul_vec(&x), b);
-                prop_assert!(m.inverse().is_some());
+                assert_eq!(m.mul_vec(&x), b);
+                assert!(m.inverse().is_some());
             }
-            None => prop_assert!(m.inverse().is_none()),
+            None => assert!(m.inverse().is_none()),
         }
     }
 
-    #[test]
-    fn inverse_roundtrips(m in small_matrix(3)) {
+    fn inverse_roundtrips(g) {
+        let m = small_matrix(g, 3);
         if let Some(inv) = m.inverse() {
-            prop_assert_eq!(&m * &inv, QMatrix::identity(3));
-            prop_assert_eq!(&inv * &m, QMatrix::identity(3));
+            assert_eq!(&m * &inv, QMatrix::identity(3));
+            assert_eq!(&inv * &m, QMatrix::identity(3));
         }
     }
 
-    #[test]
-    fn rank_plus_nullity(m in small_matrix(4)) {
+    fn rank_plus_nullity(g) {
+        let m = small_matrix(g, 4);
         let rank = m.rank();
         let ns = m.nullspace();
-        prop_assert_eq!(rank + ns.len(), 4);
+        assert_eq!(rank + ns.len(), 4);
         for v in &ns {
-            prop_assert!(m.mul_vec(v).is_zero());
+            assert!(m.mul_vec(v).is_zero());
         }
     }
 
-    #[test]
-    fn determinant_zero_iff_singular(m in small_matrix(3)) {
+    fn determinant_zero_iff_singular(g) {
+        let m = small_matrix(g, 3);
         let det = m.determinant();
-        prop_assert_eq!(det.is_zero(), m.inverse().is_none());
+        assert_eq!(det.is_zero(), m.inverse().is_none());
     }
 
-    #[test]
-    fn determinant_multiplicative(a in small_matrix(3), b in small_matrix(3)) {
+    fn determinant_multiplicative(g) {
+        let a = small_matrix(g, 3);
+        let b = small_matrix(g, 3);
         let prod = &a * &b;
-        prop_assert_eq!(prod.determinant(), &a.determinant() * &b.determinant());
+        assert_eq!(prod.determinant(), &a.determinant() * &b.determinant());
     }
 
-    #[test]
-    fn transpose_involution_and_rank(m in small_matrix(3)) {
-        prop_assert_eq!(m.transpose().transpose(), m.clone());
-        prop_assert_eq!(m.transpose().rank(), m.rank());
+    fn transpose_involution_and_rank(g) {
+        let m = small_matrix(g, 3);
+        assert_eq!(m.transpose().transpose(), m.clone());
+        assert_eq!(m.transpose().rank(), m.rank());
     }
 
-    #[test]
-    fn affine_substitution_is_composition(
-        fc in proptest::collection::vec(-5i64..=5, 2), f0 in -5i64..=5,
-        g1 in proptest::collection::vec(-5i64..=5, 3), c1 in -5i64..=5,
-        g2 in proptest::collection::vec(-5i64..=5, 3), c2 in -5i64..=5,
-        y in proptest::collection::vec(-5i64..=5, 3),
-    ) {
+    fn affine_substitution_is_composition(g) {
+        let fc = g.vec_i64(-5, 5, 2);
+        let f0 = g.i64_in(-5, 5);
+        let g1 = g.vec_i64(-5, 5, 3);
+        let c1 = g.i64_in(-5, 5);
+        let g2 = g.vec_i64(-5, 5, 3);
+        let c2 = g.i64_in(-5, 5);
+        let y = g.vec_i64(-5, 5, 3);
         let f = AffineExpr::from_i64(&fc, f0);
         let s1 = AffineExpr::from_i64(&g1, c1);
         let s2 = AffineExpr::from_i64(&g2, c2);
@@ -78,19 +82,20 @@ proptest! {
         let direct = &(&inner[0] * &Rational::from(fc[0])
             + &inner[1] * &Rational::from(fc[1]))
             + &Rational::from(f0);
-        prop_assert_eq!(comp.eval_i64(&y), direct);
+        assert_eq!(comp.eval_i64(&y), direct);
     }
 
-    #[test]
-    fn unimodular_completion_properties(v in proptest::collection::vec(-20i64..=20, 2..=4)) {
+    fn unimodular_completion_properties(g) {
+        let n = g.usize_in(2, 4);
+        let v = g.vec_i64(-20, 20, n);
         prop_assume!(v.iter().any(|&x| x != 0));
         let u = lattice::unimodular_completion(&v);
-        let g = lattice::gcd_vec(&v);
+        let d = lattice::gcd_vec(&v);
         let img = lattice::apply(&u, &v);
-        prop_assert_eq!(img[0], g);
+        assert_eq!(img[0], d);
         for &x in &img[1..] {
-            prop_assert_eq!(x, 0);
+            assert_eq!(x, 0);
         }
-        prop_assert_eq!(lattice::determinant(&u).abs(), 1);
+        assert_eq!(lattice::determinant(&u).abs(), 1);
     }
 }

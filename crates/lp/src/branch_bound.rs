@@ -20,6 +20,8 @@ pub(crate) fn solve(model: &Model) -> LpOutcome {
     let mut root_unbounded = false;
     while let Some(node) = stack.pop() {
         nodes += 1;
+        aov_support::static_counter!("lp.bb.nodes")
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if nodes > NODE_LIMIT {
             limit_hit = true;
             break;
@@ -49,9 +51,7 @@ pub(crate) fn solve(model: &Model) -> LpOutcome {
                     .find(|(i, &m)| m && !sol.values.as_slice()[*i].is_integer());
                 match frac {
                     None => {
-                        let better = best
-                            .as_ref()
-                            .map_or(true, |b| sol.objective < b.objective);
+                        let better = best.as_ref().is_none_or(|b| sol.objective < b.objective);
                         if better {
                             best = Some(sol);
                         }

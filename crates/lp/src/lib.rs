@@ -36,6 +36,7 @@
 //! ```
 
 mod branch_bound;
+pub mod memo;
 mod model;
 mod simplex;
 

@@ -1,0 +1,64 @@
+//! Opt-in memoization of LP solves behind a canonical-form cache.
+//!
+//! The analyses re-solve structurally identical LPs many times: the
+//! sign-pattern enumeration of the AOV problem instantiates the same
+//! Farkas system per orthant, and the exact checker probes overlapping
+//! candidate sets. A [`Model`]'s [`Display`](std::fmt::Display) output is
+//! a canonical rendering of the model (objective, constraints, bounds and
+//! integrality in declaration order), so it doubles as a cache key.
+//!
+//! The cache is process-global, thread-safe, and disabled by default so
+//! that micro-benchmarks and tests measure the real solver unless a
+//! caller (the pipeline engine) opts in with [`set_enabled`]. Hits and
+//! misses are recorded on the `lp.memo.hits` / `lp.memo.misses` counters.
+
+use crate::model::LpOutcome;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CACHE: Mutex<Option<HashMap<String, LpOutcome>>> = Mutex::new(None);
+
+/// Turns memoization on or off. Turning it off clears the cache so a
+/// later re-enable starts cold (deterministic counter deltas).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+    if !on {
+        clear();
+    }
+}
+
+/// Whether memoization is currently active.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drops every cached outcome.
+pub fn clear() {
+    *CACHE.lock().unwrap() = None;
+}
+
+/// Number of distinct canonical forms currently cached.
+pub fn len() -> usize {
+    CACHE.lock().unwrap().as_ref().map_or(0, HashMap::len)
+}
+
+pub(crate) fn lookup(key: &str) -> Option<LpOutcome> {
+    let guard = CACHE.lock().unwrap();
+    let hit = guard.as_ref().and_then(|m| m.get(key).cloned());
+    if hit.is_some() {
+        aov_support::static_counter!("lp.memo.hits").fetch_add(1, Ordering::Relaxed);
+    } else {
+        aov_support::static_counter!("lp.memo.misses").fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
+pub(crate) fn store(key: String, outcome: &LpOutcome) {
+    CACHE
+        .lock()
+        .unwrap()
+        .get_or_insert_with(HashMap::new)
+        .insert(key, outcome.clone());
+}

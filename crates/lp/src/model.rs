@@ -197,7 +197,10 @@ impl Model {
     /// Panics if `expr` has more coefficients than the model has
     /// variables.
     pub fn minimize(&mut self, expr: AffineExpr) {
-        assert!(expr.dim() <= self.num_vars(), "objective dimension mismatch");
+        assert!(
+            expr.dim() <= self.num_vars(),
+            "objective dimension mismatch"
+        );
         self.objective = Some(expr);
     }
 
@@ -258,8 +261,22 @@ impl Model {
     }
 
     /// Solves the continuous relaxation with exact two-phase simplex.
+    ///
+    /// When [`memo::set_enabled`](crate::memo::set_enabled) is on,
+    /// repeated solves of canonically identical models are served from a
+    /// process-global cache.
     pub fn solve_lp(&self) -> LpOutcome {
-        simplex::solve(self)
+        if crate::memo::enabled() {
+            let key = self.to_string();
+            if let Some(cached) = crate::memo::lookup(&key) {
+                return cached;
+            }
+            let outcome = simplex::solve(self);
+            crate::memo::store(key, &outcome);
+            outcome
+        } else {
+            simplex::solve(self)
+        }
     }
 
     /// Solves with integrality on variables marked by

@@ -109,7 +109,11 @@ pub(crate) fn standardize(model: &Model) -> Standardized {
                     -Rational::one()
                 };
                 for (rr, row) in rows.iter_mut().enumerate() {
-                    row.push(if rr == r { sign.clone() } else { Rational::zero() });
+                    row.push(if rr == r {
+                        sign.clone()
+                    } else {
+                        Rational::zero()
+                    });
                 }
                 num_cols += 1;
             }
@@ -224,7 +228,15 @@ impl Tableau {
             }
             match best {
                 None => return false, // unbounded
-                Some((_, r)) => self.pivot(r, c),
+                Some((ratio, r)) => {
+                    aov_support::static_counter!("lp.simplex.pivots")
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if ratio.is_zero() {
+                        aov_support::static_counter!("lp.simplex.degenerate_pivots")
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    self.pivot(r, c);
+                }
             }
         }
     }

@@ -3,30 +3,33 @@
 use aov_linalg::AffineExpr;
 use aov_lp::{Cmp, LpOutcome, Model};
 use aov_numeric::Rational;
-use proptest::prelude::*;
+use aov_support::{props, Rng};
 
 /// A random small LP with nonnegative vars, `<=` rows with nonnegative
 /// rhs (always feasible at 0) and a nonnegative objective — bounded.
-fn bounded_lp() -> impl Strategy<Value = (Model, Vec<Vec<i64>>, Vec<i64>, Vec<i64>)> {
-    (2usize..=4, 1usize..=4).prop_flat_map(|(nv, nc)| {
-        (
-            proptest::collection::vec(proptest::collection::vec(-5i64..=5, nv), nc),
-            proptest::collection::vec(0i64..=20, nc),
-            proptest::collection::vec(0i64..=9, nv),
-        )
-            .prop_map(move |(rows, rhs, obj)| {
-                let mut m = Model::new();
-                for i in 0..nv {
-                    m.add_nonneg_var(format!("x{i}"));
-                }
-                for (row, b) in rows.iter().zip(&rhs) {
-                    // row . x - b <= 0
-                    m.constrain(AffineExpr::from_i64(row, -b), Cmp::Le);
-                }
-                m.minimize(AffineExpr::from_i64(&obj.iter().map(|&v| -v).collect::<Vec<_>>(), 0));
-                (m, rows, rhs, obj)
-            })
-    })
+fn bounded_lp(g: &mut Rng) -> (Model, Vec<Vec<i64>>, Vec<i64>, Vec<i64>) {
+    let nv = g.usize_in(2, 4);
+    let nc = g.usize_in(1, 4);
+    let rows: Vec<Vec<i64>> = (0..nc).map(|_| g.vec_i64(-5, 5, nv)).collect();
+    let rhs = g.vec_i64(0, 20, nc);
+    let obj = g.vec_i64(0, 9, nv);
+    let mut m = Model::new();
+    for i in 0..nv {
+        m.add_nonneg_var(format!("x{i}"));
+    }
+    for (row, b) in rows.iter().zip(&rhs) {
+        // row . x - b <= 0
+        m.constrain(AffineExpr::from_i64(row, -b), Cmp::Le);
+    }
+    m.minimize(AffineExpr::from_i64(
+        &obj.iter().map(|&v| -v).collect::<Vec<_>>(),
+        0,
+    ));
+    (m, rows, rhs, obj)
+}
+
+fn sample_points(g: &mut Rng, hi: i64) -> Vec<Vec<i64>> {
+    (0..8).map(|_| g.vec_i64(0, hi, 4)).collect()
 }
 
 fn is_feasible(rows: &[Vec<i64>], rhs: &[i64], x: &[Rational]) -> bool {
@@ -40,18 +43,16 @@ fn is_feasible(rows: &[Vec<i64>], rhs: &[i64], x: &[Rational]) -> bool {
     }) && x.iter().all(|v| !v.is_negative())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![cases = 64, seed = 0x55EE_D1B5]
 
-    #[test]
-    fn lp_solution_is_feasible_and_beats_random_points(
-        (m, rows, rhs, obj) in bounded_lp(),
-        samples in proptest::collection::vec(proptest::collection::vec(0i64..=6, 4), 8),
-    ) {
+    fn lp_solution_is_feasible_and_beats_random_points(g) {
+        let (m, rows, rhs, obj) = bounded_lp(g);
+        let samples = sample_points(g, 6);
         match m.solve_lp() {
             LpOutcome::Optimal(sol) => {
                 let x = sol.values.as_slice();
-                prop_assert!(is_feasible(&rows, &rhs, x), "returned point infeasible");
+                assert!(is_feasible(&rows, &rhs, x), "returned point infeasible");
                 // Objective at solution must beat every feasible sample.
                 for s in &samples {
                     let s = &s[..rows[0].len()];
@@ -59,7 +60,7 @@ proptest! {
                     if is_feasible(&rows, &rhs, &sq) {
                         let val: Rational = s.iter().zip(&obj)
                             .map(|(&xi, &ci)| Rational::from(-ci * xi)).sum();
-                        prop_assert!(sol.objective <= val,
+                        assert!(sol.objective <= val,
                             "sample {s:?} beats 'optimal' ({} > {val})", sol.objective);
                     }
                 }
@@ -77,21 +78,19 @@ proptest! {
                     );
                     match capped.solve_lp() {
                         LpOutcome::Optimal(s) => vals.push(s.objective),
-                        other => prop_assert!(false, "capped LP reported {other:?}"),
+                        other => panic!("capped LP reported {other:?}"),
                     }
                 }
-                prop_assert!(vals[1] < vals[0],
+                assert!(vals[1] < vals[0],
                     "declared unbounded but capped optima do not improve: {vals:?}");
             }
-            other => prop_assert!(false, "LP with feasible origin reported {other:?}"),
+            other => panic!("LP with feasible origin reported {other:?}"),
         }
     }
 
-    #[test]
-    fn ilp_solution_is_integral_and_no_worse_than_integer_samples(
-        (m0, rows, rhs, obj) in bounded_lp(),
-        samples in proptest::collection::vec(proptest::collection::vec(0i64..=5, 4), 8),
-    ) {
+    fn ilp_solution_is_integral_and_no_worse_than_integer_samples(g) {
+        let (m0, rows, rhs, obj) = bounded_lp(g);
+        let samples = sample_points(g, 5);
         let mut m = m0.clone();
         let ids: Vec<_> = m.var_ids().collect();
         for &id in &ids {
@@ -100,20 +99,20 @@ proptest! {
         match m.solve_ilp() {
             LpOutcome::Optimal(sol) => {
                 let x = sol.values.as_slice();
-                prop_assert!(x.iter().all(Rational::is_integer), "non-integral ILP solution");
-                prop_assert!(is_feasible(&rows, &rhs, x));
+                assert!(x.iter().all(Rational::is_integer), "non-integral ILP solution");
+                assert!(is_feasible(&rows, &rhs, x));
                 for s in &samples {
                     let s = &s[..rows[0].len()];
                     let sq: Vec<Rational> = s.iter().map(|&v| Rational::from(v)).collect();
                     if is_feasible(&rows, &rhs, &sq) {
                         let val: Rational = s.iter().zip(&obj)
                             .map(|(&xi, &ci)| Rational::from(-ci * xi)).sum();
-                        prop_assert!(sol.objective <= val);
+                        assert!(sol.objective <= val);
                     }
                 }
             }
             LpOutcome::Unbounded => {}
-            other => prop_assert!(false, "ILP with feasible origin reported {other:?}"),
+            other => panic!("ILP with feasible origin reported {other:?}"),
         }
     }
 }

@@ -1,9 +1,7 @@
 //! Set-associative LRU caches.
 
-use serde::Serialize;
-
 /// Cache geometry.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -21,7 +19,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
@@ -139,7 +137,13 @@ mod tests {
         for off in 1..64 {
             assert!(c.access(off), "offset {off} shares the line");
         }
-        assert_eq!(c.stats(), CacheStats { hits: 63, misses: 1 });
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 63,
+                misses: 1
+            }
+        );
     }
 
     #[test]
@@ -189,7 +193,12 @@ mod tests {
     #[test]
     fn num_sets() {
         assert_eq!(
-            CacheConfig { size_bytes: 4 << 20, line_bytes: 128, associativity: 2 }.num_sets(),
+            CacheConfig {
+                size_bytes: 4 << 20,
+                line_bytes: 128,
+                associativity: 2
+            }
+            .num_sets(),
             16384
         );
     }

@@ -5,11 +5,10 @@ use crate::cache::Cache;
 use crate::layout::{Layout, ELEM_BYTES};
 use crate::parallel::{cyclic_assignment, independent_time, wavefront_time, WorkCost};
 use crate::MachineConfig;
-use serde::Serialize;
 
 /// One point of a speedup curve: speedups of the original and the
 /// transformed code over the sequential original.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupPoint {
     pub procs: usize,
     pub original: f64,
@@ -34,13 +33,7 @@ pub enum Variant {
 /// `π(S1) = i − j`, `π(S2) = i − j + 1` (Lim & Lam): each strip is a
 /// dependent chain, strips are mutually independent and assigned
 /// cyclically.
-pub fn example2_time(
-    cfg: &MachineConfig,
-    n: i64,
-    m: i64,
-    procs: usize,
-    variant: Variant,
-) -> u64 {
+pub fn example2_time(cfg: &MachineConfig, n: i64, m: i64, procs: usize, variant: Variant) -> u64 {
     let (a_layout, b_layout) = example2_layouts(n, m, variant);
     // Strips c = i − j ∈ [1−m, n−1]… every S1 instance has c ∈ [1−m, n−1].
     let strips: Vec<i64> = (1 - m..=n - 1).collect();
@@ -66,7 +59,7 @@ pub fn example2_time(
                 }
             }
             // S2(i, j+1): read A[i][j], write B[i][j+1].
-            if j + 1 <= m {
+            if j < m {
                 cost.ops += 1;
                 for addr in [a_layout.addr(&[i, j]), b_layout.addr(&[i, j + 1])] {
                     if cache.access(addr) {
@@ -86,9 +79,18 @@ pub fn example2_time(
 fn example2_layouts(n: i64, m: i64, variant: Variant) -> (Layout, Layout) {
     match variant {
         Variant::Original => {
-            let a = Layout::Original { base: 0, dims: vec![n, m] };
+            let a = Layout::Original {
+                base: 0,
+                dims: vec![n, m],
+            };
             let base = a.footprint();
-            (a, Layout::Original { base, dims: vec![n, m] })
+            (
+                a,
+                Layout::Original {
+                    base,
+                    dims: vec![n, m],
+                },
+            )
         }
         Variant::Transformed => {
             let a = Layout::DiagonalCollapse2D { base: 0, m };
@@ -100,20 +102,59 @@ fn example2_layouts(n: i64, m: i64, variant: Variant) -> (Layout, Layout) {
 
 /// Figure 15: speedup vs processors for Example 2 (both variants,
 /// relative to the sequential original).
-pub fn example2_speedup(
+pub fn example2_speedup(cfg: &MachineConfig, n: i64, m: i64, procs: &[usize]) -> Vec<SpeedupPoint> {
+    example2_speedup_with(cfg, n, m, procs, 1)
+}
+
+/// [`example2_speedup`] with the per-processor-count simulations fanned
+/// out over `workers` threads (`<= 1` means sequential). Each point is an
+/// independent deterministic simulation, so the curve is bit-identical to
+/// the sequential sweep.
+pub fn example2_speedup_with(
     cfg: &MachineConfig,
     n: i64,
     m: i64,
     procs: &[usize],
+    workers: usize,
 ) -> Vec<SpeedupPoint> {
     let baseline = example2_time(cfg, n, m, 1, Variant::Original) as f64;
-    procs
-        .iter()
-        .map(|&p| SpeedupPoint {
-            procs: p,
-            original: baseline / example2_time(cfg, n, m, p, Variant::Original) as f64,
-            transformed: baseline / example2_time(cfg, n, m, p, Variant::Transformed) as f64,
-        })
+    fan_out_points(procs, workers, &|p| SpeedupPoint {
+        procs: p,
+        original: baseline / example2_time(cfg, n, m, p, Variant::Original) as f64,
+        transformed: baseline / example2_time(cfg, n, m, p, Variant::Transformed) as f64,
+    })
+}
+
+/// Maps each processor count to its speedup point, in input order,
+/// optionally across scoped worker threads.
+fn fan_out_points(
+    procs: &[usize],
+    workers: usize,
+    point: &(dyn Fn(usize) -> SpeedupPoint + Sync),
+) -> Vec<SpeedupPoint> {
+    if workers <= 1 || procs.len() <= 1 {
+        return procs.iter().map(|&p| point(p)).collect();
+    }
+    let mut slots: Vec<Option<SpeedupPoint>> = vec![None; procs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<SpeedupPoint>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(procs.len()) {
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k >= procs.len() {
+                    break;
+                }
+                let pt = point(procs[k]);
+                **slot_refs[k].lock().unwrap() = Some(pt);
+            });
+        }
+    });
+    drop(slot_refs);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every point simulated"))
         .collect()
 }
 
@@ -134,7 +175,10 @@ pub fn example3_time(
     variant: Variant,
 ) -> u64 {
     let d_layout = match variant {
-        Variant::Original => Layout::Original { base: 0, dims: vec![x, y, z] },
+        Variant::Original => Layout::Original {
+            base: 0,
+            dims: vec![x, y, z],
+        },
         Variant::Transformed => Layout::DiagonalCollapse3D {
             base: 0,
             ymax: y,
@@ -182,7 +226,11 @@ pub fn example3_time(
                 }
             }
             let st = cache.stats();
-            let cost = WorkCost { ops, hits: st.hits, misses: st.misses };
+            let cost = WorkCost {
+                ops,
+                hits: st.hits,
+                misses: st.misses,
+            };
             row.push(cost.cycles(cfg));
         }
         blocks.push(row);
@@ -198,15 +246,25 @@ pub fn example3_speedup(
     z: i64,
     procs: &[usize],
 ) -> Vec<SpeedupPoint> {
+    example3_speedup_with(cfg, x, y, z, procs, 1)
+}
+
+/// [`example3_speedup`] with the per-processor-count simulations fanned
+/// out over `workers` threads (`<= 1` means sequential).
+pub fn example3_speedup_with(
+    cfg: &MachineConfig,
+    x: i64,
+    y: i64,
+    z: i64,
+    procs: &[usize],
+    workers: usize,
+) -> Vec<SpeedupPoint> {
     let baseline = example3_time(cfg, x, y, z, 1, Variant::Original) as f64;
-    procs
-        .iter()
-        .map(|&p| SpeedupPoint {
-            procs: p,
-            original: baseline / example3_time(cfg, x, y, z, p, Variant::Original) as f64,
-            transformed: baseline / example3_time(cfg, x, y, z, p, Variant::Transformed) as f64,
-        })
-        .collect()
+    fan_out_points(procs, workers, &|p| SpeedupPoint {
+        procs: p,
+        original: baseline / example3_time(cfg, x, y, z, p, Variant::Original) as f64,
+        transformed: baseline / example3_time(cfg, x, y, z, p, Variant::Transformed) as f64,
+    })
 }
 
 #[cfg(test)]
@@ -261,7 +319,10 @@ mod tests {
         let cfg = cfg();
         let t_orig = example2_time(&cfg, 96, 96, 1, Variant::Original);
         let t_trans = example2_time(&cfg, 96, 96, 1, Variant::Transformed);
-        assert!(t_trans < t_orig, "transformed {t_trans} vs original {t_orig}");
+        assert!(
+            t_trans < t_orig,
+            "transformed {t_trans} vs original {t_orig}"
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@ pub enum Layout {
     DiagonalCollapse2D { base: i64, m: i64 },
     /// Example 3 transformed: `D[i−j+ymax][i−k+zmax]`
     /// (2-d of extents (x+y−1) × (x+z−1)).
-    DiagonalCollapse3D { base: i64, ymax: i64, zmax: i64, xmax: i64 },
+    DiagonalCollapse3D {
+        base: i64,
+        ymax: i64,
+        zmax: i64,
+        xmax: i64,
+    },
 }
 
 impl Layout {
@@ -36,11 +41,20 @@ impl Layout {
                 base + off * ELEM_BYTES
             }
             Layout::DiagonalCollapse2D { base, m } => {
-                let [i, j] = idx else { panic!("2-d index expected") };
+                let [i, j] = idx else {
+                    panic!("2-d index expected")
+                };
                 base + (i - j + m) * ELEM_BYTES
             }
-            Layout::DiagonalCollapse3D { base, ymax, zmax, xmax } => {
-                let [i, j, k] = idx else { panic!("3-d index expected") };
+            Layout::DiagonalCollapse3D {
+                base,
+                ymax,
+                zmax,
+                xmax,
+            } => {
+                let [i, j, k] = idx else {
+                    panic!("3-d index expected")
+                };
                 let r = i - j + ymax; // in [1, xmax + ymax - 1]
                 let c = i - k + zmax;
                 base + (r * (xmax + zmax) + c) * ELEM_BYTES
@@ -58,9 +72,9 @@ impl Layout {
                 // generous bound of 4m for placement.
                 4 * m * ELEM_BYTES
             }
-            Layout::DiagonalCollapse3D { ymax, zmax, xmax, .. } => {
-                (xmax + ymax) * (xmax + zmax) * ELEM_BYTES
-            }
+            Layout::DiagonalCollapse3D {
+                ymax, zmax, xmax, ..
+            } => (xmax + ymax) * (xmax + zmax) * ELEM_BYTES,
         }
     }
 }
@@ -71,7 +85,10 @@ mod tests {
 
     #[test]
     fn original_row_major() {
-        let l = Layout::Original { base: 0, dims: vec![4, 5] };
+        let l = Layout::Original {
+            base: 0,
+            dims: vec![4, 5],
+        };
         assert_eq!(l.addr(&[1, 1]), 0);
         assert_eq!(l.addr(&[1, 2]), 8);
         assert_eq!(l.addr(&[2, 1]), 5 * 8);
@@ -87,7 +104,12 @@ mod tests {
 
     #[test]
     fn diagonal_3d_collapses_along_1_1_1() {
-        let l = Layout::DiagonalCollapse3D { base: 0, ymax: 8, zmax: 8, xmax: 8 };
+        let l = Layout::DiagonalCollapse3D {
+            base: 0,
+            ymax: 8,
+            zmax: 8,
+            xmax: 8,
+        };
         assert_eq!(l.addr(&[2, 3, 4]), l.addr(&[3, 4, 5]));
         assert_ne!(l.addr(&[2, 3, 4]), l.addr(&[2, 4, 4]));
         assert_ne!(l.addr(&[2, 3, 4]), l.addr(&[2, 3, 5]));
@@ -95,8 +117,14 @@ mod tests {
 
     #[test]
     fn distinct_bases_do_not_collide() {
-        let a = Layout::Original { base: 0, dims: vec![10, 10] };
-        let b = Layout::Original { base: a.footprint(), dims: vec![10, 10] };
+        let a = Layout::Original {
+            base: 0,
+            dims: vec![10, 10],
+        };
+        let b = Layout::Original {
+            base: a.footprint(),
+            dims: vec![10, 10],
+        };
         assert_ne!(a.addr(&[10, 10]), b.addr(&[1, 1]));
     }
 }

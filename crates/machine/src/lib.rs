@@ -41,7 +41,7 @@ pub mod parallel;
 pub use cache::{Cache, CacheConfig, CacheStats};
 
 /// Timing and topology parameters of the simulated machine.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Per-processor cache geometry.
     pub cache: CacheConfig,

@@ -87,7 +87,11 @@ mod tests {
 
     #[test]
     fn work_cost_cycles() {
-        let c = WorkCost { ops: 10, hits: 5, misses: 2 };
+        let c = WorkCost {
+            ops: 10,
+            hits: 5,
+            misses: 2,
+        };
         let cfg = cfg();
         assert_eq!(
             c.cycles(&cfg),
@@ -108,12 +112,24 @@ mod tests {
     #[test]
     fn independent_time_bounded_by_slowest_and_bus() {
         let cfg = cfg();
-        let fast = WorkCost { ops: 10, hits: 0, misses: 0 };
-        let slow = WorkCost { ops: 1000, hits: 0, misses: 0 };
+        let fast = WorkCost {
+            ops: 10,
+            hits: 0,
+            misses: 0,
+        };
+        let slow = WorkCost {
+            ops: 1000,
+            hits: 0,
+            misses: 0,
+        };
         let t = independent_time(&cfg, &[fast, slow]);
         assert!(t >= slow.cycles(&cfg));
         // Bus-bound case.
-        let missy = WorkCost { ops: 1, hits: 0, misses: 100_000 };
+        let missy = WorkCost {
+            ops: 1,
+            hits: 0,
+            misses: 100_000,
+        };
         let t2 = independent_time(&cfg, &[missy, missy]);
         assert!(t2 >= 200_000 * cfg.bus_cost);
     }
@@ -128,7 +144,11 @@ mod tests {
 
     #[test]
     fn wavefront_pipelines_across_panels() {
-        let cfg = MachineConfig { sync_cost: 0, proc_overhead: 0, ..cfg() };
+        let cfg = MachineConfig {
+            sync_cost: 0,
+            proc_overhead: 0,
+            ..cfg()
+        };
         // 4 stages × 2 panels of unit blocks: pipeline fills in
         // stages + panels − 1 = 5 steps.
         let blocks = vec![vec![1, 1]; 4];

@@ -234,9 +234,9 @@ fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
+    for (i, &limb) in long.iter().enumerate() {
         let s = short.get(i).copied().unwrap_or(0);
-        let (v1, c1) = long[i].overflowing_add(s);
+        let (v1, c1) = limb.overflowing_add(s);
         let (v2, c2) = v1.overflowing_add(carry);
         out.push(v2);
         carry = (c1 as u64) + (c2 as u64);
@@ -252,9 +252,9 @@ fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
     debug_assert!(cmp_mag(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0u64;
-    for i in 0..a.len() {
+    for (i, &limb) in a.iter().enumerate() {
         let s = b.get(i).copied().unwrap_or(0);
-        let (v1, b1) = a[i].overflowing_sub(s);
+        let (v1, b1) = limb.overflowing_sub(s);
         let (v2, b2) = v1.overflowing_sub(borrow);
         out.push(v2);
         borrow = (b1 as u64) + (b2 as u64);
@@ -509,9 +509,7 @@ impl Add<&BigInt> for &BigInt {
         } else {
             match cmp_mag(&self.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_sign_mag(self.sign, sub_mag(&self.mag, &rhs.mag))
-                }
+                Ordering::Greater => BigInt::from_sign_mag(self.sign, sub_mag(&self.mag, &rhs.mag)),
                 Ordering::Less => BigInt::from_sign_mag(rhs.sign, sub_mag(&rhs.mag, &self.mag)),
             }
         }
@@ -797,7 +795,10 @@ mod tests {
         assert_eq!(bi(2).pow(10), bi(1024));
         assert_eq!(bi(10).pow(0), bi(1));
         assert_eq!(bi(-3).pow(3), bi(-27));
-        assert_eq!(bi(2).pow(128).to_string(), "340282366920938463463374607431768211456");
+        assert_eq!(
+            bi(2).pow(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
     }
 
     #[test]

@@ -106,7 +106,9 @@ mod tests {
         for a in -30i64..=30 {
             for b in -30i64..=30 {
                 assert_eq!(
-                    gcd_big(&BigInt::from(a), &BigInt::from(b)).to_i64().unwrap(),
+                    gcd_big(&BigInt::from(a), &BigInt::from(b))
+                        .to_i64()
+                        .unwrap(),
                     gcd(a, b),
                     "gcd({a},{b})"
                 );

@@ -2,114 +2,115 @@
 //! with i128 reference arithmetic on small values.
 
 use aov_numeric::{extended_gcd, gcd, gcd_big, BigInt, Rational};
-use proptest::prelude::*;
+use aov_support::{props, Rng};
 
-fn bigint_strategy() -> impl Strategy<Value = BigInt> {
-    // Mix small values with multi-limb magnitudes.
-    prop_oneof![
-        any::<i64>().prop_map(BigInt::from),
-        (any::<i128>(), any::<u64>()).prop_map(|(a, b)| BigInt::from(a) * BigInt::from(b)),
-        (any::<i128>(), any::<i128>())
-            .prop_map(|(a, b)| BigInt::from(a) * BigInt::from(b) + BigInt::from(a)),
-    ]
+/// Mixes small values with multi-limb magnitudes.
+fn bigint(g: &mut Rng) -> BigInt {
+    match g.usize_in(0, 2) {
+        0 => BigInt::from(g.i64_any()),
+        1 => BigInt::from(g.i128_any()) * BigInt::from(g.next_u64() as i64),
+        _ => {
+            let (a, b) = (g.i128_any(), g.i128_any());
+            BigInt::from(a) * BigInt::from(b) + BigInt::from(a)
+        }
+    }
 }
 
-fn rational_strategy() -> impl Strategy<Value = Rational> {
-    (any::<i64>(), 1i64..=1_000_000).prop_map(|(n, d)| Rational::new(n, d))
+fn rational(g: &mut Rng) -> Rational {
+    Rational::new(g.i64_any(), g.i64_in(1, 1_000_000))
 }
 
-proptest! {
-    #[test]
-    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+props! {
+    #![cases = 256, seed = 0x00B1_65EE]
+
+    fn bigint_add_matches_i128(g) {
+        let (a, b) = (g.i64_any(), g.i64_any());
         let sum = BigInt::from(a) + BigInt::from(b);
-        prop_assert_eq!(sum.to_i128(), Some(a as i128 + b as i128));
+        assert_eq!(sum.to_i128(), Some(a as i128 + b as i128));
     }
 
-    #[test]
-    fn bigint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+    fn bigint_mul_matches_i128(g) {
+        let (a, b) = (g.i64_any(), g.i64_any());
         let prod = BigInt::from(a) * BigInt::from(b);
-        prop_assert_eq!(prod.to_i128(), Some(a as i128 * b as i128));
+        assert_eq!(prod.to_i128(), Some(a as i128 * b as i128));
     }
 
-    #[test]
-    fn bigint_div_rem_invariant(a in bigint_strategy(), b in bigint_strategy()) {
-        prop_assume!(!b.is_zero());
+    fn bigint_div_rem_invariant(g) {
+        let a = bigint(g);
+        let b = bigint(g);
+        aov_support::prop_assume!(!b.is_zero());
         let (q, r) = a.div_rem(&b);
-        prop_assert_eq!(&q * &b + &r, a.clone());
-        prop_assert!(r.abs() < b.abs());
+        assert_eq!(&q * &b + &r, a.clone());
+        assert!(r.abs() < b.abs());
         // Remainder has the sign of the dividend (or is zero).
-        prop_assert!(r.is_zero() || r.signum() == a.signum());
+        assert!(r.is_zero() || r.signum() == a.signum());
     }
 
-    #[test]
-    fn bigint_add_commutes_and_associates(
-        a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()
-    ) {
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    fn bigint_add_commutes_and_associates(g) {
+        let (a, b, c) = (bigint(g), bigint(g), bigint(g));
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!((&a + &b) + &c, &a + (&b + &c));
     }
 
-    #[test]
-    fn bigint_mul_distributes(a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()) {
-        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+    fn bigint_mul_distributes(g) {
+        let (a, b, c) = (bigint(g), bigint(g), bigint(g));
+        assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
     }
 
-    #[test]
-    fn bigint_display_parse_roundtrip(a in bigint_strategy()) {
+    fn bigint_display_parse_roundtrip(g) {
+        let a = bigint(g);
         let s = a.to_string();
-        prop_assert_eq!(s.parse::<BigInt>().unwrap(), a);
+        assert_eq!(s.parse::<BigInt>().unwrap(), a);
     }
 
-    #[test]
-    fn bigint_ordering_consistent_with_subtraction(a in bigint_strategy(), b in bigint_strategy()) {
+    fn bigint_ordering_consistent_with_subtraction(g) {
+        let (a, b) = (bigint(g), bigint(g));
         let diff = &a - &b;
-        prop_assert_eq!(a.cmp(&b), diff.cmp(&BigInt::zero()));
+        assert_eq!(a.cmp(&b), diff.cmp(&BigInt::zero()));
     }
 
-    #[test]
-    fn gcd_divides_both(a in any::<i32>(), b in any::<i32>()) {
-        let (a, b) = (a as i64, b as i64);
-        let g = gcd(a, b);
-        if g != 0 {
-            prop_assert_eq!(a % g, 0);
-            prop_assert_eq!(b % g, 0);
+    fn gcd_divides_both(g) {
+        let (a, b) = (i64::from(g.i32_any()), i64::from(g.i32_any()));
+        let d = gcd(a, b);
+        if d != 0 {
+            assert_eq!(a % d, 0);
+            assert_eq!(b % d, 0);
         } else {
-            prop_assert_eq!((a, b), (0, 0));
+            assert_eq!((a, b), (0, 0));
         }
-        prop_assert_eq!(gcd_big(&BigInt::from(a), &BigInt::from(b)).to_i64(), Some(g));
+        assert_eq!(gcd_big(&BigInt::from(a), &BigInt::from(b)).to_i64(), Some(d));
     }
 
-    #[test]
-    fn extended_gcd_is_bezout(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
-        let (g, x, y) = extended_gcd(a, b);
-        prop_assert_eq!(g, gcd(a, b));
-        prop_assert_eq!(a * x + b * y, g);
+    fn extended_gcd_is_bezout(g) {
+        let a = g.i64_in(-1_000_000, 999_999);
+        let b = g.i64_in(-1_000_000, 999_999);
+        let (d, x, y) = extended_gcd(a, b);
+        assert_eq!(d, gcd(a, b));
+        assert_eq!(a * x + b * y, d);
     }
 
-    #[test]
-    fn rational_field_axioms(a in rational_strategy(), b in rational_strategy(), c in rational_strategy()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
-        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
-        prop_assert_eq!(&a + Rational::zero(), a.clone());
-        prop_assert_eq!(&a * Rational::one(), a.clone());
+    fn rational_field_axioms(g) {
+        let (a, b, c) = (rational(g), rational(g), rational(g));
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+        assert_eq!(&a + Rational::zero(), a.clone());
+        assert_eq!(&a * Rational::one(), a.clone());
         if !a.is_zero() {
-            prop_assert_eq!(&a * a.recip(), Rational::one());
+            assert_eq!(&a * a.recip(), Rational::one());
         }
     }
 
-    #[test]
-    fn rational_order_translation_invariant(
-        a in rational_strategy(), b in rational_strategy(), c in rational_strategy()
-    ) {
-        prop_assert_eq!(a.cmp(&b), (&a + &c).cmp(&(&b + &c)));
+    fn rational_order_translation_invariant(g) {
+        let (a, b, c) = (rational(g), rational(g), rational(g));
+        assert_eq!(a.cmp(&b), (&a + &c).cmp(&(&b + &c)));
     }
 
-    #[test]
-    fn rational_floor_ceil_bracket(a in rational_strategy()) {
+    fn rational_floor_ceil_bracket(g) {
+        let a = rational(g);
         let f = Rational::from(a.floor());
         let c = Rational::from(a.ceil());
-        prop_assert!(f <= a && a <= c);
-        prop_assert!(&c - &f <= Rational::one());
+        assert!(f <= a && a <= c);
+        assert!(&c - &f <= Rational::one());
     }
 }

@@ -60,7 +60,11 @@ fn normalize(v: &QVector) -> QVector {
     }
     let ints: Vec<BigInt> = v
         .iter()
-        .map(|c| (c * &Rational::from(l.clone())).to_integer().expect("cleared"))
+        .map(|c| {
+            (c * &Rational::from(l.clone()))
+                .to_integer()
+                .expect("cleared")
+        })
         .collect();
     let mut g = BigInt::zero();
     for x in &ints {
@@ -69,9 +73,7 @@ fn normalize(v: &QVector) -> QVector {
     if g.is_zero() {
         return v.clone();
     }
-    ints.into_iter()
-        .map(|x| Rational::from(&x / &g))
-        .collect()
+    ints.into_iter().map(|x| Rational::from(&x / &g)).collect()
 }
 
 /// Computes the generators of `p`.
@@ -211,6 +213,11 @@ pub(crate) fn generators(p: &Polyhedron) -> GeneratorSet {
             }
         }
     }
+    use std::sync::atomic::Ordering::Relaxed;
+    aov_support::static_counter!("polyhedra.dd.conversions").fetch_add(1, Relaxed);
+    aov_support::static_counter!("polyhedra.dd.vertices")
+        .fetch_add(out.vertices.len() as u64, Relaxed);
+    aov_support::static_counter!("polyhedra.dd.rays").fetch_add(out.rays.len() as u64, Relaxed);
     out
 }
 
@@ -269,7 +276,12 @@ mod tests {
     fn unit_square() {
         let p = Polyhedron::from_constraints(
             2,
-            vec![ge(&[1, 0], 0), ge(&[0, 1], 0), ge(&[-1, 0], 1), ge(&[0, -1], 1)],
+            vec![
+                ge(&[1, 0], 0),
+                ge(&[0, 1], 0),
+                ge(&[-1, 0], 1),
+                ge(&[0, -1], 1),
+            ],
         );
         let g = p.generators();
         assert!(g.is_bounded());
@@ -282,15 +294,10 @@ mod tests {
     #[test]
     fn triangle_with_rational_vertex() {
         // x >= 0, y >= 0, 2x + 3y <= 1 -> vertices (0,0), (1/2,0), (0,1/3).
-        let p = Polyhedron::from_constraints(
-            2,
-            vec![ge(&[1, 0], 0), ge(&[0, 1], 0), ge(&[-2, -3], 1)],
-        );
+        let p =
+            Polyhedron::from_constraints(2, vec![ge(&[1, 0], 0), ge(&[0, 1], 0), ge(&[-2, -3], 1)]);
         let g = p.generators();
-        assert_eq!(
-            sorted(&g.vertices),
-            vec!["(0, 0)", "(0, 1/3)", "(1/2, 0)"]
-        );
+        assert_eq!(sorted(&g.vertices), vec!["(0, 0)", "(0, 1/3)", "(1/2, 0)"]);
     }
 
     #[test]
@@ -301,7 +308,9 @@ mod tests {
         assert_eq!(g.rays.len(), 1);
         assert_eq!(g.lines.len(), 1);
         assert_eq!(g.rays[0], QVector::from_i64(&[1, 0]));
-        assert!(g.lines[0] == QVector::from_i64(&[0, 1]) || g.lines[0] == QVector::from_i64(&[0, -1]));
+        assert!(
+            g.lines[0] == QVector::from_i64(&[0, 1]) || g.lines[0] == QVector::from_i64(&[0, -1])
+        );
     }
 
     #[test]
@@ -368,10 +377,7 @@ mod tests {
             ],
         );
         let g = p.generators();
-        assert_eq!(
-            sorted(&g.vertices),
-            vec!["(0, 0)", "(0, 1)", "(1, 0)"]
-        );
+        assert_eq!(sorted(&g.vertices), vec!["(0, 0)", "(0, 1)", "(1, 0)"]);
     }
 
     /// Brute-force vertex enumeration for bounded polytopes: solve every
@@ -387,10 +393,7 @@ mod tests {
             // Solve the subset `idx`.
             let rows: Vec<QVector> = idx.iter().map(|&i| cs[i].expr().coeffs().clone()).collect();
             let m = QMatrix::from_rows(rows);
-            let b: QVector = idx
-                .iter()
-                .map(|&i| -cs[i].expr().constant_term())
-                .collect();
+            let b: QVector = idx.iter().map(|&i| -cs[i].expr().constant_term()).collect();
             if let Some(x) = m.solve(&b) {
                 if p.contains(&x) && !found.contains(&x) {
                     found.push(x);
@@ -416,10 +419,9 @@ mod tests {
 
     #[test]
     fn dd_matches_brute_force_on_random_polytopes() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = aov_support::Rng::new(7);
         for _case in 0..40 {
-            let d = rng.gen_range(2..=3);
+            let d = rng.usize_in(2, 3);
             // Random cuts plus a bounding box to keep it a polytope.
             let mut cs = Vec::new();
             for k in 0..d {
@@ -430,9 +432,9 @@ mod tests {
                 hi[k] = -1;
                 cs.push(ge(&hi, 5));
             }
-            for _ in 0..rng.gen_range(1..=3) {
-                let coeffs: Vec<i64> = (0..d).map(|_| rng.gen_range(-3..=3)).collect();
-                let c = rng.gen_range(-4..=6);
+            for _ in 0..rng.usize_in(1, 3) {
+                let coeffs = rng.vec_i64(-3, 3, d);
+                let c = rng.i64_in(-4, 6);
                 cs.push(ge(&coeffs, c));
             }
             let p = Polyhedron::from_constraints(d, cs);

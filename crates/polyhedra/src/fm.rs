@@ -7,6 +7,8 @@ use aov_numeric::Rational;
 /// Eliminates dimension `k`; see [`Polyhedron::eliminate_dim`].
 pub(crate) fn eliminate_dim(p: &Polyhedron, k: usize) -> Polyhedron {
     assert!(k < p.dim(), "eliminating dimension {k} of {}", p.dim());
+    aov_support::static_counter!("polyhedra.fm.eliminations")
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let dim = p.dim();
 
     // If an equality mentions x_k, substitute it away.
@@ -61,7 +63,7 @@ pub(crate) fn eliminate_dim(p: &Polyhedron, k: usize) -> Polyhedron {
         for hi in &upper {
             let cl = lo.expr().coeff(k).clone(); // > 0
             let cu = hi.expr().coeff(k).clone(); // < 0
-            // (-cu)·lo + cl·hi eliminates x_k and stays >= 0.
+                                                 // (-cu)·lo + cl·hi eliminates x_k and stays >= 0.
             let combined = &lo.expr().scale(&-&cu) + &hi.expr().scale(&cl);
             debug_assert!(combined.coeff(k).is_zero());
             keep.push(Constraint::ge0(drop_dim(&combined, k)));
@@ -115,7 +117,12 @@ mod tests {
         // 0 <= x <= 2, 1 <= y <= 3; eliminate y -> 0 <= x <= 2.
         let p = Polyhedron::from_constraints(
             2,
-            vec![ge(&[1, 0], 0), ge(&[-1, 0], 2), ge(&[0, 1], -1), ge(&[0, -1], 3)],
+            vec![
+                ge(&[1, 0], 0),
+                ge(&[-1, 0], 2),
+                ge(&[0, 1], -1),
+                ge(&[0, -1], 3),
+            ],
         );
         let q = p.eliminate_dim(1);
         assert_eq!(q.dim(), 1);
@@ -131,8 +138,8 @@ mod tests {
         let p = Polyhedron::from_constraints(
             2,
             vec![
-                ge(&[1, -1], 0),  // x - y >= 0
-                ge(&[-1, 1], 1),  // y + 1 - x >= 0
+                ge(&[1, -1], 0), // x - y >= 0
+                ge(&[-1, 1], 1), // y + 1 - x >= 0
                 ge(&[0, 1], 0),
                 ge(&[0, -1], 5),
             ],
@@ -194,7 +201,12 @@ mod tests {
         // For points in P, their projection must lie in the shadow.
         let p = Polyhedron::from_constraints(
             2,
-            vec![ge(&[2, 1], -2), ge(&[-1, 1], 3), ge(&[0, -1], 4), ge(&[1, 0], 5)],
+            vec![
+                ge(&[2, 1], -2),
+                ge(&[-1, 1], 3),
+                ge(&[0, -1], 4),
+                ge(&[1, 0], 5),
+            ],
         );
         let q = p.eliminate_dim(1);
         for x in -10..=10 {

@@ -11,7 +11,7 @@
 //! affine function of the parameters) and recursively split the parameter
 //! domain into *chambers* on which the vertex set is uniform.
 
-use crate::{Constraint, ConstraintKind, Polyhedron, PolyhedraError};
+use crate::{Constraint, ConstraintKind, PolyhedraError, Polyhedron};
 use aov_linalg::{AffineExpr, QMatrix, QVector};
 use aov_numeric::Rational;
 
@@ -304,6 +304,8 @@ fn split(
                 // Both halves are strictly smaller (the condition changes
                 // sign on the interior), and in each half this condition
                 // resolves to Always / Never / BoundaryOnly.
+                aov_support::static_counter!("polyhedra.param.chamber_splits")
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let mut lo = domain.clone();
                 lo.add_constraint(Constraint::ge0(cond.clone()));
                 let mut hi = domain;
@@ -351,10 +353,10 @@ mod tests {
         let system = Polyhedron::from_constraints(
             4,
             vec![
-                ge(&[1, 0, 0, 0], -1),  // i >= 1
-                ge(&[-1, 0, 1, 0], 0),  // i <= n
-                ge(&[0, 1, 0, 0], -1),  // j >= 1
-                ge(&[0, -1, 0, 1], 0),  // j <= m
+                ge(&[1, 0, 0, 0], -1), // i >= 1
+                ge(&[-1, 0, 1, 0], 0), // i <= n
+                ge(&[0, 1, 0, 0], -1), // j >= 1
+                ge(&[0, -1, 0, 1], 0), // j <= m
             ],
         );
         let params = Polyhedron::from_constraints(2, vec![ge(&[1, 0], -1), ge(&[0, 1], -1)]);
@@ -376,9 +378,9 @@ mod tests {
         let system = Polyhedron::from_constraints(
             3,
             vec![
-                ge(&[1, 0, 0], -1),  // i >= 1
-                ge(&[-1, 1, 0], 0),  // j >= i
-                ge(&[0, -1, 1], 0),  // j <= n
+                ge(&[1, 0, 0], -1), // i >= 1
+                ge(&[-1, 1, 0], 0), // j >= i
+                ge(&[0, -1, 1], 0), // j <= n
             ],
         );
         let params = Polyhedron::from_constraints(1, vec![ge(&[1], -1)]);
@@ -402,9 +404,9 @@ mod tests {
         let system = Polyhedron::from_constraints(
             2,
             vec![
-                ge(&[1, 0], 0),   // i >= 0
-                ge(&[-1, 1], 0),  // i <= p
-                ge(&[-1, 0], 3),  // i <= 3
+                ge(&[1, 0], 0),  // i >= 0
+                ge(&[-1, 1], 0), // i <= p
+                ge(&[-1, 0], 3), // i <= 3
             ],
         );
         let params = Polyhedron::from_constraints(1, vec![ge(&[1], 0)]);
@@ -445,10 +447,7 @@ mod tests {
     #[test]
     fn empty_polytope_yields_empty_vertex_set() {
         // 1 <= i <= 0: empty for every parameter value.
-        let system = Polyhedron::from_constraints(
-            2,
-            vec![ge(&[1, 0], -1), ge(&[-1, 0], 0)],
-        );
+        let system = Polyhedron::from_constraints(2, vec![ge(&[1, 0], -1), ge(&[-1, 0], 0)]);
         let params = Polyhedron::universe(1);
         let chambers = parameterized_vertices(&system, 1, &params).unwrap();
         for ch in &chambers {
@@ -478,8 +477,7 @@ mod tests {
                 if !ch.domain.contains(&pt) {
                     continue;
                 }
-                let mut got: Vec<QVector> =
-                    ch.vertices.iter().map(|v| v.eval(&pt)).collect();
+                let mut got: Vec<QVector> = ch.vertices.iter().map(|v| v.eval(&pt)).collect();
                 got.dedup();
                 assert_eq!(got, vec![QVector::from_i64(&[p])], "p = {p}");
             }

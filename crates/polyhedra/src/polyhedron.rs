@@ -262,9 +262,7 @@ impl Polyhedron {
         assert_eq!(self.dim, other.dim, "subset dimension mismatch");
         other.constraints.iter().all(|c| match c.kind() {
             ConstraintKind::Ineq => self.implies_nonneg(c.expr()),
-            ConstraintKind::Eq => {
-                self.implies_nonneg(c.expr()) && self.implies_nonneg(&-c.expr())
-            }
+            ConstraintKind::Eq => self.implies_nonneg(c.expr()) && self.implies_nonneg(&-c.expr()),
         })
     }
 
@@ -319,8 +317,16 @@ mod tests {
         let square = Polyhedron::from_bounds(
             2,
             &[
-                (0, AffineExpr::constant(2, 0.into()), AffineExpr::constant(2, 2.into())),
-                (1, AffineExpr::constant(2, 0.into()), AffineExpr::constant(2, 2.into())),
+                (
+                    0,
+                    AffineExpr::constant(2, 0.into()),
+                    AffineExpr::constant(2, 2.into()),
+                ),
+                (
+                    1,
+                    AffineExpr::constant(2, 0.into()),
+                    AffineExpr::constant(2, 2.into()),
+                ),
             ],
         );
         assert!(square.contains(&QVector::from_i64(&[1, 1])));

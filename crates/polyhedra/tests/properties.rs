@@ -5,30 +5,26 @@
 use aov_linalg::{AffineExpr, QVector};
 use aov_numeric::Rational;
 use aov_polyhedra::{Constraint, Polyhedron};
-use proptest::prelude::*;
+use aov_support::{props, Rng};
 
 /// A random polytope: a box `[-4, 4]^d` intersected with random cuts
 /// (always bounded, possibly empty).
-fn boxed_polytope(d: usize) -> impl Strategy<Value = Polyhedron> {
-    proptest::collection::vec(
-        (proptest::collection::vec(-3i64..=3, d), -5i64..=6),
-        0..=4,
-    )
-    .prop_map(move |cuts| {
-        let mut cs = Vec::new();
-        for k in 0..d {
-            let mut lo = vec![0i64; d];
-            lo[k] = 1;
-            cs.push(Constraint::ge0(AffineExpr::from_i64(&lo, 4)));
-            let mut hi = vec![0i64; d];
-            hi[k] = -1;
-            cs.push(Constraint::ge0(AffineExpr::from_i64(&hi, 4)));
-        }
-        for (coeffs, c) in cuts {
-            cs.push(Constraint::ge0(AffineExpr::from_i64(&coeffs, c)));
-        }
-        Polyhedron::from_constraints(d, cs)
-    })
+fn boxed_polytope(g: &mut Rng, d: usize) -> Polyhedron {
+    let mut cs = Vec::new();
+    for k in 0..d {
+        let mut lo = vec![0i64; d];
+        lo[k] = 1;
+        cs.push(Constraint::ge0(AffineExpr::from_i64(&lo, 4)));
+        let mut hi = vec![0i64; d];
+        hi[k] = -1;
+        cs.push(Constraint::ge0(AffineExpr::from_i64(&hi, 4)));
+    }
+    for _ in 0..g.usize_in(0, 4) {
+        let coeffs = g.vec_i64(-3, 3, d);
+        let c = g.i64_in(-5, 6);
+        cs.push(Constraint::ge0(AffineExpr::from_i64(&coeffs, c)));
+    }
+    Polyhedron::from_constraints(d, cs)
 }
 
 fn integer_points(p: &Polyhedron, d: usize) -> Vec<Vec<i64>> {
@@ -55,33 +51,33 @@ fn integer_points(p: &Polyhedron, d: usize) -> Vec<Vec<i64>> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    #![cases = 48, seed = 0xDD17_0B2E]
 
     /// Every DD vertex satisfies all constraints, and emptiness agrees
     /// with the LP test.
-    #[test]
-    fn dd_vertices_feasible_and_emptiness_agrees(p in boxed_polytope(2)) {
+    fn dd_vertices_feasible_and_emptiness_agrees(g) {
+        let p = boxed_polytope(g, 2);
         let gens = p.generators();
-        prop_assert!(gens.is_bounded(), "boxed polytopes have no rays");
-        prop_assert_eq!(gens.is_empty(), p.is_empty());
+        assert!(gens.is_bounded(), "boxed polytopes have no rays");
+        assert_eq!(gens.is_empty(), p.is_empty());
         for v in &gens.vertices {
-            prop_assert!(p.contains(v), "vertex {v:?} infeasible");
+            assert!(p.contains(v), "vertex {v:?} infeasible");
         }
     }
 
     /// Every integer point is a convex combination certificate: it
     /// cannot be outside the bounding box of the vertices.
-    #[test]
-    fn dd_vertices_bound_integer_points(p in boxed_polytope(2)) {
+    fn dd_vertices_bound_integer_points(g) {
+        let p = boxed_polytope(g, 2);
         let gens = p.generators();
         for pt in integer_points(&p, 2) {
             for k in 0..2 {
                 let x = Rational::from(pt[k]);
                 let min = gens.vertices.iter().map(|v| v[k].clone()).min();
                 let max = gens.vertices.iter().map(|v| v[k].clone()).max();
-                prop_assert!(min.clone().is_some_and(|m| m <= x));
-                prop_assert!(max.clone().is_some_and(|m| m >= x));
+                assert!(min.clone().is_some_and(|m| m <= x));
+                assert!(max.clone().is_some_and(|m| m >= x));
             }
         }
     }
@@ -89,13 +85,13 @@ proptest! {
     /// Fourier–Motzkin projection = shadow of the integer points
     /// (soundness and, over the rationals, completeness at integer
     /// shadows).
-    #[test]
-    fn fm_projection_is_shadow(p in boxed_polytope(2)) {
+    fn fm_projection_is_shadow(g) {
+        let p = boxed_polytope(g, 2);
         let proj = p.eliminate_dim(1);
         let pts = integer_points(&p, 2);
         // Soundness: every point's shadow is in the projection.
         for pt in &pts {
-            prop_assert!(proj.contains(&QVector::from_i64(&[pt[0]])));
+            assert!(proj.contains(&QVector::from_i64(&[pt[0]])));
         }
         // Exactness over Q: a projected integer x must extend to some
         // rational y — check via emptiness of the fiber.
@@ -105,39 +101,37 @@ proptest! {
                 fiber.add_constraint(Constraint::eq0(
                     &AffineExpr::var(2, 0) - &AffineExpr::constant(2, x.into()),
                 ));
-                prop_assert!(!fiber.is_empty(), "x = {x} has empty fiber");
+                assert!(!fiber.is_empty(), "x = {x} has empty fiber");
             }
         }
     }
 
     /// Redundancy removal preserves the set exactly.
-    #[test]
-    fn remove_redundant_preserves_set(p in boxed_polytope(2)) {
+    fn remove_redundant_preserves_set(g) {
+        let p = boxed_polytope(g, 2);
         let r = p.remove_redundant();
-        prop_assert!(r.constraints().len() <= p.constraints().len());
+        assert!(r.constraints().len() <= p.constraints().len());
         for pt in integer_points(&p, 2) {
-            prop_assert!(r.contains(&QVector::from_i64(&pt)));
+            assert!(r.contains(&QVector::from_i64(&pt)));
         }
         for x in -5i64..=5 {
             for y in -5i64..=5 {
                 let q = QVector::from_i64(&[x, y]);
-                prop_assert_eq!(p.contains(&q), r.contains(&q), "at ({}, {})", x, y);
+                assert_eq!(p.contains(&q), r.contains(&q), "at ({x}, {y})");
             }
         }
     }
 
     /// implies_nonneg agrees with evaluating at all integer points for
     /// full-dimensional sets (rational minima at vertices are rational).
-    #[test]
-    fn implies_nonneg_sound(
-        p in boxed_polytope(2),
-        coeffs in proptest::collection::vec(-3i64..=3, 2),
-        c in -6i64..=6,
-    ) {
+    fn implies_nonneg_sound(g) {
+        let p = boxed_polytope(g, 2);
+        let coeffs = g.vec_i64(-3, 3, 2);
+        let c = g.i64_in(-6, 6);
         let e = AffineExpr::from_i64(&coeffs, c);
         if p.implies_nonneg(&e) {
             for pt in integer_points(&p, 2) {
-                prop_assert!(
+                assert!(
                     !e.eval_i64(&pt).is_negative(),
                     "claimed implied but negative at {pt:?}"
                 );
@@ -145,24 +139,25 @@ proptest! {
         } else {
             // There is a rational witness; confirm via LP minimum.
             let min = p.minimum(&e).expect("bounded");
-            prop_assert!(min.is_negative());
+            assert!(min.is_negative());
         }
     }
 
     /// Intersection is commutative and monotone.
-    #[test]
-    fn intersection_properties(a in boxed_polytope(2), b in boxed_polytope(2)) {
+    fn intersection_properties(g) {
+        let a = boxed_polytope(g, 2);
+        let b = boxed_polytope(g, 2);
         let ab = a.intersect(&b);
         let ba = b.intersect(&a);
         for x in -5i64..=5 {
             for y in -5i64..=5 {
                 let q = QVector::from_i64(&[x, y]);
                 let v = ab.contains(&q);
-                prop_assert_eq!(v, ba.contains(&q));
-                prop_assert_eq!(v, a.contains(&q) && b.contains(&q));
+                assert_eq!(v, ba.contains(&q));
+                assert_eq!(v, a.contains(&q) && b.contains(&q));
             }
         }
-        prop_assert!(ab.is_subset_of(&a));
-        prop_assert!(ab.is_subset_of(&b));
+        assert!(ab.is_subset_of(&a));
+        assert!(ab.is_subset_of(&b));
     }
 }

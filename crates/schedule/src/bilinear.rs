@@ -119,11 +119,7 @@ impl BilinearForm {
     /// the unknowns) `F(u, x + t·r) − F(u, x)` divided by `t`. Used for
     /// the ray conditions of Theorem 1 on unbounded parameter domains.
     pub fn linear_part_along(&self, r: &QVector) -> AffineExpr {
-        let coeffs: QVector = self
-            .coeffs
-            .iter()
-            .map(|c| c.coeffs().dot(r))
-            .collect();
+        let coeffs: QVector = self.coeffs.iter().map(|c| c.coeffs().dot(r)).collect();
         AffineExpr::from_parts(coeffs, self.constant.coeffs().dot(r))
     }
 
@@ -168,7 +164,7 @@ mod tests {
         assert_eq!(at, AffineExpr::from_i64(&[3, 1], 5));
         assert_eq!(
             f.eval(&QVector::from_i64(&[10, 100]), &QVector::from_i64(&[1, 2])),
-            Rational::from(3 * 10 + 1 * 100 + 5)
+            Rational::from(3 * 10 + 100 + 5)
         );
     }
 
@@ -176,10 +172,8 @@ mod tests {
     fn substitute_domain_composes() {
         let f = sample();
         // x := t, y := 2t + 1 (new domain is 1-d).
-        let g = f.substitute_domain(&[
-            AffineExpr::from_i64(&[1], 0),
-            AffineExpr::from_i64(&[2], 1),
-        ]);
+        let g =
+            f.substitute_domain(&[AffineExpr::from_i64(&[1], 0), AffineExpr::from_i64(&[2], 1)]);
         assert_eq!(g.domain_dim(), 1);
         // At t = 2 ⇒ (x, y) = (2, 5).
         assert_eq!(

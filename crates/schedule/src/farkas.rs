@@ -72,10 +72,7 @@ pub fn farkas_system(target: &BilinearForm, rows: &[AffineExpr]) -> FarkasSystem
         .map(|u| target.coeff(u).constant_term().clone())
         .collect();
     let lhs = AffineExpr::from_parts(u_coeffs, target.constant().constant_term().clone());
-    let mut multipliers: Vec<Rational> = rows
-        .iter()
-        .map(|r| r.constant_term().clone())
-        .collect();
+    let mut multipliers: Vec<Rational> = rows.iter().map(|r| r.constant_term().clone()).collect();
     multipliers.push(Rational::one()); // λ_0
     equations.push(FarkasEquation { lhs, multipliers });
     FarkasSystem {
@@ -196,10 +193,7 @@ mod tests {
             let mut truth = true;
             for x in 0..=4i64 {
                 for y in 0..=(4 - x) {
-                    let val = target.eval(
-                        &QVector::from_i64(&[u0]),
-                        &QVector::from_i64(&[x, y]),
-                    );
+                    let val = target.eval(&QVector::from_i64(&[u0]), &QVector::from_i64(&[x, y]));
                     if val.is_negative() {
                         truth = false;
                     }

@@ -3,7 +3,7 @@
 use crate::{linearize, BilinearForm, Schedule, ScheduleSpace};
 use aov_ir::{analysis, Dependence, Program};
 use aov_linalg::{AffineExpr, QVector};
-use aov_polyhedra::{Constraint, Polyhedron, PolyhedraError};
+use aov_polyhedra::{Constraint, PolyhedraError, Polyhedron};
 
 /// The causality form of a dependence (Eq. 2 of the paper):
 ///
@@ -81,12 +81,7 @@ pub fn schedule_constraints(
     for dep in &deps {
         let form = causality_form(p, &space, dep);
         let depth = p.statement(dep.target).depth();
-        let rows = linearize::eliminate_to_linear(
-            &form,
-            &dep.domain,
-            depth,
-            p.param_domain(),
-        )?;
+        let rows = linearize::eliminate_to_linear(&form, &dep.domain, depth, p.param_domain())?;
         for r in rows {
             if !out.contains(&r) {
                 out.push(r);
@@ -106,10 +101,8 @@ pub fn legal_schedule_polyhedron(
     p: &Program,
 ) -> Result<(ScheduleSpace, Polyhedron), PolyhedraError> {
     let (space, rows) = schedule_constraints(p)?;
-    let poly = Polyhedron::from_constraints(
-        space.dim(),
-        rows.into_iter().map(Constraint::ge0).collect(),
-    );
+    let poly =
+        Polyhedron::from_constraints(space.dim(), rows.into_iter().map(Constraint::ge0).collect());
     Ok((space, poly))
 }
 

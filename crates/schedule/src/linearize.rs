@@ -13,7 +13,7 @@
 //!    two inequalities).
 
 use crate::BilinearForm;
-use aov_polyhedra::{param, Polyhedron, PolyhedraError};
+use aov_polyhedra::{param, PolyhedraError, Polyhedron};
 
 /// Linearizes `F(u, (i, N)) >= 0  ∀ (i, N) ∈ system, N ∈ param_domain`
 /// into affine constraints `g(u) >= 0`.
@@ -34,10 +34,12 @@ pub fn eliminate_to_linear(
     n_elim: usize,
     param_domain: &Polyhedron,
 ) -> Result<Vec<aov_linalg::AffineExpr>, PolyhedraError> {
-    Ok(eliminate_to_linear_tagged(form, system, n_elim, param_domain)?
-        .into_iter()
-        .map(|(e, _)| e)
-        .collect())
+    Ok(
+        eliminate_to_linear_tagged(form, system, n_elim, param_domain)?
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect(),
+    )
 }
 
 /// Where a linearized row came from — a parameter-domain vertex (the form
@@ -85,7 +87,11 @@ pub fn eliminate_to_linear_tagged(
                 push_nontrivial(&mut out, over_params.at_point(w), RowKind::Point);
             }
             for r in &gens.rays {
-                push_nontrivial(&mut out, over_params.linear_part_along(r), RowKind::Direction);
+                push_nontrivial(
+                    &mut out,
+                    over_params.linear_part_along(r),
+                    RowKind::Direction,
+                );
             }
             for l in &gens.lines {
                 let lin = over_params.linear_part_along(l);
@@ -164,10 +170,7 @@ mod tests {
             vec![AffineExpr::from_i64(&[1, 0], 0)],
             AffineExpr::from_i64(&[0, -1], 0),
         );
-        let system = Polyhedron::from_constraints(
-            2,
-            vec![ge(&[1, 0], 0), ge(&[-1, 1], 0)],
-        );
+        let system = Polyhedron::from_constraints(2, vec![ge(&[1, 0], 0), ge(&[-1, 1], 0)]);
         let params = Polyhedron::from_constraints(1, vec![ge(&[1], -1)]);
         let cs = eliminate_to_linear(&form, &system, 1, &params).unwrap();
         // Vertices i=0 and i=n; param vertex n=1 and ray n→∞:
@@ -176,7 +179,8 @@ mod tests {
         // Infeasibility must be visible in the constraint set: some
         // constraint is constant-negative.
         assert!(
-            cs.iter().any(|c| c.is_constant() && c.constant_term().is_negative()),
+            cs.iter()
+                .any(|c| c.is_constant() && c.constant_term().is_negative()),
             "expected an infeasible constant constraint, got {cs:?}"
         );
         // And the i=n vertex yields n-dependent rows like u0 − 1 >= 0
@@ -189,10 +193,7 @@ mod tests {
     /// constraints are produced.
     #[test]
     fn empty_system_produces_nothing() {
-        let form = BilinearForm::new(
-            vec![AffineExpr::from_i64(&[1, 0], 0)],
-            AffineExpr::zero(2),
-        );
+        let form = BilinearForm::new(vec![AffineExpr::from_i64(&[1, 0], 0)], AffineExpr::zero(2));
         let system = Polyhedron::from_constraints(
             2,
             vec![ge(&[1, 0], -2), ge(&[-1, 0], 1)], // 2 <= i <= 1: empty
@@ -215,8 +216,7 @@ mod tests {
             ],
             AffineExpr::from_i64(&[0, -1], 0),
         );
-        let system =
-            Polyhedron::from_constraints(2, vec![ge(&[1, 0], 0), ge(&[-1, 1], 0)]);
+        let system = Polyhedron::from_constraints(2, vec![ge(&[1, 0], 0), ge(&[-1, 1], 0)]);
         let params = Polyhedron::from_constraints(1, vec![ge(&[1], -1), ge(&[-1], 6)]);
         let cs = eliminate_to_linear(&form, &system, 1, &params).unwrap();
         // For a grid of u values: u satisfies all linearized constraints

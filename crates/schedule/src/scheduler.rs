@@ -60,10 +60,7 @@ pub fn find_schedule(p: &Program) -> Result<Schedule, ScheduleError> {
 ///
 /// [`ScheduleError::Infeasible`] when no schedule satisfies the combined
 /// constraints.
-pub fn find_schedule_with(
-    p: &Program,
-    extra: &[Constraint],
-) -> Result<Schedule, ScheduleError> {
+pub fn find_schedule_with(p: &Program, extra: &[Constraint]) -> Result<Schedule, ScheduleError> {
     let (space, rows) = legal::schedule_constraints(p)?;
     solve(p, &space, rows, extra)
 }

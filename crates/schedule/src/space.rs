@@ -147,7 +147,11 @@ impl Schedule {
     ///
     /// Panics if the count or dimensions disagree with the program.
     pub fn uniform_for(p: &Program, thetas: &[AffineExpr]) -> Self {
-        assert_eq!(thetas.len(), p.statements().len(), "one theta per statement");
+        assert_eq!(
+            thetas.len(),
+            p.statements().len(),
+            "one theta per statement"
+        );
         for (s, th) in p.statements().iter().zip(thetas) {
             assert_eq!(
                 th.dim(),
@@ -229,7 +233,10 @@ mod tests {
         pt[space.param_coeff(StmtId(0), 0)] = 1.into();
         pt[space.const_coeff(StmtId(0))] = 5.into();
         let sched = space.schedule_at(&pt);
-        assert_eq!(sched.eval(StmtId(0), &[1, 1], &[10, 20]), Rational::from(20));
+        assert_eq!(
+            sched.eval(StmtId(0), &[1, 1], &[10, 20]),
+            Rational::from(20)
+        );
     }
 
     #[test]

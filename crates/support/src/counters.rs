@@ -1,0 +1,145 @@
+//! A process-global registry of named `u64` counters.
+//!
+//! Hot paths (simplex pivots, branch-and-bound nodes, Fourier–Motzkin
+//! eliminations) bump counters through a cached `&'static AtomicU64`, so
+//! the per-event cost is one relaxed atomic increment; the registry lock
+//! is only taken on first lookup and when snapshotting.
+//!
+//! Counters are cumulative across threads — parallel fan-out sums into
+//! the same cells, so totals are deterministic even though interleaving
+//! is not. `aov-engine` diffs [`snapshot`]s around each pipeline stage to
+//! attribute work to stages.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+fn registry() -> &'static Mutex<Vec<(String, &'static AtomicU64)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(String, &'static AtomicU64)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The counter named `name`, registering it (at zero) on first use.
+/// The returned reference is `'static`: cache it in hot paths (see
+/// [`static_counter!`](crate::static_counter)).
+pub fn counter(name: &str) -> &'static AtomicU64 {
+    let mut reg = registry().lock().expect("counter registry poisoned");
+    if let Some((_, c)) = reg.iter().find(|(n, _)| n == name) {
+        return c;
+    }
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    reg.push((name.to_string(), cell));
+    cell
+}
+
+/// Convenience: `counter(name) += delta` (relaxed).
+pub fn add(name: &str, delta: u64) {
+    counter(name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Current values of all registered counters, sorted by name.
+pub fn snapshot() -> Vec<(String, u64)> {
+    let reg = registry().lock().expect("counter registry poisoned");
+    let mut out: Vec<(String, u64)> = reg
+        .iter()
+        .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Difference `after - before` per counter, dropping zero deltas.
+/// Counters appearing only in `after` count from zero.
+pub fn delta(before: &[(String, u64)], after: &[(String, u64)]) -> Vec<(String, u64)> {
+    after
+        .iter()
+        .filter_map(|(name, v)| {
+            let base = before
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, b)| *b);
+            let d = v.saturating_sub(base);
+            (d > 0).then(|| (name.clone(), d))
+        })
+        .collect()
+}
+
+/// Resets every registered counter to zero. Intended for process-level
+/// tools (the `aov` CLI); concurrent increments during a reset are not
+/// atomically accounted.
+pub fn reset() {
+    let reg = registry().lock().expect("counter registry poisoned");
+    for (_, c) in reg.iter() {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Caches a counter lookup in a local `static` so hot loops pay only the
+/// atomic increment:
+///
+/// ```
+/// use std::sync::atomic::Ordering;
+/// for _ in 0..3 {
+///     aov_support::static_counter!("example.iterations").fetch_add(1, Ordering::Relaxed);
+/// }
+/// let snap = aov_support::counters::snapshot();
+/// assert!(snap.iter().any(|(n, v)| n == "example.iterations" && *v >= 3));
+/// ```
+#[macro_export]
+macro_rules! static_counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static ::std::sync::atomic::AtomicU64> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::counters::counter($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_add_snapshot_delta() {
+        let before = snapshot();
+        add("test.counters.alpha", 3);
+        add("test.counters.alpha", 2);
+        add("test.counters.beta", 1);
+        let after = snapshot();
+        let d = delta(&before, &after);
+        assert!(d.contains(&("test.counters.alpha".to_string(), 5)));
+        assert!(d.contains(&("test.counters.beta".to_string(), 1)));
+    }
+
+    #[test]
+    fn same_name_same_cell() {
+        let a = counter("test.counters.same") as *const _;
+        let b = counter("test.counters.same") as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_counter_macro_counts() {
+        let before = snapshot();
+        for _ in 0..4 {
+            crate::static_counter!("test.counters.macro").fetch_add(1, Ordering::Relaxed);
+        }
+        let after = snapshot();
+        let d = delta(&before, &after);
+        assert!(d.contains(&("test.counters.macro".to_string(), 4)));
+    }
+
+    #[test]
+    fn concurrent_increments_sum() {
+        let before = counter("test.counters.mt").load(Ordering::Relaxed);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        add("test.counters.mt", 1);
+                    }
+                });
+            }
+        });
+        let after = counter("test.counters.mt").load(Ordering::Relaxed);
+        assert_eq!(after - before, 4000);
+    }
+}

@@ -1,0 +1,29 @@
+//! Hermetic runtime substrate for the `aov` workspace.
+//!
+//! The crates-io registry is not available in every environment this
+//! repository builds in, so everything the workspace previously pulled
+//! from external crates lives here instead, with no dependencies beyond
+//! `std`:
+//!
+//! * [`rng`] — deterministic SplitMix64 / xoshiro256\*\* PRNG (replaces
+//!   `rand` for seeded test-input generation),
+//! * [`json`] — a minimal JSON value with a compact/pretty writer
+//!   (replaces `serde`/`serde_json` for report dumps),
+//! * [`bench`] — a wall-clock micro-benchmark harness with warmup and
+//!   per-iteration statistics (replaces `criterion`),
+//! * [`prop`] + [`props!`] — a seeded property-test runner (replaces
+//!   `proptest`): failures report the case index and per-case seed so
+//!   they reproduce exactly,
+//! * [`counters`] + [`static_counter!`] — a process-global registry of
+//!   named atomic counters used by the solver stack (simplex pivots,
+//!   branch-and-bound nodes, Fourier–Motzkin eliminations, …) and read
+//!   back by `aov-engine` reports.
+
+pub mod bench;
+pub mod counters;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use json::{Json, ToJson};
+pub use rng::Rng;

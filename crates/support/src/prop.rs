@@ -1,0 +1,171 @@
+//! A seeded property-test runner.
+//!
+//! Each property runs `cases` times against inputs drawn from a
+//! deterministic [`Rng`]. Every case gets an independent seed derived
+//! from the base seed and the case index; on failure the runner reports
+//! both, so `Rng::new(reported_seed)` reproduces the failing input
+//! exactly. There is no shrinking — generators here draw small values by
+//! construction, which keeps counterexamples readable without it.
+//!
+//! The [`props!`](crate::props) macro declares a block of properties:
+//!
+//! ```
+//! use aov_support::{props, prop_assume};
+//!
+//! props! {
+//!     #![cases = 64, seed = 0xA0B5_EED5]
+//!
+//!     fn addition_commutes(g) {
+//!         let (a, b) = (g.i64_in(-1000, 1000), g.i64_in(-1000, 1000));
+//!         assert_eq!(a + b, b + a);
+//!     }
+//!
+//!     fn division_undoes_multiplication(g) {
+//!         let a = g.i64_in(-100, 100);
+//!         let b = g.i64_in(-10, 10);
+//!         prop_assume!(b != 0); // discards the case, not a failure
+//!         assert_eq!(a * b / b, a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+use crate::rng::{mix, Rng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Panic payload marking a discarded (assumption-failed) case.
+#[derive(Debug)]
+pub struct Discard;
+
+/// Discards the current case; the runner draws a fresh one instead of
+/// counting a failure. Prefer [`prop_assume!`](crate::prop_assume).
+pub fn discard() -> ! {
+    resume_unwind(Box::new(Discard));
+}
+
+/// Discards the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            $crate::prop::discard();
+        }
+    };
+}
+
+/// Runs `property` against `cases` seeded inputs. Discarded cases are
+/// replaced (drawing further derived seeds) up to a 10× budget; exceeding
+/// it fails the test, because the property is then effectively untested.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing the case index and the
+/// per-case seed that reproduces it.
+pub fn run(name: &str, cases: u64, seed: u64, property: impl Fn(&mut Rng)) {
+    assert!(cases > 0, "property {name} configured with zero cases");
+    let budget = cases * 10;
+    let mut executed = 0u64;
+    for attempt in 0..budget {
+        if executed == cases {
+            return;
+        }
+        let case_seed = mix(seed, attempt);
+        let mut rng = Rng::new(case_seed);
+        match catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            Ok(()) => executed += 1,
+            Err(payload) => {
+                if payload.downcast_ref::<Discard>().is_some() {
+                    continue;
+                }
+                eprintln!(
+                    "property `{name}` failed at case {executed} \
+                     (case seed {case_seed:#018x}; rerun with Rng::new(seed))"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+    panic!(
+        "property `{name}` discarded too many cases: \
+         {executed}/{cases} ran within a budget of {budget} attempts"
+    );
+}
+
+/// Declares seeded property tests; see the [module docs](self) for the
+/// shape. `#![cases = N, seed = S]` applies to every property in the
+/// block.
+#[macro_export]
+macro_rules! props {
+    (
+        #![cases = $cases:expr, seed = $seed:expr]
+        $( $(#[$meta:meta])* fn $name:ident($g:ident) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::prop::run(
+                    stringify!($name),
+                    $cases,
+                    $seed,
+                    |$g: &mut $crate::rng::Rng| $body,
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u64;
+        let counter = std::cell::Cell::new(0u64);
+        run("always_true", 16, 1, |_| {
+            counter.set(counter.get() + 1);
+        });
+        count += counter.get();
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn failing_property_propagates_panic() {
+        let r = catch_unwind(|| {
+            run("always_false", 8, 2, |_| panic!("nope"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn assumptions_discard_without_failing() {
+        let executed = std::cell::Cell::new(0u64);
+        run("half_discarded", 10, 3, |g| {
+            let v = g.i64_in(0, 9);
+            crate::prop_assume!(v < 5);
+            executed.set(executed.get() + 1);
+        });
+        assert_eq!(executed.get(), 10);
+    }
+
+    #[test]
+    fn hopeless_assumption_exhausts_budget() {
+        let r = catch_unwind(|| {
+            run("all_discarded", 4, 4, |_| crate::prop_assume!(false));
+        });
+        assert!(r.is_err(), "must fail when nothing ever runs");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = || {
+            let vals = std::cell::RefCell::new(Vec::new());
+            run("collect", 6, 99, |g| {
+                vals.borrow_mut().push(g.next_u64());
+            });
+            vals.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,222 @@
+//! Deterministic pseudo-random numbers: SplitMix64 for seeding and
+//! xoshiro256\*\* for the stream (Blackman & Vigna). Both are tiny,
+//! portable and plenty for test-input generation — no crypto claims.
+
+/// SplitMix64: a 64-bit mixing generator, used to expand a single seed
+/// into the xoshiro state (its output is equidistributed even for
+/// pathological seeds like 0).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Mixes two words into a fresh seed (used to derive independent per-case
+/// seeds from a base seed and a case index).
+pub fn mix(seed: u64, stream: u64) -> u64 {
+    let mut sm = SplitMix64::new(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+    sm.next_u64()
+}
+
+/// The workspace PRNG: xoshiro256\*\* seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// A deterministic generator for `seed`; equal seeds give equal
+    /// streams on every platform.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        // xoshiro state must not be all-zero; SplitMix64 output never is
+        // for all four words simultaneously.
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniform bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniform over the full `i64` range.
+    pub fn i64_any(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// Uniform over the full `i32` range.
+    pub fn i32_any(&mut self) -> i32 {
+        self.next_u32() as i32
+    }
+
+    /// Uniform over the full `i128` range.
+    pub fn i128_any(&mut self) -> i128 {
+        (u128::from(self.next_u64()) << 64 | u128::from(self.next_u64())) as i128
+    }
+
+    /// Uniform in `[0, bound)` without modulo bias (rejection sampling).
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Reject the tail so every residue is equally likely.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return self.i64_any();
+        }
+        lo.wrapping_add(self.u64_below(span + 1) as i64)
+    }
+
+    /// Uniform `usize` in `lo..=hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.u64_below((hi - lo) as u64 + 1) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A vector of `len` uniform integers in `lo..=hi`.
+    pub fn vec_i64(&mut self, lo: i64, hi: i64, len: usize) -> Vec<i64> {
+        (0..len).map(|_| self.i64_in(lo, hi)).collect()
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.usize_in(0, i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference sequence for seed 1234567 (from the public-domain
+        // splitmix64.c).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_ends() {
+        let mut rng = Rng::new(7);
+        let (mut saw_lo, mut saw_hi) = (false, false);
+        for _ in 0..2000 {
+            let v = rng.i64_in(-3, 3);
+            assert!((-3..=3).contains(&v));
+            saw_lo |= v == -3;
+            saw_hi |= v == 3;
+        }
+        assert!(saw_lo && saw_hi, "both endpoints should appear");
+        assert_eq!(rng.i64_in(5, 5), 5);
+        let _ = rng.i64_in(i64::MIN, i64::MAX); // full-range path
+    }
+
+    #[test]
+    fn u64_below_unbiased_smoke() {
+        let mut rng = Rng::new(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[rng.u64_below(3) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 800, "distribution badly skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(11);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(3);
+        let mut v: Vec<i64> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

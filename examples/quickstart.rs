@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t.original_size(&[n, m]),
         t.transformed_size(&[n, m])
     );
-    println!("== transformed code ==\n{}", codegen::transformed_code(&program, &[t.clone()]));
+    println!(
+        "== transformed code ==\n{}",
+        codegen::transformed_code(&program, std::slice::from_ref(&t))
+    );
 
     // Static validation: v is valid for every legal affine schedule.
     let mut checker = Checker::new(&program);
@@ -53,7 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AffineExpr::from_i64(&[-1, 3, 0, 0], 7),
     ] {
         let s = Schedule::uniform_for(&program, &[theta]);
-        assert!(semantics_preserved(&program, &[9, 8], &s, std::slice::from_ref(&t)));
+        assert!(semantics_preserved(
+            &program,
+            &[9, 8],
+            &s,
+            std::slice::from_ref(&t)
+        ));
     }
     println!("static + dynamic validation passed");
     Ok(())

@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Figure 4: the slope picture for v = (0, 2).
-    let (space, poly) =
-        problems::schedules_for_ov(&program, &[OccupancyVector::new(vec![0, 2])])?;
+    let (space, poly) = problems::schedules_for_ov(&program, &[OccupancyVector::new(vec![0, 2])])?;
     let sid = aov::ir::StmtId(0);
     println!("\nschedules Θ = a·i + b·j valid for v = (0,2):");
     println!("      b = 1   2   3   4   5   6");
@@ -47,10 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And the other direction (Problem 1): given the row schedule, the
     // storage can shrink to a single row.
-    let row = aov::schedule::Schedule::uniform_for(
-        &program,
-        &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)],
-    );
+    let row =
+        aov::schedule::Schedule::uniform_for(&program, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
     let ov = problems::ov_for_schedule(&program, &row)?;
     println!("\nshortest OV for Θ = j: {}", ov.vector_for("A").unwrap());
     Ok(())

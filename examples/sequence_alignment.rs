@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|_| StorageMode::Transformed(&t))
         .collect();
     let (vals, stats) = run_scheduled(&program, &[x, y, z], &sched, &modes);
-    assert_eq!(vals, reference, "transformed DP must compute identical costs");
+    assert_eq!(
+        vals, reference,
+        "transformed DP must compute identical costs"
+    );
     println!(
         "dynamic check passed: {} instances, {} time steps, {} cells used",
         stats.instances, stats.time_steps, stats.cells_used[0]
@@ -60,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.procs,
             p.original,
             p.transformed,
-            if p.transformed > p.procs as f64 { "  (superlinear)" } else { "" }
+            if p.transformed > p.procs as f64 {
+                "  (superlinear)"
+            } else {
+                ""
+            }
         );
     }
     Ok(())

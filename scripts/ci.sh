@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: format, lint, build, test — all offline.
+#
+# The workspace has zero external dependencies by design (see
+# crates/support), so every step runs with --offline and must succeed
+# with no registry access at all.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "CI green."

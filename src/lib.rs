@@ -16,6 +16,10 @@
 //! * [`interp`] — dynamic semantic validation of storage mappings.
 //! * [`machine`] — a simulated multiprocessor reproducing the paper's
 //!   speedup experiments.
+//! * [`engine`] — the instrumented end-to-end pipeline (stages, solver
+//!   counters, parallel fan-out) behind the `aov` CLI.
+//! * [`support`] — the zero-dependency runtime substrate (PRNG, JSON,
+//!   bench harness, property-test runner, counter registry).
 //!
 //! ## Quickstart
 //!
@@ -33,6 +37,7 @@
 //! ```
 
 pub use aov_core as core;
+pub use aov_engine as engine;
 pub use aov_interp as interp;
 pub use aov_ir as ir;
 pub use aov_linalg as linalg;
@@ -41,3 +46,4 @@ pub use aov_machine as machine;
 pub use aov_numeric as numeric;
 pub use aov_polyhedra as polyhedra;
 pub use aov_schedule as schedule;
+pub use aov_support as support;

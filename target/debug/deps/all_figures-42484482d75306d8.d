@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-42484482d75306d8.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-42484482d75306d8: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

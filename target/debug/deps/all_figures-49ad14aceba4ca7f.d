@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-49ad14aceba4ca7f.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-49ad14aceba4ca7f: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-8b41276ea64c04da.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-8b41276ea64c04da: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_figures-994a149bc23efbb2.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_figures-994a149bc23efbb2.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

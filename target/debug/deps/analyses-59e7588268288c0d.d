@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyses-59e7588268288c0d.d: crates/bench/benches/analyses.rs
+
+/root/repo/target/debug/deps/analyses-59e7588268288c0d: crates/bench/benches/analyses.rs
+
+crates/bench/benches/analyses.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyses-624cf96b01f354c3.d: crates/bench/benches/analyses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyses-624cf96b01f354c3.rmeta: crates/bench/benches/analyses.rs Cargo.toml
+
+crates/bench/benches/analyses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

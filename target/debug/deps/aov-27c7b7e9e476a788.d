@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aov-27c7b7e9e476a788.d: crates/engine/src/bin/aov.rs
+
+/root/repo/target/debug/deps/aov-27c7b7e9e476a788: crates/engine/src/bin/aov.rs
+
+crates/engine/src/bin/aov.rs:

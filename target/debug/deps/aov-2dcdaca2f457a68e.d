@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aov-2dcdaca2f457a68e.d: src/lib.rs
+
+/root/repo/target/debug/deps/aov-2dcdaca2f457a68e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aov-40d997c6682a5d61.d: crates/engine/src/bin/aov.rs
+
+/root/repo/target/debug/deps/aov-40d997c6682a5d61: crates/engine/src/bin/aov.rs
+
+crates/engine/src/bin/aov.rs:

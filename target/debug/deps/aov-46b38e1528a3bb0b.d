@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aov-46b38e1528a3bb0b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaov-46b38e1528a3bb0b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaov-46b38e1528a3bb0b.rmeta: src/lib.rs
+
+src/lib.rs:

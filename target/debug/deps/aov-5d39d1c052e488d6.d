@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov-5d39d1c052e488d6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov-5d39d1c052e488d6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

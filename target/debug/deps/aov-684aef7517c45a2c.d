@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aov-684aef7517c45a2c.d: crates/engine/src/bin/aov.rs
+
+/root/repo/target/debug/deps/aov-684aef7517c45a2c: crates/engine/src/bin/aov.rs
+
+crates/engine/src/bin/aov.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aov-6ec84e2ba4b55900.d: crates/engine/src/bin/aov.rs
+
+/root/repo/target/debug/deps/aov-6ec84e2ba4b55900: crates/engine/src/bin/aov.rs
+
+crates/engine/src/bin/aov.rs:

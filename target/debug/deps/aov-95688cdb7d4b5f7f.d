@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aov-95688cdb7d4b5f7f.d: src/lib.rs
+
+/root/repo/target/debug/deps/aov-95688cdb7d4b5f7f: src/lib.rs
+
+src/lib.rs:

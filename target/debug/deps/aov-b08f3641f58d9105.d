@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aov-b08f3641f58d9105.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaov-b08f3641f58d9105.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaov-b08f3641f58d9105.rmeta: src/lib.rs
+
+src/lib.rs:

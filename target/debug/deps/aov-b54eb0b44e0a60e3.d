@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov-b54eb0b44e0a60e3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov-b54eb0b44e0a60e3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

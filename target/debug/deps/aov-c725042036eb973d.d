@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov-c725042036eb973d.d: crates/engine/src/bin/aov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov-c725042036eb973d.rmeta: crates/engine/src/bin/aov.rs Cargo.toml
+
+crates/engine/src/bin/aov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov-f91e562106612d76.d: crates/engine/src/bin/aov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov-f91e562106612d76.rmeta: crates/engine/src/bin/aov.rs Cargo.toml
+
+crates/engine/src/bin/aov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

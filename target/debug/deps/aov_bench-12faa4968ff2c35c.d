@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aov_bench-12faa4968ff2c35c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/aov_bench-12faa4968ff2c35c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov_bench-439afb6f58e96e89.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_bench-439afb6f58e96e89.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

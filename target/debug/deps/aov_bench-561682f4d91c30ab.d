@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aov_bench-561682f4d91c30ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaov_bench-561682f4d91c30ab.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaov_bench-561682f4d91c30ab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

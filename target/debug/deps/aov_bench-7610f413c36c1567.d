@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aov_bench-7610f413c36c1567.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/aov_bench-7610f413c36c1567: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aov_bench-a42994eafaccfdb3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaov_bench-a42994eafaccfdb3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaov_bench-a42994eafaccfdb3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

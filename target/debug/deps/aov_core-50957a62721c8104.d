@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/aov_core-50957a62721c8104.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/codegen.rs crates/core/src/objective.rs crates/core/src/ov.rs crates/core/src/multi_ov.rs crates/core/src/problems.rs crates/core/src/storage.rs crates/core/src/tiling.rs crates/core/src/transform.rs crates/core/src/uov.rs
+
+/root/repo/target/debug/deps/libaov_core-50957a62721c8104.rlib: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/codegen.rs crates/core/src/objective.rs crates/core/src/ov.rs crates/core/src/multi_ov.rs crates/core/src/problems.rs crates/core/src/storage.rs crates/core/src/tiling.rs crates/core/src/transform.rs crates/core/src/uov.rs
+
+/root/repo/target/debug/deps/libaov_core-50957a62721c8104.rmeta: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/codegen.rs crates/core/src/objective.rs crates/core/src/ov.rs crates/core/src/multi_ov.rs crates/core/src/problems.rs crates/core/src/storage.rs crates/core/src/tiling.rs crates/core/src/transform.rs crates/core/src/uov.rs
+
+crates/core/src/lib.rs:
+crates/core/src/check.rs:
+crates/core/src/codegen.rs:
+crates/core/src/objective.rs:
+crates/core/src/ov.rs:
+crates/core/src/multi_ov.rs:
+crates/core/src/problems.rs:
+crates/core/src/storage.rs:
+crates/core/src/tiling.rs:
+crates/core/src/transform.rs:
+crates/core/src/uov.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aov_core-6fcd796c861db083.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/codegen.rs crates/core/src/multi_ov.rs crates/core/src/objective.rs crates/core/src/ov.rs crates/core/src/problems.rs crates/core/src/storage.rs crates/core/src/tiling.rs crates/core/src/transform.rs crates/core/src/uov.rs
+
+/root/repo/target/debug/deps/aov_core-6fcd796c861db083: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/codegen.rs crates/core/src/multi_ov.rs crates/core/src/objective.rs crates/core/src/ov.rs crates/core/src/problems.rs crates/core/src/storage.rs crates/core/src/tiling.rs crates/core/src/transform.rs crates/core/src/uov.rs
+
+crates/core/src/lib.rs:
+crates/core/src/check.rs:
+crates/core/src/codegen.rs:
+crates/core/src/multi_ov.rs:
+crates/core/src/objective.rs:
+crates/core/src/ov.rs:
+crates/core/src/problems.rs:
+crates/core/src/storage.rs:
+crates/core/src/tiling.rs:
+crates/core/src/transform.rs:
+crates/core/src/uov.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/aov_core-a4feccfaf3d1dfd4.d: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/codegen.rs crates/core/src/multi_ov.rs crates/core/src/objective.rs crates/core/src/ov.rs crates/core/src/problems.rs crates/core/src/storage.rs crates/core/src/tiling.rs crates/core/src/transform.rs crates/core/src/uov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_core-a4feccfaf3d1dfd4.rmeta: crates/core/src/lib.rs crates/core/src/check.rs crates/core/src/codegen.rs crates/core/src/multi_ov.rs crates/core/src/objective.rs crates/core/src/ov.rs crates/core/src/problems.rs crates/core/src/storage.rs crates/core/src/tiling.rs crates/core/src/transform.rs crates/core/src/uov.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/check.rs:
+crates/core/src/codegen.rs:
+crates/core/src/multi_ov.rs:
+crates/core/src/objective.rs:
+crates/core/src/ov.rs:
+crates/core/src/problems.rs:
+crates/core/src/storage.rs:
+crates/core/src/tiling.rs:
+crates/core/src/transform.rs:
+crates/core/src/uov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

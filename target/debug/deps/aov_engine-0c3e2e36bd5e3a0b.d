@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aov_engine-0c3e2e36bd5e3a0b.d: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+/root/repo/target/debug/deps/libaov_engine-0c3e2e36bd5e3a0b.rlib: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+/root/repo/target/debug/deps/libaov_engine-0c3e2e36bd5e3a0b.rmeta: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/pipeline.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/aov_engine-17892d45c604eeaa.d: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+/root/repo/target/debug/deps/aov_engine-17892d45c604eeaa: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aov_engine-52fb8d48e9807066.d: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+/root/repo/target/debug/deps/libaov_engine-52fb8d48e9807066.rlib: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+/root/repo/target/debug/deps/libaov_engine-52fb8d48e9807066.rmeta: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aov_engine-737eea9447c476f1.d: crates/engine/src/lib.rs crates/engine/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_engine-737eea9447c476f1.rmeta: crates/engine/src/lib.rs crates/engine/src/pipeline.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/aov_engine-74eda89e056ade94.d: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+/root/repo/target/debug/deps/aov_engine-74eda89e056ade94: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/pipeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aov_interp-19e26de62e2ef8dd.d: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs
+
+/root/repo/target/debug/deps/libaov_interp-19e26de62e2ef8dd.rlib: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs
+
+/root/repo/target/debug/deps/libaov_interp-19e26de62e2ef8dd.rmeta: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/domain.rs:
+crates/interp/src/exec.rs:
+crates/interp/src/funcs.rs:
+crates/interp/src/store.rs:
+crates/interp/src/validate.rs:

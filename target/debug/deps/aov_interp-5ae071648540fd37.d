@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aov_interp-5ae071648540fd37.d: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs
+
+/root/repo/target/debug/deps/aov_interp-5ae071648540fd37: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/domain.rs:
+crates/interp/src/exec.rs:
+crates/interp/src/funcs.rs:
+crates/interp/src/store.rs:
+crates/interp/src/validate.rs:

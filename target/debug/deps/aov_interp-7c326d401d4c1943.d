@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aov_interp-7c326d401d4c1943.d: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_interp-7c326d401d4c1943.rmeta: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/domain.rs:
+crates/interp/src/exec.rs:
+crates/interp/src/funcs.rs:
+crates/interp/src/store.rs:
+crates/interp/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

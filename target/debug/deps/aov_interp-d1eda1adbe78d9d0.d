@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aov_interp-d1eda1adbe78d9d0.d: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_interp-d1eda1adbe78d9d0.rmeta: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/domain.rs:
+crates/interp/src/exec.rs:
+crates/interp/src/funcs.rs:
+crates/interp/src/store.rs:
+crates/interp/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aov_ir-388d9658913c795c.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_ir-388d9658913c795c.rmeta: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/examples.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

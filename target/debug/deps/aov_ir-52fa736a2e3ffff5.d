@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov_ir-52fa736a2e3ffff5.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs
+
+/root/repo/target/debug/deps/aov_ir-52fa736a2e3ffff5: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/examples.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/program.rs:

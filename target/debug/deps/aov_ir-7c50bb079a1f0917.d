@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov_ir-7c50bb079a1f0917.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/expr.rs crates/ir/src/examples.rs crates/ir/src/program.rs
+
+/root/repo/target/debug/deps/aov_ir-7c50bb079a1f0917: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/expr.rs crates/ir/src/examples.rs crates/ir/src/program.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/examples.rs:
+crates/ir/src/program.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aov_ir-fe0eb3fd20a086b2.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs
+
+/root/repo/target/debug/deps/libaov_ir-fe0eb3fd20a086b2.rlib: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs
+
+/root/repo/target/debug/deps/libaov_ir-fe0eb3fd20a086b2.rmeta: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/examples.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov_linalg-2272002858e27e45.d: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/aov_linalg-2272002858e27e45: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/affine.rs:
+crates/linalg/src/lattice.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/vector.rs:

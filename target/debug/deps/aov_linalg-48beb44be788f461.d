@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aov_linalg-48beb44be788f461.d: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libaov_linalg-48beb44be788f461.rlib: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libaov_linalg-48beb44be788f461.rmeta: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/affine.rs:
+crates/linalg/src/lattice.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aov_linalg-a2596d36f7f93253.d: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_linalg-a2596d36f7f93253.rmeta: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/affine.rs:
+crates/linalg/src/lattice.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

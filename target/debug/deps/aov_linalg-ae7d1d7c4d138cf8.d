@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aov_linalg-ae7d1d7c4d138cf8.d: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_linalg-ae7d1d7c4d138cf8.rmeta: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/affine.rs:
+crates/linalg/src/lattice.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aov_lp-61c325b617e7f9eb.d: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libaov_lp-61c325b617e7f9eb.rlib: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libaov_lp-61c325b617e7f9eb.rmeta: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/branch_bound.rs:
+crates/lp/src/memo.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

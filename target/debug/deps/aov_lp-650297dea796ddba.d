@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aov_lp-650297dea796ddba.d: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libaov_lp-650297dea796ddba.rlib: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libaov_lp-650297dea796ddba.rmeta: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/branch_bound.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov_lp-9e0b33e4b4aa2c76.d: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/aov_lp-9e0b33e4b4aa2c76: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/branch_bound.rs:
+crates/lp/src/memo.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aov_lp-d8791f71789e72f5.d: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_lp-d8791f71789e72f5.rmeta: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs Cargo.toml
+
+crates/lp/src/lib.rs:
+crates/lp/src/branch_bound.rs:
+crates/lp/src/memo.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

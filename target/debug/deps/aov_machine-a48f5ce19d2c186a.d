@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aov_machine-a48f5ce19d2c186a.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+/root/repo/target/debug/deps/libaov_machine-a48f5ce19d2c186a.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+/root/repo/target/debug/deps/libaov_machine-a48f5ce19d2c186a.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/parallel.rs:

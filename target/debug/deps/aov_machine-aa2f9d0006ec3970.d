@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aov_machine-aa2f9d0006ec3970.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_machine-aa2f9d0006ec3970.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aov_machine-c54a9a061227ee17.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+/root/repo/target/debug/deps/libaov_machine-c54a9a061227ee17.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+/root/repo/target/debug/deps/libaov_machine-c54a9a061227ee17.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/parallel.rs:

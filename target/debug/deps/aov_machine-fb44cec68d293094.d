@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aov_machine-fb44cec68d293094.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+/root/repo/target/debug/deps/aov_machine-fb44cec68d293094: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/parallel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aov_numeric-3440b315e3ce719d.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/libaov_numeric-3440b315e3ce719d.rlib: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/libaov_numeric-3440b315e3ce719d.rmeta: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/gcd.rs:
+crates/numeric/src/rational.rs:

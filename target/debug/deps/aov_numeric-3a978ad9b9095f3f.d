@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aov_numeric-3a978ad9b9095f3f.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_numeric-3a978ad9b9095f3f.rmeta: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs Cargo.toml
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/gcd.rs:
+crates/numeric/src/rational.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aov_numeric-a15daa7c08eeb694.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/aov_numeric-a15daa7c08eeb694: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/gcd.rs:
+crates/numeric/src/rational.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aov_polyhedra-782bafee0a21f3ed.d: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libaov_polyhedra-782bafee0a21f3ed.rlib: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libaov_polyhedra-782bafee0a21f3ed.rmeta: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+crates/polyhedra/src/lib.rs:
+crates/polyhedra/src/constraint.rs:
+crates/polyhedra/src/dd.rs:
+crates/polyhedra/src/fm.rs:
+crates/polyhedra/src/param.rs:
+crates/polyhedra/src/polyhedron.rs:

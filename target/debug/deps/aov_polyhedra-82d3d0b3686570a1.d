@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aov_polyhedra-82d3d0b3686570a1.d: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+/root/repo/target/debug/deps/aov_polyhedra-82d3d0b3686570a1: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+crates/polyhedra/src/lib.rs:
+crates/polyhedra/src/constraint.rs:
+crates/polyhedra/src/dd.rs:
+crates/polyhedra/src/fm.rs:
+crates/polyhedra/src/param.rs:
+crates/polyhedra/src/polyhedron.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aov_polyhedra-c970b7145669e3d5.d: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_polyhedra-c970b7145669e3d5.rmeta: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs Cargo.toml
+
+crates/polyhedra/src/lib.rs:
+crates/polyhedra/src/constraint.rs:
+crates/polyhedra/src/dd.rs:
+crates/polyhedra/src/fm.rs:
+crates/polyhedra/src/param.rs:
+crates/polyhedra/src/polyhedron.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

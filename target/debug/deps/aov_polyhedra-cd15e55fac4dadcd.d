@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aov_polyhedra-cd15e55fac4dadcd.d: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libaov_polyhedra-cd15e55fac4dadcd.rlib: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libaov_polyhedra-cd15e55fac4dadcd.rmeta: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+crates/polyhedra/src/lib.rs:
+crates/polyhedra/src/constraint.rs:
+crates/polyhedra/src/dd.rs:
+crates/polyhedra/src/fm.rs:
+crates/polyhedra/src/param.rs:
+crates/polyhedra/src/polyhedron.rs:

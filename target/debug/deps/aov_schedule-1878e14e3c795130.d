@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aov_schedule-1878e14e3c795130.d: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+/root/repo/target/debug/deps/aov_schedule-1878e14e3c795130: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/bilinear.rs:
+crates/schedule/src/farkas.rs:
+crates/schedule/src/legal.rs:
+crates/schedule/src/linearize.rs:
+crates/schedule/src/scheduler.rs:
+crates/schedule/src/space.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aov_schedule-98c4f5a06905541f.d: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_schedule-98c4f5a06905541f.rmeta: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs Cargo.toml
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/bilinear.rs:
+crates/schedule/src/farkas.rs:
+crates/schedule/src/legal.rs:
+crates/schedule/src/linearize.rs:
+crates/schedule/src/scheduler.rs:
+crates/schedule/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aov_schedule-ce423e46dcca2ff0.d: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+/root/repo/target/debug/deps/libaov_schedule-ce423e46dcca2ff0.rlib: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+/root/repo/target/debug/deps/libaov_schedule-ce423e46dcca2ff0.rmeta: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/bilinear.rs:
+crates/schedule/src/farkas.rs:
+crates/schedule/src/legal.rs:
+crates/schedule/src/linearize.rs:
+crates/schedule/src/scheduler.rs:
+crates/schedule/src/space.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aov_schedule-e7be8cc665b8103e.d: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+/root/repo/target/debug/deps/libaov_schedule-e7be8cc665b8103e.rlib: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+/root/repo/target/debug/deps/libaov_schedule-e7be8cc665b8103e.rmeta: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/bilinear.rs:
+crates/schedule/src/farkas.rs:
+crates/schedule/src/legal.rs:
+crates/schedule/src/linearize.rs:
+crates/schedule/src/scheduler.rs:
+crates/schedule/src/space.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aov_support-43f0c2344ee80e1e.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_support-43f0c2344ee80e1e.rmeta: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs Cargo.toml
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/counters.rs:
+crates/support/src/json.rs:
+crates/support/src/prop.rs:
+crates/support/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

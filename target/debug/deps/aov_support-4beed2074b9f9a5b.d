@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aov_support-4beed2074b9f9a5b.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+/root/repo/target/debug/deps/libaov_support-4beed2074b9f9a5b.rlib: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+/root/repo/target/debug/deps/libaov_support-4beed2074b9f9a5b.rmeta: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/counters.rs:
+crates/support/src/json.rs:
+crates/support/src/prop.rs:
+crates/support/src/rng.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aov_support-814d84f2eb645d3c.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaov_support-814d84f2eb645d3c.rmeta: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs Cargo.toml
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/counters.rs:
+crates/support/src/json.rs:
+crates/support/src/prop.rs:
+crates/support/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aov_support-c231c4d5588fce6d.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+/root/repo/target/debug/deps/aov_support-c231c4d5588fce6d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/counters.rs:
+crates/support/src/json.rs:
+crates/support/src/prop.rs:
+crates/support/src/rng.rs:

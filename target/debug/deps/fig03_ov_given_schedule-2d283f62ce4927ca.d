@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_ov_given_schedule-2d283f62ce4927ca.d: crates/bench/src/bin/fig03_ov_given_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_ov_given_schedule-2d283f62ce4927ca.rmeta: crates/bench/src/bin/fig03_ov_given_schedule.rs Cargo.toml
+
+crates/bench/src/bin/fig03_ov_given_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

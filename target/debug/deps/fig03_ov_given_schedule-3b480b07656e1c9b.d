@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_ov_given_schedule-3b480b07656e1c9b.d: crates/bench/src/bin/fig03_ov_given_schedule.rs
+
+/root/repo/target/debug/deps/fig03_ov_given_schedule-3b480b07656e1c9b: crates/bench/src/bin/fig03_ov_given_schedule.rs
+
+crates/bench/src/bin/fig03_ov_given_schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_ov_given_schedule-69b17bfe0febfdc2.d: crates/bench/src/bin/fig03_ov_given_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_ov_given_schedule-69b17bfe0febfdc2.rmeta: crates/bench/src/bin/fig03_ov_given_schedule.rs Cargo.toml
+
+crates/bench/src/bin/fig03_ov_given_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_ov_given_schedule-93235c4fa6b923ea.d: crates/bench/src/bin/fig03_ov_given_schedule.rs
+
+/root/repo/target/debug/deps/fig03_ov_given_schedule-93235c4fa6b923ea: crates/bench/src/bin/fig03_ov_given_schedule.rs
+
+crates/bench/src/bin/fig03_ov_given_schedule.rs:

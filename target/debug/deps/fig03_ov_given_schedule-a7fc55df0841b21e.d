@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_ov_given_schedule-a7fc55df0841b21e.d: crates/bench/src/bin/fig03_ov_given_schedule.rs
+
+/root/repo/target/debug/deps/fig03_ov_given_schedule-a7fc55df0841b21e: crates/bench/src/bin/fig03_ov_given_schedule.rs
+
+crates/bench/src/bin/fig03_ov_given_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_schedule_range-164c703ce5f3c041.d: crates/bench/src/bin/fig04_schedule_range.rs
+
+/root/repo/target/debug/deps/fig04_schedule_range-164c703ce5f3c041: crates/bench/src/bin/fig04_schedule_range.rs
+
+crates/bench/src/bin/fig04_schedule_range.rs:

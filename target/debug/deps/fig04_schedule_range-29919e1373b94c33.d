@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_schedule_range-29919e1373b94c33.d: crates/bench/src/bin/fig04_schedule_range.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_schedule_range-29919e1373b94c33.rmeta: crates/bench/src/bin/fig04_schedule_range.rs Cargo.toml
+
+crates/bench/src/bin/fig04_schedule_range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_schedule_range-e567775427219e79.d: crates/bench/src/bin/fig04_schedule_range.rs
+
+/root/repo/target/debug/deps/fig04_schedule_range-e567775427219e79: crates/bench/src/bin/fig04_schedule_range.rs
+
+crates/bench/src/bin/fig04_schedule_range.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_schedule_range-fa687790d321e4eb.d: crates/bench/src/bin/fig04_schedule_range.rs
+
+/root/repo/target/debug/deps/fig04_schedule_range-fa687790d321e4eb: crates/bench/src/bin/fig04_schedule_range.rs
+
+crates/bench/src/bin/fig04_schedule_range.rs:

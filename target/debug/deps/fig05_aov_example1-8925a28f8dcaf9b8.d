@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_aov_example1-8925a28f8dcaf9b8.d: crates/bench/src/bin/fig05_aov_example1.rs
+
+/root/repo/target/debug/deps/fig05_aov_example1-8925a28f8dcaf9b8: crates/bench/src/bin/fig05_aov_example1.rs
+
+crates/bench/src/bin/fig05_aov_example1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_aov_example1-bf95171abb6d28c7.d: crates/bench/src/bin/fig05_aov_example1.rs
+
+/root/repo/target/debug/deps/fig05_aov_example1-bf95171abb6d28c7: crates/bench/src/bin/fig05_aov_example1.rs
+
+crates/bench/src/bin/fig05_aov_example1.rs:

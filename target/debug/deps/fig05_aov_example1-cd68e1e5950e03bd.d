@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_aov_example1-cd68e1e5950e03bd.d: crates/bench/src/bin/fig05_aov_example1.rs
+
+/root/repo/target/debug/deps/fig05_aov_example1-cd68e1e5950e03bd: crates/bench/src/bin/fig05_aov_example1.rs
+
+crates/bench/src/bin/fig05_aov_example1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_aov_example1-d7b940e630107977.d: crates/bench/src/bin/fig05_aov_example1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_aov_example1-d7b940e630107977.rmeta: crates/bench/src/bin/fig05_aov_example1.rs Cargo.toml
+
+crates/bench/src/bin/fig05_aov_example1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

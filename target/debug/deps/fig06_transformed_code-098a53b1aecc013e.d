@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_transformed_code-098a53b1aecc013e.d: crates/bench/src/bin/fig06_transformed_code.rs
+
+/root/repo/target/debug/deps/fig06_transformed_code-098a53b1aecc013e: crates/bench/src/bin/fig06_transformed_code.rs
+
+crates/bench/src/bin/fig06_transformed_code.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_transformed_code-962c6f443323a955.d: crates/bench/src/bin/fig06_transformed_code.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_transformed_code-962c6f443323a955.rmeta: crates/bench/src/bin/fig06_transformed_code.rs Cargo.toml
+
+crates/bench/src/bin/fig06_transformed_code.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_transformed_code-b86a28ee3150b08e.d: crates/bench/src/bin/fig06_transformed_code.rs
+
+/root/repo/target/debug/deps/fig06_transformed_code-b86a28ee3150b08e: crates/bench/src/bin/fig06_transformed_code.rs
+
+crates/bench/src/bin/fig06_transformed_code.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_transformed_code-e756fbd946e58388.d: crates/bench/src/bin/fig06_transformed_code.rs
+
+/root/repo/target/debug/deps/fig06_transformed_code-e756fbd946e58388: crates/bench/src/bin/fig06_transformed_code.rs
+
+crates/bench/src/bin/fig06_transformed_code.rs:

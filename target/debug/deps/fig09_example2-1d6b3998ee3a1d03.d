@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_example2-1d6b3998ee3a1d03.d: crates/bench/src/bin/fig09_example2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_example2-1d6b3998ee3a1d03.rmeta: crates/bench/src/bin/fig09_example2.rs Cargo.toml
+
+crates/bench/src/bin/fig09_example2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

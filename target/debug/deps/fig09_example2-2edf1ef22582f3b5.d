@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_example2-2edf1ef22582f3b5.d: crates/bench/src/bin/fig09_example2.rs
+
+/root/repo/target/debug/deps/fig09_example2-2edf1ef22582f3b5: crates/bench/src/bin/fig09_example2.rs
+
+crates/bench/src/bin/fig09_example2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_example2-66ef930e360653de.d: crates/bench/src/bin/fig09_example2.rs
+
+/root/repo/target/debug/deps/fig09_example2-66ef930e360653de: crates/bench/src/bin/fig09_example2.rs
+
+crates/bench/src/bin/fig09_example2.rs:

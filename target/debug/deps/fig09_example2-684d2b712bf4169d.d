@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_example2-684d2b712bf4169d.d: crates/bench/src/bin/fig09_example2.rs
+
+/root/repo/target/debug/deps/fig09_example2-684d2b712bf4169d: crates/bench/src/bin/fig09_example2.rs
+
+crates/bench/src/bin/fig09_example2.rs:

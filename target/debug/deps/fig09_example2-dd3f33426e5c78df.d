@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_example2-dd3f33426e5c78df.d: crates/bench/src/bin/fig09_example2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_example2-dd3f33426e5c78df.rmeta: crates/bench/src/bin/fig09_example2.rs Cargo.toml
+
+crates/bench/src/bin/fig09_example2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

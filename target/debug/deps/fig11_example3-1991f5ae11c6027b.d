@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_example3-1991f5ae11c6027b.d: crates/bench/src/bin/fig11_example3.rs
+
+/root/repo/target/debug/deps/fig11_example3-1991f5ae11c6027b: crates/bench/src/bin/fig11_example3.rs
+
+crates/bench/src/bin/fig11_example3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_example3-9ac78acee7de9b30.d: crates/bench/src/bin/fig11_example3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_example3-9ac78acee7de9b30.rmeta: crates/bench/src/bin/fig11_example3.rs Cargo.toml
+
+crates/bench/src/bin/fig11_example3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_example3-a1d299ea1534d052.d: crates/bench/src/bin/fig11_example3.rs
+
+/root/repo/target/debug/deps/fig11_example3-a1d299ea1534d052: crates/bench/src/bin/fig11_example3.rs
+
+crates/bench/src/bin/fig11_example3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_example4-10fae2b570429cee.d: crates/bench/src/bin/fig14_example4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_example4-10fae2b570429cee.rmeta: crates/bench/src/bin/fig14_example4.rs Cargo.toml
+
+crates/bench/src/bin/fig14_example4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

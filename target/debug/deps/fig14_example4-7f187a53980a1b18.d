@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_example4-7f187a53980a1b18.d: crates/bench/src/bin/fig14_example4.rs
+
+/root/repo/target/debug/deps/fig14_example4-7f187a53980a1b18: crates/bench/src/bin/fig14_example4.rs
+
+crates/bench/src/bin/fig14_example4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_example4-8879a7fd9c3b58e3.d: crates/bench/src/bin/fig14_example4.rs
+
+/root/repo/target/debug/deps/fig14_example4-8879a7fd9c3b58e3: crates/bench/src/bin/fig14_example4.rs
+
+crates/bench/src/bin/fig14_example4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_example4-bcd005bfa1d031b0.d: crates/bench/src/bin/fig14_example4.rs
+
+/root/repo/target/debug/deps/fig14_example4-bcd005bfa1d031b0: crates/bench/src/bin/fig14_example4.rs
+
+crates/bench/src/bin/fig14_example4.rs:

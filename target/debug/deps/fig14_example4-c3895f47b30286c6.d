@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_example4-c3895f47b30286c6.d: crates/bench/src/bin/fig14_example4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_example4-c3895f47b30286c6.rmeta: crates/bench/src/bin/fig14_example4.rs Cargo.toml
+
+crates/bench/src/bin/fig14_example4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

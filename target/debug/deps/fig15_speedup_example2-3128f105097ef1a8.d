@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_speedup_example2-3128f105097ef1a8.d: crates/bench/src/bin/fig15_speedup_example2.rs
+
+/root/repo/target/debug/deps/fig15_speedup_example2-3128f105097ef1a8: crates/bench/src/bin/fig15_speedup_example2.rs
+
+crates/bench/src/bin/fig15_speedup_example2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_speedup_example2-5b3cf49d71fe0974.d: crates/bench/src/bin/fig15_speedup_example2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_speedup_example2-5b3cf49d71fe0974.rmeta: crates/bench/src/bin/fig15_speedup_example2.rs Cargo.toml
+
+crates/bench/src/bin/fig15_speedup_example2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

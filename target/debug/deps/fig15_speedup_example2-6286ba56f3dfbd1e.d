@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_speedup_example2-6286ba56f3dfbd1e.d: crates/bench/src/bin/fig15_speedup_example2.rs
+
+/root/repo/target/debug/deps/fig15_speedup_example2-6286ba56f3dfbd1e: crates/bench/src/bin/fig15_speedup_example2.rs
+
+crates/bench/src/bin/fig15_speedup_example2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_speedup_example2-da58844b5202dda0.d: crates/bench/src/bin/fig15_speedup_example2.rs
+
+/root/repo/target/debug/deps/fig15_speedup_example2-da58844b5202dda0: crates/bench/src/bin/fig15_speedup_example2.rs
+
+crates/bench/src/bin/fig15_speedup_example2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_speedup_example3-35d53c3865c09803.d: crates/bench/src/bin/fig16_speedup_example3.rs
+
+/root/repo/target/debug/deps/fig16_speedup_example3-35d53c3865c09803: crates/bench/src/bin/fig16_speedup_example3.rs
+
+crates/bench/src/bin/fig16_speedup_example3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_speedup_example3-ae4cd4f31ff20469.d: crates/bench/src/bin/fig16_speedup_example3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_speedup_example3-ae4cd4f31ff20469.rmeta: crates/bench/src/bin/fig16_speedup_example3.rs Cargo.toml
+
+crates/bench/src/bin/fig16_speedup_example3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_speedup_example3-b9539b4d499d9c45.d: crates/bench/src/bin/fig16_speedup_example3.rs
+
+/root/repo/target/debug/deps/fig16_speedup_example3-b9539b4d499d9c45: crates/bench/src/bin/fig16_speedup_example3.rs
+
+crates/bench/src/bin/fig16_speedup_example3.rs:

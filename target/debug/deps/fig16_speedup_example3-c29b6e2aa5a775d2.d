@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_speedup_example3-c29b6e2aa5a775d2.d: crates/bench/src/bin/fig16_speedup_example3.rs
+
+/root/repo/target/debug/deps/fig16_speedup_example3-c29b6e2aa5a775d2: crates/bench/src/bin/fig16_speedup_example3.rs
+
+crates/bench/src/bin/fig16_speedup_example3.rs:

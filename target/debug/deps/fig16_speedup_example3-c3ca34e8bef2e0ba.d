@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_speedup_example3-c3ca34e8bef2e0ba.d: crates/bench/src/bin/fig16_speedup_example3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_speedup_example3-c3ca34e8bef2e0ba.rmeta: crates/bench/src/bin/fig16_speedup_example3.rs Cargo.toml
+
+crates/bench/src/bin/fig16_speedup_example3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

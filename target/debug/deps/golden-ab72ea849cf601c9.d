@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-ab72ea849cf601c9.d: crates/engine/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-ab72ea849cf601c9.rmeta: crates/engine/tests/golden.rs Cargo.toml
+
+crates/engine/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-c898de1e95bb5389.d: crates/engine/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-c898de1e95bb5389: crates/engine/tests/golden.rs
+
+crates/engine/tests/golden.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine-2908af551a5664ed.d: crates/bench/benches/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine-2908af551a5664ed.rmeta: crates/bench/benches/machine.rs Cargo.toml
+
+crates/bench/benches/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

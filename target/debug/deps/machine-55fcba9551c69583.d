@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine-55fcba9551c69583.d: crates/bench/benches/machine.rs
+
+/root/repo/target/debug/deps/machine-55fcba9551c69583: crates/bench/benches/machine.rs
+
+crates/bench/benches/machine.rs:

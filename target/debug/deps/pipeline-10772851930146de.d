@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-10772851930146de.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-10772851930146de: tests/pipeline.rs
+
+tests/pipeline.rs:

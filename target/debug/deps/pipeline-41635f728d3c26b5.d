@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-41635f728d3c26b5.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-41635f728d3c26b5: tests/pipeline.rs
+
+tests/pipeline.rs:

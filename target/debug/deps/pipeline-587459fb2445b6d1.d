@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-587459fb2445b6d1.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-587459fb2445b6d1.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-016d646bbf3d7918.d: crates/interp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-016d646bbf3d7918: crates/interp/tests/properties.rs
+
+crates/interp/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1ccaabdb80141daf.d: crates/numeric/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1ccaabdb80141daf.rmeta: crates/numeric/tests/properties.rs Cargo.toml
+
+crates/numeric/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

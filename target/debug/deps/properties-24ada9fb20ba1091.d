@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-24ada9fb20ba1091.d: crates/numeric/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-24ada9fb20ba1091: crates/numeric/tests/properties.rs
+
+crates/numeric/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3dba8625e2ca3479.d: crates/polyhedra/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3dba8625e2ca3479: crates/polyhedra/tests/properties.rs
+
+crates/polyhedra/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a5f04048c0a29f65.d: crates/lp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a5f04048c0a29f65: crates/lp/tests/properties.rs
+
+crates/lp/tests/properties.rs:

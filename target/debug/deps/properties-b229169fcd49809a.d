@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b229169fcd49809a.d: crates/lp/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b229169fcd49809a.rmeta: crates/lp/tests/properties.rs Cargo.toml
+
+crates/lp/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

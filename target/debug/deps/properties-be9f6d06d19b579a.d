@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-be9f6d06d19b579a.d: crates/polyhedra/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-be9f6d06d19b579a: crates/polyhedra/tests/properties.rs
+
+crates/polyhedra/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c68d79966dea0d90.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c68d79966dea0d90: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d61eedd6f61961f4.d: crates/lp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d61eedd6f61961f4: crates/lp/tests/properties.rs
+
+crates/lp/tests/properties.rs:

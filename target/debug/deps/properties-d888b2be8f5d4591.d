@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d888b2be8f5d4591.d: crates/interp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d888b2be8f5d4591: crates/interp/tests/properties.rs
+
+crates/interp/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d961dedd5088c7fd.d: crates/polyhedra/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d961dedd5088c7fd.rmeta: crates/polyhedra/tests/properties.rs Cargo.toml
+
+crates/polyhedra/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

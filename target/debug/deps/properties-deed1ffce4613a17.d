@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-deed1ffce4613a17.d: crates/linalg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-deed1ffce4613a17.rmeta: crates/linalg/tests/properties.rs Cargo.toml
+
+crates/linalg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

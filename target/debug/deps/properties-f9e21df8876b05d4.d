@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f9e21df8876b05d4.d: crates/interp/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f9e21df8876b05d4.rmeta: crates/interp/tests/properties.rs Cargo.toml
+
+crates/interp/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

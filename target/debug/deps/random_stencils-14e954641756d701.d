@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_stencils-14e954641756d701.d: tests/random_stencils.rs
+
+/root/repo/target/debug/deps/random_stencils-14e954641756d701: tests/random_stencils.rs
+
+tests/random_stencils.rs:

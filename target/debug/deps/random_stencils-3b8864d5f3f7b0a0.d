@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_stencils-3b8864d5f3f7b0a0.d: tests/random_stencils.rs
+
+/root/repo/target/debug/deps/random_stencils-3b8864d5f3f7b0a0: tests/random_stencils.rs
+
+tests/random_stencils.rs:

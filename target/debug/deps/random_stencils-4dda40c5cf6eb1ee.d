@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_stencils-4dda40c5cf6eb1ee.d: tests/random_stencils.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_stencils-4dda40c5cf6eb1ee.rmeta: tests/random_stencils.rs Cargo.toml
+
+tests/random_stencils.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

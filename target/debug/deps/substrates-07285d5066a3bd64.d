@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrates-07285d5066a3bd64.d: crates/bench/benches/substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrates-07285d5066a3bd64.rmeta: crates/bench/benches/substrates.rs Cargo.toml
+
+crates/bench/benches/substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

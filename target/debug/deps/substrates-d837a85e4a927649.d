@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-d837a85e4a927649.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-d837a85e4a927649: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transformed_code-04072dcda028a326.d: crates/bench/src/bin/transformed_code.rs
+
+/root/repo/target/debug/deps/transformed_code-04072dcda028a326: crates/bench/src/bin/transformed_code.rs
+
+crates/bench/src/bin/transformed_code.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transformed_code-09000b3094b019a4.d: crates/bench/src/bin/transformed_code.rs
+
+/root/repo/target/debug/deps/transformed_code-09000b3094b019a4: crates/bench/src/bin/transformed_code.rs
+
+crates/bench/src/bin/transformed_code.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transformed_code-5462fd6b2308e0d7.d: crates/bench/src/bin/transformed_code.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransformed_code-5462fd6b2308e0d7.rmeta: crates/bench/src/bin/transformed_code.rs Cargo.toml
+
+crates/bench/src/bin/transformed_code.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

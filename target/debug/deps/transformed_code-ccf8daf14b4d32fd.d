@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transformed_code-ccf8daf14b4d32fd.d: crates/bench/src/bin/transformed_code.rs
+
+/root/repo/target/debug/deps/transformed_code-ccf8daf14b4d32fd: crates/bench/src/bin/transformed_code.rs
+
+crates/bench/src/bin/transformed_code.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transformed_code-e1cfe8c4d484ddba.d: crates/bench/src/bin/transformed_code.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransformed_code-e1cfe8c4d484ddba.rmeta: crates/bench/src/bin/transformed_code.rs Cargo.toml
+
+crates/bench/src/bin/transformed_code.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

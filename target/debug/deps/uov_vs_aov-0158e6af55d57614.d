@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uov_vs_aov-0158e6af55d57614.d: crates/bench/src/bin/uov_vs_aov.rs
+
+/root/repo/target/debug/deps/uov_vs_aov-0158e6af55d57614: crates/bench/src/bin/uov_vs_aov.rs
+
+crates/bench/src/bin/uov_vs_aov.rs:

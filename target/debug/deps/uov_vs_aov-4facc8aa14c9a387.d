@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uov_vs_aov-4facc8aa14c9a387.d: crates/bench/src/bin/uov_vs_aov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuov_vs_aov-4facc8aa14c9a387.rmeta: crates/bench/src/bin/uov_vs_aov.rs Cargo.toml
+
+crates/bench/src/bin/uov_vs_aov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uov_vs_aov-75c3cef4b01e6d8b.d: crates/bench/src/bin/uov_vs_aov.rs
+
+/root/repo/target/debug/deps/uov_vs_aov-75c3cef4b01e6d8b: crates/bench/src/bin/uov_vs_aov.rs
+
+crates/bench/src/bin/uov_vs_aov.rs:

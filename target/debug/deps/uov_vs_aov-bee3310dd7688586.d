@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uov_vs_aov-bee3310dd7688586.d: crates/bench/src/bin/uov_vs_aov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuov_vs_aov-bee3310dd7688586.rmeta: crates/bench/src/bin/uov_vs_aov.rs Cargo.toml
+
+crates/bench/src/bin/uov_vs_aov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uov_vs_aov-d7bb9d018e0847e2.d: crates/bench/src/bin/uov_vs_aov.rs
+
+/root/repo/target/debug/deps/uov_vs_aov-d7bb9d018e0847e2: crates/bench/src/bin/uov_vs_aov.rs
+
+crates/bench/src/bin/uov_vs_aov.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-002625e2850a1ec1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-002625e2850a1ec1: examples/quickstart.rs
+
+examples/quickstart.rs:

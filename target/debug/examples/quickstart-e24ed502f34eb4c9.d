@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-e24ed502f34eb4c9.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-e24ed502f34eb4c9.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

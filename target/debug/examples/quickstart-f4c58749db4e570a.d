@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f4c58749db4e570a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f4c58749db4e570a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_explorer-0e1fc5ee44cc97cb.d: examples/schedule_explorer.rs
+
+/root/repo/target/debug/examples/schedule_explorer-0e1fc5ee44cc97cb: examples/schedule_explorer.rs
+
+examples/schedule_explorer.rs:

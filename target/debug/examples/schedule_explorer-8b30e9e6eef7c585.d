@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_explorer-8b30e9e6eef7c585.d: examples/schedule_explorer.rs
+
+/root/repo/target/debug/examples/schedule_explorer-8b30e9e6eef7c585: examples/schedule_explorer.rs
+
+examples/schedule_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_explorer-d70da964f0b196d9.d: examples/schedule_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_explorer-d70da964f0b196d9.rmeta: examples/schedule_explorer.rs Cargo.toml
+
+examples/schedule_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sequence_alignment-6c1e8e0f13e891f6.d: examples/sequence_alignment.rs
+
+/root/repo/target/debug/examples/sequence_alignment-6c1e8e0f13e891f6: examples/sequence_alignment.rs
+
+examples/sequence_alignment.rs:

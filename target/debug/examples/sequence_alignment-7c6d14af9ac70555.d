@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sequence_alignment-7c6d14af9ac70555.d: examples/sequence_alignment.rs
+
+/root/repo/target/debug/examples/sequence_alignment-7c6d14af9ac70555: examples/sequence_alignment.rs
+
+examples/sequence_alignment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sequence_alignment-eb2eaab1e40b9e31.d: examples/sequence_alignment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsequence_alignment-eb2eaab1e40b9e31.rmeta: examples/sequence_alignment.rs Cargo.toml
+
+examples/sequence_alignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

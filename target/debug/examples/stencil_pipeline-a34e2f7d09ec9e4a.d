@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_pipeline-a34e2f7d09ec9e4a.d: examples/stencil_pipeline.rs
+
+/root/repo/target/debug/examples/stencil_pipeline-a34e2f7d09ec9e4a: examples/stencil_pipeline.rs
+
+examples/stencil_pipeline.rs:

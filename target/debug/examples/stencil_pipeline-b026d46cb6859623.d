@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stencil_pipeline-b026d46cb6859623.d: examples/stencil_pipeline.rs
+
+/root/repo/target/debug/examples/stencil_pipeline-b026d46cb6859623: examples/stencil_pipeline.rs
+
+examples/stencil_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stencil_pipeline-d0b7ea2924814495.d: examples/stencil_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstencil_pipeline-d0b7ea2924814495.rmeta: examples/stencil_pipeline.rs Cargo.toml
+
+examples/stencil_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-4f3aedfd20e6c09d.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-4f3aedfd20e6c09d: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aov-48ee9e2f88ddc127.d: src/lib.rs
+
+/root/repo/target/release/deps/libaov-48ee9e2f88ddc127.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaov-48ee9e2f88ddc127.rmeta: src/lib.rs
+
+src/lib.rs:

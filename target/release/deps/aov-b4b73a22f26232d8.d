@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/aov-b4b73a22f26232d8.d: crates/engine/src/bin/aov.rs
+
+/root/repo/target/release/deps/aov-b4b73a22f26232d8: crates/engine/src/bin/aov.rs
+
+crates/engine/src/bin/aov.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aov_bench-a46787fc5fb9ba92.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaov_bench-a46787fc5fb9ba92.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaov_bench-a46787fc5fb9ba92.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/aov_engine-2289a8192ee4d55e.d: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+/root/repo/target/release/deps/libaov_engine-2289a8192ee4d55e.rlib: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+/root/repo/target/release/deps/libaov_engine-2289a8192ee4d55e.rmeta: crates/engine/src/lib.rs crates/engine/src/pipeline.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/pipeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aov_interp-6096c781e18e07d6.d: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs
+
+/root/repo/target/release/deps/libaov_interp-6096c781e18e07d6.rlib: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs
+
+/root/repo/target/release/deps/libaov_interp-6096c781e18e07d6.rmeta: crates/interp/src/lib.rs crates/interp/src/domain.rs crates/interp/src/exec.rs crates/interp/src/funcs.rs crates/interp/src/store.rs crates/interp/src/validate.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/domain.rs:
+crates/interp/src/exec.rs:
+crates/interp/src/funcs.rs:
+crates/interp/src/store.rs:
+crates/interp/src/validate.rs:

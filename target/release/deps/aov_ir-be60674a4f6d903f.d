@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aov_ir-be60674a4f6d903f.d: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs
+
+/root/repo/target/release/deps/libaov_ir-be60674a4f6d903f.rlib: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs
+
+/root/repo/target/release/deps/libaov_ir-be60674a4f6d903f.rmeta: crates/ir/src/lib.rs crates/ir/src/analysis.rs crates/ir/src/examples.rs crates/ir/src/expr.rs crates/ir/src/program.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis.rs:
+crates/ir/src/examples.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/program.rs:

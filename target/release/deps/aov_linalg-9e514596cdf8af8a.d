@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aov_linalg-9e514596cdf8af8a.d: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libaov_linalg-9e514596cdf8af8a.rlib: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libaov_linalg-9e514596cdf8af8a.rmeta: crates/linalg/src/lib.rs crates/linalg/src/affine.rs crates/linalg/src/lattice.rs crates/linalg/src/matrix.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/affine.rs:
+crates/linalg/src/lattice.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/vector.rs:

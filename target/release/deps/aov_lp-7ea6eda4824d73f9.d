@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aov_lp-7ea6eda4824d73f9.d: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libaov_lp-7ea6eda4824d73f9.rlib: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libaov_lp-7ea6eda4824d73f9.rmeta: crates/lp/src/lib.rs crates/lp/src/branch_bound.rs crates/lp/src/memo.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/branch_bound.rs:
+crates/lp/src/memo.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aov_machine-a6430bbe824e7ca6.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+/root/repo/target/release/deps/libaov_machine-a6430bbe824e7ca6.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+/root/repo/target/release/deps/libaov_machine-a6430bbe824e7ca6.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/experiments.rs crates/machine/src/layout.rs crates/machine/src/parallel.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/layout.rs:
+crates/machine/src/parallel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/aov_numeric-7d2bcea9f8bf0c09.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs
+
+/root/repo/target/release/deps/libaov_numeric-7d2bcea9f8bf0c09.rlib: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs
+
+/root/repo/target/release/deps/libaov_numeric-7d2bcea9f8bf0c09.rmeta: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/gcd.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/gcd.rs:
+crates/numeric/src/rational.rs:

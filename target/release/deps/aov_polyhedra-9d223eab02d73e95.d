@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aov_polyhedra-9d223eab02d73e95.d: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+/root/repo/target/release/deps/libaov_polyhedra-9d223eab02d73e95.rlib: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+/root/repo/target/release/deps/libaov_polyhedra-9d223eab02d73e95.rmeta: crates/polyhedra/src/lib.rs crates/polyhedra/src/constraint.rs crates/polyhedra/src/dd.rs crates/polyhedra/src/fm.rs crates/polyhedra/src/param.rs crates/polyhedra/src/polyhedron.rs
+
+crates/polyhedra/src/lib.rs:
+crates/polyhedra/src/constraint.rs:
+crates/polyhedra/src/dd.rs:
+crates/polyhedra/src/fm.rs:
+crates/polyhedra/src/param.rs:
+crates/polyhedra/src/polyhedron.rs:

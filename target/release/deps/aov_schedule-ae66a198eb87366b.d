@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aov_schedule-ae66a198eb87366b.d: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+/root/repo/target/release/deps/libaov_schedule-ae66a198eb87366b.rlib: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+/root/repo/target/release/deps/libaov_schedule-ae66a198eb87366b.rmeta: crates/schedule/src/lib.rs crates/schedule/src/bilinear.rs crates/schedule/src/farkas.rs crates/schedule/src/legal.rs crates/schedule/src/linearize.rs crates/schedule/src/scheduler.rs crates/schedule/src/space.rs
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/bilinear.rs:
+crates/schedule/src/farkas.rs:
+crates/schedule/src/legal.rs:
+crates/schedule/src/linearize.rs:
+crates/schedule/src/scheduler.rs:
+crates/schedule/src/space.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aov_support-ac9183678f18c17f.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+/root/repo/target/release/deps/libaov_support-ac9183678f18c17f.rlib: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+/root/repo/target/release/deps/libaov_support-ac9183678f18c17f.rmeta: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/counters.rs crates/support/src/json.rs crates/support/src/prop.rs crates/support/src/rng.rs
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/counters.rs:
+crates/support/src/json.rs:
+crates/support/src/prop.rs:
+crates/support/src/rng.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_ov_given_schedule-8646aa5247cd66a0.d: crates/bench/src/bin/fig03_ov_given_schedule.rs
+
+/root/repo/target/release/deps/fig03_ov_given_schedule-8646aa5247cd66a0: crates/bench/src/bin/fig03_ov_given_schedule.rs
+
+crates/bench/src/bin/fig03_ov_given_schedule.rs:

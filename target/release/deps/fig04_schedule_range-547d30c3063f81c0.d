@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_schedule_range-547d30c3063f81c0.d: crates/bench/src/bin/fig04_schedule_range.rs
+
+/root/repo/target/release/deps/fig04_schedule_range-547d30c3063f81c0: crates/bench/src/bin/fig04_schedule_range.rs
+
+crates/bench/src/bin/fig04_schedule_range.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_aov_example1-49cd04489127cbd3.d: crates/bench/src/bin/fig05_aov_example1.rs
+
+/root/repo/target/release/deps/fig05_aov_example1-49cd04489127cbd3: crates/bench/src/bin/fig05_aov_example1.rs
+
+crates/bench/src/bin/fig05_aov_example1.rs:

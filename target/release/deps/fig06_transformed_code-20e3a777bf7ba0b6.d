@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_transformed_code-20e3a777bf7ba0b6.d: crates/bench/src/bin/fig06_transformed_code.rs
+
+/root/repo/target/release/deps/fig06_transformed_code-20e3a777bf7ba0b6: crates/bench/src/bin/fig06_transformed_code.rs
+
+crates/bench/src/bin/fig06_transformed_code.rs:

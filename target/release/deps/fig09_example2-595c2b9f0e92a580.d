@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_example2-595c2b9f0e92a580.d: crates/bench/src/bin/fig09_example2.rs
+
+/root/repo/target/release/deps/fig09_example2-595c2b9f0e92a580: crates/bench/src/bin/fig09_example2.rs
+
+crates/bench/src/bin/fig09_example2.rs:

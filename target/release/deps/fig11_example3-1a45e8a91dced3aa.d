@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_example3-1a45e8a91dced3aa.d: crates/bench/src/bin/fig11_example3.rs
+
+/root/repo/target/release/deps/fig11_example3-1a45e8a91dced3aa: crates/bench/src/bin/fig11_example3.rs
+
+crates/bench/src/bin/fig11_example3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_example4-28535b8b0ecd2649.d: crates/bench/src/bin/fig14_example4.rs
+
+/root/repo/target/release/deps/fig14_example4-28535b8b0ecd2649: crates/bench/src/bin/fig14_example4.rs
+
+crates/bench/src/bin/fig14_example4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_speedup_example2-425a14adb241e16a.d: crates/bench/src/bin/fig15_speedup_example2.rs
+
+/root/repo/target/release/deps/fig15_speedup_example2-425a14adb241e16a: crates/bench/src/bin/fig15_speedup_example2.rs
+
+crates/bench/src/bin/fig15_speedup_example2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_speedup_example3-a70e066ee2c6d0c3.d: crates/bench/src/bin/fig16_speedup_example3.rs
+
+/root/repo/target/release/deps/fig16_speedup_example3-a70e066ee2c6d0c3: crates/bench/src/bin/fig16_speedup_example3.rs
+
+crates/bench/src/bin/fig16_speedup_example3.rs:

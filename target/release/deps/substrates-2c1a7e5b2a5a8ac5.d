@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-2c1a7e5b2a5a8ac5.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-2c1a7e5b2a5a8ac5: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transformed_code-a4c6d0f393805434.d: crates/bench/src/bin/transformed_code.rs
+
+/root/repo/target/release/deps/transformed_code-a4c6d0f393805434: crates/bench/src/bin/transformed_code.rs
+
+crates/bench/src/bin/transformed_code.rs:

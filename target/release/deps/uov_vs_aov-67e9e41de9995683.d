@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uov_vs_aov-67e9e41de9995683.d: crates/bench/src/bin/uov_vs_aov.rs
+
+/root/repo/target/release/deps/uov_vs_aov-67e9e41de9995683: crates/bench/src/bin/uov_vs_aov.rs
+
+crates/bench/src/bin/uov_vs_aov.rs:

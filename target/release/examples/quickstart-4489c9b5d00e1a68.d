@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4489c9b5d00e1a68.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4489c9b5d00e1a68: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -74,7 +74,11 @@ fn problem1_methods_agree_across_schedules() {
 /// schedule-specific OV is never longer than the AOV.
 #[test]
 fn aov_dominates_schedule_specific_ov() {
-    for p in [examples::example1(), examples::example2(), examples::wavefront2d()] {
+    for p in [
+        examples::example1(),
+        examples::example2(),
+        examples::wavefront2d(),
+    ] {
         let sched = scheduler::find_schedule(&p).expect("schedulable");
         let specific = problems::ov_for_schedule(&p, &sched).expect("solvable");
         let universal = problems::aov(&p).expect("solvable");
@@ -145,7 +149,11 @@ fn example4_end_to_end() {
 /// The auxiliary programs survive the full pipeline too.
 #[test]
 fn auxiliary_programs_end_to_end() {
-    for p in [examples::prefix_sum(), examples::wavefront2d(), examples::heat1d()] {
+    for p in [
+        examples::prefix_sum(),
+        examples::wavefront2d(),
+        examples::heat1d(),
+    ] {
         let aovs = problems::aov(&p).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
         let ts: Vec<StorageTransform> = p
             .arrays()

@@ -8,7 +8,22 @@ use aov::interp::validate::semantics_preserved;
 use aov::ir::{Expr, Program, ProgramBuilder};
 use aov::linalg::AffineExpr;
 use aov::schedule::{legal, scheduler, Schedule};
-use proptest::prelude::*;
+use aov_support::{props, Rng};
+
+/// 1–3 distinct read offsets in `[-2, 2]`, sorted (mirrors the original
+/// ordered-set generator).
+fn random_offsets(g: &mut Rng) -> Vec<i64> {
+    let len = g.usize_in(1, 3);
+    let mut out: Vec<i64> = Vec::new();
+    while out.len() < len {
+        let d = g.i64_in(-2, 2);
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    }
+    out.sort_unstable();
+    out
+}
 
 /// A random 2-D stencil `A[i][j] = f(A[i-d1][j-1], …)` with 1–3 distinct
 /// reads, all carried by the `j` loop (so a schedule always exists).
@@ -23,10 +38,7 @@ fn stencil_program(offsets: &[i64]) -> Program {
     s.writes(a);
     let mut reads = Vec::new();
     for &di in offsets {
-        let idx = vec![
-            &s.iter(0) - &s.constant(di),
-            &s.iter(1) - &s.constant(1),
-        ];
+        let idx = vec![&s.iter(0) - &s.constant(di), &s.iter(1) - &s.constant(1)];
         reads.push(Expr::Read(s.read(a, idx)));
     }
     s.body(Expr::call("f", reads));
@@ -34,20 +46,17 @@ fn stencil_program(offsets: &[i64]) -> Program {
     b.build().expect("random stencil is well-formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+props! {
+    #![cases = 12, seed = 0x57E2_C115]
 
-    #[test]
-    fn solvers_agree_and_semantics_hold(
-        offsets in proptest::collection::btree_set(-2i64..=2, 1..=3)
-    ) {
-        let offsets: Vec<i64> = offsets.into_iter().collect();
+    fn solvers_agree_and_semantics_hold(g) {
+        let offsets = random_offsets(g);
         let p = stencil_program(&offsets);
 
         // Both engines find vectors with the same (optimal) objective.
         let farkas = problems::aov(&p).expect("AOV exists for j-carried stencils");
         let search = problems::aov_search(&p, 8).expect("search must find it too");
-        prop_assert_eq!(
+        assert_eq!(
             farkas.objective(),
             search.objective(),
             "objective mismatch for offsets {:?}: farkas {} vs search {}",
@@ -61,7 +70,7 @@ proptest! {
         let a = p.array_by_name("A").unwrap();
         for r in [&farkas, &search] {
             let v = r.vector_for("A").unwrap();
-            prop_assert!(
+            assert!(
                 checker.valid_for_all_schedules(a, v.components()).unwrap(),
                 "checker rejects {} for offsets {:?}",
                 v,
@@ -74,31 +83,28 @@ proptest! {
         let v = farkas.vector_for("A").unwrap();
         let t = StorageTransform::new(&p, a, v).expect("transformable");
         let sched = scheduler::find_schedule(&p).expect("schedulable");
-        prop_assert!(semantics_preserved(&p, &[7, 6], &sched, std::slice::from_ref(&t)));
+        assert!(semantics_preserved(&p, &[7, 6], &sched, std::slice::from_ref(&t)));
         // A steep skew is legal for any j-carried stencil with |di| <= 2:
         // Θ = i + 4j satisfies 4 - di·1 >= 1.
         let skew = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[1, 4, 0, 0], 0)]);
-        prop_assert!(legal::is_legal(&p, &skew));
-        prop_assert!(semantics_preserved(&p, &[7, 6], &skew, std::slice::from_ref(&t)));
+        assert!(legal::is_legal(&p, &skew));
+        assert!(semantics_preserved(&p, &[7, 6], &skew, std::slice::from_ref(&t)));
     }
 
     /// Schedule-specific vectors (Problem 1) are never longer than AOVs
     /// and always validate dynamically under their schedule.
-    #[test]
-    fn problem1_consistent_on_random_stencils(
-        offsets in proptest::collection::btree_set(-2i64..=2, 1..=3)
-    ) {
-        let offsets: Vec<i64> = offsets.into_iter().collect();
+    fn problem1_consistent_on_random_stencils(g) {
+        let offsets = random_offsets(g);
         let p = stencil_program(&offsets);
         let row = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
-        prop_assert!(legal::is_legal(&p, &row));
+        assert!(legal::is_legal(&p, &row));
         let specific = problems::ov_for_schedule(&p, &row).expect("solvable");
         let universal = problems::aov(&p).expect("solvable");
         let sv = specific.vector_for("A").unwrap();
         let uv = universal.vector_for("A").unwrap();
-        prop_assert!(sv.manhattan() <= uv.manhattan());
+        assert!(sv.manhattan() <= uv.manhattan());
         let a = p.array_by_name("A").unwrap();
         let t = StorageTransform::new(&p, a, sv).expect("transformable");
-        prop_assert!(semantics_preserved(&p, &[6, 6], &row, &[t]));
+        assert!(semantics_preserved(&p, &[6, 6], &row, &[t]));
     }
 }
