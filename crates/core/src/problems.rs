@@ -57,26 +57,31 @@ fn fan_out_patterns(
     let next = AtomicUsize::new(0);
     let bound = Mutex::new(i64::MAX);
     let results: Mutex<Vec<(usize, i64, Vec<OccupancyVector>)>> = Mutex::new(Vec::new());
+    // Worker spans adopt the caller's span so the trace stays one tree.
+    let ctx = aov_trace::current_context();
     std::thread::scope(|s| {
         for _ in 0..workers.min(patterns.len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= patterns.len() {
-                    break;
-                }
-                let pat = &patterns[i];
-                if prune(pat) > *bound.lock().unwrap() {
-                    continue;
-                }
-                aov_support::static_counter!("core.fanout.patterns")
-                    .fetch_add(1, Ordering::Relaxed);
-                if let Some((obj, vs)) = solve(pat) {
-                    let mut b = bound.lock().unwrap();
-                    if obj < *b {
-                        *b = obj;
+            s.spawn(|| {
+                let _adopt = aov_trace::adopt(ctx);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= patterns.len() {
+                        break;
                     }
-                    drop(b);
-                    results.lock().unwrap().push((i, obj, vs));
+                    let pat = &patterns[i];
+                    if prune(pat) > *bound.lock().unwrap() {
+                        continue;
+                    }
+                    aov_support::static_counter!("core.fanout.patterns")
+                        .fetch_add(1, Ordering::Relaxed);
+                    if let Some((obj, vs)) = solve(pat) {
+                        let mut b = bound.lock().unwrap();
+                        if obj < *b {
+                            *b = obj;
+                        }
+                        drop(b);
+                        results.lock().unwrap().push((i, obj, vs));
+                    }
                 }
             });
         }
@@ -193,7 +198,8 @@ pub fn ov_for_schedule_with(
     let theta = legal::point_of(p, &space, sched);
     // Pattern-independent rows, instantiated at the schedule point.
     let mut dep_rows: Vec<Vec<AffineExpr>> = Vec::with_capacity(deps.len());
-    for dep in &deps {
+    for (didx, dep) in deps.iter().enumerate() {
+        let _span = aov_trace::span!("core.storage_forms_for_dep", dep = didx);
         let forms = storage_forms_for_dep(p, &space, &ov_space, dep)?;
         dep_rows.push(forms.iter().map(|f| f.at_point(&theta)).collect());
     }
@@ -202,6 +208,7 @@ pub fn ov_for_schedule_with(
         .filter(|pat| !pattern_has_zero_array(p, &ov_space, pat))
         .collect();
     let solve = |pattern: &Orthant| {
+        let _span = aov_trace::span!("p1.orthant", pattern = pattern_label(pattern));
         let mut m = Model::new();
         for name in ov_space.vars().names() {
             let v = m.add_var(name.clone());
@@ -222,6 +229,18 @@ pub fn ov_for_schedule_with(
     fan_out_patterns(&patterns, workers, &|_| i64::MIN, &solve)
         .map(|(_, vs)| OvResult::new(p, vs))
         .ok_or(CoreError::NoVectorFound)
+}
+
+/// Compact trace label for a sign pattern, e.g. `+0-`.
+fn pattern_label(pattern: &Orthant) -> String {
+    pattern
+        .iter()
+        .map(|&s| match s.cmp(&0) {
+            std::cmp::Ordering::Greater => '+',
+            std::cmp::Ordering::Equal => '0',
+            std::cmp::Ordering::Less => '-',
+        })
+        .collect()
 }
 
 /// A pattern whose slice for some array is all zeros encodes the zero
@@ -362,7 +381,8 @@ pub fn aov_with(p: &Program, workers: usize) -> Result<OvResult, CoreError> {
     // Pattern-independent storage forms and Farkas systems, per dep.
     let mut dep_systems: Vec<Vec<aov_schedule::farkas::FarkasSystem>> =
         Vec::with_capacity(deps.len());
-    for dep in &deps {
+    for (didx, dep) in deps.iter().enumerate() {
+        let _span = aov_trace::span!("core.storage_forms_for_dep", dep = didx);
         let forms = storage_forms_for_dep(p, &space, &ov_space, dep)?;
         dep_systems.push(
             forms
@@ -382,39 +402,43 @@ pub fn aov_with(p: &Program, workers: usize) -> Result<OvResult, CoreError> {
         LENGTH_WEIGHT * min_len
     };
     let solve = |pattern: &Orthant| {
+        let _span = aov_trace::span!("aov.orthant", pattern = pattern_label(pattern));
         let mut m = Model::new();
-        for name in ov_space.vars().names() {
-            let v = m.add_var(name.clone());
-            m.set_integer(v);
-        }
-        let mut fi = 0usize;
-        for (dep, systems) in deps.iter().zip(&dep_systems) {
-            if !dependence_active_in_pattern(p, &ov_space, dep, pattern) {
-                continue;
+        {
+            let _build = aov_trace::span!("farkas.model_build");
+            for name in ov_space.vars().names() {
+                let v = m.add_var(name.clone());
+                m.set_integer(v);
             }
-            for sys in systems {
-                // Fresh multipliers for this storage row.
-                let lambda_base = m.num_vars();
-                for j in 0..sys.num_multipliers {
-                    m.add_nonneg_var(format!("lam_{fi}_{j}"));
+            let mut fi = 0usize;
+            for (dep, systems) in deps.iter().zip(&dep_systems) {
+                if !dependence_active_in_pattern(p, &ov_space, dep, pattern) {
+                    continue;
                 }
-                fi += 1;
-                let total = m.num_vars();
-                for eq in &sys.equations {
-                    // lhs(v) − Σ_j mult_j λ_j == 0.
-                    let map: Vec<usize> = (0..ov_space.dim()).collect();
-                    let mut e = eq.lhs.embed(total, &map);
-                    for (j, c) in eq.multipliers.iter().enumerate() {
-                        if !c.is_zero() {
-                            e = &e - &AffineExpr::var(total, lambda_base + j).scale(c);
-                        }
+                for sys in systems {
+                    // Fresh multipliers for this storage row.
+                    let lambda_base = m.num_vars();
+                    for j in 0..sys.num_multipliers {
+                        m.add_nonneg_var(format!("lam_{fi}_{j}"));
                     }
-                    m.constrain(e, Cmp::Eq);
+                    fi += 1;
+                    let total = m.num_vars();
+                    for eq in &sys.equations {
+                        // lhs(v) − Σ_j mult_j λ_j == 0.
+                        let map: Vec<usize> = (0..ov_space.dim()).collect();
+                        let mut e = eq.lhs.embed(total, &map);
+                        for (j, c) in eq.multipliers.iter().enumerate() {
+                            if !c.is_zero() {
+                                e = &e - &AffineExpr::var(total, lambda_base + j).scale(c);
+                            }
+                        }
+                        m.constrain(e, Cmp::Eq);
+                    }
                 }
             }
+            let obj = install_pattern_objective(&mut m, p, &ov_space, pattern);
+            m.minimize(obj);
         }
-        let obj = install_pattern_objective(&mut m, p, &ov_space, pattern);
-        m.minimize(obj);
         candidate_of(&ov_space, m.solve_ilp())
     };
     fan_out_patterns(&patterns, workers, &prune, &solve)
@@ -452,6 +476,7 @@ pub fn aov_search_with(
     }
     let narrays = p.arrays().len();
     let search_one = |aidx: usize, checker: &mut Checker| -> Result<OccupancyVector, CoreError> {
+        let _span = aov_trace::span!("aov.search_array", array = aidx);
         let aid = aov_ir::ArrayId(aidx);
         let dim = p.arrays()[aidx].dim();
         let mut err: Option<CoreError> = None;
@@ -488,9 +513,11 @@ pub fn aov_search_with(
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slot_refs: Vec<std::sync::Mutex<&mut Option<Result<OccupancyVector, CoreError>>>> =
         slots.iter_mut().map(std::sync::Mutex::new).collect();
+    let ctx = aov_trace::current_context();
     std::thread::scope(|s| {
         for _ in 0..workers.min(narrays) {
             s.spawn(|| {
+                let _adopt = aov_trace::adopt(ctx);
                 let mut local = Checker::new(p);
                 loop {
                     let aidx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

@@ -4,13 +4,26 @@
 //! ```text
 //! aov <example1|example2|example3|example4|all> [options]
 //!
-//!   --workers N    fan the per-orthant solvers out over N threads
-//!                  (default: available parallelism, capped at 8)
-//!   --sequential   shorthand for --workers 1
-//!   --memoize      enable the LP memoization cache
-//!   --machine      include the §6 simulated-speedup stage
-//!   --params A,B   parameter sizes for the equivalence oracle
-//!   --compact      one-line JSON instead of pretty-printed
+//!   --workers N        fan the per-orthant solvers out over N threads
+//!                      (default: available parallelism, capped at 8)
+//!   --sequential       shorthand for --workers 1
+//!   --memoize          enable the LP memoization cache
+//!   --legacy-memo-keys key the cache on raw model text instead of the
+//!                      alpha-renamed canonical form (A/B comparison)
+//!   --machine          include the §6 simulated-speedup stage
+//!   --params A,B       parameter sizes for the equivalence oracle
+//!   --compact          one-line JSON instead of pretty-printed
+//!   --trace FILE       write a Chrome trace-event JSON (load it in
+//!                      Perfetto or chrome://tracing); the file also
+//!                      carries an "aovMetrics" snapshot merging the
+//!                      span flame table with the solver counters
+//!   --profile          print a per-example flame table and memo
+//!                      hit-rate summary to stderr
+//!
+//! aov --check-trace FILE
+//!
+//!   Validate a previously written trace: parse the JSON and assert it
+//!   contains pipeline root spans. Exit 0 when well-formed.
 //! ```
 //!
 //! Exit status: 0 on success (and dynamic equivalence holding), 1 when a
@@ -23,16 +36,21 @@ struct Options {
     programs: Vec<String>,
     workers: usize,
     memoize: bool,
+    legacy_memo_keys: bool,
     machine: bool,
     params: Option<Vec<i64>>,
     compact: bool,
+    trace: Option<String>,
+    profile: bool,
+    check_trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: aov <example1|example2|example3|example4|all> \
-         [--workers N] [--sequential] [--memoize] [--machine] \
-         [--params A,B,..] [--compact]"
+         [--workers N] [--sequential] [--memoize] [--legacy-memo-keys] \
+         [--machine] [--params A,B,..] [--compact] [--trace FILE] \
+         [--profile]\n       aov --check-trace FILE"
     );
     std::process::exit(2);
 }
@@ -49,9 +67,13 @@ fn parse(args: &[String]) -> Options {
         programs: Vec::new(),
         workers: default_workers(),
         memoize: false,
+        legacy_memo_keys: false,
         machine: false,
         params: None,
         compact: false,
+        trace: None,
+        profile: false,
+        check_trace: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -62,6 +84,7 @@ fn parse(args: &[String]) -> Options {
             },
             "--sequential" => opts.workers = 1,
             "--memoize" => opts.memoize = true,
+            "--legacy-memo-keys" => opts.legacy_memo_keys = true,
             "--machine" => opts.machine = true,
             "--params" => match it.next() {
                 Some(spec) => {
@@ -75,6 +98,15 @@ fn parse(args: &[String]) -> Options {
                 None => usage(),
             },
             "--compact" => opts.compact = true,
+            "--trace" => match it.next() {
+                Some(f) => opts.trace = Some(f.clone()),
+                None => usage(),
+            },
+            "--profile" => opts.profile = true,
+            "--check-trace" => match it.next() {
+                Some(f) => opts.check_trace = Some(f.clone()),
+                None => usage(),
+            },
             "all" => {
                 opts.programs.extend((1..=4).map(|k| format!("example{k}")));
             }
@@ -82,17 +114,67 @@ fn parse(args: &[String]) -> Options {
             _ => usage(),
         }
     }
-    if opts.programs.is_empty() {
+    if opts.programs.is_empty() && opts.check_trace.is_none() {
         usage();
     }
     opts
+}
+
+/// Validates a written trace file: parses the JSON back (through
+/// `aov_support::json`) and requires at least one `pipeline.*` root span
+/// among the trace events.
+fn check_trace(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("aov: {path}: {e}");
+            return 1;
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("aov: {path}: invalid JSON: {e}");
+            return 1;
+        }
+    };
+    let Some(Json::Arr(events)) = json.get("traceEvents") else {
+        eprintln!("aov: {path}: no traceEvents array");
+        return 1;
+    };
+    let pipeline_spans = events
+        .iter()
+        .filter(|e| matches!(e.get("name"), Some(Json::Str(n)) if n.starts_with("pipeline.")))
+        .count();
+    if pipeline_spans == 0 {
+        eprintln!("aov: {path}: no pipeline root spans in trace");
+        return 1;
+    }
+    eprintln!(
+        "aov: {path}: ok ({} events, {pipeline_spans} pipeline spans)",
+        events.len()
+    );
+    0
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse(&args);
 
+    if let Some(path) = &opts.check_trace {
+        std::process::exit(check_trace(path));
+    }
+
+    let tracing = opts.trace.is_some() || opts.profile;
+    if tracing {
+        aov_trace::set_enabled(true);
+    }
+    if opts.legacy_memo_keys {
+        aov_lp::memo::set_legacy_keys(true);
+    }
+
     let mut reports = Vec::new();
+    let mut all_records: Vec<aov_trace::SpanRecord> = Vec::new();
     let mut all_equivalent = true;
     for name in &opts.programs {
         let mut pipeline = match Pipeline::for_example(name) {
@@ -111,6 +193,13 @@ fn main() {
         }
         match pipeline.run() {
             Ok(report) => {
+                if tracing {
+                    let records = aov_trace::drain();
+                    if opts.profile {
+                        print_profile(name, &records, &report);
+                    }
+                    all_records.extend(records);
+                }
                 all_equivalent &= report.equivalent;
                 reports.push(report.to_json());
             }
@@ -119,6 +208,17 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(path) = &opts.trace {
+        let metrics =
+            aov_trace::metrics::snapshot(&all_records, &aov_support::counters::snapshot());
+        let doc = aov_trace::chrome::chrome_trace(&all_records).field("aovMetrics", metrics);
+        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("aov: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("aov: trace written to {path} ({} spans)", all_records.len());
     }
 
     let json = if reports.len() == 1 {
@@ -137,4 +237,27 @@ fn main() {
     use std::io::Write;
     let _ = std::io::stdout().write_all(text.as_bytes());
     std::process::exit(if all_equivalent { 0 } else { 1 });
+}
+
+/// Per-example profile: flame table plus the run's memo economics.
+fn print_profile(name: &str, records: &[aov_trace::SpanRecord], report: &aov_engine::Report) {
+    eprintln!("== profile: {name} ({} spans) ==", records.len());
+    let table = aov_trace::flame::FlameTable::build(records);
+    eprint!("{}", table.render());
+    let hits = report.counter("lp.memo.hits");
+    let misses = report.counter("lp.memo.misses");
+    match report.memo_hit_rate() {
+        Some(rate) => eprintln!(
+            "memo: {hits} hits / {} lookups ({:.1}% hit rate, {})",
+            hits + misses,
+            rate * 100.0,
+            if aov_lp::memo::legacy_keys() {
+                "legacy keys"
+            } else {
+                "canonical keys"
+            }
+        ),
+        None => eprintln!("memo: no lookups"),
+    }
+    eprintln!();
 }

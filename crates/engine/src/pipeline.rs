@@ -6,7 +6,10 @@
 //! equivalence oracle — as named stages. Every stage records its
 //! wall-clock time and the delta of every global solver counter
 //! (`lp.simplex.pivots`, `polyhedra.fm.eliminations`, …), so a single
-//! run doubles as a profile of where the analysis effort goes.
+//! run doubles as a profile of where the analysis effort goes. When
+//! [`aov-trace`](aov_trace) is enabled, each stage also opens a root
+//! span (`pipeline.<stage>`) under which every solver span nests — the
+//! CLI's `--trace`/`--profile` flags build on this.
 //!
 //! The per-orthant solvers of Problems 1 and 3 fan out over a
 //! configurable number of worker threads; the reduction is deterministic,
@@ -110,6 +113,10 @@ pub struct Report {
     pub check_params: Vec<i64>,
     /// Total wall-clock across stages.
     pub total_micros: u128,
+    /// Counter increments caused by *this run* (whole-run snapshot
+    /// delta) — unlike the raw registry, these never accumulate across
+    /// pipeline runs in the same process.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl Report {
@@ -126,6 +133,23 @@ impl Report {
             .filter(|(k, _)| k == name)
             .map(|(_, v)| *v)
             .sum()
+    }
+
+    /// One per-run counter (0 when it never moved during this run).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// LP-memo hit rate for this run, `None` when no lookups happened
+    /// (memoization off, or no LP reached the cache).
+    pub fn memo_hit_rate(&self) -> Option<f64> {
+        let hits = self.counter("lp.memo.hits");
+        let total = hits + self.counter("lp.memo.misses");
+        #[allow(clippy::cast_precision_loss)]
+        (total > 0).then(|| hits as f64 / total as f64)
     }
 }
 
@@ -163,6 +187,23 @@ impl ToJson for Report {
             .field(
                 "code",
                 self.code.lines().map(Json::from).collect::<Vec<_>>(),
+            )
+            .field(
+                "counters",
+                self.counters
+                    .iter()
+                    .map(|(k, v)| Json::obj().field("name", k.as_str()).field("count", *v))
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "memo",
+                Json::obj()
+                    .field("hits", self.counter("lp.memo.hits"))
+                    .field("misses", self.counter("lp.memo.misses"))
+                    .field(
+                        "hit_rate",
+                        self.memo_hit_rate().map_or(Json::Null, Json::Float),
+                    ),
             )
             .field("stages", self.stages.to_json())
     }
@@ -252,6 +293,7 @@ impl Pipeline {
             aov_lp::memo::set_enabled(true);
         }
         let mut stages: Vec<StageReport> = Vec::new();
+        let run_before = counters::snapshot();
         let t_start = Instant::now();
 
         stage(&mut stages, "ir", || {
@@ -368,6 +410,7 @@ impl Pipeline {
             equivalent,
             check_params,
             total_micros: t_start.elapsed().as_micros(),
+            counters: counters::delta(&run_before, &counters::snapshot()),
             stages,
         })
     }
@@ -434,6 +477,11 @@ fn stage<T>(
     name: &'static str,
     f: impl FnOnce() -> Result<(T, Json), EngineError>,
 ) -> Result<T, EngineError> {
+    let _span = aov_trace::span!({
+        let mut s = String::from("pipeline.");
+        s.push_str(name);
+        s
+    });
     let before = counters::snapshot();
     let t0 = Instant::now();
     let (value, detail) = f()?;

@@ -1,0 +1,189 @@
+//! Tracing/profiling integration tests: golden flame table on
+//! Example 1, Chrome-export round-trip, and per-run counter deltas.
+//!
+//! The trace sink and the counter registry are process-global, so these
+//! tests serialize on a mutex and live in their own test binary — the
+//! other engine test binaries never enable tracing and cannot pollute
+//! the sink.
+
+use std::sync::Mutex;
+
+use aov_engine::{Pipeline, Report};
+use aov_support::Json;
+use aov_trace::flame::FlameTable;
+use aov_trace::SpanRecord;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs Example 1 with tracing on and returns its spans and report.
+fn traced_example1(workers: usize) -> (Vec<SpanRecord>, Report) {
+    let _guard = lock();
+    aov_lp::memo::set_enabled(false); // cold cache: the simplex must run
+    aov_trace::clear();
+    aov_trace::set_enabled(true);
+    let report = Pipeline::for_example("example1")
+        .unwrap()
+        .workers(workers)
+        .memoize(true)
+        .run()
+        .expect("example1 runs");
+    aov_trace::set_enabled(false);
+    (aov_trace::drain(), report)
+}
+
+/// The stages every run executes, in order (machine stage off).
+const STAGES: [&str; 10] = [
+    "pipeline.ir",
+    "pipeline.dependences",
+    "pipeline.legal_schedule",
+    "pipeline.schedule",
+    "pipeline.problem1",
+    "pipeline.aov",
+    "pipeline.problem2",
+    "pipeline.storage_transform",
+    "pipeline.codegen",
+    "pipeline.equivalence",
+];
+
+#[test]
+fn example1_flame_table_golden() {
+    let (records, report) = traced_example1(2);
+    assert!(report.equivalent);
+    let table = FlameTable::build(&records);
+    // Every pipeline stage is exactly one span.
+    for stage in STAGES {
+        let row = table
+            .row(stage)
+            .unwrap_or_else(|| panic!("missing stage row {stage}"));
+        assert_eq!(row.count, 1, "{stage} must run exactly once");
+    }
+    // Problems 1 and 3 each instantiate the storage forms once per dep.
+    let ndeps = aov_ir::analysis::dependences(&aov_ir::examples::example1()).len();
+    let forms = table
+        .row("core.storage_forms_for_dep")
+        .expect("storage-form spans");
+    assert_eq!(forms.count as usize, 2 * ndeps);
+    // Example 1's vector space has 2 components: 3^2 sign patterns minus
+    // the all-zero one survive the filter, and Problem 1 never prunes.
+    assert_eq!(table.row("p1.orthant").expect("p1 spans").count, 8);
+    // The AOV incumbent bound may prune late orthants (timing-dependent
+    // in parallel runs), but at least one must be solved.
+    assert!(table.row("aov.orthant").expect("aov spans").count >= 1);
+    // Solver-cost attribution: the flame table separates model build
+    // from LP solve from memo lookup.
+    for name in [
+        "farkas.model_build",
+        "farkas.system",
+        "lp.solve",
+        "lp.simplex",
+        "lp.canonicalize",
+        "lp.memo.lookup",
+        "lp.ilp",
+    ] {
+        assert!(table.row(name).is_some(), "missing {name} row");
+    }
+    for row in table.rows() {
+        assert!(row.self_ns <= row.total_ns, "{}: self > total", row.name);
+        assert!(row.p50_ns <= row.p95_ns, "{}: p50 > p95", row.name);
+    }
+    // The rendered table carries every row name.
+    let rendered = table.render();
+    assert!(rendered.contains("pipeline.aov") && rendered.contains("lp.simplex"));
+    // Deterministic tree shape: every root is a pipeline stage, and the
+    // cross-thread orthant spans re-attach below their stage.
+    let tree = aov_trace::tree(&records);
+    assert_eq!(tree.len(), STAGES.len());
+    for root in &tree {
+        assert!(
+            root.name.starts_with("pipeline."),
+            "non-stage root {}",
+            root.name
+        );
+    }
+    let p1 = tree
+        .iter()
+        .find(|n| n.name == "pipeline.problem1")
+        .expect("problem1 root");
+    assert_eq!(
+        p1.children
+            .iter()
+            .filter(|c| c.name == "p1.orthant")
+            .count(),
+        8,
+        "orthant spans must parent to their stage across worker threads"
+    );
+}
+
+#[test]
+fn chrome_export_round_trips() {
+    let (records, _) = traced_example1(2);
+    let doc = aov_trace::chrome::chrome_trace(&records);
+    let parsed = Json::parse(&doc.to_pretty()).expect("chrome trace parses back");
+    let Some(Json::Arr(events)) = parsed.get("traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    let mut complete = 0usize;
+    let mut meta = 0usize;
+    for e in events {
+        match e.get("ph") {
+            Some(Json::Str(ph)) if ph == "X" => {
+                complete += 1;
+                assert!(matches!(e.get("name"), Some(Json::Str(_))));
+                assert!(e.get("ts").is_some() && e.get("dur").is_some());
+                assert!(e.get("tid").is_some() && e.get("pid").is_some());
+            }
+            Some(Json::Str(ph)) if ph == "M" => meta += 1,
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert_eq!(complete, records.len());
+    assert!(meta >= 2, "expected thread_name metadata per track");
+    // workers(2) puts spans on more than one track.
+    let threads: std::collections::BTreeSet<u64> = records.iter().map(|r| r.thread).collect();
+    assert!(
+        threads.len() >= 2,
+        "expected multiple threads, got {threads:?}"
+    );
+}
+
+/// Satellite check: `Report::counters` holds this run's increments, not
+/// the process-cumulative registry values.
+#[test]
+fn report_counters_are_per_run_deltas() {
+    let _guard = lock();
+    aov_lp::memo::set_enabled(false); // cold cache
+    let run = || {
+        Pipeline::for_example("example1")
+            .unwrap()
+            .workers(1)
+            .memoize(true)
+            .run()
+            .expect("example1 runs")
+    };
+    let first = run();
+    let second = run();
+    assert!(first.counter("lp.memo.misses") > 0, "cold run must miss");
+    assert!(second.counter("lp.memo.hits") > 0, "warm run must hit");
+    assert!(
+        second.memo_hit_rate().expect("lookups happened") > first.memo_hit_rate().unwrap(),
+        "warm run must hit more often than the cold one"
+    );
+    // The registry keeps process-cumulative values; the reports carry
+    // per-run deltas strictly below them.
+    let cumulative = aov_support::counters::snapshot()
+        .iter()
+        .find(|(n, _)| n == "lp.memo.misses")
+        .map_or(0, |(_, v)| *v);
+    assert!(cumulative >= first.counter("lp.memo.misses") + second.counter("lp.memo.misses"));
+    assert!(second.counter("lp.memo.misses") < cumulative);
+    // The JSON report exposes the same memo economics.
+    use aov_support::ToJson;
+    let json = second.to_json();
+    let memo = json.get("memo").expect("memo sub-report");
+    assert!(matches!(memo.get("hits"), Some(Json::Int(h)) if *h > 0));
+    assert!(matches!(memo.get("hit_rate"), Some(Json::Float(r)) if *r > 0.0));
+}

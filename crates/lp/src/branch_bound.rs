@@ -13,6 +13,7 @@ pub(crate) fn solve(model: &Model) -> LpOutcome {
     if !marks.iter().any(|&b| b) {
         return model.solve_lp();
     }
+    let _span = aov_trace::span!("lp.ilp", vars = model.num_vars());
     let mut best: Option<Solution> = None;
     let mut nodes = 0usize;
     let mut limit_hit = false;

@@ -3,9 +3,15 @@
 //! The analyses re-solve structurally identical LPs many times: the
 //! sign-pattern enumeration of the AOV problem instantiates the same
 //! Farkas system per orthant, and the exact checker probes overlapping
-//! candidate sets. A [`Model`]'s [`Display`](std::fmt::Display) output is
-//! a canonical rendering of the model (objective, constraints, bounds and
-//! integrality in declaration order), so it doubles as a cache key.
+//! candidate sets. The cache key is
+//! [`Model::canonical_key`](crate::Model::canonical_key) — a rendering
+//! of the model (objective, constraints, bounds and integrality in
+//! declaration order) with every variable *alpha-renamed* to its
+//! positional index, so models that differ only in variable names
+//! (e.g. the per-orthant Farkas systems, whose multiplier names carry
+//! the enumeration index of the active dependence set) share an entry.
+//! [`set_legacy_keys`] switches back to the historical
+//! [`Display`](std::fmt::Display)-text key for A/B hit-rate comparison.
 //!
 //! The cache is process-global, thread-safe, and disabled by default so
 //! that micro-benchmarks and tests measure the real solver unless a
@@ -18,6 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static LEGACY_KEYS: AtomicBool = AtomicBool::new(false);
 static CACHE: Mutex<Option<HashMap<String, LpOutcome>>> = Mutex::new(None);
 
 /// Turns memoization on or off. Turning it off clears the cache so a
@@ -32,6 +39,23 @@ pub fn set_enabled(on: bool) {
 /// Whether memoization is currently active.
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Selects the cache-key scheme: `true` keys on the model's display
+/// text (variable names included, the pre-alpha-renaming behaviour),
+/// `false` (the default) on the alpha-renamed
+/// [`canonical_key`](crate::Model::canonical_key). Switching clears the
+/// cache — the two schemes' keys must never mix.
+pub fn set_legacy_keys(on: bool) {
+    let was = LEGACY_KEYS.swap(on, Ordering::Relaxed);
+    if was != on {
+        clear();
+    }
+}
+
+/// Whether the legacy display-text key scheme is active.
+pub fn legacy_keys() -> bool {
+    LEGACY_KEYS.load(Ordering::Relaxed)
 }
 
 /// Drops every cached outcome.
@@ -61,4 +85,69 @@ pub(crate) fn store(key: String, outcome: &LpOutcome) {
         .unwrap()
         .get_or_insert_with(HashMap::new)
         .insert(key, outcome.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, Model};
+    use aov_linalg::AffineExpr;
+
+    /// The same LP built twice with different variable names.
+    fn renamed_models() -> (Model, Model) {
+        let build = |names: [&str; 2]| {
+            let mut m = Model::new();
+            let x = m.add_var(names[0]);
+            let y = m.add_var(names[1]);
+            m.set_lower_bound(x, 0.into());
+            m.set_lower_bound(y, 0.into());
+            m.set_integer(y);
+            m.constrain(AffineExpr::from_i64(&[1, 1], -2), Cmp::Ge);
+            m.minimize(AffineExpr::from_i64(&[2, 1], 0));
+            m
+        };
+        (build(["x", "y"]), build(["lam_0_0", "d_A_0_1"]))
+    }
+
+    #[test]
+    fn canonical_key_is_name_independent() {
+        let (a, b) = renamed_models();
+        // The display texts (the legacy keys) differ…
+        assert_ne!(a.to_string(), b.to_string());
+        // …but the alpha-renamed canonical keys agree.
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_still_separates_different_structure() {
+        let (a, _) = renamed_models();
+        let mut c = a.clone();
+        c.constrain(AffineExpr::from_i64(&[1, 0], -1), Cmp::Ge);
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        let mut d = a.clone();
+        d.set_upper_bound(crate::VarId::from_index(0), 9.into());
+        assert_ne!(a.canonical_key(), d.canonical_key());
+    }
+
+    /// Cache-sharing across renamed models, exercised through the raw
+    /// lookup/store layer (the global enable flag stays untouched so
+    /// parallel tests are unaffected).
+    #[test]
+    fn renamed_models_share_cache_entries() {
+        let (a, b) = renamed_models();
+        let outcome = a.solve_lp();
+        store(a.canonical_key(), &outcome);
+        assert_eq!(
+            lookup(&b.canonical_key()),
+            Some(outcome.clone()),
+            "alpha-renamed model must hit"
+        );
+        // Under the legacy display-text scheme the rename misses.
+        store(a.to_string(), &outcome);
+        assert_eq!(
+            lookup(&b.to_string()),
+            None,
+            "legacy keys distinguish names"
+        );
+    }
 }

@@ -260,21 +260,86 @@ impl Model {
         &self.integer
     }
 
+    /// A memoization key (see [`memo`](crate::memo)): the model rendered
+    /// with every variable alpha-renamed to its positional index
+    /// (`x0`, `x1`, …), so structurally identical models key equal
+    /// regardless of variable naming. This is sound because LP outcomes
+    /// are positional too ([`Solution::values`] is indexed by
+    /// [`VarId::index`], never by name).
+    pub fn canonical_key(&self) -> String {
+        use std::fmt::Write;
+        fn push_expr(out: &mut String, e: &AffineExpr) {
+            for (k, c) in e.coeffs().iter().enumerate() {
+                if !c.is_zero() {
+                    let _ = write!(out, "{c}*x{k}+");
+                }
+            }
+            let _ = write!(out, "{}", e.constant_term());
+        }
+        let mut out = String::with_capacity(64 * (1 + self.constraints.len()));
+        out.push_str("min ");
+        push_expr(&mut out, &self.padded_objective());
+        for (e, c) in &self.constraints {
+            out.push('\n');
+            out.push_str(match c {
+                Cmp::Ge => ">=0 ",
+                Cmp::Le => "<=0 ",
+                Cmp::Eq => "==0 ",
+            });
+            push_expr(&mut out, &self.pad(e));
+        }
+        for (i, (lo, hi)) in self.lower.iter().zip(&self.upper).enumerate() {
+            if lo.is_some() || hi.is_some() || self.integer[i] {
+                let _ = write!(out, "\nx{i}");
+                if let Some(l) = lo {
+                    let _ = write!(out, " >= {l}");
+                }
+                if let Some(u) = hi {
+                    let _ = write!(out, " <= {u}");
+                }
+                if self.integer[i] {
+                    out.push_str(" int");
+                }
+            }
+        }
+        out
+    }
+
     /// Solves the continuous relaxation with exact two-phase simplex.
     ///
     /// When [`memo::set_enabled`](crate::memo::set_enabled) is on,
     /// repeated solves of canonically identical models are served from a
     /// process-global cache.
     pub fn solve_lp(&self) -> LpOutcome {
+        let _span = aov_trace::span!(
+            "lp.solve",
+            vars = self.num_vars(),
+            constraints = self.num_constraints()
+        );
         if crate::memo::enabled() {
-            let key = self.to_string();
-            if let Some(cached) = crate::memo::lookup(&key) {
+            let key = {
+                let _s = aov_trace::span!("lp.canonicalize");
+                if crate::memo::legacy_keys() {
+                    self.to_string()
+                } else {
+                    self.canonical_key()
+                }
+            };
+            let cached = {
+                let _s = aov_trace::span!("lp.memo.lookup");
+                crate::memo::lookup(&key)
+            };
+            if let Some(cached) = cached {
                 return cached;
             }
-            let outcome = simplex::solve(self);
+            let outcome = {
+                let _s = aov_trace::span!("lp.simplex");
+                simplex::solve(self)
+            };
             crate::memo::store(key, &outcome);
             outcome
         } else {
+            let _s = aov_trace::span!("lp.simplex");
             simplex::solve(self)
         }
     }

@@ -48,6 +48,7 @@ pub struct FarkasSystem {
 ///
 /// Panics if a row's dimension differs from `target.domain_dim()`.
 pub fn farkas_system(target: &BilinearForm, rows: &[AffineExpr]) -> FarkasSystem {
+    let _span = aov_trace::span!("farkas.system", rows = rows.len());
     let e_dim = target.domain_dim();
     for r in rows {
         assert_eq!(r.dim(), e_dim, "Farkas row dimension mismatch");

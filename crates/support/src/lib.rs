@@ -7,8 +7,9 @@
 //!
 //! * [`rng`] — deterministic SplitMix64 / xoshiro256\*\* PRNG (replaces
 //!   `rand` for seeded test-input generation),
-//! * [`json`] — a minimal JSON value with a compact/pretty writer
-//!   (replaces `serde`/`serde_json` for report dumps),
+//! * [`json`] — a minimal JSON value with a compact/pretty writer and
+//!   a parser (replaces `serde`/`serde_json` for report dumps and
+//!   read-back),
 //! * [`bench`] — a wall-clock micro-benchmark harness with warmup and
 //!   per-iteration statistics (replaces `criterion`),
 //! * [`prop`] + [`props!`] — a seeded property-test runner (replaces
@@ -25,5 +26,5 @@ pub mod json;
 pub mod prop;
 pub mod rng;
 
-pub use json::{Json, ToJson};
+pub use json::{Json, JsonParseError, ToJson};
 pub use rng::Rng;

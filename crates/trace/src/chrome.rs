@@ -1,0 +1,114 @@
+//! Chrome trace-event export (the JSON object format of
+//! `chrome://tracing` and <https://ui.perfetto.dev>).
+//!
+//! Each span becomes one complete event (`"ph": "X"`) with microsecond
+//! timestamps; each thread that recorded a span gets a metadata event
+//! naming its track, so the viewer shows one track per worker thread.
+
+use crate::SpanRecord;
+use aov_support::Json;
+
+/// The trace document for `records` (as returned by
+/// [`drain`](crate::drain)).
+pub fn chrome_trace(records: &[SpanRecord]) -> Json {
+    let mut events: Vec<Json> = Vec::with_capacity(records.len() + 8);
+    let mut threads: Vec<u64> = records.iter().map(|r| r.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for &t in &threads {
+        events.push(
+            Json::obj()
+                .field("name", "thread_name")
+                .field("ph", "M")
+                .field("pid", 1)
+                .field("tid", t)
+                .field(
+                    "args",
+                    Json::obj().field(
+                        "name",
+                        if t == 0 {
+                            "main".to_string()
+                        } else {
+                            format!("worker-{t}")
+                        },
+                    ),
+                ),
+        );
+    }
+    for r in records {
+        let mut args = Json::obj().field("span_id", r.id);
+        if let Some(p) = r.parent {
+            args = args.field("parent_id", p);
+        }
+        for (k, v) in &r.fields {
+            args = args.field(k, v.as_str());
+        }
+        events.push(
+            Json::obj()
+                .field("name", r.name.as_str())
+                .field("cat", "aov")
+                .field("ph", "X")
+                .field("ts", r.start_ns as f64 / 1e3)
+                .field("dur", r.dur_ns as f64 / 1e3)
+                .field("pid", 1)
+                .field("tid", r.thread)
+                .field("args", args),
+        );
+    }
+    Json::obj()
+        .field("traceEvents", events)
+        .field("displayTimeUnit", "ms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: Option<u64>, thread: u64, name: &str) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            thread,
+            name: name.to_string(),
+            fields: vec![("dep", "3".to_string())],
+            start_ns: 1_500,
+            dur_ns: 2_500,
+        }
+    }
+
+    #[test]
+    fn export_shape() {
+        let doc = chrome_trace(&[rec(1, None, 0, "root"), rec(2, Some(1), 3, "child")]);
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        // 2 thread-name metadata events + 2 span events.
+        assert_eq!(events.len(), 4);
+        let meta: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Json::Str("M".into())))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[1].get("args").unwrap().get("name"),
+            Some(&Json::Str("worker-3".into()))
+        );
+        let span = events
+            .iter()
+            .find(|e| e.get("name") == Some(&Json::Str("child".into())))
+            .unwrap();
+        assert_eq!(span.get("ph"), Some(&Json::Str("X".into())));
+        assert_eq!(span.get("ts"), Some(&Json::Float(1.5)));
+        assert_eq!(span.get("dur"), Some(&Json::Float(2.5)));
+        assert_eq!(span.get("tid"), Some(&Json::Int(3)));
+        let args = span.get("args").unwrap();
+        assert_eq!(args.get("parent_id"), Some(&Json::Int(1)));
+        assert_eq!(args.get("dep"), Some(&Json::Str("3".into())));
+    }
+
+    #[test]
+    fn empty_trace_is_well_formed() {
+        let doc = chrome_trace(&[]);
+        assert_eq!(doc.get("traceEvents"), Some(&Json::Arr(Vec::new())));
+    }
+}

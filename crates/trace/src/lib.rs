@@ -1,0 +1,465 @@
+//! Hierarchical tracing for the `aov` solver stack.
+//!
+//! Any code can open a span —
+//!
+//! ```
+//! aov_trace::set_enabled(true);
+//! {
+//!     let _outer = aov_trace::span!("solve.outer", example = 1);
+//!     let _inner = aov_trace::span!("solve.inner");
+//! }
+//! aov_trace::set_enabled(false);
+//! let records = aov_trace::drain();
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(aov_trace::tree(&records)[0].name, "solve.outer");
+//! ```
+//!
+//! — and get nested, thread-attributed wall-clock timing plus `key=value`
+//! fields. Spans are kept on a thread-local stack (so nesting needs no
+//! coordination) and finished spans are published to a process-global
+//! sink. Three consumers read the sink:
+//!
+//! * [`chrome`] — Chrome trace-event JSON, loadable in Perfetto or
+//!   `chrome://tracing`, one track per worker thread,
+//! * [`flame`] — an in-process self-time/total-time flame table with
+//!   call counts and p50/p95 duration histograms,
+//! * [`metrics`] — a single `Json` report merging span aggregates with
+//!   the `aov-support::counters` registry.
+//!
+//! # Cost when disabled
+//!
+//! Tracing is off by default. The [`span!`] macro checks one relaxed
+//! atomic load before evaluating its name or field expressions, so a
+//! disabled span costs a load and a branch — no allocation, no clock
+//! read, no lock.
+//!
+//! # Cross-thread parenting
+//!
+//! A scoped fan-out captures [`current_context`] before spawning and
+//! calls [`adopt`] inside each worker; spans the worker opens then hang
+//! off the capturing span, so traces stay hierarchical across the
+//! per-orthant solver threads.
+//!
+//! # Determinism
+//!
+//! Span ids and per-thread track ids are small sequential integers, and
+//! [`drain`] returns records sorted by `(thread, start, id)`. For
+//! comparisons that must ignore scheduling noise, [`tree`] rebuilds the
+//! hierarchy with no timestamps at all (names, fields and children
+//! only), which makes span trees comparable across runs.
+
+pub mod chrome;
+pub mod flame;
+pub mod metrics;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic origin for all span timestamps (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn sink() -> &'static Mutex<Vec<SpanRecord>> {
+    static SINK: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turns tracing on or off process-wide. Spans already open keep
+/// recording (their guard captured the enabled state at entry).
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch(); // pin the time origin before the first span
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently active (one relaxed atomic load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id (sequential, process-wide).
+    pub id: u64,
+    /// Enclosing span, if any — possibly on another thread (see
+    /// [`adopt`]).
+    pub parent: Option<u64>,
+    /// Small sequential id of the recording thread (trace track).
+    pub thread: u64,
+    /// Span name (aggregation key of the flame table).
+    pub name: String,
+    /// `key=value` fields attached at entry.
+    pub fields: Vec<(&'static str, String)>,
+    /// Start offset from the trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct ThreadState {
+    thread_id: u64,
+    /// Open span ids, innermost last.
+    stack: Vec<u64>,
+    /// Parent inherited from another thread via [`adopt`].
+    adopted: Option<u64>,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState {
+        thread_id: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        adopted: None,
+    });
+}
+
+/// A handle naming the current innermost span, for handing to another
+/// thread (capture with [`current_context`], install with [`adopt`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanContext {
+    parent: Option<u64>,
+}
+
+/// The context under which new spans on this thread would nest.
+pub fn current_context() -> SpanContext {
+    if !enabled() {
+        return SpanContext::default();
+    }
+    TLS.with(|tls| {
+        let tls = tls.borrow();
+        SpanContext {
+            parent: tls.stack.last().copied().or(tls.adopted),
+        }
+    })
+}
+
+/// Guard restoring the thread's previous adopted parent on drop.
+pub struct AdoptGuard {
+    prev: Option<u64>,
+    installed: bool,
+}
+
+/// Installs `ctx` as the parent for spans opened on this thread while
+/// the guard lives. Used by scoped fan-outs to keep worker spans nested
+/// under the span that spawned them.
+pub fn adopt(ctx: SpanContext) -> AdoptGuard {
+    if !enabled() {
+        return AdoptGuard {
+            prev: None,
+            installed: false,
+        };
+    }
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        let prev = tls.adopted;
+        tls.adopted = ctx.parent;
+        AdoptGuard {
+            prev,
+            installed: true,
+        }
+    })
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            TLS.with(|tls| tls.borrow_mut().adopted = self.prev);
+        }
+    }
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    thread: u64,
+    name: String,
+    fields: Vec<(&'static str, String)>,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// RAII guard of one span; records the span on drop. Obtain via
+/// [`span!`].
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// The no-op guard handed out while tracing is disabled.
+    #[inline]
+    pub fn disabled() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// Opens a span (the enabled arm of [`span!`]). Prefer the macro,
+    /// which checks [`enabled`] before evaluating any argument.
+    pub fn enter_with(name: String, fields: Vec<(&'static str, String)>) -> SpanGuard {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let (parent, thread) = TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            let parent = tls.stack.last().copied().or(tls.adopted);
+            let thread = tls.thread_id;
+            tls.stack.push(id);
+            (parent, thread)
+        });
+        let start = Instant::now();
+        let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+        SpanGuard(Some(ActiveSpan {
+            id,
+            parent,
+            thread,
+            name,
+            fields,
+            start,
+            start_ns,
+        }))
+    }
+
+    /// The id of this span, if it is recording.
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|s| s.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.0.take() else { return };
+        let dur_ns = span.start.elapsed().as_nanos() as u64;
+        TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            // Guards are scope-bound, so this is a plain pop; tolerate
+            // out-of-order drops by searching.
+            match tls.stack.last() {
+                Some(&top) if top == span.id => {
+                    tls.stack.pop();
+                }
+                _ => tls.stack.retain(|&id| id != span.id),
+            }
+        });
+        let record = SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            thread: span.thread,
+            name: span.name,
+            fields: span.fields,
+            start_ns: span.start_ns,
+            dur_ns,
+        };
+        sink().lock().expect("trace sink poisoned").push(record);
+    }
+}
+
+/// Opens a span, returning its [`SpanGuard`]:
+///
+/// ```
+/// let _s = aov_trace::span!("lp.solve", vars = 12, constraints = 30);
+/// ```
+///
+/// The name may be any expression yielding a `String`-convertible value;
+/// field values use their `Display` form. Nothing — not even the name
+/// expression — is evaluated while tracing is disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::enter_with(
+                ::std::string::String::from($name),
+                ::std::vec![$((
+                    ::std::stringify!($key),
+                    ::std::string::ToString::to_string(&$value),
+                )),*],
+            )
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Removes and returns every finished span, sorted by
+/// `(thread, start, id)` for deterministic downstream processing.
+pub fn drain() -> Vec<SpanRecord> {
+    let mut records = std::mem::take(&mut *sink().lock().expect("trace sink poisoned"));
+    records.sort_by_key(|r| (r.thread, r.start_ns, r.id));
+    records
+}
+
+/// Discards every finished span.
+pub fn clear() {
+    sink().lock().expect("trace sink poisoned").clear();
+}
+
+/// One node of a timestamp-free span tree (see [`tree`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    pub name: String,
+    pub fields: Vec<(&'static str, String)>,
+    pub children: Vec<TreeNode>,
+}
+
+/// Rebuilds the span hierarchy with timestamps zeroed out: each node
+/// keeps only its name, fields and children. Children are ordered by
+/// `(name, fields, start)` so trees compare equal across runs even when
+/// sibling spans raced on different threads. Roots are spans whose
+/// parent is absent from `records`.
+pub fn tree(records: &[SpanRecord]) -> Vec<TreeNode> {
+    fn build(records: &[SpanRecord], parent: Option<u64>, known: &[u64]) -> Vec<TreeNode> {
+        let mut nodes: Vec<(&SpanRecord, TreeNode)> = records
+            .iter()
+            .filter(|r| match parent {
+                Some(p) => r.parent == Some(p),
+                None => r.parent.is_none_or(|p| !known.contains(&p)),
+            })
+            .map(|r| {
+                (
+                    r,
+                    TreeNode {
+                        name: r.name.clone(),
+                        fields: r.fields.clone(),
+                        children: build(records, Some(r.id), known),
+                    },
+                )
+            })
+            .collect();
+        nodes.sort_by(|(ra, a), (rb, b)| {
+            (&a.name, &a.fields, ra.start_ns, ra.id).cmp(&(&b.name, &b.fields, rb.start_ns, rb.id))
+        });
+        nodes.into_iter().map(|(_, n)| n).collect()
+    }
+    let known: Vec<u64> = records.iter().map(|r| r.id).collect();
+    build(records, None, &known)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // Tracing state is process-global; serialize the tests that toggle it.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> (R, Vec<SpanRecord>) {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear();
+        let out = f();
+        set_enabled(false);
+        (out, drain())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        clear();
+        {
+            let _s = span!("test.disabled");
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn nesting_and_fields() {
+        let (_, records) = with_tracing(|| {
+            let _a = span!("test.outer", k = 7);
+            let _b = span!("test.inner");
+        });
+        assert_eq!(records.len(), 2);
+        let roots = tree(&records);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "test.outer");
+        assert_eq!(roots[0].fields, vec![("k", "7".to_string())]);
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].name, "test.inner");
+    }
+
+    #[test]
+    fn siblings_close_in_order() {
+        let (_, records) = with_tracing(|| {
+            {
+                let _a = span!("test.first");
+            }
+            {
+                let _b = span!("test.second");
+            }
+        });
+        let roots = tree(&records);
+        assert_eq!(roots.len(), 2);
+        // Ordered by start time (first opened first).
+        assert_eq!(roots[0].name, "test.first");
+        assert_eq!(roots[1].name, "test.second");
+    }
+
+    #[test]
+    fn parent_id_propagates_across_scoped_threads() {
+        let (_, records) = with_tracing(|| {
+            let root = span!("test.root");
+            let ctx = current_context();
+            std::thread::scope(|s| {
+                for w in 0..2u64 {
+                    s.spawn(move || {
+                        let _adopt = adopt(ctx);
+                        let _w = span!("test.worker", w = w);
+                        let _inner = span!("test.worker_inner");
+                    });
+                }
+            });
+            drop(root);
+        });
+        assert_eq!(records.len(), 5);
+        let roots = tree(&records);
+        assert_eq!(roots.len(), 1, "one root: {roots:?}");
+        let root = &roots[0];
+        assert_eq!(root.name, "test.root");
+        assert_eq!(root.children.len(), 2, "workers adopted the root");
+        for (w, child) in root.children.iter().enumerate() {
+            assert_eq!(child.name, "test.worker");
+            assert_eq!(child.fields, vec![("w", w.to_string())]);
+            assert_eq!(child.children.len(), 1);
+            assert_eq!(child.children[0].name, "test.worker_inner");
+        }
+        // Worker spans keep their own thread's track.
+        let root_rec = records.iter().find(|r| r.name == "test.root").unwrap();
+        for r in records.iter().filter(|r| r.name == "test.worker") {
+            assert_ne!(r.thread, root_rec.thread, "worker has its own track");
+        }
+    }
+
+    #[test]
+    fn adopt_restores_previous_parent() {
+        let (_, records) = with_tracing(|| {
+            let outer = span!("test.a");
+            let ctx = current_context();
+            drop(outer);
+            {
+                let _adopt = adopt(ctx);
+                let _in_a = span!("test.under_a");
+            }
+            let _free = span!("test.free");
+        });
+        let roots = tree(&records);
+        let names: Vec<&str> = roots.iter().map(|n| n.name.as_str()).collect();
+        // test.under_a nests under the (closed) test.a; test.free is a root.
+        assert_eq!(names, vec!["test.a", "test.free"]);
+        assert_eq!(roots[0].children[0].name, "test.under_a");
+    }
+
+    #[test]
+    fn drain_is_sorted_and_clears() {
+        let (_, records) = with_tracing(|| {
+            let _a = span!("test.z");
+            let _b = span!("test.y");
+        });
+        assert!(records.windows(2).all(
+            |w| (w[0].thread, w[0].start_ns, w[0].id) <= (w[1].thread, w[1].start_ns, w[1].id)
+        ));
+        assert!(drain().is_empty());
+    }
+}

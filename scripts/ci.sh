@@ -19,4 +19,11 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== trace smoke"
+trace_file="$(mktemp /tmp/aov-trace-smoke.XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+./target/release/aov example1 --memoize --trace "$trace_file" --profile \
+    --compact > /dev/null
+./target/release/aov --check-trace "$trace_file"
+
 echo "CI green."

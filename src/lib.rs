@@ -20,6 +20,8 @@
 //!   counters, parallel fan-out) behind the `aov` CLI.
 //! * [`support`] — the zero-dependency runtime substrate (PRNG, JSON,
 //!   bench harness, property-test runner, counter registry).
+//! * [`trace`] — hierarchical tracing and solver profiling (spans,
+//!   Chrome-trace export, flame tables, metrics snapshots).
 //!
 //! ## Quickstart
 //!
@@ -47,3 +49,4 @@ pub use aov_numeric as numeric;
 pub use aov_polyhedra as polyhedra;
 pub use aov_schedule as schedule;
 pub use aov_support as support;
+pub use aov_trace as trace;
