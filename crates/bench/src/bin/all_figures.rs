@@ -3,7 +3,8 @@
 //! Pass `--quick` for smaller machine sweeps.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let reports = aov_bench::all_reports(!quick);
+    let ctx = aov_bench::FigureCtx::build_all(aov_bench::default_workers()).expect("pipelines run");
+    let reports = aov_bench::all_reports(&ctx, !quick);
     let mut failures = 0;
     for r in &reports {
         print!("{}", r.render());

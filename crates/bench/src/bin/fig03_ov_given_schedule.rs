@@ -1,7 +1,9 @@
 //! Regenerates the paper's 03 artifact; exits nonzero if the
 //! qualitative claim fails to reproduce.
 fn main() {
-    let r = aov_bench::fig03();
+    let ctx = aov_bench::FigureCtx::build(&["example1"], aov_bench::default_workers())
+        .expect("pipeline runs");
+    let r = aov_bench::fig03(&ctx);
     print!("{}", r.render());
     aov_bench::assert_reproduced(&r);
 }

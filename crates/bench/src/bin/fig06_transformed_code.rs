@@ -1,7 +1,9 @@
 //! Regenerates the paper's 06 artifact; exits nonzero if the
 //! qualitative claim fails to reproduce.
 fn main() {
-    let r = aov_bench::fig06();
+    let ctx = aov_bench::FigureCtx::build(&["example1"], aov_bench::default_workers())
+        .expect("pipeline runs");
+    let r = aov_bench::fig06(&ctx);
     print!("{}", r.render());
     aov_bench::assert_reproduced(&r);
 }

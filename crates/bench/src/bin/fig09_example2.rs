@@ -1,7 +1,9 @@
 //! Regenerates the paper's 09 artifact; exits nonzero if the
 //! qualitative claim fails to reproduce.
 fn main() {
-    let r = aov_bench::fig09();
+    let ctx = aov_bench::FigureCtx::build(&["example2"], aov_bench::default_workers())
+        .expect("pipeline runs");
+    let r = aov_bench::fig09(&ctx);
     print!("{}", r.render());
     aov_bench::assert_reproduced(&r);
 }

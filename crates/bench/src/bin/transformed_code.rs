@@ -1,29 +1,14 @@
 //! Prints original and transformed pseudo-code for all four examples
-//! (the paper's Figures 2, 6, 9, 11 and 14).
-use aov_core::{codegen, problems, transform::StorageTransform};
+//! (the paper's Figures 2, 6, 9, 11 and 14). The transformed code comes
+//! from the instrumented pipeline's codegen stage.
+use aov_core::codegen;
 
 fn main() {
-    for p in [
-        aov_ir::examples::example1(),
-        aov_ir::examples::example2(),
-        aov_ir::examples::example3(),
-        aov_ir::examples::example4(),
-    ] {
+    let ctx = aov_bench::FigureCtx::build_all(aov_bench::default_workers()).expect("pipelines run");
+    for name in aov_bench::EXAMPLES {
+        let p = ctx.program(name);
         println!("==== {} ====", p.name());
-        println!("-- original --\n{}", codegen::original_code(&p));
-        let r = problems::aov(&p).expect("AOV solvable");
-        let ts: Vec<StorageTransform> = p
-            .arrays()
-            .iter()
-            .enumerate()
-            .map(|(aidx, a)| {
-                let v = r.vector_for(a.name()).expect("vector per array");
-                StorageTransform::new(&p, aov_ir::ArrayId(aidx), v).expect("transformable")
-            })
-            .collect();
-        println!(
-            "-- transformed under AOVs --\n{}",
-            codegen::transformed_code(&p, &ts)
-        );
+        println!("-- original --\n{}", codegen::original_code(p));
+        println!("-- transformed under AOVs --\n{}", ctx.report(name).code);
     }
 }

@@ -1,6 +1,8 @@
 //! §5.1.4 / §7: AOV vs the Strout et al. UOV baseline on Example 1.
 fn main() {
-    let r = aov_bench::fig05();
+    let ctx = aov_bench::FigureCtx::build(&["example1"], aov_bench::default_workers())
+        .expect("pipeline runs");
+    let r = aov_bench::fig05(&ctx);
     print!("{}", r.render());
     aov_bench::assert_reproduced(&r);
 }

@@ -1,18 +1,34 @@
-//! Regeneration harness for every figure of the paper's evaluation.
+//! Regeneration harness for every figure of the paper's evaluation,
+//! plus the benchmark observatory that tracks its cost over time.
 //!
 //! Each `figNN` function recomputes one paper artifact and returns a
 //! [`FigureReport`] with the series/rows the paper prints, a short
 //! conclusion, and a pass/fail against the expected qualitative shape.
+//! The figures are *engine-driven*: analysis results (AOVs, Problem 1
+//! OVs, transformed code) come out of [`aov_engine::Pipeline`] reports
+//! held in a [`FigureCtx`], so every figure inherits per-stage timings,
+//! `aov-trace` span attribution and solver-counter deltas for free —
+//! and the heavy analyses (Example 3's AOV in particular) run once per
+//! suite instead of once per figure.
+//!
 //! The binaries under `src/bin/` print single figures;
 //! `cargo run -p aov-bench --bin all_figures` regenerates everything
-//! (the data recorded in `EXPERIMENTS.md`).
+//! (the data recorded in `EXPERIMENTS.md`). The [`observatory`] module
+//! turns a suite run into a versioned `BENCH_<n>.json` artifact and
+//! [`regress`] compares two artifacts with noise-aware thresholds — the
+//! `aov bench` CLI subcommand drives both.
 
 use aov_core::{problems, transform::StorageTransform, uov, OccupancyVector};
-use aov_ir::examples;
+use aov_engine::{EngineError, Pipeline, Report};
+use aov_ir::{examples, Program};
 use aov_linalg::{AffineExpr, QVector};
 use aov_machine::{experiments, MachineConfig};
 use aov_schedule::{legal, Schedule, ScheduleSpace};
 use aov_support::{Json, ToJson};
+
+pub mod legacy;
+pub mod observatory;
+pub mod regress;
 
 /// A regenerated artifact: headline result plus printable lines.
 #[derive(Debug, Clone)]
@@ -65,13 +81,141 @@ impl ToJson for FigureReport {
     }
 }
 
+/// The paper's four example programs, in order.
+pub const EXAMPLES: [&str; 4] = ["example1", "example2", "example3", "example4"];
+
+/// Worker-thread default shared by the figure binaries and `aov bench`:
+/// available parallelism, capped at 8.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn program_by_name(name: &str) -> Option<Program> {
+    match name {
+        "example1" => Some(examples::example1()),
+        "example2" => Some(examples::example2()),
+        "example3" => Some(examples::example3()),
+        "example4" => Some(examples::example4()),
+        _ => None,
+    }
+}
+
+/// Shared context for engine-driven figures: one instrumented
+/// [`Pipeline`] report per example, computed once and consumed by every
+/// figure that needs that example's analysis results.
+#[derive(Debug)]
+pub struct FigureCtx {
+    workers: usize,
+    entries: Vec<(String, Program, Report)>,
+}
+
+impl FigureCtx {
+    /// Runs the instrumented pipeline (LP memoization on) for each named
+    /// example and captures the reports.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when a name is unknown or a pipeline stage fails.
+    pub fn build(names: &[&str], workers: usize) -> Result<FigureCtx, EngineError> {
+        let mut entries = Vec::new();
+        for name in names {
+            let program = program_by_name(name).ok_or_else(|| {
+                EngineError::Unsupported(format!(
+                    "unknown example {name:?} (expected example1..example4)"
+                ))
+            })?;
+            let report = Pipeline::new(program.clone())
+                .workers(workers)
+                .memoize(true)
+                .run()?;
+            entries.push((name.to_string(), program, report));
+        }
+        Ok(FigureCtx { workers, entries })
+    }
+
+    /// A context over all four examples.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FigureCtx::build`].
+    pub fn build_all(workers: usize) -> Result<FigureCtx, EngineError> {
+        FigureCtx::build(&EXAMPLES, workers)
+    }
+
+    /// Wraps reports that were already produced elsewhere (the
+    /// observatory's timed runs) so the figures reuse them instead of
+    /// re-running the pipelines.
+    pub fn from_reports(workers: usize, reports: Vec<Report>) -> FigureCtx {
+        let entries = reports
+            .into_iter()
+            .filter_map(|r| program_by_name(&r.program).map(|p| (r.program.clone(), p, r)))
+            .collect();
+        FigureCtx { workers, entries }
+    }
+
+    /// Whether this context holds a report for `name`.
+    pub fn has(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _, _)| n == name)
+    }
+
+    /// Example names present, in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    /// Worker threads the pipelines ran with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The pipeline report of one example.
+    ///
+    /// # Panics
+    ///
+    /// When the context was not built with that example — a figure
+    /// asked for an analysis its suite never ran.
+    pub fn report(&self, name: &str) -> &Report {
+        self.entries
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, r)| r)
+            .unwrap_or_else(|| panic!("FigureCtx has no report for {name:?}"))
+    }
+
+    /// The program of one example (same availability as
+    /// [`FigureCtx::report`]).
+    ///
+    /// # Panics
+    ///
+    /// As for [`FigureCtx::report`].
+    pub fn program(&self, name: &str) -> &Program {
+        self.entries
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, p, _)| p)
+            .unwrap_or_else(|| panic!("FigureCtx has no program for {name:?}"))
+    }
+}
+
 /// Figure 3: shortest OV for Example 1 under the row-parallel schedule.
-pub fn fig03() -> FigureReport {
-    let p = examples::example1();
-    let row = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
-    let lp = problems::ov_for_schedule(&p, &row).expect("solvable");
-    let search = problems::ov_for_schedule_search(&p, &row, 6).expect("solvable");
-    let v = lp.vector_for("A").expect("array A").clone();
+///
+/// Engine-driven: the row schedule is pinned into the pipeline with
+/// [`Pipeline::with_schedule`] and the OV read back from its Problem 1
+/// stage; the exact search cross-checks the LP answer.
+pub fn fig03(ctx: &FigureCtx) -> FigureReport {
+    let p = ctx.program("example1");
+    let row = Schedule::uniform_for(p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
+    let report = Pipeline::new(p.clone())
+        .workers(ctx.workers())
+        .memoize(true)
+        .with_schedule(row.clone())
+        .run()
+        .expect("solvable");
+    let search = problems::ov_for_schedule_search(p, &row, 6).expect("solvable");
+    let v = report.ov.vector_for("A").expect("array A").clone();
     let agree = search.vector_for("A") == Some(&v);
     FigureReport {
         id: "fig03".into(),
@@ -87,10 +231,10 @@ pub fn fig03() -> FigureReport {
 }
 
 /// Figure 4: the schedules valid for Example 1 under OV (0, 2).
-pub fn fig04() -> FigureReport {
-    let p = examples::example1();
+pub fn fig04(ctx: &FigureCtx) -> FigureReport {
+    let p = ctx.program("example1");
     let v = OccupancyVector::new(vec![0, 2]);
-    let (space, poly) = problems::schedules_for_ov(&p, &[v]).expect("solvable");
+    let (space, poly) = problems::schedules_for_ov(p, &[v]).expect("solvable");
     let sid = aov_ir::StmtId(0);
     let dim = space.dim();
     // Admissible slope interval a/b at fixed b; the paper's lower bound
@@ -147,15 +291,19 @@ pub fn fig04() -> FigureReport {
 }
 
 /// Figure 5 (+ §5.1.4): the AOV of Example 1, vs the UOV baseline.
-pub fn fig05() -> FigureReport {
-    let p = examples::example1();
-    let aov = problems::aov(&p)
-        .expect("solvable")
+///
+/// Engine-driven: the AOV comes from the pipeline report's Problem 3
+/// stage; exact search and the UOV baseline cross-check it.
+pub fn fig05(ctx: &FigureCtx) -> FigureReport {
+    let p = ctx.program("example1");
+    let aov = ctx
+        .report("example1")
+        .aov
         .vector_for("A")
-        .unwrap()
+        .expect("array A")
         .clone();
-    let search = problems::aov_search(&p, 6).expect("solvable");
-    let uov = uov::shortest_uov(&p, aov_ir::ArrayId(0), 6).expect("stencil");
+    let search = problems::aov_search(p, 6).expect("solvable");
+    let uov = uov::shortest_uov(p, aov_ir::ArrayId(0), 6).expect("stencil");
     FigureReport {
         id: "fig05".into(),
         title: "AOV of Example 1 vs the Strout et al. UOV".into(),
@@ -174,38 +322,40 @@ pub fn fig05() -> FigureReport {
 }
 
 /// Figure 6: transformed code of Example 1 under the AOV.
-pub fn fig06() -> FigureReport {
-    let p = examples::example1();
+///
+/// Engine-driven: both the AOV and the transformed code come from the
+/// pipeline report (Example 1 has a single array, so the report's code
+/// is exactly the single-transform code).
+pub fn fig06(ctx: &FigureCtx) -> FigureReport {
+    let p = ctx.program("example1");
+    let report = ctx.report("example1");
     let a = p.array_by_name("A").unwrap();
-    let v = problems::aov(&p)
-        .expect("solvable")
-        .vector_for("A")
-        .unwrap()
-        .clone();
-    let t = StorageTransform::new(&p, a, &v).expect("transformable");
+    let v = report.aov.vector_for("A").expect("array A").clone();
+    let t = StorageTransform::new(p, a, &v).expect("transformable");
     let (n, m) = (100i64, 100i64);
     let orig = t.original_size(&[n, m]);
     let new = t.transformed_size(&[n, m]);
-    let code = aov_core::codegen::transformed_code(&p, &[t]);
     FigureReport {
         id: "fig06".into(),
         title: "transformed code for Example 1 (AOV)".into(),
         paper: "A[2i−j+m]: storage n·m → 2n+m".into(),
         measured: format!("storage {orig} → {new} at (n,m) = ({n},{m})"),
         reproduced: new == 2 * n + m - 2 && new < orig,
-        lines: code.lines().map(str::to_string).collect(),
+        lines: report.code.lines().map(str::to_string).collect(),
     }
 }
 
 /// Figure 9: Example 2's AOVs and transformed code.
-pub fn fig09() -> FigureReport {
-    let p = examples::example2();
-    let r = problems::aov(&p).expect("solvable");
-    let va = r.vector_for("A").unwrap().clone();
-    let vb = r.vector_for("B").unwrap().clone();
+///
+/// Engine-driven: vectors and code from the Example 2 pipeline report.
+pub fn fig09(ctx: &FigureCtx) -> FigureReport {
+    let p = ctx.program("example2");
+    let report = ctx.report("example2");
+    let va = report.aov.vector_for("A").expect("array A").clone();
+    let vb = report.aov.vector_for("B").expect("array B").clone();
     let ts: Vec<StorageTransform> = [("A", &va), ("B", &vb)]
         .into_iter()
-        .map(|(n, v)| StorageTransform::new(&p, p.array_by_name(n).unwrap(), v).unwrap())
+        .map(|(n, v)| StorageTransform::new(p, p.array_by_name(n).unwrap(), v).unwrap())
         .collect();
     let (n, m) = (100i64, 100i64);
     let sizes: Vec<String> = ts
@@ -219,10 +369,9 @@ pub fn fig09() -> FigureReport {
             )
         })
         .collect();
-    let code = aov_core::codegen::transformed_code(&p, &ts);
     let ok = va.components() == [1, 1] && vb.components() == [1, 1];
     let mut lines = sizes;
-    lines.extend(code.lines().map(str::to_string));
+    lines.extend(report.code.lines().map(str::to_string));
     FigureReport {
         id: "fig09".into(),
         title: "AOVs and transformed code for Example 2".into(),
@@ -235,12 +384,19 @@ pub fn fig09() -> FigureReport {
 
 /// Figure 11: Example 3's AOV and transformed code (the Z-emptiness
 /// pruning case).
-pub fn fig11() -> FigureReport {
-    let p = examples::example3();
-    let r = problems::aov(&p).expect("solvable");
-    let v = r.vector_for("D").unwrap().clone();
+///
+/// Engine-driven: reuses the Example 3 pipeline report, so the heaviest
+/// analysis in the suite runs once per suite instead of once per figure.
+pub fn fig11(ctx: &FigureCtx) -> FigureReport {
+    let p = ctx.program("example3");
+    let v = ctx
+        .report("example3")
+        .aov
+        .vector_for("D")
+        .expect("array D")
+        .clone();
     let d = p.array_by_name("D").unwrap();
-    let t = StorageTransform::new(&p, d, &v).expect("transformable");
+    let t = StorageTransform::new(p, d, &v).expect("transformable");
     let (x, y, z) = (50i64, 50, 50);
     let orig = t.original_size(&[x, y, z]);
     let new = t.transformed_size(&[x, y, z]);
@@ -259,14 +415,17 @@ pub fn fig11() -> FigureReport {
 }
 
 /// Figure 14: Example 4's AOVs (non-uniform dependences).
-pub fn fig14() -> FigureReport {
-    let p = examples::example4();
-    let r = problems::aov(&p).expect("solvable");
-    let va = r.vector_for("A").unwrap().clone();
-    let vb = r.vector_for("B").unwrap().clone();
+///
+/// Engine-driven: vectors from the Example 4 pipeline report; the exact
+/// checker validates both our vector and the paper's.
+pub fn fig14(ctx: &FigureCtx) -> FigureReport {
+    let p = ctx.program("example4");
+    let report = ctx.report("example4");
+    let va = report.aov.vector_for("A").expect("array A").clone();
+    let vb = report.aov.vector_for("B").expect("array B").clone();
     // The paper's hand derivation reports (1,1); our exact dependence
     // domains admit the shorter (1,0), which the exact checker confirms.
-    let mut checker = aov_core::check::Checker::new(&p);
+    let mut checker = aov_core::check::Checker::new(p);
     let a = p.array_by_name("A").unwrap();
     let paper_valid = checker.valid_for_all_schedules(a, &[1, 1]).unwrap_or(false);
     let ours_valid = checker
@@ -363,19 +522,19 @@ pub fn fig16(full_scale: bool) -> FigureReport {
 
 /// Extra: observed storage cells from dynamic runs (confirms the static
 /// size predictions of the transforms).
-pub fn storage_footprints() -> FigureReport {
+pub fn storage_footprints(ctx: &FigureCtx) -> FigureReport {
     use aov_interp::store::StorageMode;
-    let p = examples::example1();
-    let row = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
+    let p = ctx.program("example1");
+    let row = Schedule::uniform_for(p, &[AffineExpr::from_i64(&[0, 1, 0, 0], 0)]);
     let a = p.array_by_name("A").unwrap();
     let (n, m) = (12i64, 10i64);
     let mut lines = Vec::new();
     let mut all_ok = true;
     for v in [vec![0, 1], vec![1, 2], vec![0, 2]] {
         let ov = OccupancyVector::new(v.clone());
-        let t = StorageTransform::new(&p, a, &ov).unwrap();
+        let t = StorageTransform::new(p, a, &ov).unwrap();
         let modes = vec![StorageMode::Transformed(&t)];
-        let (_, stats) = aov_interp::exec::run_scheduled(&p, &[n, m], &row, &modes);
+        let (_, stats) = aov_interp::exec::run_scheduled(p, &[n, m], &row, &modes);
         let predicted = t.transformed_size(&[n, m]);
         let used = stats.cells_used[0] as i64;
         let ok = used <= predicted;
@@ -394,20 +553,84 @@ pub fn storage_footprints() -> FigureReport {
     }
 }
 
-/// All reports (figure order).
-pub fn all_reports(full_scale: bool) -> Vec<FigureReport> {
-    vec![
-        fig03(),
-        fig04(),
-        fig05(),
-        fig06(),
-        fig09(),
-        fig11(),
-        fig14(),
-        fig15(full_scale),
-        fig16(full_scale),
-        storage_footprints(),
+/// One entry of the figure registry: identifier, the examples whose
+/// pipeline reports (or programs) it consumes, and how to run it.
+pub struct FigureSpec {
+    /// Figure identifier (`"fig05"`, `"storage"`, …).
+    pub id: &'static str,
+    /// Examples that must be present in the [`FigureCtx`]. Suites built
+    /// over a subset of examples (CI smoke) skip figures whose
+    /// requirements are not met.
+    pub needs: &'static [&'static str],
+    /// Regenerates the figure; the flag is `full_scale` for the machine
+    /// sweeps (ignored by analysis figures).
+    pub run: fn(&FigureCtx, bool) -> FigureReport,
+}
+
+/// Every figure, in the paper's order.
+pub fn figure_specs() -> &'static [FigureSpec] {
+    &[
+        FigureSpec {
+            id: "fig03",
+            needs: &["example1"],
+            run: |ctx, _| fig03(ctx),
+        },
+        FigureSpec {
+            id: "fig04",
+            needs: &["example1"],
+            run: |ctx, _| fig04(ctx),
+        },
+        FigureSpec {
+            id: "fig05",
+            needs: &["example1"],
+            run: |ctx, _| fig05(ctx),
+        },
+        FigureSpec {
+            id: "fig06",
+            needs: &["example1"],
+            run: |ctx, _| fig06(ctx),
+        },
+        FigureSpec {
+            id: "fig09",
+            needs: &["example2"],
+            run: |ctx, _| fig09(ctx),
+        },
+        FigureSpec {
+            id: "fig11",
+            needs: &["example3"],
+            run: |ctx, _| fig11(ctx),
+        },
+        FigureSpec {
+            id: "fig14",
+            needs: &["example4"],
+            run: |ctx, _| fig14(ctx),
+        },
+        FigureSpec {
+            id: "fig15",
+            needs: &["example2"],
+            run: |_, full| fig15(full),
+        },
+        FigureSpec {
+            id: "fig16",
+            needs: &["example3"],
+            run: |_, full| fig16(full),
+        },
+        FigureSpec {
+            id: "storage",
+            needs: &["example1"],
+            run: |ctx, _| storage_footprints(ctx),
+        },
     ]
+}
+
+/// All reports the context can produce (figure order); a full context
+/// yields all ten.
+pub fn all_reports(ctx: &FigureCtx, full_scale: bool) -> Vec<FigureReport> {
+    figure_specs()
+        .iter()
+        .filter(|spec| spec.needs.iter().all(|n| ctx.has(n)))
+        .map(|spec| (spec.run)(ctx, full_scale))
+        .collect()
 }
 
 /// Helper for benches: the Example 1 row schedule.

@@ -1,0 +1,383 @@
+//! The benchmark observatory: one suite run → one versioned
+//! `BENCH_<n>.json` artifact.
+//!
+//! A suite runs every requested example through the instrumented
+//! [`Pipeline`] (LP memoization on). The *first* run per example is
+//! traced — its `aov-trace` span aggregates, solver-counter deltas and
+//! result digests go into the artifact — and the remaining `runs − 1`
+//! repetitions run untraced, purely for timing. Wall and per-stage
+//! times are summarized as min/median ([`Stat`]) across all runs, so a
+//! baseline records the best observed time rather than one noisy
+//! sample. The figure suite then reuses the traced reports through
+//! [`FigureCtx::from_reports`] (Example 3's AOV is computed once per
+//! suite) and each figure's rendered text is fingerprinted with FNV-1a,
+//! turning the artifact into a correctness tripwire as well as a
+//! performance record.
+//!
+//! The artifact shape is versioned ([`SCHEMA_VERSION`]) and structurally
+//! checked ([`artifact_schema`]); `aov bench --check FILE` and the CI
+//! smoke step validate written files against it. [`crate::regress`]
+//! compares two artifacts.
+
+use std::time::Instant;
+
+use crate::{default_workers, figure_specs, FigureCtx, EXAMPLES};
+use aov_engine::{EngineError, Pipeline, Report, Stat};
+use aov_support::digest::fnv1a_hex;
+use aov_support::schema::{self, Schema};
+use aov_support::{Json, ToJson};
+
+/// Artifact format identifier; bump on breaking shape changes.
+pub const SCHEMA_VERSION: &str = "aov-bench/1";
+
+/// What to run and how often.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Example programs to benchmark (subset of `example1..example4`).
+    pub examples: Vec<String>,
+    /// Pipeline repetitions per example (min/median over all of them).
+    pub runs: usize,
+    /// Worker threads for the per-orthant solver fan-out.
+    pub workers: usize,
+    /// Run the machine-model figures at reduced problem sizes (the CI
+    /// smoke setting); analysis figures are unaffected.
+    pub quick: bool,
+    /// Whether to run the figure suite at all.
+    pub figures: bool,
+    /// Span-aggregate rows kept per example (top by self time).
+    pub span_rows: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            examples: EXAMPLES.iter().map(|s| (*s).to_string()).collect(),
+            runs: 1,
+            workers: default_workers(),
+            quick: false,
+            figures: true,
+            span_rows: 24,
+        }
+    }
+}
+
+/// Everything the observatory records about one example's pipeline runs.
+#[derive(Debug, Clone)]
+pub struct ExampleBench {
+    pub program: String,
+    /// Repetitions aggregated into the timing stats.
+    pub runs: usize,
+    /// Whole-pipeline wall clock, microseconds.
+    pub wall_us: Stat,
+    /// Per-stage wall clock, microseconds, in stage order.
+    pub stages: Vec<(String, Stat)>,
+    /// Span aggregates of the traced first run (flame-table rows).
+    pub spans: Json,
+    /// Solver-counter increments of the traced first run.
+    pub counters: Vec<(String, u64)>,
+    pub memo_hits: u64,
+    pub memo_misses: u64,
+    pub memo_hit_rate: Option<f64>,
+    /// AOV per array, `(array, components)`.
+    pub aov: Vec<(String, Vec<i64>)>,
+    /// Dynamic equivalence verdict.
+    pub equivalent: bool,
+    /// FNV-1a fingerprint of the transformed code.
+    pub code_digest: String,
+}
+
+impl ExampleBench {
+    /// Aggregates the traced first run and the untraced repetitions.
+    fn collect(first: &Report, rest: &[Report], spans: Json) -> ExampleBench {
+        let all = || std::iter::once(first).chain(rest.iter());
+        let wall_us = Stat::of(all().map(|r| r.total_micros).collect());
+        let stages = first
+            .stages
+            .iter()
+            .map(|s| {
+                let sample = all()
+                    .map(|r| r.stage(s.name).map_or(0, |x| x.micros))
+                    .collect();
+                (s.name.to_string(), Stat::of(sample))
+            })
+            .collect();
+        let aov = first
+            .arrays
+            .iter()
+            .cloned()
+            .zip(first.aov.vectors().iter().map(|v| v.components().to_vec()))
+            .collect();
+        ExampleBench {
+            program: first.program.clone(),
+            runs: 1 + rest.len(),
+            wall_us,
+            stages,
+            spans,
+            counters: first.counters.clone(),
+            memo_hits: first.counter("lp.memo.hits"),
+            memo_misses: first.counter("lp.memo.misses"),
+            memo_hit_rate: first.memo_hit_rate(),
+            aov,
+            equivalent: first.equivalent,
+            code_digest: fnv1a_hex(first.code.as_bytes()),
+        }
+    }
+}
+
+impl ToJson for ExampleBench {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("program", self.program.as_str())
+            .field("runs", self.runs)
+            .field("wall_us", self.wall_us.to_json())
+            .field(
+                "stages",
+                self.stages
+                    .iter()
+                    .map(|(name, stat)| {
+                        Json::obj()
+                            .field("name", name.as_str())
+                            .field("us", stat.to_json())
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .field("spans", self.spans.clone())
+            .field(
+                "counters",
+                self.counters
+                    .iter()
+                    .map(|(k, v)| Json::obj().field("name", k.as_str()).field("count", *v))
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "memo",
+                Json::obj()
+                    .field("hits", self.memo_hits)
+                    .field("misses", self.memo_misses)
+                    .field(
+                        "hit_rate",
+                        self.memo_hit_rate.map_or(Json::Null, Json::Float),
+                    ),
+            )
+            .field(
+                "aov",
+                self.aov
+                    .iter()
+                    .map(|(array, v)| {
+                        Json::obj().field("array", array.as_str()).field(
+                            "vector",
+                            v.iter().map(|&c| Json::Int(c)).collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .field("equivalent", self.equivalent)
+            .field("code_digest", self.code_digest.as_str())
+    }
+}
+
+/// One figure's cost and fingerprint within a suite run.
+#[derive(Debug, Clone)]
+pub struct FigureBench {
+    pub id: String,
+    /// Wall clock of regenerating the figure, microseconds.
+    pub us: u128,
+    pub reproduced: bool,
+    /// FNV-1a fingerprint of the rendered report text.
+    pub digest: String,
+}
+
+impl ToJson for FigureBench {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("id", self.id.as_str())
+            .field("us", self.us as i64)
+            .field("reproduced", self.reproduced)
+            .field("digest", self.digest.as_str())
+    }
+}
+
+/// One suite run's complete record — serialize with [`ToJson`] to get a
+/// `BENCH_<n>.json` document.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    pub runs: usize,
+    pub workers: usize,
+    pub quick: bool,
+    pub figures_enabled: bool,
+    pub examples: Vec<ExampleBench>,
+    pub figures: Vec<FigureBench>,
+}
+
+impl ToJson for Artifact {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema", SCHEMA_VERSION)
+            .field(
+                "suite",
+                Json::obj()
+                    .field("runs", self.runs)
+                    .field("workers", self.workers)
+                    .field("quick", self.quick)
+                    .field("figures", self.figures_enabled)
+                    .field(
+                        "examples",
+                        self.examples
+                            .iter()
+                            .map(|e| Json::from(e.program.as_str()))
+                            .collect::<Vec<_>>(),
+                    ),
+            )
+            .field("examples", self.examples.to_json())
+            .field("figures", self.figures.to_json())
+    }
+}
+
+/// Runs the configured suite and collects the artifact.
+///
+/// # Errors
+///
+/// The first pipeline failure, as [`EngineError`].
+pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
+    let mut examples: Vec<ExampleBench> = Vec::new();
+    let mut first_reports: Vec<Report> = Vec::new();
+    for name in &cfg.examples {
+        let pipeline = Pipeline::for_example(name)?
+            .workers(cfg.workers)
+            .memoize(true);
+        // Traced first run: span attribution, counters, digests.
+        aov_trace::clear();
+        aov_trace::set_enabled(true);
+        let outcome = pipeline.run();
+        aov_trace::set_enabled(false);
+        let records = aov_trace::drain();
+        let first = outcome?;
+        let spans = aov_trace::metrics::span_aggregates(&records, cfg.span_rows);
+        // Untraced repetitions: timing only (tracing overhead excluded).
+        let mut rest = Vec::new();
+        for _ in 1..cfg.runs {
+            rest.push(pipeline.run()?);
+        }
+        examples.push(ExampleBench::collect(&first, &rest, spans));
+        first_reports.push(first);
+    }
+
+    let ctx = FigureCtx::from_reports(cfg.workers, first_reports);
+    let mut figures = Vec::new();
+    if cfg.figures {
+        for spec in figure_specs() {
+            if !spec.needs.iter().all(|n| ctx.has(n)) {
+                continue;
+            }
+            let t0 = Instant::now();
+            let report = (spec.run)(&ctx, !cfg.quick);
+            figures.push(FigureBench {
+                id: spec.id.to_string(),
+                us: t0.elapsed().as_micros(),
+                reproduced: report.reproduced,
+                digest: fnv1a_hex(report.render().as_bytes()),
+            });
+        }
+    }
+
+    Ok(Artifact {
+        runs: cfg.runs,
+        workers: cfg.workers,
+        quick: cfg.quick,
+        figures_enabled: cfg.figures,
+        examples,
+        figures,
+    })
+}
+
+/// The structural schema every `BENCH_*.json` document must satisfy.
+pub fn artifact_schema() -> Schema {
+    let stat = Schema::object([("min", Schema::Int, true), ("median", Schema::Int, true)]);
+    Schema::object([
+        ("schema", Schema::Str, true),
+        (
+            "suite",
+            Schema::object([
+                ("runs", Schema::Int, true),
+                ("workers", Schema::Int, true),
+                ("quick", Schema::Bool, true),
+                ("figures", Schema::Bool, true),
+                ("examples", Schema::array(Schema::Str), true),
+            ]),
+            true,
+        ),
+        (
+            "examples",
+            Schema::array(Schema::object([
+                ("program", Schema::Str, true),
+                ("runs", Schema::Int, true),
+                ("wall_us", stat.clone(), true),
+                (
+                    "stages",
+                    Schema::array(Schema::object([
+                        ("name", Schema::Str, true),
+                        ("us", stat, true),
+                    ])),
+                    true,
+                ),
+                (
+                    "spans",
+                    Schema::array(Schema::object([
+                        ("name", Schema::Str, true),
+                        ("count", Schema::Int, true),
+                        ("total_ns", Schema::Int, true),
+                        ("self_ns", Schema::Int, true),
+                    ])),
+                    true,
+                ),
+                (
+                    "counters",
+                    Schema::array(Schema::object([
+                        ("name", Schema::Str, true),
+                        ("count", Schema::Int, true),
+                    ])),
+                    true,
+                ),
+                (
+                    "memo",
+                    Schema::object([
+                        ("hits", Schema::Int, true),
+                        ("misses", Schema::Int, true),
+                        ("hit_rate", Schema::nullable(Schema::Num), true),
+                    ]),
+                    true,
+                ),
+                (
+                    "aov",
+                    Schema::array(Schema::object([
+                        ("array", Schema::Str, true),
+                        ("vector", Schema::array(Schema::Int), true),
+                    ])),
+                    true,
+                ),
+                ("equivalent", Schema::Bool, true),
+                ("code_digest", Schema::Str, true),
+            ])),
+            true,
+        ),
+        (
+            "figures",
+            Schema::array(Schema::object([
+                ("id", Schema::Str, true),
+                ("us", Schema::Int, true),
+                ("reproduced", Schema::Bool, true),
+                ("digest", Schema::Str, true),
+            ])),
+            true,
+        ),
+    ])
+}
+
+/// Validates a parsed artifact document against [`artifact_schema`].
+///
+/// # Errors
+///
+/// Every structural mismatch, with its JSON path.
+pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    schema::validate(doc, &artifact_schema())
+}

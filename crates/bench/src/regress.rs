@@ -1,0 +1,456 @@
+//! Noise-aware comparison of two `BENCH_*.json` artifacts.
+//!
+//! Both artifacts are flattened into namespaced metrics
+//! (`example3.wall_us`, `example1.counter.lp.simplex.pivots`,
+//! `fig.fig05.digest`, …), each carrying a *class* that decides how it
+//! is judged:
+//!
+//! * [`MetricClass::Time`] — wall-clock microseconds (the min over the
+//!   suite's repetitions). A change only counts when it clears *both* a
+//!   relative tolerance and an absolute floor, so microsecond-scale
+//!   stages can double without tripping the gate while a real slowdown
+//!   of a long stage still does.
+//! * [`MetricClass::Count`] — solver-effort counters (pivots,
+//!   branch-and-bound nodes, memo hits). Deterministic in principle,
+//!   but given a small relative band so incidental ordering drift does
+//!   not gate.
+//! * [`MetricClass::Exact`] — correctness fingerprints (AOV components,
+//!   equivalence verdicts, code/figure digests). Any difference is a
+//!   regression: the observatory treats result drift as strictly worse
+//!   than slow.
+//!
+//! Metrics present only in the current run are [`Status::New`] (a grown
+//! suite is not a regression); metrics present only in the baseline are
+//! [`Status::Missing`] (reported, so silent coverage loss is visible,
+//! but not gating). Only [`Status::Regressed`] makes
+//! [`Comparison::has_regressions`] true — the `aov bench
+//! --fail-on-regression` exit code.
+
+use aov_support::Json;
+
+/// How far a metric may move before it counts as a real change.
+#[derive(Debug, Clone)]
+pub struct Tolerance {
+    /// Relative band for [`MetricClass::Time`] (0.5 = ±50%).
+    pub time_rel: f64,
+    /// Absolute floor for time changes, microseconds: changes smaller
+    /// than this never gate, whatever the ratio.
+    pub time_floor_us: f64,
+    /// Relative band for [`MetricClass::Count`].
+    pub count_rel: f64,
+    /// Absolute floor for counter changes.
+    pub count_floor: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            time_rel: 0.5,
+            time_floor_us: 10_000.0,
+            count_rel: 0.10,
+            count_floor: 64.0,
+        }
+    }
+}
+
+/// How a metric is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Wall-clock time (noise-tolerant).
+    Time,
+    /// Solver-effort counter (narrow band).
+    Count,
+    /// Correctness fingerprint (must match exactly).
+    Exact,
+}
+
+/// One named value extracted from an artifact.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    pub key: String,
+    pub class: MetricClass,
+    pub value: Json,
+}
+
+/// Flattens a parsed artifact into comparable metrics. Tolerant of
+/// partially-formed documents: absent sections just contribute nothing
+/// (the schema check is a separate, stricter gate).
+pub fn flatten(artifact: &Json) -> Vec<Metric> {
+    let mut out = Vec::new();
+    let mut push = |key: String, class: MetricClass, value: &Json| {
+        out.push(Metric {
+            key,
+            class,
+            value: value.clone(),
+        });
+    };
+    if let Some(Json::Arr(examples)) = artifact.get("examples") {
+        for e in examples {
+            let Some(Json::Str(prog)) = e.get("program") else {
+                continue;
+            };
+            if let Some(min) = e.get("wall_us").and_then(|w| w.get("min")) {
+                push(format!("{prog}.wall_us"), MetricClass::Time, min);
+            }
+            if let Some(Json::Arr(stages)) = e.get("stages") {
+                for s in stages {
+                    if let (Some(Json::Str(name)), Some(min)) =
+                        (s.get("name"), s.get("us").and_then(|u| u.get("min")))
+                    {
+                        push(format!("{prog}.stage.{name}_us"), MetricClass::Time, min);
+                    }
+                }
+            }
+            if let Some(Json::Arr(counters)) = e.get("counters") {
+                for c in counters {
+                    if let (Some(Json::Str(name)), Some(count)) = (c.get("name"), c.get("count")) {
+                        push(format!("{prog}.counter.{name}"), MetricClass::Count, count);
+                    }
+                }
+            }
+            if let Some(v) = e.get("equivalent") {
+                push(format!("{prog}.equivalent"), MetricClass::Exact, v);
+            }
+            if let Some(Json::Arr(aovs)) = e.get("aov") {
+                for a in aovs {
+                    if let (Some(Json::Str(array)), Some(vector)) =
+                        (a.get("array"), a.get("vector"))
+                    {
+                        push(format!("{prog}.aov.{array}"), MetricClass::Exact, vector);
+                    }
+                }
+            }
+            if let Some(d) = e.get("code_digest") {
+                push(format!("{prog}.code_digest"), MetricClass::Exact, d);
+            }
+        }
+    }
+    if let Some(Json::Arr(figures)) = artifact.get("figures") {
+        for f in figures {
+            let Some(Json::Str(id)) = f.get("id") else {
+                continue;
+            };
+            if let Some(d) = f.get("digest") {
+                push(format!("fig.{id}.digest"), MetricClass::Exact, d);
+            }
+            if let Some(r) = f.get("reproduced") {
+                push(format!("fig.{id}.reproduced"), MetricClass::Exact, r);
+            }
+            if let Some(us) = f.get("us") {
+                push(format!("fig.{id}.us"), MetricClass::Time, us);
+            }
+        }
+    }
+    out
+}
+
+/// The verdict on one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Inside the noise band (or exactly equal).
+    Within,
+    /// Better than baseline beyond the noise band.
+    Improved,
+    /// Worse than baseline beyond the noise band, or an exact-class
+    /// mismatch. The only gating status.
+    Regressed,
+    /// Not in the baseline (suite grew).
+    New,
+    /// In the baseline but not the current run (coverage shrank).
+    Missing,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    pub key: String,
+    pub status: Status,
+    /// Human-readable `baseline → current` description.
+    pub note: String,
+}
+
+/// A full baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub deltas: Vec<Delta>,
+}
+
+fn as_f64(v: &Json) -> f64 {
+    match v {
+        Json::Int(i) => *i as f64,
+        Json::Float(f) => *f,
+        _ => 0.0,
+    }
+}
+
+fn judge(base: &Metric, cur: &Metric, tol: &Tolerance) -> Delta {
+    let key = cur.key.clone();
+    if cur.class == MetricClass::Exact {
+        return if base.value == cur.value {
+            Delta {
+                key,
+                status: Status::Within,
+                note: format!("unchanged ({})", cur.value.to_compact()),
+            }
+        } else {
+            Delta {
+                key,
+                status: Status::Regressed,
+                note: format!(
+                    "exact value drifted: {} → {}",
+                    base.value.to_compact(),
+                    cur.value.to_compact()
+                ),
+            }
+        };
+    }
+    let (rel, floor) = match cur.class {
+        MetricClass::Time => (tol.time_rel, tol.time_floor_us),
+        _ => (tol.count_rel, tol.count_floor),
+    };
+    let (b, c) = (as_f64(&base.value), as_f64(&cur.value));
+    let diff = c - b;
+    let pct = if b == 0.0 {
+        f64::INFINITY
+    } else {
+        diff / b * 100.0
+    };
+    let note = format!("{b:.0} → {c:.0} ({pct:+.1}%)");
+    let status = if diff > b * rel && diff > floor {
+        Status::Regressed
+    } else if -diff > b * rel && -diff > floor {
+        Status::Improved
+    } else {
+        Status::Within
+    };
+    Delta { key, status, note }
+}
+
+/// Compares two parsed artifacts metric by metric.
+pub fn compare(baseline: &Json, current: &Json, tol: &Tolerance) -> Comparison {
+    let base = flatten(baseline);
+    let cur = flatten(current);
+    let mut deltas = Vec::new();
+    for m in &cur {
+        match base.iter().find(|b| b.key == m.key) {
+            Some(b) => deltas.push(judge(b, m, tol)),
+            None => deltas.push(Delta {
+                key: m.key.clone(),
+                status: Status::New,
+                note: format!("no baseline value (now {})", m.value.to_compact()),
+            }),
+        }
+    }
+    for b in &base {
+        if !cur.iter().any(|m| m.key == b.key) {
+            deltas.push(Delta {
+                key: b.key.clone(),
+                status: Status::Missing,
+                note: format!(
+                    "in baseline ({}) but not measured now",
+                    b.value.to_compact()
+                ),
+            });
+        }
+    }
+    Comparison { deltas }
+}
+
+impl Comparison {
+    /// Number of deltas with the given status.
+    pub fn count(&self, status: Status) -> usize {
+        self.deltas.iter().filter(|d| d.status == status).count()
+    }
+
+    /// Whether anything gates ([`Status::Regressed`] present).
+    pub fn has_regressions(&self) -> bool {
+        self.count(Status::Regressed) > 0
+    }
+
+    /// Human-readable report: a summary line, then every non-`Within`
+    /// delta grouped by severity.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "regression report: {} regressed, {} improved, {} within noise, {} new, {} missing\n",
+            self.count(Status::Regressed),
+            self.count(Status::Improved),
+            self.count(Status::Within),
+            self.count(Status::New),
+            self.count(Status::Missing),
+        );
+        for (status, label) in [
+            (Status::Regressed, "REGRESSED"),
+            (Status::Missing, "missing"),
+            (Status::Improved, "improved"),
+            (Status::New, "new"),
+        ] {
+            for d in self.deltas.iter().filter(|d| d.status == status) {
+                out.push_str(&format!("  {label:<9} {:<44} {}\n", d.key, d.note));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal synthetic artifact with one example and one figure.
+    fn artifact(wall_us: i64, aov_us: i64, pivots: i64, digest: &str) -> Json {
+        let stat = |v: i64| Json::obj().field("min", v).field("median", v);
+        Json::obj()
+            .field("schema", "aov-bench/1")
+            .field(
+                "examples",
+                vec![Json::obj()
+                    .field("program", "example1")
+                    .field("wall_us", stat(wall_us))
+                    .field(
+                        "stages",
+                        vec![Json::obj().field("name", "aov").field("us", stat(aov_us))],
+                    )
+                    .field(
+                        "counters",
+                        vec![Json::obj()
+                            .field("name", "lp.simplex.pivots")
+                            .field("count", pivots)],
+                    )
+                    .field("equivalent", true)
+                    .field(
+                        "aov",
+                        vec![Json::obj()
+                            .field("array", "A")
+                            .field("vector", vec![Json::Int(1), Json::Int(2)])],
+                    )
+                    .field("code_digest", digest)],
+            )
+            .field(
+                "figures",
+                vec![Json::obj()
+                    .field("id", "fig05")
+                    .field("us", Json::Int(900))
+                    .field("reproduced", true)
+                    .field("digest", "feedbeef00000000")],
+            )
+    }
+
+    fn status_of<'a>(c: &'a Comparison, key: &str) -> &'a Delta {
+        c.deltas
+            .iter()
+            .find(|d| d.key == key)
+            .unwrap_or_else(|| panic!("no delta for {key}"))
+    }
+
+    #[test]
+    fn identical_artifacts_are_all_within() {
+        let a = artifact(400_000, 300_000, 5_000, "aaaa");
+        let c = compare(&a, &a, &Tolerance::default());
+        assert!(!c.has_regressions());
+        assert_eq!(c.count(Status::Within), c.deltas.len());
+        assert!(c.render().starts_with("regression report: 0 regressed"));
+    }
+
+    #[test]
+    fn improvement_beyond_tolerance_is_reported_not_gating() {
+        let base = artifact(400_000, 300_000, 5_000, "aaaa");
+        let cur = artifact(100_000, 60_000, 5_000, "aaaa");
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert!(!c.has_regressions());
+        assert_eq!(status_of(&c, "example1.wall_us").status, Status::Improved);
+        assert_eq!(
+            status_of(&c, "example1.stage.aov_us").status,
+            Status::Improved
+        );
+        assert!(c.render().contains("improved"));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_gates() {
+        let base = artifact(400_000, 300_000, 5_000, "aaaa");
+        let cur = artifact(900_000, 700_000, 5_000, "aaaa");
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert!(c.has_regressions());
+        let d = status_of(&c, "example1.wall_us");
+        assert_eq!(d.status, Status::Regressed);
+        assert!(d.note.contains("+125.0%"), "{}", d.note);
+        assert!(c.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn jitter_within_noise_band_does_not_gate() {
+        // +30% is inside the ±50% band; +3 pivots is under the floor.
+        let base = artifact(400_000, 300_000, 5_000, "aaaa");
+        let cur = artifact(520_000, 390_000, 5_003, "aaaa");
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert!(!c.has_regressions());
+        assert_eq!(c.count(Status::Improved), 0);
+    }
+
+    #[test]
+    fn small_absolute_changes_never_gate_even_at_huge_ratios() {
+        // 2000 → 9000 µs is +350% but under the 10 ms floor.
+        let base = artifact(2_000, 1_000, 5_000, "aaaa");
+        let cur = artifact(9_000, 8_000, 5_000, "aaaa");
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert!(!c.has_regressions());
+    }
+
+    #[test]
+    fn counter_blowup_gates() {
+        let base = artifact(400_000, 300_000, 5_000, "aaaa");
+        let cur = artifact(400_000, 300_000, 6_000, "aaaa");
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert_eq!(
+            status_of(&c, "example1.counter.lp.simplex.pivots").status,
+            Status::Regressed
+        );
+    }
+
+    #[test]
+    fn digest_drift_is_always_a_regression() {
+        let base = artifact(400_000, 300_000, 5_000, "aaaa");
+        let cur = artifact(400_000, 300_000, 5_000, "bbbb");
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert!(c.has_regressions());
+        let d = status_of(&c, "example1.code_digest");
+        assert_eq!(d.status, Status::Regressed);
+        assert!(d.note.contains("drifted"));
+    }
+
+    #[test]
+    fn metric_missing_from_baseline_is_new_not_regressed() {
+        let mut base = artifact(400_000, 300_000, 5_000, "aaaa");
+        // Baseline without the figures section at all.
+        if let Json::Obj(fields) = &mut base {
+            fields.retain(|(k, _)| k != "figures");
+        }
+        let cur = artifact(400_000, 300_000, 5_000, "aaaa");
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert!(!c.has_regressions());
+        assert_eq!(status_of(&c, "fig.fig05.digest").status, Status::New);
+        assert_eq!(status_of(&c, "fig.fig05.us").status, Status::New);
+    }
+
+    #[test]
+    fn metric_missing_from_current_is_flagged_missing() {
+        let base = artifact(400_000, 300_000, 5_000, "aaaa");
+        let mut cur = artifact(400_000, 300_000, 5_000, "aaaa");
+        if let Json::Obj(fields) = &mut cur {
+            fields.retain(|(k, _)| k != "figures");
+        }
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert!(!c.has_regressions());
+        assert_eq!(status_of(&c, "fig.fig05.digest").status, Status::Missing);
+        assert!(c.render().contains("missing"));
+    }
+
+    #[test]
+    fn no_baseline_mode_is_all_new() {
+        // Comparing against an empty document: everything is New.
+        let cur = artifact(400_000, 300_000, 5_000, "aaaa");
+        let c = compare(&Json::obj(), &cur, &Tolerance::default());
+        assert!(!c.has_regressions());
+        assert_eq!(c.count(Status::New), c.deltas.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! Golden equivalence of the engine-driven and legacy fig05 paths.
+//!
+//! The observatory rewired every figure through `aov_engine::Pipeline`;
+//! this test pins down that the rewiring changed *nothing* in the
+//! user-visible output — the engine-driven report byte-matches the
+//! direct-computation reference kept in `aov_bench::legacy`.
+
+use aov_support::ToJson;
+
+#[test]
+fn engine_driven_fig05_byte_matches_legacy() {
+    let ctx = aov_bench::FigureCtx::build(&["example1"], 1).expect("pipeline runs");
+    let engine = aov_bench::fig05(&ctx);
+    let legacy = aov_bench::legacy::fig05();
+    assert_eq!(engine.render(), legacy.render());
+    assert_eq!(engine.to_json().to_pretty(), legacy.to_json().to_pretty());
+    assert!(engine.reproduced);
+}
+
+#[test]
+fn memoized_context_yields_identical_fig05() {
+    // The observatory builds its contexts with memoization on; the LP
+    // memo must be result-transparent all the way to the rendered text.
+    let plain = aov_bench::FigureCtx::build(&["example1"], 1).expect("pipeline runs");
+    let suite = aov_bench::observatory::run_suite(&aov_bench::observatory::SuiteConfig {
+        examples: vec!["example1".to_string()],
+        runs: 1,
+        workers: 1,
+        quick: true,
+        figures: false,
+        span_rows: 8,
+    })
+    .expect("suite runs");
+    assert_eq!(suite.examples.len(), 1);
+    assert_eq!(
+        aov_bench::fig05(&plain).render(),
+        aov_bench::legacy::fig05().render()
+    );
+}

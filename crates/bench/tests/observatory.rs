@@ -1,0 +1,91 @@
+//! End-to-end observatory checks: a real (small) suite run produces a
+//! schema-valid artifact, figure selection honors the example subset,
+//! and the regression gate fires on an injected slowdown.
+
+use aov_bench::observatory::{self, SuiteConfig};
+use aov_bench::regress::{self, Status, Tolerance};
+use aov_support::{Json, ToJson};
+
+fn example1_suite(runs: usize) -> observatory::Artifact {
+    observatory::run_suite(&SuiteConfig {
+        examples: vec!["example1".to_string()],
+        runs,
+        workers: 1,
+        quick: true,
+        figures: true,
+        span_rows: 8,
+    })
+    .expect("suite runs")
+}
+
+#[test]
+fn example1_suite_produces_schema_valid_artifact() {
+    let artifact = example1_suite(2);
+    let doc = artifact.to_json();
+    observatory::validate(&doc).expect("artifact matches its own schema");
+    assert_eq!(
+        doc.get("schema"),
+        Some(&Json::Str(observatory::SCHEMA_VERSION.to_string()))
+    );
+
+    let e = &artifact.examples[0];
+    assert_eq!(e.program, "example1");
+    assert_eq!(e.runs, 2);
+    assert!(e.wall_us.min <= e.wall_us.median);
+    assert!(e.equivalent);
+    assert_eq!(e.code_digest.len(), 16, "FNV-1a hex digest");
+    assert_eq!(e.aov, vec![("A".to_string(), vec![1, 2])]);
+    // The traced first run recorded pipeline root spans.
+    let Json::Arr(spans) = &e.spans else {
+        panic!("spans should be an array");
+    };
+    assert!(
+        spans
+            .iter()
+            .any(|s| matches!(s.get("name"), Some(Json::Str(n)) if n.starts_with("pipeline."))),
+        "no pipeline spans in {spans:?}"
+    );
+
+    // Figure selection: only figures satisfiable from example1 ran.
+    let ids: Vec<&str> = artifact.figures.iter().map(|f| f.id.as_str()).collect();
+    assert_eq!(ids, ["fig03", "fig04", "fig05", "fig06", "storage"]);
+    assert!(artifact.figures.iter().all(|f| f.reproduced));
+    assert!(artifact.figures.iter().all(|f| f.digest.len() == 16));
+}
+
+#[test]
+fn second_run_against_first_stays_clean_and_injected_slowdown_gates() {
+    let baseline = example1_suite(1).to_json();
+    let current = example1_suite(1).to_json();
+
+    // Same binary, same inputs: results identical, timings within noise
+    // (both runs are far below the 10 ms absolute floor per metric or
+    // within the relative band — exact metrics must all match).
+    let cmp = regress::compare(&baseline, &current, &Tolerance::default());
+    assert!(
+        !cmp.deltas
+            .iter()
+            .any(|d| d.status == Status::Regressed && d.note.contains("drifted")),
+        "exact metrics drifted between identical runs:\n{}",
+        cmp.render()
+    );
+
+    // Inject a 100× slowdown into the current wall time: the gate fires.
+    let mut slowed = current.clone();
+    inject_wall_us(&mut slowed, 100_000_000);
+    let cmp = regress::compare(&baseline, &slowed, &Tolerance::default());
+    assert!(cmp.has_regressions(), "{}", cmp.render());
+    assert!(cmp.render().contains("REGRESSED"));
+}
+
+/// Overwrites `examples[0].wall_us.{min,median}` in a parsed artifact.
+fn inject_wall_us(doc: &mut Json, us: i64) {
+    let Json::Obj(fields) = doc else { panic!() };
+    let examples = &mut fields.iter_mut().find(|(k, _)| k == "examples").unwrap().1;
+    let Json::Arr(items) = examples else { panic!() };
+    let Json::Obj(example) = &mut items[0] else {
+        panic!()
+    };
+    let wall = &mut example.iter_mut().find(|(k, _)| k == "wall_us").unwrap().1;
+    *wall = Json::obj().field("min", us).field("median", us);
+}

@@ -9,4 +9,4 @@
 
 pub mod pipeline;
 
-pub use pipeline::{run_example, EngineError, Pipeline, Report, StageReport};
+pub use pipeline::{run_example, EngineError, Pipeline, Report, RunTiming, StageReport, Stat};

@@ -24,7 +24,7 @@ use aov_interp::validate::semantics_preserved;
 use aov_ir::{analysis, examples, Program};
 use aov_machine::experiments::{example2_speedup_with, example3_speedup_with, SpeedupPoint};
 use aov_machine::MachineConfig;
-use aov_schedule::{legal, scheduler};
+use aov_schedule::{legal, scheduler, Schedule};
 use aov_support::{counters, Json, ToJson};
 
 /// Errors from running a pipeline.
@@ -90,6 +90,71 @@ impl ToJson for StageReport {
     }
 }
 
+/// Min/median of one timing metric across repeated runs (lower
+/// nearest-rank median, so values stay exact microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    pub min: u128,
+    pub median: u128,
+}
+
+impl Stat {
+    /// Aggregates a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// On an empty sample.
+    #[must_use]
+    pub fn of(mut sample: Vec<u128>) -> Stat {
+        sample.sort_unstable();
+        Stat {
+            min: sample[0],
+            median: sample[(sample.len() - 1) / 2],
+        }
+    }
+}
+
+impl ToJson for Stat {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("min", self.min as i64)
+            .field("median", self.median as i64)
+    }
+}
+
+/// Timing aggregation over repeated pipeline runs (see
+/// [`Pipeline::runs`]): min/median of the total and of every stage.
+/// Min is the noise-resistant headline (best observed run, warm caches
+/// included); median shows how typical that best case is.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    /// Number of repetitions aggregated.
+    pub runs: usize,
+    /// Whole-pipeline wall clock, microseconds.
+    pub total_micros: Stat,
+    /// Per-stage wall clock, microseconds, in stage order.
+    pub stages: Vec<(&'static str, Stat)>,
+}
+
+impl ToJson for RunTiming {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("runs", self.runs)
+            .field("total_micros", self.total_micros.to_json())
+            .field(
+                "stages",
+                self.stages
+                    .iter()
+                    .map(|(name, stat)| {
+                        Json::obj()
+                            .field("name", *name)
+                            .field("micros", stat.to_json())
+                    })
+                    .collect::<Vec<_>>(),
+            )
+    }
+}
+
 /// The result of a full pipeline run.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -101,6 +166,9 @@ pub struct Report {
     pub memoized: bool,
     /// Executed stages, in order.
     pub stages: Vec<StageReport>,
+    /// Problem 1 result: the shortest OV per array under the schedule
+    /// the `schedule` stage settled on (found or overridden).
+    pub ov: OvResult,
     /// Problem 3 result: the AOV per array, in array order.
     pub aov: OvResult,
     /// Names of the arrays, aligned with [`Report::aov`].
@@ -117,6 +185,9 @@ pub struct Report {
     /// delta) — unlike the raw registry, these never accumulate across
     /// pipeline runs in the same process.
     pub counters: Vec<(String, u64)>,
+    /// Min/median timing across repetitions; `None` for single runs
+    /// (the default), so one-run reports keep their historical shape.
+    pub timing: Option<RunTiming>,
 }
 
 impl Report {
@@ -169,7 +240,7 @@ impl ToJson for Report {
                 )
             })
             .collect::<Vec<_>>();
-        Json::obj()
+        let mut json = Json::obj()
             .field("program", self.program.as_str())
             .field("workers", self.workers)
             .field("memoized", self.memoized)
@@ -205,7 +276,11 @@ impl ToJson for Report {
                         self.memo_hit_rate().map_or(Json::Null, Json::Float),
                     ),
             )
-            .field("stages", self.stages.to_json())
+            .field("stages", self.stages.to_json());
+        if let Some(timing) = &self.timing {
+            json = json.field("timing", timing.to_json());
+        }
+        json
     }
 }
 
@@ -217,6 +292,8 @@ pub struct Pipeline {
     memoize: bool,
     machine: bool,
     params: Option<Vec<i64>>,
+    runs: usize,
+    schedule_override: Option<Schedule>,
 }
 
 impl Pipeline {
@@ -229,6 +306,8 @@ impl Pipeline {
             memoize: false,
             machine: false,
             params: None,
+            runs: 1,
+            schedule_override: None,
         }
     }
 
@@ -281,12 +360,68 @@ impl Pipeline {
         self
     }
 
-    /// Runs every stage and collects the instrumented report.
+    /// Repeats the whole pipeline `runs` times (`<= 1` means once).
+    /// The returned report is the *fastest* run, with a
+    /// [`RunTiming`] min/median summary attached so single-run noise
+    /// stops polluting timing comparisons. Results are identical across
+    /// repetitions; only timings (and cache warmth) vary.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs.max(1);
+        self
+    }
+
+    /// Pins the `schedule` stage to a caller-provided schedule instead
+    /// of searching. The schedule must be legal for the program —
+    /// Problem 1 then reports the shortest OVs *under that schedule*
+    /// (this is how the figure suite reproduces Figure 3's row-parallel
+    /// scenario through the instrumented pipeline).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule_override = Some(schedule);
+        self
+    }
+
+    /// Runs every stage and collects the instrumented report; with
+    /// [`Pipeline::runs`] `> 1`, repeats and returns the fastest run
+    /// plus a min/median timing summary.
     ///
     /// # Errors
     ///
     /// The first stage failure, wrapped as [`EngineError`].
     pub fn run(&self) -> Result<Report, EngineError> {
+        if self.runs <= 1 {
+            return self.run_once();
+        }
+        let mut reports: Vec<Report> = Vec::with_capacity(self.runs);
+        for _ in 0..self.runs {
+            reports.push(self.run_once()?);
+        }
+        let stage_names: Vec<&'static str> = reports[0].stages.iter().map(|s| s.name).collect();
+        let timing = RunTiming {
+            runs: self.runs,
+            total_micros: Stat::of(reports.iter().map(|r| r.total_micros).collect()),
+            stages: stage_names
+                .iter()
+                .map(|&name| {
+                    let sample = reports
+                        .iter()
+                        .map(|r| r.stage(name).map_or(0, |s| s.micros))
+                        .collect();
+                    (name, Stat::of(sample))
+                })
+                .collect(),
+        };
+        let best = reports
+            .into_iter()
+            .min_by_key(|r| r.total_micros)
+            .expect("at least one run");
+        Ok(Report {
+            timing: Some(timing),
+            ..best
+        })
+    }
+
+    /// One full pass over every stage.
+    fn run_once(&self) -> Result<Report, EngineError> {
         let p = &self.program;
         let check_params = self.resolved_params()?;
         if self.memoize {
@@ -337,14 +472,27 @@ impl Pipeline {
         })?;
 
         let sched = stage(&mut stages, "schedule", || {
-            let sched = scheduler::find_schedule(p)?;
-            let detail = Json::obj().field("theta", sched.display(p).to_string());
+            let (sched, overridden) = match &self.schedule_override {
+                Some(s) => {
+                    if !legal::is_legal(p, s) {
+                        return Err(EngineError::Schedule(
+                            "overridden schedule violates a dependence".to_string(),
+                        ));
+                    }
+                    (s.clone(), true)
+                }
+                None => (scheduler::find_schedule(p)?, false),
+            };
+            let detail = Json::obj()
+                .field("theta", sched.display(p).to_string())
+                .field("overridden", overridden);
             Ok((sched, detail))
         })?;
 
-        stage(&mut stages, "problem1", || {
+        let ov = stage(&mut stages, "problem1", || {
             let ov = problems::ov_for_schedule_with(p, &sched, self.workers)?;
-            Ok(((), ov_detail(p, &ov)))
+            let detail = ov_detail(p, &ov);
+            Ok((ov, detail))
         })?;
 
         let aov = stage(&mut stages, "aov", || {
@@ -405,6 +553,7 @@ impl Pipeline {
             workers: self.workers,
             memoized: self.memoize,
             arrays: p.arrays().iter().map(|a| a.name().to_string()).collect(),
+            ov,
             aov,
             code,
             equivalent,
@@ -412,6 +561,7 @@ impl Pipeline {
             total_micros: t_start.elapsed().as_micros(),
             counters: counters::delta(&run_before, &counters::snapshot()),
             stages,
+            timing: None,
         })
     }
 
@@ -544,6 +694,74 @@ mod tests {
             .unwrap()
             .check_params(vec![5]);
         assert!(matches!(p.run(), Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn single_run_has_no_timing_summary() {
+        let report = run_example("example1", 1).expect("example1 runs");
+        assert!(report.timing.is_none());
+        assert!(report.to_json().get("timing").is_none());
+    }
+
+    #[test]
+    fn repeated_runs_attach_min_median_timing() {
+        let report = Pipeline::for_example("example1")
+            .unwrap()
+            .runs(3)
+            .run()
+            .expect("example1 runs");
+        let timing = report.timing.as_ref().expect("timing for runs > 1");
+        assert_eq!(timing.runs, 3);
+        assert!(timing.total_micros.min <= timing.total_micros.median);
+        assert_eq!(timing.stages.len(), report.stages.len());
+        for (name, stat) in &timing.stages {
+            assert!(stat.min <= stat.median, "{name}: min > median");
+        }
+        // The report is the fastest of the three runs.
+        assert_eq!(report.total_micros, timing.total_micros.min);
+        let json = report.to_json();
+        let t = json.get("timing").expect("timing in JSON");
+        assert_eq!(t.get("runs"), Some(&Json::Int(3)));
+        assert!(t.get("total_micros").and_then(|s| s.get("min")).is_some());
+    }
+
+    #[test]
+    fn stat_median_is_lower_nearest_rank() {
+        let s = Stat::of(vec![40, 10, 30, 20]);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.median, 20);
+        let s = Stat::of(vec![7]);
+        assert_eq!((s.min, s.median), (7, 7));
+    }
+
+    #[test]
+    fn schedule_override_drives_problem1() {
+        // Figure 3's scenario: the row-parallel schedule Θ(i,j) = j of
+        // Example 1 admits the shorter OV (0, 1).
+        let p = examples::example1();
+        let row = aov_schedule::Schedule::uniform_for(
+            &p,
+            &[aov_linalg::AffineExpr::from_i64(&[0, 1, 0, 0], 0)],
+        );
+        let report = Pipeline::new(p).with_schedule(row).run().expect("runs");
+        assert_eq!(report.ov.vector_for("A").unwrap().components(), [0, 1]);
+        let detail = &report.stage("schedule").expect("schedule stage").detail;
+        assert_eq!(detail.get("overridden"), Some(&Json::Bool(true)));
+        // The AOV is schedule-independent and unchanged by the override.
+        assert_eq!(report.aov.vector_for("A").unwrap().components(), [1, 2]);
+    }
+
+    #[test]
+    fn illegal_schedule_override_is_rejected() {
+        let p = examples::example1();
+        let bad = aov_schedule::Schedule::uniform_for(
+            &p,
+            &[aov_linalg::AffineExpr::from_i64(&[-1, 1, 0, 0], 0)],
+        );
+        assert!(matches!(
+            Pipeline::new(p).with_schedule(bad).run(),
+            Err(EngineError::Schedule(_))
+        ));
     }
 
     #[test]

@@ -18,13 +18,20 @@
 //! * [`counters`] + [`static_counter!`] — a process-global registry of
 //!   named atomic counters used by the solver stack (simplex pivots,
 //!   branch-and-bound nodes, Fourier–Motzkin eliminations, …) and read
-//!   back by `aov-engine` reports.
+//!   back by `aov-engine` reports,
+//! * [`schema`] — a structural checker for versioned JSON artifacts
+//!   (`BENCH_*.json`) with path-annotated mismatch reports,
+//! * [`digest`] — FNV-1a content digests used to fingerprint figure
+//!   outputs inside perf artifacts.
 
 pub mod bench;
 pub mod counters;
+pub mod digest;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod schema;
 
 pub use json::{Json, JsonParseError, ToJson};
 pub use rng::Rng;
+pub use schema::Schema;

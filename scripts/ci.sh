@@ -21,9 +21,18 @@ cargo test -q --offline --workspace
 
 echo "== trace smoke"
 trace_file="$(mktemp /tmp/aov-trace-smoke.XXXXXX.json)"
-trap 'rm -f "$trace_file"' EXIT
+bench_file="$(mktemp /tmp/aov-bench-smoke.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$bench_file"' EXIT
 ./target/release/aov example1 --memoize --trace "$trace_file" --profile \
     --compact > /dev/null
 ./target/release/aov --check-trace "$trace_file"
+
+echo "== bench smoke"
+# Tiny observatory run: one example, two repetitions, reduced machine
+# sweeps. Produces an artifact, validates it against the schema, and
+# exercises the comparator in no-baseline mode (nothing to gate on).
+./target/release/aov bench --examples example1 --runs 2 --quick \
+    --out "$bench_file"
+./target/release/aov bench --check "$bench_file"
 
 echo "CI green."

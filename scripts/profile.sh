@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Profile one example through the full pipeline, with the LP memo cache
+# on and the per-orthant solvers fanned out.
+#
+# Writes a Chrome trace-event file and prints the per-span flame table
+# plus the memo hit rate to stderr. Load the trace in
+# https://ui.perfetto.dev or chrome://tracing — one track per worker
+# thread, pipeline stages as root spans.
+#
+# Usage: scripts/profile.sh <example1|example2|example3|example4> [trace-file] [workers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+example="${1:?usage: scripts/profile.sh <example1..example4> [trace-file] [workers]}"
+trace_file="${2:-/tmp/aov-${example}-trace.json}"
+workers="${3:-8}"
+
+cargo build --release --offline --workspace
+
+./target/release/aov "$example" --memoize --workers "$workers" \
+    --profile --trace "$trace_file" --compact > /dev/null
+
+./target/release/aov --check-trace "$trace_file"
+echo "Load $trace_file in https://ui.perfetto.dev to explore the run."

@@ -1,24 +1,7 @@
 #!/usr/bin/env bash
-# Profile the heaviest analysis in the suite: Example 3 (19 dependences,
-# 27 sign patterns) through the full pipeline, with the LP memo cache on
-# and the per-orthant solvers fanned out.
-#
-# Writes a Chrome trace-event file and prints the per-span flame table
-# plus the memo hit rate to stderr. Load the trace in
-# https://ui.perfetto.dev or chrome://tracing — one track per worker
-# thread, pipeline stages as root spans.
+# Back-compat wrapper: profile the heaviest analysis in the suite
+# (Example 3 — 19 dependences, 27 sign patterns). See scripts/profile.sh
+# for the general form.
 #
 # Usage: scripts/profile_example3.sh [trace-file] [workers]
-set -euo pipefail
-cd "$(dirname "$0")/.."
-
-trace_file="${1:-/tmp/aov-example3-trace.json}"
-workers="${2:-8}"
-
-cargo build --release --offline --workspace
-
-./target/release/aov example3 --memoize --workers "$workers" \
-    --profile --trace "$trace_file" --compact > /dev/null
-
-./target/release/aov --check-trace "$trace_file"
-echo "Load $trace_file in https://ui.perfetto.dev to explore the run."
+exec "$(dirname "$0")/profile.sh" example3 "$@"

@@ -1,0 +1,499 @@
+//! The `aov` command line: run the instrumented pipeline on one of the
+//! paper's examples and print a JSON report, or drive the benchmark
+//! observatory.
+//!
+//! ```text
+//! aov <example1|example2|example3|example4|all> [options]
+//!
+//!   --workers N        fan the per-orthant solvers out over N threads
+//!                      (default: available parallelism, capped at 8)
+//!   --sequential       shorthand for --workers 1
+//!   --memoize          enable the LP memoization cache
+//!   --legacy-memo-keys key the cache on raw model text instead of the
+//!                      alpha-renamed canonical form (A/B comparison)
+//!   --machine          include the §6 simulated-speedup stage
+//!   --params A,B       parameter sizes for the equivalence oracle
+//!   --runs N           repeat the pipeline N times; the report carries
+//!                      the fastest run plus a min/median timing block
+//!   --compact          one-line JSON instead of pretty-printed
+//!   --trace FILE       write a Chrome trace-event JSON (load it in
+//!                      Perfetto or chrome://tracing); the file also
+//!                      carries an "aovMetrics" snapshot merging the
+//!                      span flame table with the solver counters
+//!   --profile          print a per-example flame table and memo
+//!                      hit-rate summary to stderr
+//!
+//! aov bench [options]
+//!
+//!   Run the benchmark observatory: every example through the pipeline
+//!   (memoization on), min/median timings over repeated runs, span and
+//!   counter attribution, the engine-driven figure suite with output
+//!   fingerprints — written as a versioned BENCH_<n>.json artifact.
+//!
+//!   --runs N              pipeline repetitions per example (default 1)
+//!   --out FILE            write the artifact here (default: stdout)
+//!   --baseline FILE       compare against a previous artifact and print
+//!                         a noise-aware regression report
+//!   --fail-on-regression  exit 1 when the comparison gates
+//!   --examples A,B        subset of examples (default: all four)
+//!   --workers N           solver fan-out threads
+//!   --quick               machine-model figures at reduced sizes
+//!   --no-figures          skip the figure suite
+//!   --check FILE          validate an existing artifact against the
+//!                         schema instead of running anything
+//!
+//! aov --check-trace FILE
+//!
+//!   Validate a previously written trace: parse the JSON and assert it
+//!   contains pipeline root spans. Exit 0 when well-formed.
+//! ```
+//!
+//! Exit status: 0 on success (and dynamic equivalence holding), 1 when a
+//! stage fails, equivalence does not hold, an artifact is invalid or a
+//! gated regression is found, 2 on a usage error.
+
+use aov_bench::observatory::{self, SuiteConfig};
+use aov_bench::regress;
+use aov_engine::Pipeline;
+use aov_support::{Json, ToJson};
+
+struct Options {
+    programs: Vec<String>,
+    workers: usize,
+    memoize: bool,
+    legacy_memo_keys: bool,
+    machine: bool,
+    params: Option<Vec<i64>>,
+    runs: usize,
+    compact: bool,
+    trace: Option<String>,
+    profile: bool,
+    check_trace: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aov <example1|example2|example3|example4|all> \
+         [--workers N] [--sequential] [--memoize] [--legacy-memo-keys] \
+         [--machine] [--params A,B,..] [--runs N] [--compact] \
+         [--trace FILE] [--profile]\n       \
+         aov bench [--runs N] [--out FILE] [--baseline FILE] \
+         [--fail-on-regression] [--examples A,B] [--workers N] [--quick] \
+         [--no-figures] [--check FILE]\n       \
+         aov --check-trace FILE"
+    );
+    std::process::exit(2);
+}
+
+fn parse(args: &[String]) -> Options {
+    let mut opts = Options {
+        programs: Vec::new(),
+        workers: aov_bench::default_workers(),
+        memoize: false,
+        legacy_memo_keys: false,
+        machine: false,
+        params: None,
+        runs: 1,
+        compact: false,
+        trace: None,
+        profile: false,
+        check_trace: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => opts.workers = w,
+                None => usage(),
+            },
+            "--sequential" => opts.workers = 1,
+            "--memoize" => opts.memoize = true,
+            "--legacy-memo-keys" => opts.legacy_memo_keys = true,
+            "--machine" => opts.machine = true,
+            "--params" => match it.next() {
+                Some(spec) => {
+                    let parsed: Option<Vec<i64>> =
+                        spec.split(',').map(|s| s.trim().parse().ok()).collect();
+                    match parsed {
+                        Some(ps) if !ps.is_empty() => opts.params = Some(ps),
+                        _ => usage(),
+                    }
+                }
+                None => usage(),
+            },
+            "--runs" => match it.next().and_then(|r| r.parse().ok()) {
+                Some(r) if r >= 1 => opts.runs = r,
+                _ => usage(),
+            },
+            "--compact" => opts.compact = true,
+            "--trace" => match it.next() {
+                Some(f) => opts.trace = Some(f.clone()),
+                None => usage(),
+            },
+            "--profile" => opts.profile = true,
+            "--check-trace" => match it.next() {
+                Some(f) => opts.check_trace = Some(f.clone()),
+                None => usage(),
+            },
+            "all" => {
+                opts.programs.extend((1..=4).map(|k| format!("example{k}")));
+            }
+            name if !name.starts_with('-') => opts.programs.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+    if opts.programs.is_empty() && opts.check_trace.is_none() {
+        usage();
+    }
+    opts
+}
+
+/// Validates a written trace file: parses the JSON back (through
+/// `aov_support::json`) and requires at least one `pipeline.*` root span
+/// among the trace events.
+fn check_trace(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("aov: {path}: {e}");
+            return 1;
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("aov: {path}: invalid JSON: {e}");
+            return 1;
+        }
+    };
+    let Some(Json::Arr(events)) = json.get("traceEvents") else {
+        eprintln!("aov: {path}: no traceEvents array");
+        return 1;
+    };
+    let pipeline_spans = events
+        .iter()
+        .filter(|e| matches!(e.get("name"), Some(Json::Str(n)) if n.starts_with("pipeline.")))
+        .count();
+    if pipeline_spans == 0 {
+        eprintln!("aov: {path}: no pipeline root spans in trace");
+        return 1;
+    }
+    eprintln!(
+        "aov: {path}: ok ({} events, {pipeline_spans} pipeline spans)",
+        events.len()
+    );
+    0
+}
+
+struct BenchOptions {
+    runs: usize,
+    out: Option<String>,
+    baseline: Option<String>,
+    fail_on_regression: bool,
+    examples: Vec<String>,
+    workers: usize,
+    quick: bool,
+    figures: bool,
+    check: Option<String>,
+}
+
+fn parse_bench(args: &[String]) -> BenchOptions {
+    let mut opts = BenchOptions {
+        runs: 1,
+        out: None,
+        baseline: None,
+        fail_on_regression: false,
+        examples: aov_bench::EXAMPLES
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        workers: aov_bench::default_workers(),
+        quick: false,
+        figures: true,
+        check: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => match it.next().and_then(|r| r.parse().ok()) {
+                Some(r) if r >= 1 => opts.runs = r,
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => opts.out = Some(f.clone()),
+                None => usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(f) => opts.baseline = Some(f.clone()),
+                None => usage(),
+            },
+            "--fail-on-regression" => opts.fail_on_regression = true,
+            "--examples" => match it.next() {
+                Some(spec) => {
+                    opts.examples = spec
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if opts.examples.is_empty() {
+                        usage();
+                    }
+                }
+                None => usage(),
+            },
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => opts.workers = w,
+                None => usage(),
+            },
+            "--quick" => opts.quick = true,
+            "--no-figures" => opts.figures = false,
+            "--check" => match it.next() {
+                Some(f) => opts.check = Some(f.clone()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Validates an artifact file: JSON parse, structural schema, version.
+fn check_artifact(path: &str) -> i32 {
+    let doc = match read_artifact(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("aov bench: {e}");
+            return 1;
+        }
+    };
+    if let Err(errors) = observatory::validate(&doc) {
+        eprintln!("aov bench: {path}: schema violations:");
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        return 1;
+    }
+    match doc.get("schema") {
+        Some(Json::Str(v)) if v == observatory::SCHEMA_VERSION => {}
+        other => {
+            eprintln!(
+                "aov bench: {path}: unsupported schema version {other:?} (want {:?})",
+                observatory::SCHEMA_VERSION
+            );
+            return 1;
+        }
+    }
+    eprintln!("aov bench: {path}: ok ({})", observatory::SCHEMA_VERSION);
+    0
+}
+
+fn read_artifact(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
+fn bench_main(args: &[String]) -> i32 {
+    let opts = parse_bench(args);
+    if let Some(path) = &opts.check {
+        return check_artifact(path);
+    }
+    let cfg = SuiteConfig {
+        examples: opts.examples.clone(),
+        runs: opts.runs,
+        workers: opts.workers,
+        quick: opts.quick,
+        figures: opts.figures,
+        ..SuiteConfig::default()
+    };
+    eprintln!(
+        "aov bench: {} × {} run(s), workers {}{}",
+        cfg.examples.join(","),
+        cfg.runs,
+        cfg.workers,
+        if cfg.quick { ", quick" } else { "" }
+    );
+    let artifact = match observatory::run_suite(&cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("aov bench: {e}");
+            return 1;
+        }
+    };
+    for e in &artifact.examples {
+        eprintln!(
+            "aov bench: {:<9} wall {} µs (min of {}), memo hit rate {}",
+            e.program,
+            e.wall_us.min,
+            e.runs,
+            e.memo_hit_rate
+                .map_or("n/a".to_string(), |r| format!("{:.1}%", r * 100.0)),
+        );
+    }
+    if artifact.figures_enabled {
+        let reproduced = artifact.figures.iter().filter(|f| f.reproduced).count();
+        eprintln!(
+            "aov bench: figures {reproduced}/{} reproduced",
+            artifact.figures.len()
+        );
+    }
+
+    let doc = artifact.to_json();
+    if let Err(errors) = observatory::validate(&doc) {
+        eprintln!("aov bench: internal error: artifact fails its own schema:");
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        return 1;
+    }
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+                eprintln!("aov bench: cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!("aov bench: artifact written to {path}");
+        }
+        None => {
+            use std::io::Write;
+            let _ = std::io::stdout().write_all(doc.to_pretty().as_bytes());
+        }
+    }
+
+    if !artifact.figures.iter().all(|f| f.reproduced) {
+        eprintln!("aov bench: FAILED: a figure did not reproduce");
+        return 1;
+    }
+
+    match &opts.baseline {
+        None => {
+            eprintln!("aov bench: no baseline given; skipping comparison");
+            0
+        }
+        Some(path) => {
+            let baseline = match read_artifact(path) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("aov bench: {e}");
+                    return 1;
+                }
+            };
+            let cmp = regress::compare(&baseline, &doc, &regress::Tolerance::default());
+            eprint!("{}", cmp.render());
+            if cmp.has_regressions() && opts.fail_on_regression {
+                eprintln!("aov bench: FAILED: regressions beyond tolerance");
+                1
+            } else {
+                0
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        std::process::exit(bench_main(&args[1..]));
+    }
+    let opts = parse(&args);
+
+    if let Some(path) = &opts.check_trace {
+        std::process::exit(check_trace(path));
+    }
+
+    let tracing = opts.trace.is_some() || opts.profile;
+    if tracing {
+        aov_trace::set_enabled(true);
+    }
+    if opts.legacy_memo_keys {
+        aov_lp::memo::set_legacy_keys(true);
+    }
+
+    let mut reports = Vec::new();
+    let mut all_records: Vec<aov_trace::SpanRecord> = Vec::new();
+    let mut all_equivalent = true;
+    for name in &opts.programs {
+        let mut pipeline = match Pipeline::for_example(name) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("aov: {e}");
+                std::process::exit(2);
+            }
+        };
+        pipeline = pipeline
+            .workers(opts.workers)
+            .memoize(opts.memoize)
+            .machine(opts.machine)
+            .runs(opts.runs);
+        if let Some(ps) = &opts.params {
+            pipeline = pipeline.check_params(ps.clone());
+        }
+        match pipeline.run() {
+            Ok(report) => {
+                if tracing {
+                    let records = aov_trace::drain();
+                    if opts.profile {
+                        print_profile(name, &records, &report);
+                    }
+                    all_records.extend(records);
+                }
+                all_equivalent &= report.equivalent;
+                reports.push(report.to_json());
+            }
+            Err(e) => {
+                eprintln!("aov: {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.trace {
+        let metrics =
+            aov_trace::metrics::snapshot(&all_records, &aov_support::counters::snapshot());
+        let doc = aov_trace::chrome::chrome_trace(&all_records).field("aovMetrics", metrics);
+        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("aov: cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("aov: trace written to {path} ({} spans)", all_records.len());
+    }
+
+    let json = if reports.len() == 1 {
+        reports.pop().unwrap()
+    } else {
+        Json::Arr(reports)
+    };
+    let text = if opts.compact {
+        let mut line = json.to_compact();
+        line.push('\n');
+        line
+    } else {
+        json.to_pretty()
+    };
+    // Ignore broken pipes (e.g. `aov … | head`).
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+    std::process::exit(if all_equivalent { 0 } else { 1 });
+}
+
+/// Per-example profile: flame table plus the run's memo economics.
+fn print_profile(name: &str, records: &[aov_trace::SpanRecord], report: &aov_engine::Report) {
+    eprintln!("== profile: {name} ({} spans) ==", records.len());
+    let table = aov_trace::flame::FlameTable::build(records);
+    eprint!("{}", table.render());
+    let hits = report.counter("lp.memo.hits");
+    let misses = report.counter("lp.memo.misses");
+    match report.memo_hit_rate() {
+        Some(rate) => eprintln!(
+            "memo: {hits} hits / {} lookups ({:.1}% hit rate, {})",
+            hits + misses,
+            rate * 100.0,
+            if aov_lp::memo::legacy_keys() {
+                "legacy keys"
+            } else {
+                "canonical keys"
+            }
+        ),
+        None => eprintln!("memo: no lookups"),
+    }
+    eprintln!();
+}
