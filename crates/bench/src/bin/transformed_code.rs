@@ -9,6 +9,6 @@ fn main() {
         let p = ctx.program(name);
         println!("==== {} ====", p.name());
         println!("-- original --\n{}", codegen::original_code(p));
-        println!("-- transformed under AOVs --\n{}", ctx.report(name).code);
+        println!("-- transformed under AOVs --\n{}", ctx.code(name));
     }
 }

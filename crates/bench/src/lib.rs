@@ -19,7 +19,7 @@
 //! `aov bench` CLI subcommand drives both.
 
 use aov_core::{problems, transform::StorageTransform, uov, OccupancyVector};
-use aov_engine::{EngineError, Pipeline, Report};
+use aov_engine::{EngineError, Health, Pipeline, Report};
 use aov_ir::{examples, Program};
 use aov_linalg::{AffineExpr, QVector};
 use aov_machine::{experiments, MachineConfig};
@@ -131,6 +131,7 @@ impl FigureCtx {
                 .workers(workers)
                 .memoize(true)
                 .run()?;
+            reject_degraded(name, &report)?;
             entries.push((name.to_string(), program, report));
         }
         Ok(FigureCtx { workers, entries })
@@ -198,6 +199,51 @@ impl FigureCtx {
             .map(|(_, p, _)| p)
             .unwrap_or_else(|| panic!("FigureCtx has no program for {name:?}"))
     }
+
+    /// The AOV result of one example's report.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FigureCtx::report`], or when the report is degraded
+    /// (healthy runs are enforced at build time; externally supplied
+    /// reports must be complete too).
+    pub fn aov(&self, name: &str) -> &aov_core::problems::OvResult {
+        self.report(name)
+            .aov
+            .as_ref()
+            .unwrap_or_else(|| panic!("report for {name:?} has no AOV (degraded run)"))
+    }
+
+    /// The transformed code of one example's report.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FigureCtx::aov`].
+    pub fn code(&self, name: &str) -> &str {
+        self.report(name)
+            .code
+            .as_deref()
+            .unwrap_or_else(|| panic!("report for {name:?} has no code (degraded run)"))
+    }
+}
+
+/// The figure suite measures the paper's results; a degraded pipeline
+/// (budget trip, fault, unschedulable input) has none to measure, so
+/// benchmarking rejects it instead of recording partial numbers.
+pub(crate) fn reject_degraded(name: &str, report: &Report) -> Result<(), EngineError> {
+    if report.health() == Health::Ok {
+        return Ok(());
+    }
+    let reasons: Vec<String> = report
+        .stages
+        .iter()
+        .filter(|s| s.outcome.class() != "ok")
+        .map(|s| format!("{}: {}", s.name, s.outcome.reason().unwrap_or("")))
+        .collect();
+    Err(EngineError::Unsupported(format!(
+        "pipeline for {name} did not complete cleanly ({}); benchmarking requires healthy runs",
+        reasons.join("; ")
+    )))
 }
 
 /// Figure 3: shortest OV for Example 1 under the row-parallel schedule.
@@ -215,7 +261,13 @@ pub fn fig03(ctx: &FigureCtx) -> FigureReport {
         .run()
         .expect("solvable");
     let search = problems::ov_for_schedule_search(p, &row, 6).expect("solvable");
-    let v = report.ov.vector_for("A").expect("array A").clone();
+    let v = report
+        .ov
+        .as_ref()
+        .expect("problem1 ran")
+        .vector_for("A")
+        .expect("array A")
+        .clone();
     let agree = search.vector_for("A") == Some(&v);
     FigureReport {
         id: "fig03".into(),
@@ -297,8 +349,7 @@ pub fn fig04(ctx: &FigureCtx) -> FigureReport {
 pub fn fig05(ctx: &FigureCtx) -> FigureReport {
     let p = ctx.program("example1");
     let aov = ctx
-        .report("example1")
-        .aov
+        .aov("example1")
         .vector_for("A")
         .expect("array A")
         .clone();
@@ -328,9 +379,12 @@ pub fn fig05(ctx: &FigureCtx) -> FigureReport {
 /// is exactly the single-transform code).
 pub fn fig06(ctx: &FigureCtx) -> FigureReport {
     let p = ctx.program("example1");
-    let report = ctx.report("example1");
     let a = p.array_by_name("A").unwrap();
-    let v = report.aov.vector_for("A").expect("array A").clone();
+    let v = ctx
+        .aov("example1")
+        .vector_for("A")
+        .expect("array A")
+        .clone();
     let t = StorageTransform::new(p, a, &v).expect("transformable");
     let (n, m) = (100i64, 100i64);
     let orig = t.original_size(&[n, m]);
@@ -341,7 +395,7 @@ pub fn fig06(ctx: &FigureCtx) -> FigureReport {
         paper: "A[2i−j+m]: storage n·m → 2n+m".into(),
         measured: format!("storage {orig} → {new} at (n,m) = ({n},{m})"),
         reproduced: new == 2 * n + m - 2 && new < orig,
-        lines: report.code.lines().map(str::to_string).collect(),
+        lines: ctx.code("example1").lines().map(str::to_string).collect(),
     }
 }
 
@@ -350,9 +404,16 @@ pub fn fig06(ctx: &FigureCtx) -> FigureReport {
 /// Engine-driven: vectors and code from the Example 2 pipeline report.
 pub fn fig09(ctx: &FigureCtx) -> FigureReport {
     let p = ctx.program("example2");
-    let report = ctx.report("example2");
-    let va = report.aov.vector_for("A").expect("array A").clone();
-    let vb = report.aov.vector_for("B").expect("array B").clone();
+    let va = ctx
+        .aov("example2")
+        .vector_for("A")
+        .expect("array A")
+        .clone();
+    let vb = ctx
+        .aov("example2")
+        .vector_for("B")
+        .expect("array B")
+        .clone();
     let ts: Vec<StorageTransform> = [("A", &va), ("B", &vb)]
         .into_iter()
         .map(|(n, v)| StorageTransform::new(p, p.array_by_name(n).unwrap(), v).unwrap())
@@ -371,7 +432,7 @@ pub fn fig09(ctx: &FigureCtx) -> FigureReport {
         .collect();
     let ok = va.components() == [1, 1] && vb.components() == [1, 1];
     let mut lines = sizes;
-    lines.extend(report.code.lines().map(str::to_string));
+    lines.extend(ctx.code("example2").lines().map(str::to_string));
     FigureReport {
         id: "fig09".into(),
         title: "AOVs and transformed code for Example 2".into(),
@@ -390,8 +451,7 @@ pub fn fig09(ctx: &FigureCtx) -> FigureReport {
 pub fn fig11(ctx: &FigureCtx) -> FigureReport {
     let p = ctx.program("example3");
     let v = ctx
-        .report("example3")
-        .aov
+        .aov("example3")
         .vector_for("D")
         .expect("array D")
         .clone();
@@ -420,9 +480,16 @@ pub fn fig11(ctx: &FigureCtx) -> FigureReport {
 /// checker validates both our vector and the paper's.
 pub fn fig14(ctx: &FigureCtx) -> FigureReport {
     let p = ctx.program("example4");
-    let report = ctx.report("example4");
-    let va = report.aov.vector_for("A").expect("array A").clone();
-    let vb = report.aov.vector_for("B").expect("array B").clone();
+    let va = ctx
+        .aov("example4")
+        .vector_for("A")
+        .expect("array A")
+        .clone();
+    let vb = ctx
+        .aov("example4")
+        .vector_for("B")
+        .expect("array B")
+        .clone();
     // The paper's hand derivation reports (1,1); our exact dependence
     // domains admit the shorter (1,0), which the exact checker confirms.
     let mut checker = aov_core::check::Checker::new(p);

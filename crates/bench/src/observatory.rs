@@ -21,8 +21,8 @@
 
 use std::time::Instant;
 
-use crate::{default_workers, figure_specs, FigureCtx, EXAMPLES};
-use aov_engine::{EngineError, Pipeline, Report, Stat};
+use crate::{default_workers, figure_specs, reject_degraded, FigureCtx, EXAMPLES};
+use aov_engine::{BudgetSpec, EngineError, Pipeline, Report, Stat};
 use aov_support::digest::fnv1a_hex;
 use aov_support::schema::{self, Schema};
 use aov_support::{Json, ToJson};
@@ -46,6 +46,10 @@ pub struct SuiteConfig {
     pub figures: bool,
     /// Span-aggregate rows kept per example (top by self time).
     pub span_rows: usize,
+    /// Solver budget applied to every pipeline run. A tripped budget
+    /// degrades the run, and [`run_suite`] rejects degraded runs rather
+    /// than recording partial numbers.
+    pub budget: BudgetSpec,
 }
 
 impl Default for SuiteConfig {
@@ -57,6 +61,7 @@ impl Default for SuiteConfig {
             quick: false,
             figures: true,
             span_rows: 24,
+            budget: BudgetSpec::default(),
         }
     }
 }
@@ -88,6 +93,8 @@ pub struct ExampleBench {
 
 impl ExampleBench {
     /// Aggregates the traced first run and the untraced repetitions.
+    /// The caller has already rejected degraded reports, so the result
+    /// fields (`aov`, `equivalent`, `code`) are all present.
     fn collect(first: &Report, rest: &[Report], spans: Json) -> ExampleBench {
         let all = || std::iter::once(first).chain(rest.iter());
         let wall_us = Stat::of(all().map(|r| r.total_micros).collect());
@@ -105,7 +112,15 @@ impl ExampleBench {
             .arrays
             .iter()
             .cloned()
-            .zip(first.aov.vectors().iter().map(|v| v.components().to_vec()))
+            .zip(
+                first
+                    .aov
+                    .as_ref()
+                    .expect("healthy run has an AOV")
+                    .vectors()
+                    .iter()
+                    .map(|v| v.components().to_vec()),
+            )
             .collect();
         ExampleBench {
             program: first.program.clone(),
@@ -118,8 +133,14 @@ impl ExampleBench {
             memo_misses: first.counter("lp.memo.misses"),
             memo_hit_rate: first.memo_hit_rate(),
             aov,
-            equivalent: first.equivalent,
-            code_digest: fnv1a_hex(first.code.as_bytes()),
+            equivalent: first.equivalent.expect("healthy run ran equivalence"),
+            code_digest: fnv1a_hex(
+                first
+                    .code
+                    .as_ref()
+                    .expect("healthy run generated code")
+                    .as_bytes(),
+            ),
         }
     }
 }
@@ -237,14 +258,18 @@ impl ToJson for Artifact {
 ///
 /// # Errors
 ///
-/// The first pipeline failure, as [`EngineError`].
+/// The first pipeline failure, as [`EngineError`] — including runs that
+/// merely *degraded* (tripped budget, injected fault, unschedulable
+/// input): a baseline built from partial results would poison every
+/// later regression comparison, so degraded runs are rejected outright.
 pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
     let mut examples: Vec<ExampleBench> = Vec::new();
     let mut first_reports: Vec<Report> = Vec::new();
     for name in &cfg.examples {
         let pipeline = Pipeline::for_example(name)?
             .workers(cfg.workers)
-            .memoize(true);
+            .memoize(true)
+            .budget(cfg.budget);
         // Traced first run: span attribution, counters, digests.
         aov_trace::clear();
         aov_trace::set_enabled(true);
@@ -252,6 +277,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
         aov_trace::set_enabled(false);
         let records = aov_trace::drain();
         let first = outcome?;
+        reject_degraded(name, &first)?;
         let spans = aov_trace::metrics::span_aggregates(&records, cfg.span_rows);
         // Untraced repetitions: timing only (tracing overhead excluded).
         let mut rest = Vec::new();

@@ -29,6 +29,7 @@ fn memoized_context_yields_identical_fig05() {
         quick: true,
         figures: false,
         span_rows: 8,
+        ..aov_bench::observatory::SuiteConfig::default()
     })
     .expect("suite runs");
     assert_eq!(suite.examples.len(), 1);

@@ -14,6 +14,7 @@ fn example1_suite(runs: usize) -> observatory::Artifact {
         quick: true,
         figures: true,
         span_rows: 8,
+        ..SuiteConfig::default()
     })
     .expect("suite runs")
 }

@@ -53,6 +53,7 @@ pub mod uov;
 pub use objective::{evenness, objective_value, LENGTH_WEIGHT};
 pub use ov::{OccupancyVector, OvSpace};
 
+use aov_fault::AovError;
 use aov_polyhedra::PolyhedraError;
 use aov_schedule::scheduler::ScheduleError;
 
@@ -73,6 +74,9 @@ pub enum CoreError {
     /// The request is outside the implemented fragment (e.g. storage
     /// offsets that would be piecewise in the parameters).
     Unsupported(String),
+    /// A runtime fault (budget trip, cancellation, worker panic,
+    /// injected fault) interrupted the solve before a verdict.
+    Fault(AovError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -88,6 +92,7 @@ impl std::fmt::Display for CoreError {
             CoreError::IllegalSchedule => write!(f, "schedule violates dependences"),
             CoreError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            CoreError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -100,11 +105,18 @@ impl From<PolyhedraError> for CoreError {
     }
 }
 
+impl From<AovError> for CoreError {
+    fn from(e: AovError) -> Self {
+        CoreError::Fault(e)
+    }
+}
+
 impl From<ScheduleError> for CoreError {
     fn from(e: ScheduleError) -> Self {
         match e {
             ScheduleError::Infeasible => CoreError::Unschedulable,
             ScheduleError::Polyhedra(p) => CoreError::Polyhedra(p),
+            ScheduleError::Fault(e) => CoreError::Fault(e),
         }
     }
 }

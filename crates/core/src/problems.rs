@@ -7,12 +7,15 @@ use crate::storage::{
     Orthant,
 };
 use crate::{CoreError, OccupancyVector, OvSpace};
+use aov_fault::{AovError, Budget};
 use aov_ir::{analysis, Program};
 use aov_linalg::AffineExpr;
 use aov_lp::{Cmp, LpOutcome, Model};
 use aov_polyhedra::{Constraint, Polyhedron};
 use aov_schedule::farkas::farkas_system;
 use aov_schedule::{legal, scheduler, Schedule, ScheduleSpace};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::PoisonError;
 
 /// Default search radius (max Manhattan length) for the exact
 /// candidate-enumeration solvers.
@@ -28,35 +31,69 @@ pub const DEFAULT_SEARCH_RADIUS: i64 = 8;
 /// is shared for pruning; the parallel branch prunes strictly (`>`
 /// instead of `>=`) so equal-objective patterns with smaller indices are
 /// never lost to a later-indexed pattern that merely finished first.
+///
+/// Fault behaviour: each orthant solve runs under `catch_unwind`, so a
+/// panicking worker surfaces as [`AovError::WorkerPanic`] instead of
+/// poisoning the whole `std::thread::scope`. The fan-out runs under a
+/// [`Budget::child`] scope: the first failure cancels the child, so
+/// losing siblings stop pivoting, while the caller's budget — and any
+/// later pipeline stage sharing it — stays live. Sibling cancellation
+/// errors are ranked below the primary cause in the error reduction,
+/// keeping the reported failure deterministic. Under a *finite* budget,
+/// incumbent pruning is disabled: pruning makes the per-pattern work
+/// depend on completion order, and solving every pattern is what makes
+/// the budget trip point worker-count-invariant.
 type OrthantSolution = (i64, Vec<OccupancyVector>);
+type OrthantSolver<'a> =
+    &'a (dyn Fn(&Orthant, &Budget) -> Result<Option<OrthantSolution>, AovError> + Sync);
 
 fn fan_out_patterns(
     patterns: &[Orthant],
     workers: usize,
+    budget: &Budget,
+    site: &'static str,
     prune: &(dyn Fn(&Orthant) -> i64 + Sync),
-    solve: &(dyn Fn(&Orthant) -> Option<OrthantSolution> + Sync),
-) -> Option<OrthantSolution> {
+    solve: OrthantSolver<'_>,
+) -> Result<Option<OrthantSolution>, AovError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
+    let pruning = budget.is_unlimited();
+    // Child scope: shares the work counters (limits stay global) but
+    // owns the cancel flag, so first-failure cancellation of this
+    // fan-out cannot poison later stages using the parent budget.
+    let scoped = budget.child();
+    let run_one = |pat: &Orthant| -> Result<Option<OrthantSolution>, AovError> {
+        match catch_unwind(AssertUnwindSafe(|| -> Result<_, AovError> {
+            scoped.check(site)?;
+            aov_fault::chaos::tick(site)?;
+            solve(pat, &scoped)
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(AovError::from_panic(site, payload.as_ref())),
+        }
+    };
     if workers <= 1 || patterns.len() <= 1 {
         let mut best: Option<(i64, Vec<OccupancyVector>)> = None;
         for pat in patterns {
-            if let Some((bound, _)) = &best {
-                if prune(pat) >= *bound {
-                    continue;
+            if pruning {
+                if let Some((bound, _)) = &best {
+                    if prune(pat) >= *bound {
+                        continue;
+                    }
                 }
             }
-            if let Some((obj, vs)) = solve(pat) {
+            if let Some((obj, vs)) = run_one(pat)? {
                 if best.as_ref().is_none_or(|(b, _)| obj < *b) {
                     best = Some((obj, vs));
                 }
             }
         }
-        return best;
+        return Ok(best);
     }
     let next = AtomicUsize::new(0);
     let bound = Mutex::new(i64::MAX);
     let results: Mutex<Vec<(usize, i64, Vec<OccupancyVector>)>> = Mutex::new(Vec::new());
+    let failures: Mutex<Vec<(usize, AovError)>> = Mutex::new(Vec::new());
     // Worker spans adopt the caller's span so the trace stays one tree.
     let ctx = aov_trace::current_context();
     std::thread::scope(|s| {
@@ -65,33 +102,66 @@ fn fan_out_patterns(
                 let _adopt = aov_trace::adopt(ctx);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= patterns.len() {
+                    if i >= patterns.len() || scoped.is_cancelled() {
                         break;
                     }
                     let pat = &patterns[i];
-                    if prune(pat) > *bound.lock().unwrap() {
+                    if pruning && prune(pat) > *lock(&bound) {
                         continue;
                     }
                     aov_support::static_counter!("core.fanout.patterns")
                         .fetch_add(1, Ordering::Relaxed);
-                    if let Some((obj, vs)) = solve(pat) {
-                        let mut b = bound.lock().unwrap();
-                        if obj < *b {
-                            *b = obj;
+                    match run_one(pat) {
+                        Ok(Some((obj, vs))) => {
+                            let mut b = lock(&bound);
+                            if obj < *b {
+                                *b = obj;
+                            }
+                            drop(b);
+                            lock(&results).push((i, obj, vs));
                         }
-                        drop(b);
-                        results.lock().unwrap().push((i, obj, vs));
+                        Ok(None) => {}
+                        Err(e) => {
+                            // First failure wins; cancel the siblings
+                            // (losing orthants stop pivoting at their
+                            // next budget checkpoint).
+                            lock(&failures).push((i, e));
+                            scoped.cancel();
+                        }
                     }
                 }
             });
         }
     });
-    results
+    let failures = failures
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(PoisonError::into_inner);
+    if !failures.is_empty() {
+        // Deterministic reduction of concurrent failures: the primary
+        // cause (lowest pattern index among non-cancellation errors)
+        // beats the cancellations it triggered. Every real budget trip
+        // carries the identical (resource, limit, site) payload, so the
+        // reported error is worker-count-invariant.
+        let cause = failures
+            .into_iter()
+            .min_by_key(|(i, e)| (e.is_cancellation(), *i))
+            .map(|(_, e)| e);
+        return Err(cause.unwrap_or(AovError::Internal {
+            detail: "failure set emptied during reduction".to_string(),
+        }));
+    }
+    Ok(results
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .min_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)))
-        .map(|(_, obj, vs)| (obj, vs))
+        .map(|(_, obj, vs)| (obj, vs)))
+}
+
+/// Poison-tolerant lock: orthant workers isolate panics via
+/// `catch_unwind`, so a poisoned mutex still guards consistent data.
+fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Extracts an integral candidate and its exact objective from an ILP
@@ -121,7 +191,7 @@ pub struct OvResult {
 }
 
 impl OvResult {
-    fn new(p: &Program, vectors: Vec<OccupancyVector>) -> Self {
+    pub(crate) fn new(p: &Program, vectors: Vec<OccupancyVector>) -> Self {
         OvResult {
             names: p.arrays().iter().map(|a| a.name().to_string()).collect(),
             vectors,
@@ -189,6 +259,23 @@ pub fn ov_for_schedule_with(
     sched: &Schedule,
     workers: usize,
 ) -> Result<OvResult, CoreError> {
+    ov_for_schedule_budgeted(p, sched, workers, &Budget::unlimited())
+}
+
+/// [`ov_for_schedule_with`] under a [`Budget`]: every simplex pivot and
+/// branch-and-bound node in the per-orthant ILPs charges the budget, and
+/// exhaustion surfaces as [`CoreError::Fault`] with the trip site.
+///
+/// # Errors
+///
+/// As for [`ov_for_schedule`], plus [`CoreError::Fault`] on budget
+/// exhaustion, cancellation, or an isolated worker panic.
+pub fn ov_for_schedule_budgeted(
+    p: &Program,
+    sched: &Schedule,
+    workers: usize,
+    budget: &Budget,
+) -> Result<OvResult, CoreError> {
     if !legal::is_legal(p, sched) {
         return Err(CoreError::IllegalSchedule);
     }
@@ -207,7 +294,7 @@ pub fn ov_for_schedule_with(
         .into_iter()
         .filter(|pat| !pattern_has_zero_array(p, &ov_space, pat))
         .collect();
-    let solve = |pattern: &Orthant| {
+    let solve = |pattern: &Orthant, b: &Budget| {
         let _span = aov_trace::span!("p1.orthant", pattern = pattern_label(pattern));
         let mut m = Model::new();
         for name in ov_space.vars().names() {
@@ -224,11 +311,18 @@ pub fn ov_for_schedule_with(
         }
         let obj = install_pattern_objective(&mut m, p, &ov_space, pattern);
         m.minimize(obj);
-        candidate_of(&ov_space, m.solve_ilp())
+        Ok(candidate_of(&ov_space, m.solve_ilp_budgeted(b)?))
     };
-    fan_out_patterns(&patterns, workers, &|_| i64::MIN, &solve)
-        .map(|(_, vs)| OvResult::new(p, vs))
-        .ok_or(CoreError::NoVectorFound)
+    fan_out_patterns(
+        &patterns,
+        workers,
+        budget,
+        "p1.orthant",
+        &|_| i64::MIN,
+        &solve,
+    )?
+    .map(|(_, vs)| OvResult::new(p, vs))
+    .ok_or(CoreError::NoVectorFound)
 }
 
 /// Compact trace label for a sign pattern, e.g. `+0-`.
@@ -321,6 +415,21 @@ pub fn best_schedule_for_ov(
     p: &Program,
     vectors: &[OccupancyVector],
 ) -> Result<Schedule, CoreError> {
+    best_schedule_for_ov_budgeted(p, vectors, &Budget::unlimited())
+}
+
+/// [`best_schedule_for_ov`] under a [`Budget`]: the scheduling ILP
+/// charges the budget per pivot and per branch-and-bound node.
+///
+/// # Errors
+///
+/// As for [`best_schedule_for_ov`], plus [`CoreError::Fault`] on budget
+/// exhaustion or cancellation.
+pub fn best_schedule_for_ov_budgeted(
+    p: &Program,
+    vectors: &[OccupancyVector],
+    budget: &Budget,
+) -> Result<Schedule, CoreError> {
     let (space, mut rows) = legal::schedule_constraints(p)?;
     let deps = analysis::dependences(p);
     for r in storage_rows_concrete(p, &space, &deps, vectors)? {
@@ -328,7 +437,7 @@ pub fn best_schedule_for_ov(
             rows.push(r);
         }
     }
-    Ok(scheduler::solve(p, &space, rows, &[])?)
+    Ok(scheduler::solve_budgeted(p, &space, rows, &[], budget)?)
 }
 
 // ---------------------------------------------------------------------
@@ -359,6 +468,20 @@ pub fn aov(p: &Program) -> Result<OvResult, CoreError> {
 ///
 /// As for [`aov`].
 pub fn aov_with(p: &Program, workers: usize) -> Result<OvResult, CoreError> {
+    aov_budgeted(p, workers, &Budget::unlimited())
+}
+
+/// [`aov_with`] under a [`Budget`]: every simplex pivot and
+/// branch-and-bound node in the per-orthant Farkas ILPs charges the
+/// budget. A trip cancels the sibling orthants (scoped to this call —
+/// the caller's budget stays live) and surfaces as [`CoreError::Fault`]
+/// with the deterministic trip site.
+///
+/// # Errors
+///
+/// As for [`aov`], plus [`CoreError::Fault`] on budget exhaustion,
+/// cancellation, or an isolated worker panic.
+pub fn aov_budgeted(p: &Program, workers: usize, budget: &Budget) -> Result<OvResult, CoreError> {
     let (space, sched_rows) = legal::schedule_constraints(p)?;
     // Farkas needs ℛ nonempty; also drop redundant rows to shrink the
     // multiplier count.
@@ -401,7 +524,7 @@ pub fn aov_with(p: &Program, workers: usize) -> Result<OvResult, CoreError> {
         let min_len: i64 = pattern.iter().map(|&s| i64::from(s != 0)).sum();
         LENGTH_WEIGHT * min_len
     };
-    let solve = |pattern: &Orthant| {
+    let solve = |pattern: &Orthant, b: &Budget| {
         let _span = aov_trace::span!("aov.orthant", pattern = pattern_label(pattern));
         let mut m = Model::new();
         {
@@ -439,9 +562,9 @@ pub fn aov_with(p: &Program, workers: usize) -> Result<OvResult, CoreError> {
             let obj = install_pattern_objective(&mut m, p, &ov_space, pattern);
             m.minimize(obj);
         }
-        candidate_of(&ov_space, m.solve_ilp())
+        Ok(candidate_of(&ov_space, m.solve_ilp_budgeted(b)?))
     };
-    fan_out_patterns(&patterns, workers, &prune, &solve)
+    fan_out_patterns(&patterns, workers, budget, "aov.orthant", &prune, &solve)?
         .map(|(_, vs)| OvResult::new(p, vs))
         .ok_or(CoreError::NoVectorFound)
 }
@@ -507,7 +630,9 @@ pub fn aov_search_with(
         return Ok(OvResult::new(p, vectors));
     }
     // One checker per thread (its legality cache is not shareable);
-    // results land in array order.
+    // results land in array order. Each per-array search runs under
+    // `catch_unwind` so a panicking worker surfaces as a structured
+    // `WorkerPanic` for its slot instead of aborting the scope.
     let mut slots: Vec<Option<Result<OccupancyVector, CoreError>>> = Vec::new();
     slots.resize_with(narrays, || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -524,8 +649,14 @@ pub fn aov_search_with(
                     if aidx >= narrays {
                         break;
                     }
-                    let r = search_one(aidx, &mut local);
-                    **slot_refs[aidx].lock().unwrap() = Some(r);
+                    let r = catch_unwind(AssertUnwindSafe(|| search_one(aidx, &mut local)))
+                        .unwrap_or_else(|payload| {
+                            Err(CoreError::Fault(AovError::from_panic(
+                                "aov.search_array",
+                                payload.as_ref(),
+                            )))
+                        });
+                    **lock(&slot_refs[aidx]) = Some(r);
                 }
             });
         }
@@ -533,7 +664,14 @@ pub fn aov_search_with(
     drop(slot_refs);
     let mut vectors = Vec::with_capacity(narrays);
     for slot in slots {
-        vectors.push(slot.expect("every array searched")?);
+        match slot {
+            Some(r) => vectors.push(r?),
+            None => {
+                return Err(CoreError::Fault(AovError::Internal {
+                    detail: "array search slot left unfilled".to_string(),
+                }))
+            }
+        }
     }
     Ok(OvResult::new(p, vectors))
 }

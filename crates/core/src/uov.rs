@@ -41,7 +41,13 @@ pub fn is_nonneg_combination(target: &[i64], dists: &[Vec<i64>]) -> bool {
         let coeffs: Vec<i64> = dists.iter().map(|d| d[coord]).collect();
         m.constrain(AffineExpr::from_i64(&coeffs, -target[coord]), Cmp::Eq);
     }
-    matches!(m.solve_ilp(), LpOutcome::Optimal(_))
+    match m.solve_ilp() {
+        LpOutcome::Optimal(_) => true,
+        LpOutcome::Infeasible | LpOutcome::Unbounded => false,
+        // Unlimited budgets cannot trip; only an injected fault lands
+        // here, and a wrong membership answer would corrupt the UOV.
+        LpOutcome::LimitReached => panic!("solver fault during UOV membership check"),
+    }
 }
 
 /// Shortest UOV (by the paper's two-term objective) for an array whose
@@ -93,6 +99,23 @@ pub fn shortest_uov(
         }
     }
     Err(CoreError::NoVectorFound)
+}
+
+/// Shortest UOV for *every* array of the program (see [`shortest_uov`]).
+/// This is the schedule-independent fallback the engine degrades to when
+/// the Farkas AOV solver is unavailable (budget spent, injected fault).
+///
+/// # Errors
+///
+/// As for [`shortest_uov`], for the first array that fails.
+pub fn shortest_uov_all(
+    p: &Program,
+    max_radius: i64,
+) -> Result<crate::problems::OvResult, CoreError> {
+    let vectors = (0..p.arrays().len())
+        .map(|aidx| shortest_uov(p, ArrayId(aidx), max_radius))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(crate::problems::OvResult::new(p, vectors))
 }
 
 #[cfg(test)]

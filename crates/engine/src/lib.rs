@@ -9,4 +9,7 @@
 
 pub mod pipeline;
 
-pub use pipeline::{run_example, EngineError, Pipeline, Report, RunTiming, StageReport, Stat};
+pub use pipeline::{
+    report_schema, run_example, BudgetSpec, EngineError, Health, Pipeline, Report, RunTiming,
+    StageOutcome, StageReport, Stat,
+};

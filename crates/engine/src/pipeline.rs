@@ -14,12 +14,27 @@
 //! The per-orthant solvers of Problems 1 and 3 fan out over a
 //! configurable number of worker threads; the reduction is deterministic,
 //! so a parallel run is bit-identical to a sequential one.
+//!
+//! # Degradation ladder
+//!
+//! Stages form a ladder rather than a chain: each one records a
+//! [`StageOutcome`], and a recoverable failure (budget trip, worker
+//! panic, injected fault, unschedulable program, no vector found)
+//! *degrades* the run instead of aborting it. A program with no 1-D
+//! affine schedule still gets its AOV-only stages; an AOV solver that
+//! runs out of budget falls back to the schedule-independent UOV
+//! baseline; downstream stages that genuinely need a missing artifact
+//! are `Skipped` with a reason. Only invalid requests (unknown example,
+//! wrong parameter count, illegal schedule override) abort the run with
+//! a hard [`EngineError`]. [`Report::health`] summarizes the ladder.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use aov_core::problems::{self, OvResult};
+use aov_core::problems::{self, OvResult, DEFAULT_SEARCH_RADIUS};
 use aov_core::transform::StorageTransform;
-use aov_core::{codegen, CoreError};
+use aov_core::{codegen, uov, CoreError};
+use aov_fault::{AovError, Budget};
 use aov_interp::validate::semantics_preserved;
 use aov_ir::{analysis, examples, Program};
 use aov_machine::experiments::{example2_speedup_with, example3_speedup_with, SpeedupPoint};
@@ -37,6 +52,16 @@ pub enum EngineError {
     /// The request is outside the engine's fragment (unknown program,
     /// wrong parameter count, …).
     Unsupported(String),
+}
+
+impl EngineError {
+    /// Whether the degradation ladder may continue past this error.
+    /// Solver incapacity and runtime faults (budgets, panics, injected
+    /// errors) degrade; invalid requests (unknown program, wrong
+    /// parameters, illegal schedule override) abort the run.
+    fn is_degradable(&self) -> bool {
+        matches!(self, EngineError::Core(_))
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -59,7 +84,69 @@ impl From<CoreError> for EngineError {
 
 impl From<scheduler::ScheduleError> for EngineError {
     fn from(e: scheduler::ScheduleError) -> Self {
-        EngineError::Schedule(e.to_string())
+        EngineError::Core(CoreError::from(e))
+    }
+}
+
+/// Per-stage verdict in the degradation ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// The stage completed normally.
+    Ok,
+    /// The stage hit a recoverable failure: it either delivered a weaker
+    /// result (e.g. the UOV fallback) or no result, but the pipeline
+    /// carried on. The reason says what happened.
+    Degraded { reason: String },
+    /// The stage did not run because a prerequisite degraded.
+    Skipped { reason: String },
+    /// The stage failed hard; the run was aborted after recording it.
+    Failed { error: String },
+}
+
+impl StageOutcome {
+    /// Stable machine-readable class (`ok`/`degraded`/`skipped`/`failed`).
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            StageOutcome::Ok => "ok",
+            StageOutcome::Degraded { .. } => "degraded",
+            StageOutcome::Skipped { .. } => "skipped",
+            StageOutcome::Failed { .. } => "failed",
+        }
+    }
+
+    /// The reason/error text, when there is one.
+    #[must_use]
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            StageOutcome::Ok => None,
+            StageOutcome::Degraded { reason } | StageOutcome::Skipped { reason } => Some(reason),
+            StageOutcome::Failed { error } => Some(error),
+        }
+    }
+}
+
+/// Whole-run verdict, derived from the stage outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Every stage completed normally.
+    Ok,
+    /// At least one stage degraded or was skipped; the report carries
+    /// partial results and the per-stage reasons.
+    Degraded,
+    /// A stage failed hard.
+    Failed,
+}
+
+impl Health {
+    /// Stable machine-readable name (`ok`/`degraded`/`failed`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Failed => "failed",
+        }
     }
 }
 
@@ -73,6 +160,8 @@ pub struct StageReport {
     pub counters: Vec<(String, u64)>,
     /// Stage-specific payload (vectors, schedule text, code, …).
     pub detail: Json,
+    /// Where the stage landed on the degradation ladder.
+    pub outcome: StageOutcome,
 }
 
 impl ToJson for StageReport {
@@ -82,9 +171,13 @@ impl ToJson for StageReport {
             .iter()
             .map(|(k, v)| Json::obj().field("name", k.as_str()).field("count", *v))
             .collect::<Vec<_>>();
-        Json::obj()
+        let mut json = Json::obj()
             .field("name", self.name)
-            .field("micros", self.micros as i64)
+            .field("outcome", self.outcome.class());
+        if let Some(reason) = self.outcome.reason() {
+            json = json.field("reason", reason);
+        }
+        json.field("micros", self.micros as i64)
             .field("counters", counters)
             .field("detail", self.detail.clone())
     }
@@ -155,6 +248,37 @@ impl ToJson for RunTiming {
     }
 }
 
+/// Budget limits a pipeline run executes under (`None` = unlimited).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// Max simplex pivots across the whole run.
+    pub pivots: Option<u64>,
+    /// Max branch-and-bound nodes across the whole run.
+    pub nodes: Option<u64>,
+    /// Wall-clock deadline in milliseconds. Unlike the work limits,
+    /// wall-clock trips are inherently nondeterministic.
+    pub ms: Option<u64>,
+}
+
+impl BudgetSpec {
+    fn to_budget(self) -> Budget {
+        Budget::new(self.pivots, self.nodes, self.ms)
+    }
+
+    fn field_of(v: Option<u64>) -> Json {
+        v.map_or(Json::Null, |n| Json::Int(n as i64))
+    }
+}
+
+impl ToJson for BudgetSpec {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("pivots", Self::field_of(self.pivots))
+            .field("nodes", Self::field_of(self.nodes))
+            .field("ms", Self::field_of(self.ms))
+    }
+}
+
 /// The result of a full pipeline run.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -167,16 +291,24 @@ pub struct Report {
     /// Executed stages, in order.
     pub stages: Vec<StageReport>,
     /// Problem 1 result: the shortest OV per array under the schedule
-    /// the `schedule` stage settled on (found or overridden).
-    pub ov: OvResult,
-    /// Problem 3 result: the AOV per array, in array order.
-    pub aov: OvResult,
+    /// the `schedule` stage settled on (found or overridden). `None`
+    /// when the stage degraded or was skipped.
+    pub ov: Option<OvResult>,
+    /// Problem 3 result: the AOV per array, in array order — or the UOV
+    /// fallback (see [`Report::aov_source`]). `None` when the stage
+    /// degraded with no fallback.
+    pub aov: Option<OvResult>,
+    /// Which solver produced [`Report::aov`]: `"farkas"` (the paper's
+    /// Problem 3) or `"uov"` (the schedule-independent fallback).
+    pub aov_source: Option<&'static str>,
     /// Names of the arrays, aligned with [`Report::aov`].
     pub arrays: Vec<String>,
-    /// Transformed pseudo-code under the AOV storage mapping.
-    pub code: String,
-    /// Dynamic equivalence verdict (original vs transformed+scheduled).
-    pub equivalent: bool,
+    /// Transformed pseudo-code under the AOV storage mapping; `None`
+    /// when codegen was skipped.
+    pub code: Option<String>,
+    /// Dynamic equivalence verdict (original vs transformed+scheduled);
+    /// `None` when the check could not run.
+    pub equivalent: Option<bool>,
     /// Parameter values used by the equivalence oracle.
     pub check_params: Vec<i64>,
     /// Total wall-clock across stages.
@@ -188,12 +320,31 @@ pub struct Report {
     /// Min/median timing across repetitions; `None` for single runs
     /// (the default), so one-run reports keep their historical shape.
     pub timing: Option<RunTiming>,
+    /// The budget configuration the run executed under.
+    pub budget: BudgetSpec,
 }
 
 impl Report {
     /// The stage with the given name, if it ran.
     pub fn stage(&self, name: &str) -> Option<&StageReport> {
         self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Whole-run verdict: `Failed` if any stage failed hard, `Degraded`
+    /// if any stage degraded or was skipped, `Ok` otherwise.
+    #[must_use]
+    pub fn health(&self) -> Health {
+        let mut health = Health::Ok;
+        for s in &self.stages {
+            match s.outcome {
+                StageOutcome::Failed { .. } => return Health::Failed,
+                StageOutcome::Degraded { .. } | StageOutcome::Skipped { .. } => {
+                    health = Health::Degraded;
+                }
+                StageOutcome::Ok => {}
+            }
+        }
+        health
     }
 
     /// Sum of one counter across all stages.
@@ -226,28 +377,43 @@ impl Report {
 
 impl ToJson for Report {
     fn to_json(&self) -> Json {
-        let vectors = self
-            .arrays
-            .iter()
-            .zip(self.aov.vectors())
-            .map(|(name, v)| {
-                Json::obj().field("array", name.as_str()).field(
-                    "vector",
-                    v.components()
-                        .iter()
-                        .map(|&c| Json::Int(c))
-                        .collect::<Vec<_>>(),
-                )
-            })
-            .collect::<Vec<_>>();
+        let vectors = match &self.aov {
+            Some(aov) => Json::Arr(
+                self.arrays
+                    .iter()
+                    .zip(aov.vectors())
+                    .map(|(name, v)| {
+                        Json::obj().field("array", name.as_str()).field(
+                            "vector",
+                            v.components()
+                                .iter()
+                                .map(|&c| Json::Int(c))
+                                .collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+            None => Json::Null,
+        };
+        let code = match &self.code {
+            Some(code) => Json::Arr(code.lines().map(Json::from).collect::<Vec<_>>()),
+            None => Json::Null,
+        };
         let mut json = Json::obj()
             .field("program", self.program.as_str())
             .field("workers", self.workers)
             .field("memoized", self.memoized)
+            .field("health", self.health().name())
             .field("total_micros", self.total_micros as i64)
             .field("aov", vectors)
-            .field("objective", self.aov.objective())
-            .field("equivalent", self.equivalent)
+            .field("aov_source", self.aov_source.map_or(Json::Null, Json::from))
+            .field(
+                "objective",
+                self.aov
+                    .as_ref()
+                    .map_or(Json::Null, |a| Json::Int(a.objective())),
+            )
+            .field("equivalent", self.equivalent.map_or(Json::Null, Json::Bool))
             .field(
                 "check_params",
                 self.check_params
@@ -255,10 +421,8 @@ impl ToJson for Report {
                     .map(|&p| Json::Int(p))
                     .collect::<Vec<_>>(),
             )
-            .field(
-                "code",
-                self.code.lines().map(Json::from).collect::<Vec<_>>(),
-            )
+            .field("code", code)
+            .field("budget", self.budget.to_json())
             .field(
                 "counters",
                 self.counters
@@ -284,6 +448,61 @@ impl ToJson for Report {
     }
 }
 
+/// Structural schema of [`Report::to_json`] — degraded and healthy
+/// reports alike must match it. `aov --check-report` and the CI
+/// chaos-smoke step validate emitted documents against this shape, so
+/// no fault class may produce an unparseable or truncated report.
+pub fn report_schema() -> aov_support::schema::Schema {
+    use aov_support::schema::Schema;
+    let counters = Schema::array(Schema::object([
+        ("name", Schema::Str, true),
+        ("count", Schema::Int, true),
+    ]));
+    let aov_entry = Schema::object([
+        ("array", Schema::Str, true),
+        ("vector", Schema::array(Schema::Int), true),
+    ]);
+    let stage = Schema::object([
+        ("name", Schema::Str, true),
+        ("outcome", Schema::Str, true),
+        ("reason", Schema::Str, false),
+        ("micros", Schema::Int, true),
+        ("counters", counters.clone(), true),
+        ("detail", Schema::Any, true),
+    ]);
+    let budget = Schema::object([
+        ("pivots", Schema::nullable(Schema::Int), true),
+        ("nodes", Schema::nullable(Schema::Int), true),
+        ("ms", Schema::nullable(Schema::Int), true),
+    ]);
+    Schema::object([
+        ("program", Schema::Str, true),
+        ("workers", Schema::Int, true),
+        ("memoized", Schema::Bool, true),
+        ("health", Schema::Str, true),
+        ("total_micros", Schema::Int, true),
+        ("aov", Schema::nullable(Schema::array(aov_entry)), true),
+        ("aov_source", Schema::nullable(Schema::Str), true),
+        ("objective", Schema::nullable(Schema::Int), true),
+        ("equivalent", Schema::nullable(Schema::Bool), true),
+        ("check_params", Schema::array(Schema::Int), true),
+        ("code", Schema::nullable(Schema::array(Schema::Str)), true),
+        ("budget", budget, true),
+        ("counters", counters, true),
+        (
+            "memo",
+            Schema::object([
+                ("hits", Schema::Int, true),
+                ("misses", Schema::Int, true),
+                ("hit_rate", Schema::nullable(Schema::Num), true),
+            ]),
+            true,
+        ),
+        ("stages", Schema::array(stage), true),
+        ("timing", Schema::Any, false),
+    ])
+}
+
 /// A configured pipeline over one program.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -294,6 +513,7 @@ pub struct Pipeline {
     params: Option<Vec<i64>>,
     runs: usize,
     schedule_override: Option<Schedule>,
+    budget: BudgetSpec,
 }
 
 impl Pipeline {
@@ -308,11 +528,13 @@ impl Pipeline {
             params: None,
             runs: 1,
             schedule_override: None,
+            budget: BudgetSpec::default(),
         }
     }
 
     /// A pipeline over one of the paper's named examples
-    /// (`example1` … `example4`).
+    /// (`example1` … `example4`), or the `unschedulable` demo program
+    /// that exercises the degradation ladder end to end.
     ///
     /// # Errors
     ///
@@ -323,9 +545,10 @@ impl Pipeline {
             "example2" => examples::example2(),
             "example3" => examples::example3(),
             "example4" => examples::example4(),
+            "unschedulable" => examples::unschedulable(),
             other => {
                 return Err(EngineError::Unsupported(format!(
-                    "unknown example {other:?} (expected example1..example4)"
+                    "unknown example {other:?} (expected example1..example4 or unschedulable)"
                 )))
             }
         };
@@ -360,6 +583,32 @@ impl Pipeline {
         self
     }
 
+    /// Replaces the whole budget at once (CLI and bench pass-through).
+    pub fn budget(mut self, spec: BudgetSpec) -> Self {
+        self.budget = spec;
+        self
+    }
+
+    /// Caps the total simplex pivots for one run; exceeding the cap
+    /// degrades the tripping stage deterministically.
+    pub fn budget_pivots(mut self, n: u64) -> Self {
+        self.budget.pivots = Some(n);
+        self
+    }
+
+    /// Caps the total branch-and-bound nodes for one run.
+    pub fn budget_nodes(mut self, n: u64) -> Self {
+        self.budget.nodes = Some(n);
+        self
+    }
+
+    /// Wall-clock deadline for one run, in milliseconds. Trips are
+    /// inherently nondeterministic (unlike the work limits).
+    pub fn budget_ms(mut self, ms: u64) -> Self {
+        self.budget.ms = Some(ms);
+        self
+    }
+
     /// Repeats the whole pipeline `runs` times (`<= 1` means once).
     /// The returned report is the *fastest* run, with a
     /// [`RunTiming`] min/median summary attached so single-run noise
@@ -386,7 +635,9 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// The first stage failure, wrapped as [`EngineError`].
+    /// Only hard failures (invalid request) abort with [`EngineError`];
+    /// recoverable faults degrade the report instead — see
+    /// [`Report::health`].
     pub fn run(&self) -> Result<Report, EngineError> {
         if self.runs <= 1 {
             return self.run_once();
@@ -420,38 +671,40 @@ impl Pipeline {
         })
     }
 
-    /// One full pass over every stage.
+    /// One full pass over every stage of the ladder.
     fn run_once(&self) -> Result<Report, EngineError> {
         let p = &self.program;
         let check_params = self.resolved_params()?;
         if self.memoize {
             aov_lp::memo::set_enabled(true);
         }
+        // A fresh budget per run: repeated runs each get the full
+        // allowance, and the deadline clock starts here.
+        let budget = self.budget.to_budget();
         let mut stages: Vec<StageReport> = Vec::new();
         let run_before = counters::snapshot();
         let t_start = Instant::now();
 
-        stage(&mut stages, "ir", || {
+        run_stage(&mut stages, "ir", || {
             p.validate()
                 .map_err(|e| EngineError::Unsupported(format!("invalid program: {e}")))?;
-            Ok((
+            done(
                 (),
                 Json::obj()
                     .field("statements", p.statements().len())
                     .field("arrays", p.arrays().len())
                     .field("params", p.params().len()),
-            ))
+            )
         })?;
 
-        stage(&mut stages, "dependences", || {
+        run_stage(&mut stages, "dependences", || {
             let deps = analysis::dependences(p);
-            let detail = Json::obj().field("count", deps.len());
-            Ok(((), detail))
+            done((), Json::obj().field("count", deps.len()))
         })?;
 
-        stage(&mut stages, "legal_schedule", || {
-            let (space, poly) = legal::legal_schedule_polyhedron(p)
-                .map_err(|e| EngineError::Schedule(e.to_string()))?;
+        run_stage(&mut stages, "legal_schedule", || {
+            let (space, poly) =
+                legal::legal_schedule_polyhedron(p).map_err(CoreError::Polyhedra)?;
             // Project away the parameter/constant coefficients (FM
             // elimination) to expose the cone of legal iteration
             // coefficients — the part of ℛ the occupancy vectors fight.
@@ -464,14 +717,16 @@ impl Pipeline {
                 drop_dims.push(space.const_coeff(s));
             }
             let cone = poly.eliminate_dims(&drop_dims);
-            let detail = Json::obj()
-                .field("space_dim", space.dim())
-                .field("constraints", poly.constraints().len())
-                .field("iter_cone_constraints", cone.constraints().len());
-            Ok(((), detail))
+            done(
+                (),
+                Json::obj()
+                    .field("space_dim", space.dim())
+                    .field("constraints", poly.constraints().len())
+                    .field("iter_cone_constraints", cone.constraints().len()),
+            )
         })?;
 
-        let sched = stage(&mut stages, "schedule", || {
+        let sched: Option<Schedule> = run_stage(&mut stages, "schedule", || {
             let (sched, overridden) = match &self.schedule_override {
                 Some(s) => {
                     if !legal::is_legal(p, s) {
@@ -481,68 +736,149 @@ impl Pipeline {
                     }
                     (s.clone(), true)
                 }
-                None => (scheduler::find_schedule(p)?, false),
+                None => match scheduler::find_schedule_with_budgeted(p, &[], &budget) {
+                    Ok(s) => (s, false),
+                    // No 1-D affine schedule: degrade with a diagnostic
+                    // naming the violated dependence; the AOV-only
+                    // stages still run.
+                    Err(scheduler::ScheduleError::Infeasible) => {
+                        return Err(EngineError::Core(CoreError::Fault(
+                            AovError::Unschedulable {
+                                detail: legal::unschedulable_diagnostic(p),
+                            },
+                        )))
+                    }
+                    Err(e) => return Err(e.into()),
+                },
             };
             let detail = Json::obj()
                 .field("theta", sched.display(p).to_string())
                 .field("overridden", overridden);
-            Ok((sched, detail))
+            done(sched, detail)
         })?;
 
-        let ov = stage(&mut stages, "problem1", || {
-            let ov = problems::ov_for_schedule_with(p, &sched, self.workers)?;
-            let detail = ov_detail(p, &ov);
-            Ok((ov, detail))
-        })?;
+        let ov: Option<OvResult> = match &sched {
+            None => skip_stage(&mut stages, "problem1", "no schedule to optimize against"),
+            Some(s) => run_stage(&mut stages, "problem1", || {
+                let ov = problems::ov_for_schedule_budgeted(p, s, self.workers, &budget)?;
+                let detail = ov_detail(p, &ov);
+                done(ov, detail)
+            })?,
+        };
 
-        let aov = stage(&mut stages, "aov", || {
-            let aov = problems::aov_with(p, self.workers)?;
-            let detail = ov_detail(p, &aov);
-            Ok((aov, detail))
+        let aov_pair: Option<(OvResult, &'static str)> = run_stage(&mut stages, "aov", || {
+            match problems::aov_budgeted(p, self.workers, &budget) {
+                Ok(aov) => {
+                    let detail = ov_detail(p, &aov);
+                    done((aov, "farkas"), detail)
+                }
+                Err(e) => {
+                    let e = EngineError::Core(e);
+                    if !e.is_degradable() {
+                        return Err(e);
+                    }
+                    // Farkas solver unavailable: degrade to the
+                    // schedule-independent UOV baseline. The
+                    // fallback is deliberately unbudgeted — it must
+                    // stay reachable when the budget is spent.
+                    match uov::shortest_uov_all(p, DEFAULT_SEARCH_RADIUS) {
+                        Ok(u) => {
+                            let detail = ov_detail(p, &u).field("fallback", "uov");
+                            Ok((
+                                (u, "uov"),
+                                detail,
+                                StageOutcome::Degraded {
+                                    reason: format!("{e}; fell back to schedule-independent UOVs"),
+                                },
+                            ))
+                        }
+                        Err(_) => Err(e),
+                    }
+                }
+            }
         })?;
+        let (aov, aov_source) = match aov_pair {
+            Some((a, src)) => (Some(a), Some(src)),
+            None => (None, None),
+        };
 
-        let sched2 = stage(&mut stages, "problem2", || {
-            let sched2 = problems::best_schedule_for_ov(p, aov.vectors())?;
-            let detail = Json::obj().field("theta", sched2.display(p).to_string());
-            Ok((sched2, detail))
-        })?;
+        let sched2: Option<Schedule> = match &aov {
+            None => skip_stage(
+                &mut stages,
+                "problem2",
+                "no occupancy vectors to schedule against",
+            ),
+            Some(aov_r) => run_stage(&mut stages, "problem2", || {
+                let sched2 = problems::best_schedule_for_ov_budgeted(p, aov_r.vectors(), &budget)?;
+                let detail = Json::obj().field("theta", sched2.display(p).to_string());
+                done(sched2, detail)
+            })?,
+        };
 
-        let transforms = stage(&mut stages, "storage_transform", || {
-            let transforms = p
-                .arrays()
-                .iter()
-                .enumerate()
-                .zip(aov.vectors())
-                .map(|((aidx, _), v)| StorageTransform::new(p, aov_ir::ArrayId(aidx), v))
-                .collect::<Result<Vec<_>, _>>()?;
-            let detail = transforms
-                .iter()
-                .map(|t| {
-                    Json::obj()
-                        .field("array", t.array_name())
-                        .field("dims", t.transformed_dim())
-                        .field("modulation", t.modulation())
-                })
-                .collect::<Vec<_>>();
-            Ok((transforms, Json::Arr(detail)))
-        })?;
+        let transforms: Option<Vec<StorageTransform>> = match &aov {
+            None => skip_stage(
+                &mut stages,
+                "storage_transform",
+                "no occupancy vectors to apply",
+            ),
+            Some(aov_r) => run_stage(&mut stages, "storage_transform", || {
+                let transforms = p
+                    .arrays()
+                    .iter()
+                    .enumerate()
+                    .zip(aov_r.vectors())
+                    .map(|((aidx, _), v)| StorageTransform::new(p, aov_ir::ArrayId(aidx), v))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let detail = transforms
+                    .iter()
+                    .map(|t| {
+                        Json::obj()
+                            .field("array", t.array_name())
+                            .field("dims", t.transformed_dim())
+                            .field("modulation", t.modulation())
+                    })
+                    .collect::<Vec<_>>();
+                done(transforms, Json::Arr(detail))
+            })?,
+        };
 
-        let code = stage(&mut stages, "codegen", || {
-            let code = codegen::transformed_code(p, &transforms);
-            let detail = Json::obj().field("lines", code.lines().count());
-            Ok((code, detail))
-        })?;
+        let code: Option<String> = match &transforms {
+            None => skip_stage(&mut stages, "codegen", "no storage transform to print"),
+            Some(ts) => run_stage(&mut stages, "codegen", || {
+                let code = codegen::transformed_code(p, ts);
+                let detail = Json::obj().field("lines", code.lines().count());
+                done(code, detail)
+            })?,
+        };
 
-        let equivalent = stage(&mut stages, "equivalence", || {
-            // The AOV must work under both the dependence-only schedule
-            // and the storage-constrained one from Problem 2.
-            let under_found = semantics_preserved(p, &check_params, &sched, &transforms);
-            let under_best = semantics_preserved(p, &check_params, &sched2, &transforms);
-            let detail = Json::obj()
-                .field("under_found_schedule", under_found)
-                .field("under_best_schedule", under_best);
-            Ok((under_found && under_best, detail))
-        })?;
+        let equivalent: Option<bool> = match (&transforms, &sched, &sched2) {
+            (None, _, _) => skip_stage(
+                &mut stages,
+                "equivalence",
+                "no storage transform to validate",
+            ),
+            (Some(_), None, None) => {
+                skip_stage(&mut stages, "equivalence", "no schedule to execute under")
+            }
+            (Some(ts), s1, s2) => run_stage(&mut stages, "equivalence", || {
+                // The AOV must work under every available schedule: the
+                // dependence-only one and the storage-constrained one
+                // from Problem 2.
+                let mut verdict = true;
+                let mut detail = Json::obj();
+                if let Some(s) = s1 {
+                    let ok = semantics_preserved(p, &check_params, s, ts);
+                    verdict &= ok;
+                    detail = detail.field("under_found_schedule", ok);
+                }
+                if let Some(s) = s2 {
+                    let ok = semantics_preserved(p, &check_params, s, ts);
+                    verdict &= ok;
+                    detail = detail.field("under_best_schedule", ok);
+                }
+                done(verdict, detail)
+            })?,
+        };
 
         if self.machine {
             self.machine_stage(&mut stages)?;
@@ -555,6 +891,7 @@ impl Pipeline {
             arrays: p.arrays().iter().map(|a| a.name().to_string()).collect(),
             ov,
             aov,
+            aov_source,
             code,
             equivalent,
             check_params,
@@ -562,6 +899,7 @@ impl Pipeline {
             counters: counters::delta(&run_before, &counters::snapshot()),
             stages,
             timing: None,
+            budget: self.budget,
         })
     }
 
@@ -570,7 +908,7 @@ impl Pipeline {
     fn machine_stage(&self, stages: &mut Vec<StageReport>) -> Result<(), EngineError> {
         let name = self.program.name().to_string();
         let workers = self.workers;
-        stage(stages, "machine", move || {
+        run_stage(stages, "machine", move || {
             let cfg = MachineConfig::scaled_down();
             let procs = [1, 2, 4, 8];
             let points: Option<Vec<SpeedupPoint>> = match name.as_str() {
@@ -592,8 +930,9 @@ impl Pipeline {
                         .collect::<Vec<_>>(),
                 ),
             };
-            Ok(((), detail))
-        })
+            done((), detail)
+        })?;
+        Ok(())
     }
 
     /// Parameter sizes for the equivalence oracle: the caller's override,
@@ -620,30 +959,88 @@ impl Pipeline {
     }
 }
 
-/// Runs `f` as the named stage: times it, captures the counter delta and
-/// appends the [`StageReport`].
-fn stage<T>(
-    stages: &mut Vec<StageReport>,
-    name: &'static str,
-    f: impl FnOnce() -> Result<(T, Json), EngineError>,
-) -> Result<T, EngineError> {
-    let _span = aov_trace::span!({
-        let mut s = String::from("pipeline.");
-        s.push_str(name);
-        s
-    });
-    let before = counters::snapshot();
-    let t0 = Instant::now();
-    let (value, detail) = f()?;
-    let micros = t0.elapsed().as_micros();
-    let after = counters::snapshot();
+/// Shorthand for a stage body that completed normally.
+fn done<T>(value: T, detail: Json) -> Result<(T, Json, StageOutcome), EngineError> {
+    Ok((value, detail, StageOutcome::Ok))
+}
+
+/// Records a `Skipped` stage and yields no value.
+fn skip_stage<T>(stages: &mut Vec<StageReport>, name: &'static str, reason: &str) -> Option<T> {
     stages.push(StageReport {
         name,
-        micros,
-        counters: counters::delta(&before, &after),
-        detail,
+        micros: 0,
+        counters: Vec::new(),
+        detail: Json::Null,
+        outcome: StageOutcome::Skipped {
+            reason: reason.to_string(),
+        },
     });
-    Ok(value)
+    None
+}
+
+/// Runs `f` as the named stage of the ladder: opens the
+/// `pipeline.<name>` span, fires the chaos probe, isolates panics,
+/// times the body and captures the counter delta. A degradable error
+/// (solver incapacity, budget trip, worker panic, injected fault)
+/// records a `Degraded` outcome and returns `Ok(None)` so the pipeline
+/// continues; a hard error records `Failed` and aborts the run.
+fn run_stage<T>(
+    stages: &mut Vec<StageReport>,
+    name: &'static str,
+    f: impl FnOnce() -> Result<(T, Json, StageOutcome), EngineError>,
+) -> Result<Option<T>, EngineError> {
+    let site = format!("pipeline.{name}");
+    let _span = aov_trace::span!(site.clone());
+    let before = counters::snapshot();
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        aov_fault::chaos::tick(&site).map_err(|e| EngineError::Core(CoreError::Fault(e)))?;
+        f()
+    }))
+    .unwrap_or_else(|payload| {
+        Err(EngineError::Core(CoreError::Fault(AovError::from_panic(
+            &site,
+            payload.as_ref(),
+        ))))
+    });
+    let micros = t0.elapsed().as_micros();
+    let counters = counters::delta(&before, &counters::snapshot());
+    match result {
+        Ok((value, detail, outcome)) => {
+            stages.push(StageReport {
+                name,
+                micros,
+                counters,
+                detail,
+                outcome,
+            });
+            Ok(Some(value))
+        }
+        Err(e) if e.is_degradable() => {
+            stages.push(StageReport {
+                name,
+                micros,
+                counters,
+                detail: Json::Null,
+                outcome: StageOutcome::Degraded {
+                    reason: e.to_string(),
+                },
+            });
+            Ok(None)
+        }
+        Err(e) => {
+            stages.push(StageReport {
+                name,
+                micros,
+                counters,
+                detail: Json::Null,
+                outcome: StageOutcome::Failed {
+                    error: e.to_string(),
+                },
+            });
+            Err(e)
+        }
+    }
 }
 
 /// Shared detail payload for the occupancy-vector stages.
@@ -697,6 +1094,19 @@ mod tests {
     }
 
     #[test]
+    fn healthy_run_is_all_ok() {
+        let report = run_example("example1", 1).expect("example1 runs");
+        assert_eq!(report.health(), Health::Ok);
+        for s in &report.stages {
+            assert_eq!(s.outcome, StageOutcome::Ok, "stage {}", s.name);
+        }
+        assert_eq!(report.aov_source, Some("farkas"));
+        assert_eq!(report.equivalent, Some(true));
+        let json = report.to_json();
+        assert_eq!(json.get("health"), Some(&Json::from("ok")));
+    }
+
+    #[test]
     fn single_run_has_no_timing_summary() {
         let report = run_example("example1", 1).expect("example1 runs");
         assert!(report.timing.is_none());
@@ -744,11 +1154,13 @@ mod tests {
             &[aov_linalg::AffineExpr::from_i64(&[0, 1, 0, 0], 0)],
         );
         let report = Pipeline::new(p).with_schedule(row).run().expect("runs");
-        assert_eq!(report.ov.vector_for("A").unwrap().components(), [0, 1]);
+        let ov = report.ov.as_ref().expect("problem1 ran");
+        assert_eq!(ov.vector_for("A").unwrap().components(), [0, 1]);
         let detail = &report.stage("schedule").expect("schedule stage").detail;
         assert_eq!(detail.get("overridden"), Some(&Json::Bool(true)));
         // The AOV is schedule-independent and unchanged by the override.
-        assert_eq!(report.aov.vector_for("A").unwrap().components(), [1, 2]);
+        let aov = report.aov.as_ref().expect("aov ran");
+        assert_eq!(aov.vector_for("A").unwrap().components(), [1, 2]);
     }
 
     #[test]
@@ -765,7 +1177,7 @@ mod tests {
     }
 
     #[test]
-    fn report_json_has_stage_timings() {
+    fn report_json_has_stage_timings_and_outcomes() {
         let report = run_example("example1", 1).expect("example1 runs");
         let json = report.to_json();
         let Some(Json::Arr(stages)) = json.get("stages") else {
@@ -778,6 +1190,76 @@ mod tests {
         );
         for s in stages {
             assert!(s.get("micros").is_some(), "stage without timing: {s:?}");
+            assert_eq!(s.get("outcome"), Some(&Json::from("ok")));
+        }
+    }
+
+    /// A one-pivot budget trips in the `schedule` stage; the ladder
+    /// still produces a structured report: Problem 1 skipped, the AOV
+    /// stage degraded to the UOV fallback, storage/codegen live.
+    #[test]
+    fn exhausted_budget_degrades_to_uov() {
+        let report = Pipeline::for_example("example1")
+            .unwrap()
+            .budget_pivots(1)
+            .run()
+            .expect("degraded, not failed");
+        assert_eq!(report.health(), Health::Degraded);
+        assert_eq!(
+            report.stage("schedule").unwrap().outcome.class(),
+            "degraded"
+        );
+        assert_eq!(report.stage("problem1").unwrap().outcome.class(), "skipped");
+        assert_eq!(report.stage("aov").unwrap().outcome.class(), "degraded");
+        // Example 1's UOV is (0,3) — longer than the AOV (1,2), but
+        // valid without any solver budget.
+        assert_eq!(report.aov_source, Some("uov"));
+        let aov = report.aov.as_ref().expect("uov fallback");
+        assert_eq!(aov.vector_for("A").unwrap().components(), [0, 3]);
+        assert_eq!(
+            report.stage("storage_transform").unwrap().outcome.class(),
+            "ok"
+        );
+        assert_eq!(report.stage("codegen").unwrap().outcome.class(), "ok");
+        // No schedule survived, so the dynamic check cannot run.
+        assert_eq!(
+            report.stage("equivalence").unwrap().outcome.class(),
+            "skipped"
+        );
+        assert_eq!(report.equivalent, None);
+        // The reason names the budget resource and trip site.
+        let reason = report
+            .stage("schedule")
+            .unwrap()
+            .outcome
+            .reason()
+            .unwrap()
+            .to_string();
+        assert!(reason.contains("pivot limit"), "reason: {reason}");
+    }
+
+    /// Budget trips must be deterministic: same budget, same trip site
+    /// and same report shape for any worker count.
+    #[test]
+    fn budget_trip_is_worker_invariant() {
+        let outcome_of = |workers: usize| {
+            let r = Pipeline::for_example("example1")
+                .unwrap()
+                .workers(workers)
+                .budget_pivots(200)
+                .run()
+                .expect("structured report");
+            (
+                r.health(),
+                r.stages
+                    .iter()
+                    .map(|s| (s.name, s.outcome.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let seq = outcome_of(1);
+        for workers in 2..=4 {
+            assert_eq!(seq, outcome_of(workers), "workers = {workers}");
         }
     }
 }

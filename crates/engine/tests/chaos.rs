@@ -1,0 +1,146 @@
+//! Deterministic chaos suite: every injectable fault class, at every
+//! instrumented layer, must surface as a *structured* degraded report —
+//! never a process abort — and an armed-but-unfired spec must leave the
+//! run bit-identical to a fault-free one.
+//!
+//! The chaos layer is process-global, so these tests serialize on a
+//! mutex and live in their own test binary.
+
+use std::sync::{Mutex, PoisonError};
+
+use aov_engine::{Health, Pipeline, Report};
+use aov_fault::chaos::{self, ChaosSpec, FaultKind};
+use aov_support::Json;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn run_example1(workers: usize) -> Result<Report, aov_engine::EngineError> {
+    Pipeline::for_example("example1")
+        .unwrap()
+        .workers(workers)
+        .memoize(false)
+        .run()
+}
+
+/// The result fields a fault-free run is judged by (timings excluded).
+fn result_fingerprint(r: &Report) -> (Vec<Vec<i64>>, Option<String>, Option<bool>) {
+    (
+        r.aov
+            .as_ref()
+            .expect("complete run")
+            .vectors()
+            .iter()
+            .map(|v| v.components().to_vec())
+            .collect(),
+        r.code.clone(),
+        r.equivalent,
+    )
+}
+
+/// Every `(site, kind)` pair: the injected fault is isolated into a
+/// degraded report. `nth = 0` makes each spec fire at the site's first
+/// visit, so every run below provably exercises its injection path.
+#[test]
+fn every_fault_class_degrades_instead_of_aborting() {
+    let _guard = lock();
+    let sites = [
+        "lp.simplex",     // pivot loop, solver layer
+        "lp.ilp.node",    // branch-and-bound layer
+        "schedule.solve", // scheduler entry
+        "p1.orthant",     // Problem 1 worker fan-out
+        "aov.orthant",    // Problem 3 worker fan-out
+        "pipeline.schedule",
+        "pipeline.aov",
+        "pipeline.storage_transform",
+    ];
+    let kinds = [FaultKind::Error, FaultKind::Panic, FaultKind::Budget];
+    for site in sites {
+        for kind in kinds {
+            chaos::install(ChaosSpec {
+                site: site.to_string(),
+                kind,
+                nth: 0,
+                seed: 0,
+            });
+            // Worker sites get real fan-out so panics cross threads.
+            let workers = if site.ends_with(".orthant") { 3 } else { 1 };
+            let report = run_example1(workers).unwrap_or_else(|e| {
+                panic!("chaos {kind:?} at {site} must degrade, got hard error: {e}")
+            });
+            assert_eq!(
+                report.health(),
+                Health::Degraded,
+                "chaos {kind:?} at {site}"
+            );
+            let degraded: Vec<&str> = report
+                .stages
+                .iter()
+                .filter(|s| s.outcome.class() == "degraded")
+                .map(|s| s.name)
+                .collect();
+            assert!(!degraded.is_empty(), "chaos {kind:?} at {site}");
+            // Every injected fault leaves a structured, parseable report.
+            use aov_support::ToJson;
+            let doc = report.to_json();
+            assert_eq!(doc.get("health"), Some(&Json::Str("degraded".into())));
+            Json::parse(&doc.to_pretty())
+                .unwrap_or_else(|e| panic!("chaos {kind:?} at {site}: bad report JSON: {e}"));
+        }
+    }
+    chaos::disarm();
+    // One-shot semantics: the last spec already fired, so a follow-up
+    // run is healthy without any explicit disarm in between.
+    let report = run_example1(2).expect("post-chaos run is clean");
+    assert_eq!(report.health(), Health::Ok);
+}
+
+/// Worker panics specifically must be attributed: the degraded reason
+/// carries the panic payload and the site, proving `catch_unwind`
+/// isolation rather than some generic failure path.
+#[test]
+fn worker_panic_is_attributed_to_its_site() {
+    let _guard = lock();
+    chaos::install(ChaosSpec {
+        site: "aov.orthant".to_string(),
+        kind: FaultKind::Panic,
+        nth: 0,
+        seed: 0,
+    });
+    let report = run_example1(4).expect("panic is isolated");
+    let aov = report.stage("aov").expect("aov stage ran");
+    assert_eq!(aov.outcome.class(), "degraded");
+    let reason = aov.outcome.reason().unwrap();
+    assert!(
+        reason.contains("panic") && reason.contains("aov.orthant"),
+        "panic attribution: {reason}"
+    );
+    chaos::disarm();
+}
+
+/// With injection disarmed — or armed at a site the run never visits —
+/// the results are identical to a fault-free run: the chaos layer adds
+/// probes, never behavior.
+#[test]
+fn armed_but_unfired_chaos_is_inert() {
+    let _guard = lock();
+    chaos::disarm();
+    let clean = run_example1(2).expect("fault-free run");
+    assert_eq!(clean.health(), Health::Ok);
+    let clean_print = result_fingerprint(&clean);
+    assert_eq!(clean_print.0, vec![vec![1, 2]], "example1 headline AOV");
+
+    chaos::install(ChaosSpec {
+        site: "no.such.site".to_string(),
+        kind: FaultKind::Panic,
+        nth: 0,
+        seed: 0,
+    });
+    let armed = run_example1(2).expect("unfired chaos is harmless");
+    assert_eq!(armed.health(), Health::Ok);
+    assert_eq!(result_fingerprint(&armed), clean_print);
+    chaos::disarm();
+}

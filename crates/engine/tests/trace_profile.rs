@@ -52,7 +52,7 @@ const STAGES: [&str; 10] = [
 #[test]
 fn example1_flame_table_golden() {
     let (records, report) = traced_example1(2);
-    assert!(report.equivalent);
+    assert_eq!(report.equivalent, Some(true));
     let table = FlameTable::build(&records);
     // Every pipeline stage is exactly one span.
     for stage in STAGES {

@@ -1,0 +1,402 @@
+//! Work budgets with cooperative cancellation.
+//!
+//! A [`Budget`] is a cheap clone-to-share handle (an `Arc` around a few
+//! atomics) threaded from the engine down into the simplex pivot loop
+//! and the branch-and-bound node loop. Solvers *tick* it at
+//! pivot/node granularity; fan-outs *cancel* it when a sibling fails.
+//!
+//! Determinism contract: the pivot/node counters are process-shared
+//! across all workers of one pipeline run, and the exceeded error
+//! carries only the resource, the configured limit, and the checkpoint
+//! site — never the racy observed count. Together with the engine's
+//! rule that finite budgets disable incumbent-based pruning in
+//! `fan_out_patterns`, the same budget trips with the same error at the
+//! same stage regardless of worker count. Wall-clock deadlines are the
+//! documented exception: they are inherently timing-dependent.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which budgeted resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// Simplex pivot limit.
+    Pivots,
+    /// Branch-and-bound node limit.
+    Nodes,
+    /// Wall-clock deadline.
+    WallClock,
+    /// Not a resource at all: a sibling failure (or an external caller)
+    /// cancelled the run cooperatively.
+    Cancelled,
+}
+
+impl Resource {
+    /// Stable lower-case name used in diagnostics and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Pivots => "pivots",
+            Resource::Nodes => "nodes",
+            Resource::WallClock => "wall_clock",
+            Resource::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A budget checkpoint fired. Deliberately carries no observed counts:
+/// under parallel fan-out the observing thread races, but the
+/// (resource, limit, site) triple is worker-count-invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    pub resource: Resource,
+    /// The configured limit (milliseconds for [`Resource::WallClock`],
+    /// 0 for [`Resource::Cancelled`]).
+    pub limit: u64,
+    /// The checkpoint that observed the trip (e.g. `"lp.simplex"`).
+    pub site: &'static str,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resource {
+            Resource::Pivots => write!(
+                f,
+                "budget exceeded at {}: pivot limit {}",
+                self.site, self.limit
+            ),
+            Resource::Nodes => write!(
+                f,
+                "budget exceeded at {}: node limit {}",
+                self.site, self.limit
+            ),
+            Resource::WallClock => {
+                write!(
+                    f,
+                    "budget exceeded at {}: deadline {} ms",
+                    self.site, self.limit
+                )
+            }
+            Resource::Cancelled => write!(f, "cancelled at {}", self.site),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Work counters, shared between a budget and all its child scopes so
+/// limits are global to the run.
+struct Counters {
+    pivots: AtomicU64,
+    nodes: AtomicU64,
+}
+
+struct Inner {
+    /// `u64::MAX` means unlimited.
+    max_pivots: u64,
+    max_nodes: u64,
+    deadline: Option<Instant>,
+    deadline_ms: u64,
+    counters: Arc<Counters>,
+    cancelled: AtomicBool,
+    /// Cancellation chains: a child scope is cancelled when its own
+    /// flag *or* any ancestor's flag is set, but cancelling the child
+    /// never touches the parent (a failed fan-out must not poison later
+    /// pipeline stages).
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn cancelled_here_or_above(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.parent
+            .as_deref()
+            .is_some_and(Inner::cancelled_here_or_above)
+    }
+}
+
+/// Shareable budget handle. `Clone` shares the same counters and cancel
+/// flag; [`Budget::child`] shares counters but scopes cancellation.
+#[derive(Clone)]
+pub struct Budget {
+    inner: Arc<Inner>,
+}
+
+/// How often (in ticks) the wall-clock deadline is polled; counting
+/// ticks is atomic-cheap, `Instant::now` is not.
+const DEADLINE_STRIDE: u64 = 64;
+
+impl Budget {
+    /// A budget with no limits; ticks only observe cancellation.
+    #[must_use]
+    pub fn unlimited() -> Budget {
+        Budget::new(None, None, None)
+    }
+
+    /// A budget with optional pivot/node/wall-clock limits. The
+    /// deadline clock starts now.
+    #[must_use]
+    pub fn new(max_pivots: Option<u64>, max_nodes: Option<u64>, max_millis: Option<u64>) -> Budget {
+        Budget {
+            inner: Arc::new(Inner {
+                max_pivots: max_pivots.unwrap_or(u64::MAX),
+                max_nodes: max_nodes.unwrap_or(u64::MAX),
+                deadline: max_millis.map(|ms| Instant::now() + Duration::from_millis(ms)),
+                deadline_ms: max_millis.unwrap_or(0),
+                counters: Arc::new(Counters {
+                    pivots: AtomicU64::new(0),
+                    nodes: AtomicU64::new(0),
+                }),
+                cancelled: AtomicBool::new(false),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child scope: same limits and *shared* counters (work anywhere
+    /// still charges the global budget), but its own cancel flag.
+    /// Cancelling the child stops the child's workers; the parent — and
+    /// so later pipeline stages — stays live. Cancelling the parent
+    /// also cancels the child.
+    #[must_use]
+    pub fn child(&self) -> Budget {
+        Budget {
+            inner: Arc::new(Inner {
+                max_pivots: self.inner.max_pivots,
+                max_nodes: self.inner.max_nodes,
+                deadline: self.inner.deadline,
+                deadline_ms: self.inner.deadline_ms,
+                counters: Arc::clone(&self.inner.counters),
+                cancelled: AtomicBool::new(false),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// True when no pivot/node/deadline limit is set. Fan-outs use this
+    /// to decide whether incumbent pruning is allowed (pruning makes
+    /// work counts depend on completion order, so any finite budget
+    /// turns it off to keep trip points deterministic).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.max_pivots == u64::MAX
+            && self.inner.max_nodes == u64::MAX
+            && self.inner.deadline.is_none()
+    }
+
+    /// Requests cooperative cancellation; every subsequent tick on any
+    /// clone returns [`Resource::Cancelled`].
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Budget::cancel`] has been called on this handle or any
+    /// ancestor scope.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled_here_or_above()
+    }
+
+    /// Pivots ticked so far (for reporting; racy under fan-out).
+    #[must_use]
+    pub fn pivots_spent(&self) -> u64 {
+        self.inner.counters.pivots.load(Ordering::Relaxed)
+    }
+
+    /// Nodes ticked so far (for reporting; racy under fan-out).
+    #[must_use]
+    pub fn nodes_spent(&self) -> u64 {
+        self.inner.counters.nodes.load(Ordering::Relaxed)
+    }
+
+    /// One simplex pivot at `site`.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the pivot limit, the deadline, or the
+    /// cancel flag trips.
+    pub fn tick_pivot(&self, site: &'static str) -> Result<(), BudgetExceeded> {
+        let count = self.inner.counters.pivots.fetch_add(1, Ordering::Relaxed);
+        if count >= self.inner.max_pivots {
+            return Err(self.exceeded(Resource::Pivots, site));
+        }
+        self.common_checks(count, site)
+    }
+
+    /// One branch-and-bound node at `site`.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the node limit, the deadline, or the
+    /// cancel flag trips.
+    pub fn tick_node(&self, site: &'static str) -> Result<(), BudgetExceeded> {
+        let count = self.inner.counters.nodes.fetch_add(1, Ordering::Relaxed);
+        if count >= self.inner.max_nodes {
+            return Err(self.exceeded(Resource::Nodes, site));
+        }
+        self.common_checks(count, site)
+    }
+
+    /// A coarse checkpoint (stage or orthant boundary): observes
+    /// cancellation and the deadline without charging any resource.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the deadline or the cancel flag trips.
+    pub fn check(&self, site: &'static str) -> Result<(), BudgetExceeded> {
+        if self.is_cancelled() {
+            return Err(self.exceeded(Resource::Cancelled, site));
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.exceeded(Resource::WallClock, site));
+            }
+        }
+        Ok(())
+    }
+
+    fn common_checks(&self, count: u64, site: &'static str) -> Result<(), BudgetExceeded> {
+        if self.is_cancelled() {
+            return Err(self.exceeded(Resource::Cancelled, site));
+        }
+        if count.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(deadline) = self.inner.deadline {
+                if Instant::now() >= deadline {
+                    return Err(self.exceeded(Resource::WallClock, site));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exceeded(&self, resource: Resource, site: &'static str) -> BudgetExceeded {
+        let limit = match resource {
+            Resource::Pivots => self.inner.max_pivots,
+            Resource::Nodes => self.inner.max_nodes,
+            Resource::WallClock => self.inner.deadline_ms,
+            Resource::Cancelled => 0,
+        };
+        BudgetExceeded {
+            resource,
+            limit,
+            site,
+        }
+    }
+}
+
+impl fmt::Debug for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Budget")
+            .field(
+                "max_pivots",
+                &(self.inner.max_pivots != u64::MAX).then_some(self.inner.max_pivots),
+            )
+            .field(
+                "max_nodes",
+                &(self.inner.max_nodes != u64::MAX).then_some(self.inner.max_nodes),
+            )
+            .field(
+                "deadline_ms",
+                &self.inner.deadline.map(|_| self.inner.deadline_ms),
+            )
+            .field("pivots", &self.pivots_spent())
+            .field("nodes", &self.nodes_spent())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.tick_pivot("t").unwrap();
+            b.tick_node("t").unwrap();
+        }
+        assert!(b.is_unlimited());
+        assert_eq!(b.pivots_spent(), 10_000);
+    }
+
+    #[test]
+    fn pivot_limit_trips_at_configured_count() {
+        let b = Budget::new(Some(5), None, None);
+        for _ in 0..5 {
+            b.tick_pivot("lp.simplex").unwrap();
+        }
+        let e = b.tick_pivot("lp.simplex").unwrap_err();
+        assert_eq!(e.resource, Resource::Pivots);
+        assert_eq!(e.limit, 5);
+        assert_eq!(e.site, "lp.simplex");
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn node_limit_independent_of_pivots() {
+        let b = Budget::new(Some(100), Some(2), None);
+        b.tick_pivot("p").unwrap();
+        b.tick_node("n").unwrap();
+        b.tick_node("n").unwrap();
+        assert_eq!(b.tick_node("n").unwrap_err().resource, Resource::Nodes);
+        b.tick_pivot("p").unwrap();
+    }
+
+    #[test]
+    fn cancellation_observed_by_clones() {
+        let b = Budget::unlimited();
+        let c = b.clone();
+        b.cancel();
+        let e = c.tick_pivot("lp.simplex").unwrap_err();
+        assert_eq!(e.resource, Resource::Cancelled);
+        assert_eq!(c.check("stage").unwrap_err().resource, Resource::Cancelled);
+    }
+
+    #[test]
+    fn child_scope_cancellation_is_contained() {
+        let parent = Budget::new(Some(100), None, None);
+        let child = parent.child();
+        // Work in the child charges the shared counters.
+        child.tick_pivot("s").unwrap();
+        assert_eq!(parent.pivots_spent(), 1);
+        // Cancelling the child does not cancel the parent…
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+        parent.tick_pivot("s").unwrap();
+        assert_eq!(
+            child.tick_pivot("s").unwrap_err().resource,
+            Resource::Cancelled
+        );
+        // …but cancelling the parent cancels a fresh child.
+        let child2 = parent.child();
+        parent.cancel();
+        assert!(child2.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_trips_check() {
+        let b = Budget::new(None, None, Some(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let e = b.check("stage").unwrap_err();
+        assert_eq!(e.resource, Resource::WallClock);
+        assert_eq!(e.limit, 0);
+    }
+
+    #[test]
+    fn error_payload_never_contains_spent_counts() {
+        let b = Budget::new(Some(3), None, None);
+        let _ = b.tick_pivot("s");
+        let _ = b.tick_pivot("s");
+        let _ = b.tick_pivot("s");
+        let e = b.tick_pivot("s").unwrap_err();
+        // Rendering depends only on (resource, limit, site).
+        assert_eq!(e.to_string(), "budget exceeded at s: pivot limit 3");
+    }
+}

@@ -1,0 +1,299 @@
+//! Deterministic chaos injection.
+//!
+//! One process-global fault spec can be armed (from the `AOV_CHAOS`
+//! environment variable or the CLI `--chaos` flag). The spec names an
+//! instrumented *site* (a span-like path such as `"pipeline.aov"`,
+//! `"aov.orthant"`, `"lp.ilp.node"`), a fault *kind*, and the visit
+//! ordinal `nth` at which the fault fires — derived from the seeded
+//! `aov-support` PRNG when not given explicitly, so chaos runs are
+//! reproducible from `(site, kind, seed)` alone.
+//!
+//! The fault fires exactly once, then the layer disarms itself: a
+//! single injected fault per run is what the chaos suite and the CI
+//! smoke step assert about. Disarmed probes cost one relaxed atomic
+//! load, and the layer ships disarmed, so production runs are
+//! bit-identical with the instrumentation in place.
+
+use crate::budget::{BudgetExceeded, Resource};
+use crate::error::AovError;
+use aov_support::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// The three injectable fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return an [`AovError::Internal`] from the probe ("injected
+    /// solver error").
+    Error,
+    /// Panic at the probe; exercises `catch_unwind` isolation.
+    Panic,
+    /// Return a forced [`AovError::BudgetExceeded`] ("budget
+    /// exhaustion") without any limit being configured.
+    Budget,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Result<FaultKind, String> {
+        match s {
+            "error" => Ok(FaultKind::Error),
+            "panic" => Ok(FaultKind::Panic),
+            "budget" => Ok(FaultKind::Budget),
+            other => Err(format!(
+                "unknown chaos kind {other:?} (expected error|panic|budget)"
+            )),
+        }
+    }
+}
+
+/// A parsed chaos spec: fire `kind` at the `nth` visit of `site`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSpec {
+    pub site: String,
+    pub kind: FaultKind,
+    /// 0-based visit ordinal at which the fault fires.
+    pub nth: u64,
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// Parses `site=<path>,kind=error|panic|budget[,nth=N][,seed=S]`.
+    /// When `nth` is omitted it is drawn from `Rng::new(seed)` below
+    /// [`DEFAULT_NTH_RANGE`], so the same seed always hits the same
+    /// visit.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed key or value.
+    pub fn parse(spec: &str) -> Result<ChaosSpec, String> {
+        let mut site = None;
+        let mut kind = None;
+        let mut nth = None;
+        let mut seed = 0u64;
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec item {part:?} is not key=value"))?;
+            match key {
+                "site" => site = Some(value.to_string()),
+                "kind" => kind = Some(FaultKind::parse(value)?),
+                "nth" => {
+                    nth = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("chaos nth {value:?} is not an integer"))?,
+                    );
+                }
+                "seed" => {
+                    seed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("chaos seed {value:?} is not an integer"))?;
+                }
+                other => return Err(format!("unknown chaos key {other:?}")),
+            }
+        }
+        let site = site.ok_or_else(|| "chaos spec is missing site=".to_string())?;
+        let kind = kind.ok_or_else(|| "chaos spec is missing kind=".to_string())?;
+        let nth = nth.unwrap_or_else(|| Rng::new(seed).u64_below(DEFAULT_NTH_RANGE));
+        Ok(ChaosSpec {
+            site,
+            kind,
+            nth,
+            seed,
+        })
+    }
+}
+
+/// When `nth` is not given, it is drawn uniformly below this bound.
+/// Small on purpose: every instrumented site is visited at least a few
+/// times per run, so the fault reliably fires.
+pub const DEFAULT_NTH_RANGE: u64 = 3;
+
+struct ChaosState {
+    spec: ChaosSpec,
+    hits: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<ChaosState>> = Mutex::new(None);
+
+fn state() -> std::sync::MutexGuard<'static, Option<ChaosState>> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `spec`. Replaces any previously armed spec and resets the hit
+/// counter.
+pub fn install(spec: ChaosSpec) {
+    let mut guard = state();
+    *guard = Some(ChaosState { spec, hits: 0 });
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms injection; subsequent probes are single-load no-ops.
+pub fn disarm() {
+    let mut guard = state();
+    *guard = None;
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Arms from the `AOV_CHAOS` environment variable if set. Returns
+/// whether a spec was installed.
+///
+/// # Errors
+///
+/// The parse error for a malformed spec.
+pub fn install_from_env() -> Result<bool, String> {
+    match std::env::var("AOV_CHAOS") {
+        Ok(spec) if !spec.is_empty() => {
+            install(ChaosSpec::parse(&spec)?);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Probes `site`. Fault-free (disarmed, wrong site, or wrong visit)
+/// probes return `Ok(())`.
+///
+/// # Errors
+///
+/// The injected [`AovError`] when the armed spec fires here; for
+/// [`FaultKind::Panic`] the probe panics instead of returning.
+///
+/// # Panics
+///
+/// When the armed fault kind is [`FaultKind::Panic`] and this visit is
+/// the configured one.
+pub fn tick(site: &str) -> Result<(), AovError> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    let fired = {
+        let mut guard = state();
+        let Some(st) = guard.as_mut() else {
+            return Ok(());
+        };
+        if st.spec.site != site {
+            return Ok(());
+        }
+        let visit = st.hits;
+        st.hits += 1;
+        if visit != st.spec.nth {
+            return Ok(());
+        }
+        let kind = st.spec.kind;
+        // One-shot: disarm before firing so a caught panic or a
+        // retried solve cannot fire twice.
+        *guard = None;
+        ARMED.store(false, Ordering::SeqCst);
+        kind
+    };
+    match fired {
+        FaultKind::Error => Err(AovError::Internal {
+            detail: format!("chaos: injected solver error at {site}"),
+        }),
+        FaultKind::Panic => panic!("chaos: injected worker panic at {site}"),
+        FaultKind::Budget => Err(AovError::BudgetExceeded(BudgetExceeded {
+            resource: Resource::Pivots,
+            limit: 0,
+            site: "chaos",
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Chaos state is process-global; serialize the tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parse_full_spec() {
+        let spec = ChaosSpec::parse("site=aov.orthant,kind=panic,nth=2,seed=7").unwrap();
+        assert_eq!(
+            spec,
+            ChaosSpec {
+                site: "aov.orthant".into(),
+                kind: FaultKind::Panic,
+                nth: 2,
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_derives_nth_from_seed() {
+        let a = ChaosSpec::parse("site=s,kind=error,seed=41").unwrap();
+        let b = ChaosSpec::parse("site=s,kind=error,seed=41").unwrap();
+        assert_eq!(a.nth, b.nth);
+        assert!(a.nth < DEFAULT_NTH_RANGE);
+        assert_eq!(a.nth, Rng::new(41).u64_below(DEFAULT_NTH_RANGE));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(ChaosSpec::parse("kind=error").is_err());
+        assert!(ChaosSpec::parse("site=s").is_err());
+        assert!(ChaosSpec::parse("site=s,kind=nuke").is_err());
+        assert!(ChaosSpec::parse("site=s,kind=error,nth=x").is_err());
+        assert!(ChaosSpec::parse("bogus").is_err());
+        assert!(ChaosSpec::parse("site=s,kind=error,color=red").is_err());
+    }
+
+    #[test]
+    fn fires_once_at_nth_visit_then_disarms() {
+        let _guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        install(ChaosSpec {
+            site: "lp.simplex".into(),
+            kind: FaultKind::Error,
+            nth: 1,
+            seed: 0,
+        });
+        assert!(tick("other.site").is_ok());
+        assert!(tick("lp.simplex").is_ok()); // visit 0
+        let err = tick("lp.simplex").unwrap_err(); // visit 1 fires
+        assert_eq!(err.class(), "internal");
+        assert!(tick("lp.simplex").is_ok()); // disarmed after firing
+        disarm();
+    }
+
+    #[test]
+    fn budget_kind_injects_budget_exceeded() {
+        let _guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        install(ChaosSpec {
+            site: "p1.orthant".into(),
+            kind: FaultKind::Budget,
+            nth: 0,
+            seed: 0,
+        });
+        let err = tick("p1.orthant").unwrap_err();
+        assert_eq!(err.class(), "budget_exceeded");
+        disarm();
+    }
+
+    #[test]
+    fn panic_kind_panics_and_is_catchable() {
+        let _guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        install(ChaosSpec {
+            site: "aov.orthant".into(),
+            kind: FaultKind::Panic,
+            nth: 0,
+            seed: 0,
+        });
+        let caught = std::panic::catch_unwind(|| tick("aov.orthant"));
+        let payload = caught.unwrap_err();
+        let e = AovError::from_panic("aov.orthant", payload.as_ref());
+        match e {
+            AovError::WorkerPanic { payload, .. } => {
+                assert!(
+                    payload.contains("chaos: injected worker panic"),
+                    "{payload}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tick("aov.orthant").is_ok());
+        disarm();
+    }
+}

@@ -1,0 +1,45 @@
+//! Budget-check overhead guard: the per-pivot/per-node accounting is a
+//! pair of relaxed atomic increments and must stay in the
+//! few-nanoseconds range, or the "budgets are always on" design stops
+//! being free. The EXPERIMENTS.md overhead note is derived from the
+//! numbers this test prints under `--release`.
+
+use aov_fault::Budget;
+use std::time::Instant;
+
+#[test]
+fn tick_pivot_stays_cheap() {
+    const TICKS: u64 = 5_000_000;
+    let budget = Budget::unlimited();
+    // Warm up, then measure.
+    for _ in 0..10_000 {
+        budget.tick_pivot("warmup").unwrap();
+    }
+    let t0 = Instant::now();
+    for _ in 0..TICKS {
+        budget.tick_pivot("overhead.test").unwrap();
+    }
+    let elapsed = t0.elapsed();
+    let ns_per_tick = elapsed.as_nanos() as f64 / TICKS as f64;
+    println!("tick_pivot: {ns_per_tick:.1} ns/tick ({TICKS} ticks in {elapsed:?})");
+    // Generous bound (debug builds, shared CI containers): a real
+    // regression — a lock, a syscall, a SeqCst fence per tick — costs
+    // microseconds, not nanoseconds.
+    assert!(
+        ns_per_tick < 1_000.0,
+        "budget tick costs {ns_per_tick:.0} ns — accounting is no longer cheap"
+    );
+}
+
+#[test]
+fn finite_budget_tick_is_not_slower_by_orders() {
+    const TICKS: u64 = 5_000_000;
+    let budget = Budget::new(Some(u64::MAX - 1), None, None);
+    let t0 = Instant::now();
+    for _ in 0..TICKS {
+        budget.tick_pivot("overhead.test").unwrap();
+    }
+    let ns_per_tick = t0.elapsed().as_nanos() as f64 / TICKS as f64;
+    println!("tick_pivot (finite limit): {ns_per_tick:.1} ns/tick");
+    assert!(ns_per_tick < 1_000.0);
+}

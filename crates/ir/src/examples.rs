@@ -331,6 +331,39 @@ pub fn wavefront2d() -> Program {
     b.build().expect("wavefront2d is well-formed")
 }
 
+/// Auxiliary: a program with **no one-dimensional affine schedule**.
+///
+/// ```text
+/// for i = 1 to n
+///   for j = 1 to m
+///     A[i][j] = f(A[i][j-1], A[i-1][m])
+/// ```
+///
+/// The intra-row chain `A[i][j-1]` forces the schedule coefficient of
+/// `j` to be at least 1, while the read of the previous row's *last*
+/// element `A[i-1][m]` needs `Θ(i,1) − Θ(i−1,m) ≥ 1`, i.e.
+/// `a + b(1−m) ≥ 1` for every `m` — impossible with `b ≥ 1` once `m`
+/// is unbounded. (Sequential execution is fine; `Θ = m·i + j` is just
+/// not affine.) Used by the degradation-ladder tests: the `schedule`
+/// stage must degrade with `Unschedulable` while schedule-independent
+/// stages proceed.
+pub fn unschedulable() -> Program {
+    let mut b = ProgramBuilder::new("unschedulable");
+    let n = b.param_min("n", 1);
+    let m = b.param_min("m", 1);
+    let a = b.array("A", 2);
+    let mut s = b.statement("S", &["i", "j"]);
+    s.bound(0, s.constant(1), s.param(n));
+    s.bound(1, s.constant(1), s.param(m));
+    s.writes(a);
+    let (i, j) = (s.iter(0), s.iter(1));
+    let r1 = s.read(a, vec![i.clone(), &j - &s.constant(1)]);
+    let r2 = s.read(a, vec![&i - &s.constant(1), s.param(m)]);
+    s.body(Expr::call("f", vec![Expr::Read(r1), Expr::Read(r2)]));
+    b.add_statement(s);
+    b.build().expect("unschedulable is well-formed")
+}
+
 /// Auxiliary: Example 1 with the iteration domain restricted by an extra
 /// non-rectangular constraint `i <= j + K`; exercises the
 /// parameterized-vertex machinery on non-box domains.

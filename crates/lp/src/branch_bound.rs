@@ -2,16 +2,20 @@
 //! variables.
 
 use crate::model::{Cmp, LpOutcome, Model, Solution};
+use aov_fault::{AovError, Budget};
 use aov_linalg::AffineExpr;
 use aov_numeric::Rational;
 
 /// Hard cap on explored nodes; the paper's problems need a handful.
+/// This backstop predates [`Budget`] node limits and still protects
+/// legacy unbudgeted callers; it reports [`LpOutcome::LimitReached`]
+/// rather than an error.
 const NODE_LIMIT: usize = 100_000;
 
-pub(crate) fn solve(model: &Model) -> LpOutcome {
+pub(crate) fn solve(model: &Model, budget: &Budget) -> Result<LpOutcome, AovError> {
     let marks = model.integer_marks().to_vec();
     if !marks.iter().any(|&b| b) {
-        return model.solve_lp();
+        return model.solve_lp_budgeted(budget);
     }
     let _span = aov_trace::span!("lp.ilp", vars = model.num_vars());
     let mut best: Option<Solution> = None;
@@ -21,13 +25,15 @@ pub(crate) fn solve(model: &Model) -> LpOutcome {
     let mut root_unbounded = false;
     while let Some(node) = stack.pop() {
         nodes += 1;
+        budget.tick_node("lp.ilp")?;
+        aov_fault::chaos::tick("lp.ilp.node")?;
         aov_support::static_counter!("lp.bb.nodes")
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if nodes > NODE_LIMIT {
             limit_hit = true;
             break;
         }
-        match node.solve_lp() {
+        match node.solve_lp_budgeted(budget)? {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
                 // An unbounded relaxation at the root means the ILP is
@@ -38,7 +44,11 @@ pub(crate) fn solve(model: &Model) -> LpOutcome {
                 }
                 continue;
             }
-            LpOutcome::LimitReached => unreachable!("solve_lp has no limit"),
+            LpOutcome::LimitReached => {
+                // Budgeted relaxations report faults as errors, so the
+                // relaxation itself never yields this.
+                unreachable!("solve_lp_budgeted has no node limit")
+            }
             LpOutcome::Optimal(sol) => {
                 if let Some(b) = &best {
                     if sol.objective >= b.objective {
@@ -82,13 +92,13 @@ pub(crate) fn solve(model: &Model) -> LpOutcome {
         }
     }
     if root_unbounded {
-        return LpOutcome::Unbounded;
+        return Ok(LpOutcome::Unbounded);
     }
-    match best {
+    Ok(match best {
         Some(sol) => LpOutcome::Optimal(sol),
         None if limit_hit => LpOutcome::LimitReached,
         None => LpOutcome::Infeasible,
-    }
+    })
 }
 
 #[cfg(test)]

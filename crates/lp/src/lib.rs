@@ -35,6 +35,10 @@
 //! # let _ = (x, y);
 //! ```
 
+// Library code must surface failures as values (see `aov-fault`);
+// `unwrap`/`expect` are reserved for tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod branch_bound;
 pub mod memo;
 mod model;

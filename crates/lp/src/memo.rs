@@ -21,7 +21,7 @@
 use crate::model::LpOutcome;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static LEGACY_KEYS: AtomicBool = AtomicBool::new(false);
@@ -58,18 +58,25 @@ pub fn legacy_keys() -> bool {
     LEGACY_KEYS.load(Ordering::Relaxed)
 }
 
+/// The cache only ever holds complete, immutable outcomes, so a lock
+/// poisoned by a panicking worker (isolated upstream via
+/// `catch_unwind`) is still structurally sound — recover the guard.
+fn cache() -> MutexGuard<'static, Option<HashMap<String, LpOutcome>>> {
+    CACHE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Drops every cached outcome.
 pub fn clear() {
-    *CACHE.lock().unwrap() = None;
+    *cache() = None;
 }
 
 /// Number of distinct canonical forms currently cached.
 pub fn len() -> usize {
-    CACHE.lock().unwrap().as_ref().map_or(0, HashMap::len)
+    cache().as_ref().map_or(0, HashMap::len)
 }
 
 pub(crate) fn lookup(key: &str) -> Option<LpOutcome> {
-    let guard = CACHE.lock().unwrap();
+    let guard = cache();
     let hit = guard.as_ref().and_then(|m| m.get(key).cloned());
     if hit.is_some() {
         aov_support::static_counter!("lp.memo.hits").fetch_add(1, Ordering::Relaxed);
@@ -80,9 +87,7 @@ pub(crate) fn lookup(key: &str) -> Option<LpOutcome> {
 }
 
 pub(crate) fn store(key: String, outcome: &LpOutcome) {
-    CACHE
-        .lock()
-        .unwrap()
+    cache()
         .get_or_insert_with(HashMap::new)
         .insert(key, outcome.clone());
 }

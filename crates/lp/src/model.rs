@@ -2,6 +2,7 @@
 
 use crate::branch_bound;
 use crate::simplex;
+use aov_fault::{AovError, Budget};
 use aov_linalg::{AffineExpr, QVector, VarSet};
 use aov_numeric::Rational;
 use std::fmt;
@@ -63,7 +64,10 @@ pub enum LpOutcome {
     Infeasible,
     /// The objective is unbounded below on the feasible region.
     Unbounded,
-    /// Branch-and-bound exceeded its node limit (ILP only).
+    /// No verdict: branch-and-bound hit its node backstop, or a fault
+    /// (injected or cancellation) interrupted a legacy infallible call
+    /// ([`Model::solve_lp`]/[`Model::solve_ilp`]). The budgeted APIs
+    /// report faults as [`AovError`] instead of this variant.
     LimitReached,
 }
 
@@ -310,7 +314,25 @@ impl Model {
     /// When [`memo::set_enabled`](crate::memo::set_enabled) is on,
     /// repeated solves of canonically identical models are served from a
     /// process-global cache.
+    ///
+    /// Legacy infallible entry point: runs with an unlimited
+    /// [`Budget`], so the only possible faults are external (chaos
+    /// injection, cooperative cancellation); those map to
+    /// [`LpOutcome::LimitReached`]. Budget-aware callers use
+    /// [`Model::solve_lp_budgeted`].
     pub fn solve_lp(&self) -> LpOutcome {
+        self.solve_lp_budgeted(&Budget::unlimited())
+            .unwrap_or(LpOutcome::LimitReached)
+    }
+
+    /// Solves the continuous relaxation under `budget`, checked at
+    /// pivot granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`AovError::BudgetExceeded`] when a pivot/deadline limit trips
+    /// or the budget is cancelled; injected chaos faults otherwise.
+    pub fn solve_lp_budgeted(&self, budget: &Budget) -> Result<LpOutcome, AovError> {
         let _span = aov_trace::span!(
             "lp.solve",
             vars = self.num_vars(),
@@ -330,24 +352,42 @@ impl Model {
                 crate::memo::lookup(&key)
             };
             if let Some(cached) = cached {
-                return cached;
+                return Ok(cached);
             }
             let outcome = {
                 let _s = aov_trace::span!("lp.simplex");
-                simplex::solve(self)
+                simplex::solve(self, budget)?
             };
+            // Faults return above: only complete outcomes are cached.
             crate::memo::store(key, &outcome);
-            outcome
+            Ok(outcome)
         } else {
             let _s = aov_trace::span!("lp.simplex");
-            simplex::solve(self)
+            simplex::solve(self, budget)
         }
     }
 
     /// Solves with integrality on variables marked by
     /// [`Model::set_integer`], via branch-and-bound on the exact simplex.
+    ///
+    /// Legacy infallible entry point; see [`Model::solve_lp`] for the
+    /// fault mapping. Budget-aware callers use
+    /// [`Model::solve_ilp_budgeted`].
     pub fn solve_ilp(&self) -> LpOutcome {
-        branch_bound::solve(self)
+        self.solve_ilp_budgeted(&Budget::unlimited())
+            .unwrap_or(LpOutcome::LimitReached)
+    }
+
+    /// Branch-and-bound under `budget`: nodes charge
+    /// [`Budget::tick_node`], every relaxation charges pivots.
+    ///
+    /// # Errors
+    ///
+    /// [`AovError::BudgetExceeded`] when a node/pivot/deadline limit
+    /// trips or the budget is cancelled; injected chaos faults
+    /// otherwise.
+    pub fn solve_ilp_budgeted(&self, budget: &Budget) -> Result<LpOutcome, AovError> {
+        branch_bound::solve(self, budget)
     }
 }
 

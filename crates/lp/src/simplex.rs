@@ -6,6 +6,7 @@
 //! pivoting rule guarantees termination without cycling.
 
 use crate::model::{Cmp, LpOutcome, Model, Solution};
+use aov_fault::{AovError, Budget, BudgetExceeded};
 use aov_linalg::QVector;
 use aov_numeric::Rational;
 
@@ -202,12 +203,12 @@ impl Tableau {
 
     /// Runs simplex iterations with Bland's rule on the columns in
     /// `0..active_cols`. Returns `false` when unbounded.
-    fn run(&mut self, active_cols: usize) -> bool {
+    fn run(&mut self, active_cols: usize, budget: &Budget) -> Result<bool, BudgetExceeded> {
         loop {
             // Bland: entering column = smallest index with negative
             // reduced cost.
             let Some(c) = (0..active_cols).find(|&j| self.obj[j].is_negative()) else {
-                return true; // optimal
+                return Ok(true); // optimal
             };
             // Ratio test; Bland tie-break on smallest basis variable.
             let mut best: Option<(Rational, usize)> = None;
@@ -227,8 +228,9 @@ impl Tableau {
                 }
             }
             match best {
-                None => return false, // unbounded
+                None => return Ok(false), // unbounded
                 Some((ratio, r)) => {
+                    budget.tick_pivot("lp.simplex")?;
                     aov_support::static_counter!("lp.simplex.pivots")
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if ratio.is_zero() {
@@ -261,16 +263,17 @@ impl Tableau {
     }
 }
 
-pub(crate) fn solve(model: &Model) -> LpOutcome {
+pub(crate) fn solve(model: &Model, budget: &Budget) -> Result<LpOutcome, AovError> {
+    aov_fault::chaos::tick("lp.simplex")?;
     let std = standardize(model);
-    match solve_standardized(&std) {
+    Ok(match solve_standardized(&std, budget)? {
         StdOutcome::Optimal(y, objective) => {
             let values = destandardize(&std, &y);
             LpOutcome::Optimal(Solution { values, objective })
         }
         StdOutcome::Infeasible => LpOutcome::Infeasible,
         StdOutcome::Unbounded => LpOutcome::Unbounded,
-    }
+    })
 }
 
 enum StdOutcome {
@@ -289,7 +292,7 @@ fn destandardize(std: &Standardized, y: &[Rational]) -> QVector {
         .collect()
 }
 
-fn solve_standardized(std: &Standardized) -> StdOutcome {
+fn solve_standardized(std: &Standardized, budget: &Budget) -> Result<StdOutcome, BudgetExceeded> {
     let m = std.rows.len();
     let n = std.num_cols;
     // Add one artificial per row.
@@ -314,11 +317,11 @@ fn solve_standardized(std: &Standardized) -> StdOutcome {
         *c = Rational::one();
     }
     t.install_objective(&phase1, &Rational::zero());
-    let bounded = t.run(total);
+    let bounded = t.run(total, budget)?;
     debug_assert!(bounded, "phase 1 is always bounded below by 0");
     // Optimal phase-1 objective is -obj_rhs.
     if !t.obj_rhs.is_zero() {
-        return StdOutcome::Infeasible;
+        return Ok(StdOutcome::Infeasible);
     }
     // Drive remaining artificials out of the basis.
     let mut r = 0;
@@ -339,8 +342,8 @@ fn solve_standardized(std: &Standardized) -> StdOutcome {
     // Phase 2 on original costs; artificial columns are excluded from
     // pricing by passing `active_cols = n`.
     t.install_objective(&std.costs, &std.obj_constant);
-    if !t.run(n) {
-        return StdOutcome::Unbounded;
+    if !t.run(n, budget)? {
+        return Ok(StdOutcome::Unbounded);
     }
     let mut y = vec![Rational::zero(); n];
     for (r, &b) in t.basis.iter().enumerate() {
@@ -349,7 +352,7 @@ fn solve_standardized(std: &Standardized) -> StdOutcome {
         }
     }
     let objective = -&t.obj_rhs;
-    StdOutcome::Optimal(y, objective)
+    Ok(StdOutcome::Optimal(y, objective))
 }
 
 #[cfg(test)]

@@ -140,7 +140,15 @@ impl Polyhedron {
                 },
             );
         }
-        matches!(m.solve_lp(), LpOutcome::Infeasible)
+        match m.solve_lp() {
+            LpOutcome::Infeasible => true,
+            LpOutcome::Optimal(_) | LpOutcome::Unbounded => false,
+            // Unlimited budgets cannot trip; only an injected fault
+            // lands here. Panic instead of guessing an answer — the
+            // engine's stage isolation turns this into a degraded
+            // report, a wrong emptiness verdict would corrupt it.
+            LpOutcome::LimitReached => panic!("solver fault during emptiness check"),
+        }
     }
 
     /// Whether the affine form `e >= 0` holds everywhere on the
@@ -165,7 +173,8 @@ impl Polyhedron {
             LpOutcome::Optimal(sol) => !sol.objective.is_negative(),
             LpOutcome::Infeasible => true,
             LpOutcome::Unbounded => false,
-            LpOutcome::LimitReached => unreachable!("LP has no node limit"),
+            // See `is_empty`: reachable only via an injected fault.
+            LpOutcome::LimitReached => panic!("solver fault during implication check"),
         }
     }
 
@@ -188,6 +197,8 @@ impl Polyhedron {
         m.minimize(e.clone());
         match m.solve_lp() {
             LpOutcome::Optimal(sol) => Some(sol.objective),
+            // See `is_empty`: reachable only via an injected fault.
+            LpOutcome::LimitReached => panic!("solver fault during minimization"),
             _ => None,
         }
     }

@@ -106,6 +106,45 @@ pub fn legal_schedule_polyhedron(
     Ok((space, poly))
 }
 
+/// Explains *why* no one-dimensional affine schedule exists: re-adds
+/// each dependence's causality constraints in order and names the first
+/// dependence whose constraints make ℛ empty.
+///
+/// Diagnostic-quality path only (it rebuilds the polyhedron per
+/// dependence); callers invoke it after the scheduler has already
+/// reported infeasibility. Never fails: polyhedral errors degrade to a
+/// generic message.
+pub fn unschedulable_diagnostic(p: &Program) -> String {
+    let scan = || -> Result<String, PolyhedraError> {
+        let space = ScheduleSpace::new(p);
+        let deps = analysis::dependences(p);
+        let mut cons: Vec<Constraint> = Vec::new();
+        for (k, dep) in deps.iter().enumerate() {
+            let form = causality_form(p, &space, dep);
+            let depth = p.statement(dep.target).depth();
+            let rows = linearize::eliminate_to_linear(&form, &dep.domain, depth, p.param_domain())?;
+            cons.extend(rows.into_iter().map(Constraint::ge0));
+            let poly = Polyhedron::from_constraints(space.dim(), cons.clone());
+            if poly.is_empty() {
+                let source = p.statement(dep.source).name().to_string();
+                let target = p.statement(dep.target).name().to_string();
+                return Ok(format!(
+                    "no one-dimensional affine schedule exists: causality of \
+                     dependence #{k} ({source} -> {target}, read #{} of {target}) \
+                     is unsatisfiable together with the dependences before it",
+                    dep.access
+                ));
+            }
+        }
+        // ℛ is non-empty but has no integer point (or the caller
+        // mis-diagnosed); stay truthful without naming a dependence.
+        Ok("no one-dimensional affine schedule exists".to_string())
+    };
+    scan().unwrap_or_else(|e| {
+        format!("no one-dimensional affine schedule exists (diagnostic unavailable: {e})")
+    })
+}
+
 /// Exact legality check of a concrete schedule: every dependence's
 /// causality form must be nonnegative over its domain (jointly with the
 /// parameter domain).

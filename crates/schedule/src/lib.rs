@@ -29,6 +29,10 @@
 //! assert!(legal::is_legal(&p, &sched));
 //! ```
 
+// Library code must surface failures as values (see `aov-fault`);
+// `unwrap`/`expect` are reserved for tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod bilinear;
 pub mod farkas;
 pub mod legal;

@@ -7,6 +7,7 @@
 //! schedules like the paper's `Θ = j` for Example 1.
 
 use crate::{legal, Schedule, ScheduleSpace};
+use aov_fault::{AovError, Budget};
 use aov_ir::Program;
 use aov_linalg::AffineExpr;
 use aov_lp::{Cmp, Model};
@@ -21,6 +22,9 @@ pub enum ScheduleError {
     Infeasible,
     /// Polyhedral machinery failed.
     Polyhedra(PolyhedraError),
+    /// A runtime fault (budget trip, cancellation, injected fault)
+    /// interrupted the search before a verdict.
+    Fault(AovError),
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -30,6 +34,7 @@ impl std::fmt::Display for ScheduleError {
                 write!(f, "no one-dimensional affine schedule exists")
             }
             ScheduleError::Polyhedra(e) => write!(f, "polyhedral failure: {e}"),
+            ScheduleError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -39,6 +44,12 @@ impl std::error::Error for ScheduleError {}
 impl From<PolyhedraError> for ScheduleError {
     fn from(e: PolyhedraError) -> Self {
         ScheduleError::Polyhedra(e)
+    }
+}
+
+impl From<AovError> for ScheduleError {
+    fn from(e: AovError) -> Self {
+        ScheduleError::Fault(e)
     }
 }
 
@@ -61,17 +72,56 @@ pub fn find_schedule(p: &Program) -> Result<Schedule, ScheduleError> {
 /// [`ScheduleError::Infeasible`] when no schedule satisfies the combined
 /// constraints.
 pub fn find_schedule_with(p: &Program, extra: &[Constraint]) -> Result<Schedule, ScheduleError> {
-    let (space, rows) = legal::schedule_constraints(p)?;
-    solve(p, &space, rows, extra)
+    find_schedule_with_budgeted(p, extra, &Budget::unlimited())
 }
 
-/// Shared LP construction for schedule search.
+/// [`find_schedule_with`] under a [`Budget`] checked at LP pivot / ILP
+/// node granularity.
+///
+/// # Errors
+///
+/// [`ScheduleError::Fault`] when the budget trips or a fault is
+/// injected; [`ScheduleError::Infeasible`] when no schedule satisfies
+/// the combined constraints.
+pub fn find_schedule_with_budgeted(
+    p: &Program,
+    extra: &[Constraint],
+    budget: &Budget,
+) -> Result<Schedule, ScheduleError> {
+    let (space, rows) = legal::schedule_constraints(p)?;
+    solve_budgeted(p, &space, rows, extra, budget)
+}
+
+/// Shared LP construction for schedule search (unlimited budget).
 pub fn solve(
     p: &Program,
     space: &ScheduleSpace,
     rows: Vec<AffineExpr>,
     extra: &[Constraint],
 ) -> Result<Schedule, ScheduleError> {
+    solve_budgeted(p, space, rows, extra, &Budget::unlimited())
+}
+
+/// Shared LP construction for schedule search, under `budget`.
+///
+/// # Errors
+///
+/// [`ScheduleError::Fault`] on budget trips/injected faults,
+/// [`ScheduleError::Infeasible`] when the combined constraints have no
+/// integer solution.
+///
+/// # Panics
+///
+/// Panics when an `extra` constraint's dimension disagrees with the
+/// schedule space (caller invariant).
+pub fn solve_budgeted(
+    p: &Program,
+    space: &ScheduleSpace,
+    rows: Vec<AffineExpr>,
+    extra: &[Constraint],
+    budget: &Budget,
+) -> Result<Schedule, ScheduleError> {
+    aov_fault::chaos::tick("schedule.solve").map_err(ScheduleError::Fault)?;
     let mut m = Model::new();
     for name in space.vars().names() {
         let v = m.add_var(name.clone());
@@ -113,7 +163,7 @@ pub fn solve(
         obj = &obj + &AffineExpr::var(total, idx).scale(&w.into());
     }
     m.minimize(obj);
-    match m.solve_ilp() {
+    match m.solve_ilp_budgeted(budget)? {
         aov_lp::LpOutcome::Optimal(sol) => {
             let point: aov_linalg::QVector = (0..space.dim())
                 .map(|k| sol.values.as_slice()[k].clone())
@@ -124,6 +174,8 @@ pub fn solve(
         aov_lp::LpOutcome::Unbounded => {
             unreachable!("objective is a nonnegative weighted norm")
         }
+        // The node-limit backstop: no verdict, which for schedule
+        // existence is indistinguishable from "none found".
         aov_lp::LpOutcome::LimitReached => Err(ScheduleError::Infeasible),
     }
 }

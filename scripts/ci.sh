@@ -22,7 +22,8 @@ cargo test -q --offline --workspace
 echo "== trace smoke"
 trace_file="$(mktemp /tmp/aov-trace-smoke.XXXXXX.json)"
 bench_file="$(mktemp /tmp/aov-bench-smoke.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$bench_file"' EXIT
+chaos_file="$(mktemp /tmp/aov-chaos-smoke.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file"' EXIT
 ./target/release/aov example1 --memoize --trace "$trace_file" --profile \
     --compact > /dev/null
 ./target/release/aov --check-trace "$trace_file"
@@ -34,5 +35,42 @@ echo "== bench smoke"
 ./target/release/aov bench --examples example1 --runs 2 --quick \
     --out "$bench_file"
 ./target/release/aov bench --check "$bench_file"
+
+echo "== chaos smoke"
+# One injected fault per pipeline stage (plus a worker panic and a
+# forced budget trip in the solver layers): every run must degrade —
+# exit code 3, never an abort — and still emit a schema-valid report.
+chaos_specs=(
+    "site=pipeline.ir,kind=error,nth=0"
+    "site=pipeline.dependences,kind=error,nth=0"
+    "site=pipeline.legal_schedule,kind=error,nth=0"
+    "site=pipeline.schedule,kind=error,nth=0"
+    "site=pipeline.problem1,kind=error,nth=0"
+    "site=pipeline.aov,kind=error,nth=0"
+    "site=pipeline.problem2,kind=error,nth=0"
+    "site=pipeline.storage_transform,kind=error,nth=0"
+    "site=pipeline.codegen,kind=error,nth=0"
+    "site=pipeline.equivalence,kind=error,nth=0"
+    "site=aov.orthant,kind=panic,nth=0"
+    "site=lp.ilp.node,kind=budget,nth=0"
+)
+for spec in "${chaos_specs[@]}"; do
+    status=0
+    AOV_CHAOS="$spec" ./target/release/aov example1 --workers 2 \
+        > "$chaos_file" 2> /dev/null || status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "chaos smoke: $spec: expected exit 3 (degraded), got $status"
+        exit 1
+    fi
+    ./target/release/aov --check-report "$chaos_file"
+done
+# With injection disabled the same invocation is healthy.
+status=0
+./target/release/aov example1 --workers 2 > "$chaos_file" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "chaos smoke: fault-free run: expected exit 0, got $status"
+    exit 1
+fi
+./target/release/aov --check-report "$chaos_file"
 
 echo "CI green."

@@ -3,7 +3,11 @@
 //! observatory.
 //!
 //! ```text
-//! aov <example1|example2|example3|example4|all> [options]
+//! aov <example1|example2|example3|example4|unschedulable|all> [options]
+//!
+//!   (`unschedulable` is the degradation-ladder demo: a program with no
+//!   one-dimensional affine schedule; the run exits 3 with a report
+//!   naming the violated dependence)
 //!
 //!   --workers N        fan the per-orthant solvers out over N threads
 //!                      (default: available parallelism, capped at 8)
@@ -22,6 +26,15 @@
 //!                      span flame table with the solver counters
 //!   --profile          print a per-example flame table and memo
 //!                      hit-rate summary to stderr
+//!   --budget-pivots N  cap total simplex pivots per run; exceeding the
+//!                      cap degrades the tripping stage (exit 3), it
+//!                      never kills the process
+//!   --budget-nodes N   cap total branch-and-bound nodes per run
+//!   --budget-ms N      wall-clock deadline per run, milliseconds
+//!   --chaos SPEC       arm one deterministic fault: site=<path>,
+//!                      kind=error|panic|budget[,nth=N][,seed=S]
+//!                      (the AOV_CHAOS environment variable takes the
+//!                      same spec; the flag wins when both are set)
 //!
 //! aov bench [options]
 //!
@@ -41,20 +54,35 @@
 //!   --no-figures          skip the figure suite
 //!   --check FILE          validate an existing artifact against the
 //!                         schema instead of running anything
+//!   --budget-pivots N     solver budget passed through to every
+//!   --budget-nodes N      pipeline run; a tripped budget degrades the
+//!   --budget-ms N         run and the suite refuses to record it
 //!
 //! aov --check-trace FILE
 //!
 //!   Validate a previously written trace: parse the JSON and assert it
 //!   contains pipeline root spans. Exit 0 when well-formed.
+//!
+//! aov --check-report FILE
+//!
+//!   Validate a previously written pipeline report (healthy or
+//!   degraded) against the engine's report schema. Exit 0 when valid.
 //! ```
 //!
-//! Exit status: 0 on success (and dynamic equivalence holding), 1 when a
-//! stage fails, equivalence does not hold, an artifact is invalid or a
-//! gated regression is found, 2 on a usage error.
+//! Exit status mirrors the report's health:
+//!
+//! * `0` — every stage ran and dynamic equivalence holds
+//! * `1` — pipeline complete but equivalence does not hold (or, under
+//!   `bench`, an artifact is invalid / a gated regression is found)
+//! * `2` — hard failure: a stage failed with a non-degradable error
+//! * `3` — degraded: a budget tripped or a fault was isolated; the
+//!   printed report says which stages degraded or were skipped and why
+//! * `64` — usage error
 
 use aov_bench::observatory::{self, SuiteConfig};
 use aov_bench::regress;
-use aov_engine::Pipeline;
+use aov_engine::{BudgetSpec, Health, Pipeline};
+use aov_fault::chaos;
 use aov_support::{Json, ToJson};
 
 struct Options {
@@ -69,20 +97,47 @@ struct Options {
     trace: Option<String>,
     profile: bool,
     check_trace: Option<String>,
+    check_report: Option<String>,
+    budget: BudgetSpec,
+    chaos: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aov <example1|example2|example3|example4|all> \
+        "usage: aov <example1|example2|example3|example4|unschedulable|all> \
          [--workers N] [--sequential] [--memoize] [--legacy-memo-keys] \
          [--machine] [--params A,B,..] [--runs N] [--compact] \
-         [--trace FILE] [--profile]\n       \
+         [--trace FILE] [--profile] [--budget-pivots N] \
+         [--budget-nodes N] [--budget-ms N] [--chaos SPEC]\n       \
          aov bench [--runs N] [--out FILE] [--baseline FILE] \
          [--fail-on-regression] [--examples A,B] [--workers N] [--quick] \
-         [--no-figures] [--check FILE]\n       \
-         aov --check-trace FILE"
+         [--no-figures] [--check FILE] [--budget-pivots N] \
+         [--budget-nodes N] [--budget-ms N]\n       \
+         aov --check-trace FILE\n       \
+         aov --check-report FILE\n\n\
+         exit codes: 0 ok, 1 inequivalent/regression, 2 failed, \
+         3 degraded, 64 usage"
     );
-    std::process::exit(2);
+    std::process::exit(64);
+}
+
+/// Parses the shared `--budget-*` flags; returns whether `arg` was one.
+fn parse_budget_flag(
+    budget: &mut BudgetSpec,
+    arg: &str,
+    it: &mut std::slice::Iter<'_, String>,
+) -> bool {
+    let slot = match arg {
+        "--budget-pivots" => &mut budget.pivots,
+        "--budget-nodes" => &mut budget.nodes,
+        "--budget-ms" => &mut budget.ms,
+        _ => return false,
+    };
+    match it.next().and_then(|n| n.parse().ok()) {
+        Some(n) => *slot = Some(n),
+        None => usage(),
+    }
+    true
 }
 
 fn parse(args: &[String]) -> Options {
@@ -98,9 +153,15 @@ fn parse(args: &[String]) -> Options {
         trace: None,
         profile: false,
         check_trace: None,
+        check_report: None,
+        budget: BudgetSpec::default(),
+        chaos: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if parse_budget_flag(&mut opts.budget, arg, &mut it) {
+            continue;
+        }
         match arg.as_str() {
             "--workers" => match it.next().and_then(|w| w.parse().ok()) {
                 Some(w) => opts.workers = w,
@@ -135,6 +196,14 @@ fn parse(args: &[String]) -> Options {
                 Some(f) => opts.check_trace = Some(f.clone()),
                 None => usage(),
             },
+            "--check-report" => match it.next() {
+                Some(f) => opts.check_report = Some(f.clone()),
+                None => usage(),
+            },
+            "--chaos" => match it.next() {
+                Some(spec) => opts.chaos = Some(spec.clone()),
+                None => usage(),
+            },
             "all" => {
                 opts.programs.extend((1..=4).map(|k| format!("example{k}")));
             }
@@ -142,10 +211,42 @@ fn parse(args: &[String]) -> Options {
             _ => usage(),
         }
     }
-    if opts.programs.is_empty() && opts.check_trace.is_none() {
+    if opts.programs.is_empty() && opts.check_trace.is_none() && opts.check_report.is_none() {
         usage();
     }
     opts
+}
+
+/// Validates a written pipeline report (healthy or degraded) against
+/// [`aov_engine::report_schema`].
+fn check_report(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("aov: {path}: {e}");
+            return 1;
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("aov: {path}: invalid JSON: {e}");
+            return 1;
+        }
+    };
+    if let Err(errors) = aov_support::schema::validate(&json, &aov_engine::report_schema()) {
+        eprintln!("aov: {path}: report schema violations:");
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        return 1;
+    }
+    let health = match json.get("health") {
+        Some(Json::Str(h)) => h.clone(),
+        _ => "unknown".to_string(),
+    };
+    eprintln!("aov: {path}: ok (health {health})");
+    0
 }
 
 /// Validates a written trace file: parses the JSON back (through
@@ -195,6 +296,7 @@ struct BenchOptions {
     quick: bool,
     figures: bool,
     check: Option<String>,
+    budget: BudgetSpec,
 }
 
 fn parse_bench(args: &[String]) -> BenchOptions {
@@ -211,9 +313,13 @@ fn parse_bench(args: &[String]) -> BenchOptions {
         quick: false,
         figures: true,
         check: None,
+        budget: BudgetSpec::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if parse_budget_flag(&mut opts.budget, arg, &mut it) {
+            continue;
+        }
         match arg.as_str() {
             "--runs" => match it.next().and_then(|r| r.parse().ok()) {
                 Some(r) if r >= 1 => opts.runs = r,
@@ -303,6 +409,7 @@ fn bench_main(args: &[String]) -> i32 {
         workers: opts.workers,
         quick: opts.quick,
         figures: opts.figures,
+        budget: opts.budget,
         ..SuiteConfig::default()
     };
     eprintln!(
@@ -399,6 +506,26 @@ fn main() {
     if let Some(path) = &opts.check_trace {
         std::process::exit(check_trace(path));
     }
+    if let Some(path) = &opts.check_report {
+        std::process::exit(check_report(path));
+    }
+
+    // Arm chaos injection: the --chaos flag wins over AOV_CHAOS.
+    match &opts.chaos {
+        Some(spec) => match chaos::ChaosSpec::parse(spec) {
+            Ok(parsed) => chaos::install(parsed),
+            Err(e) => {
+                eprintln!("aov: --chaos: {e}");
+                std::process::exit(64);
+            }
+        },
+        None => {
+            if let Err(e) = chaos::install_from_env() {
+                eprintln!("aov: AOV_CHAOS: {e}");
+                std::process::exit(64);
+            }
+        }
+    }
 
     let tracing = opts.trace.is_some() || opts.profile;
     if tracing {
@@ -410,20 +537,22 @@ fn main() {
 
     let mut reports = Vec::new();
     let mut all_records: Vec<aov_trace::SpanRecord> = Vec::new();
-    let mut all_equivalent = true;
+    let mut any_degraded = false;
+    let mut any_inequivalent = false;
     for name in &opts.programs {
         let mut pipeline = match Pipeline::for_example(name) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("aov: {e}");
-                std::process::exit(2);
+                std::process::exit(64);
             }
         };
         pipeline = pipeline
             .workers(opts.workers)
             .memoize(opts.memoize)
             .machine(opts.machine)
-            .runs(opts.runs);
+            .runs(opts.runs)
+            .budget(opts.budget);
         if let Some(ps) = &opts.params {
             pipeline = pipeline.check_params(ps.clone());
         }
@@ -436,12 +565,28 @@ fn main() {
                     }
                     all_records.extend(records);
                 }
-                all_equivalent &= report.equivalent;
+                match report.health() {
+                    Health::Ok => {}
+                    Health::Degraded | Health::Failed => {
+                        any_degraded = true;
+                        for stage in report.stages.iter().filter(|s| s.outcome.class() != "ok") {
+                            eprintln!(
+                                "aov: {name}: {} {}: {}",
+                                stage.name,
+                                stage.outcome.class(),
+                                stage.outcome.reason().unwrap_or("")
+                            );
+                        }
+                    }
+                }
+                any_inequivalent |= report.equivalent == Some(false);
                 reports.push(report.to_json());
             }
             Err(e) => {
+                // Hard failure: non-degradable error (illegal schedule
+                // override, unsupported program, stage abort).
                 eprintln!("aov: {name}: {e}");
-                std::process::exit(1);
+                std::process::exit(2);
             }
         }
     }
@@ -472,7 +617,13 @@ fn main() {
     // Ignore broken pipes (e.g. `aov … | head`).
     use std::io::Write;
     let _ = std::io::stdout().write_all(text.as_bytes());
-    std::process::exit(if all_equivalent { 0 } else { 1 });
+    std::process::exit(if any_degraded {
+        3
+    } else if any_inequivalent {
+        1
+    } else {
+        0
+    });
 }
 
 /// Per-example profile: flame table plus the run's memo economics.
