@@ -89,13 +89,17 @@ pub struct ExampleBench {
     pub equivalent: bool,
     /// FNV-1a fingerprint of the transformed code.
     pub code_digest: String,
+    /// Allocator traffic of the traced first run (`allocs`, `bytes`,
+    /// `peak`, `max_bits` object): telemetry-armed artifacts carry it,
+    /// older `aov-bench/1` baselines simply lack the key.
+    pub alloc: Json,
 }
 
 impl ExampleBench {
     /// Aggregates the traced first run and the untraced repetitions.
     /// The caller has already rejected degraded reports, so the result
     /// fields (`aov`, `equivalent`, `code`) are all present.
-    fn collect(first: &Report, rest: &[Report], spans: Json) -> ExampleBench {
+    fn collect(first: &Report, rest: &[Report], spans: Json, alloc: Json) -> ExampleBench {
         let all = || std::iter::once(first).chain(rest.iter());
         let wall_us = Stat::of(all().map(|r| r.total_micros).collect());
         let stages = first
@@ -141,6 +145,7 @@ impl ExampleBench {
                     .expect("healthy run generated code")
                     .as_bytes(),
             ),
+            alloc,
         }
     }
 }
@@ -194,6 +199,7 @@ impl ToJson for ExampleBench {
             )
             .field("equivalent", self.equivalent)
             .field("code_digest", self.code_digest.as_str())
+            .field("alloc", self.alloc.clone())
     }
 }
 
@@ -270,21 +276,31 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
             .workers(cfg.workers)
             .memoize(true)
             .budget(cfg.budget);
-        // Traced first run: span attribution, counters, digests.
+        // Traced first run: span attribution, counters, digests, and
+        // the allocator/numeric-growth telemetry of one full pass.
         aov_trace::clear();
         aov_trace::set_enabled(true);
+        let alloc_before = aov_support::alloc::stats();
+        aov_support::alloc::reset_peak();
         let outcome = pipeline.run();
+        let alloc_after = aov_support::alloc::stats();
         aov_trace::set_enabled(false);
         let records = aov_trace::drain();
         let first = outcome?;
         reject_degraded(name, &first)?;
         let spans = aov_trace::metrics::span_aggregates(&records, cfg.span_rows);
+        let alloc = Json::obj()
+            .field("allocs", alloc_after.allocs - alloc_before.allocs)
+            .field("bytes", alloc_after.bytes - alloc_before.bytes)
+            .field("peak", alloc_after.peak.max(0))
+            .field("max_bits", alloc_after.max_bits)
+            .field("recorder_events", aov_trace::recorder::events_recorded());
         // Untraced repetitions: timing only (tracing overhead excluded).
         let mut rest = Vec::new();
         for _ in 1..cfg.runs {
             rest.push(pipeline.run()?);
         }
-        examples.push(ExampleBench::collect(&first, &rest, spans));
+        examples.push(ExampleBench::collect(&first, &rest, spans, alloc));
         first_reports.push(first);
     }
 
@@ -383,6 +399,20 @@ pub fn artifact_schema() -> Schema {
                 ),
                 ("equivalent", Schema::Bool, true),
                 ("code_digest", Schema::Str, true),
+                // Optional: telemetry-armed artifacts carry allocator
+                // traffic; pre-telemetry baselines (BENCH_1) lack it
+                // and must keep validating.
+                (
+                    "alloc",
+                    Schema::object([
+                        ("allocs", Schema::Int, true),
+                        ("bytes", Schema::Int, true),
+                        ("peak", Schema::Int, true),
+                        ("max_bits", Schema::Int, true),
+                        ("recorder_events", Schema::Int, true),
+                    ]),
+                    false,
+                ),
             ])),
             true,
         ),

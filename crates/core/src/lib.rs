@@ -97,7 +97,17 @@ impl std::fmt::Display for CoreError {
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    /// Exposes the wrapped layer error so diagnostic bundles can walk
+    /// the full `source()` chain (engine → core → fault → budget).
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Polyhedra(e) => Some(e),
+            CoreError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<PolyhedraError> for CoreError {
     fn from(e: PolyhedraError) -> Self {

@@ -99,7 +99,7 @@ fn fan_out_patterns(
     std::thread::scope(|s| {
         for _ in 0..workers.min(patterns.len()) {
             s.spawn(|| {
-                let _adopt = aov_trace::adopt(ctx);
+                let _adopt = aov_trace::adopt(&ctx);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= patterns.len() || scoped.is_cancelled() {
@@ -642,7 +642,7 @@ pub fn aov_search_with(
     std::thread::scope(|s| {
         for _ in 0..workers.min(narrays) {
             s.spawn(|| {
-                let _adopt = aov_trace::adopt(ctx);
+                let _adopt = aov_trace::adopt(&ctx);
                 let mut local = Checker::new(p);
                 loop {
                     let aidx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

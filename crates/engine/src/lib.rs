@@ -7,6 +7,7 @@
 //! solvers. The `aov` binary exposes the same pipeline on the command
 //! line and emits a JSON report.
 
+pub mod diag;
 pub mod pipeline;
 
 pub use pipeline::{

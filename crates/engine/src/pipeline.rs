@@ -74,7 +74,16 @@ impl std::fmt::Display for EngineError {
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    /// Exposes the wrapped solver error so diagnostic bundles can walk
+    /// the full `source()` chain down to the budget trip or panic.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CoreError> for EngineError {
     fn from(e: CoreError) -> Self {
@@ -162,6 +171,23 @@ pub struct StageReport {
     pub detail: Json,
     /// Where the stage landed on the degradation ladder.
     pub outcome: StageOutcome,
+    /// Heap allocations performed while the stage ran (worker threads
+    /// included — the counting allocator is process-global).
+    pub allocs: u64,
+    /// Bytes allocated while the stage ran.
+    pub alloc_bytes: u64,
+    /// Peak live heap bytes observed during the stage (absolute, not a
+    /// delta: the high-water of total live memory while it ran).
+    pub alloc_peak: u64,
+    /// Rise of the numeric-growth high-water mark (max coefficient
+    /// bit-width, see [`aov_support::alloc::record_bits`]) caused by
+    /// this stage. `0` means the stage did not widen any coefficient
+    /// beyond what earlier stages already reached; the cumulative sum
+    /// across stages is the running maximum.
+    pub max_bits: u64,
+    /// The `source()` chain of the error behind a `Degraded`/`Failed`
+    /// outcome, outermost first; empty for `Ok`/`Skipped` stages.
+    pub error_chain: Vec<String>,
 }
 
 impl ToJson for StageReport {
@@ -177,10 +203,32 @@ impl ToJson for StageReport {
         if let Some(reason) = self.outcome.reason() {
             json = json.field("reason", reason);
         }
+        if !self.error_chain.is_empty() {
+            json = json.field(
+                "error_chain",
+                self.error_chain
+                    .iter()
+                    .map(|e| Json::from(e.as_str()))
+                    .collect::<Vec<_>>(),
+            );
+        }
         json.field("micros", self.micros as i64)
             .field("counters", counters)
+            .field(
+                "alloc",
+                Json::obj()
+                    .field("allocs", clamped_int(self.allocs))
+                    .field("bytes", clamped_int(self.alloc_bytes))
+                    .field("peak", clamped_int(self.alloc_peak))
+                    .field("max_bits", clamped_int(self.max_bits)),
+            )
             .field("detail", self.detail.clone())
     }
+}
+
+/// A `u64` as a [`Json::Int`], saturating instead of wrapping negative.
+fn clamped_int(v: u64) -> Json {
+    Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
 }
 
 /// Min/median of one timing metric across repeated runs (lower
@@ -322,6 +370,9 @@ pub struct Report {
     pub timing: Option<RunTiming>,
     /// The budget configuration the run executed under.
     pub budget: BudgetSpec,
+    /// Path of the crash-diagnostic bundle this run wrote, when a
+    /// degraded run had a `--diag-dir` configured.
+    pub diag_path: Option<String>,
 }
 
 impl Report {
@@ -444,6 +495,9 @@ impl ToJson for Report {
         if let Some(timing) = &self.timing {
             json = json.field("timing", timing.to_json());
         }
+        if let Some(path) = &self.diag_path {
+            json = json.field("diag_path", path.as_str());
+        }
         json
     }
 }
@@ -454,22 +508,12 @@ impl ToJson for Report {
 /// no fault class may produce an unparseable or truncated report.
 pub fn report_schema() -> aov_support::schema::Schema {
     use aov_support::schema::Schema;
-    let counters = Schema::array(Schema::object([
-        ("name", Schema::Str, true),
-        ("count", Schema::Int, true),
-    ]));
+    let counters = counters_schema();
     let aov_entry = Schema::object([
         ("array", Schema::Str, true),
         ("vector", Schema::array(Schema::Int), true),
     ]);
-    let stage = Schema::object([
-        ("name", Schema::Str, true),
-        ("outcome", Schema::Str, true),
-        ("reason", Schema::Str, false),
-        ("micros", Schema::Int, true),
-        ("counters", counters.clone(), true),
-        ("detail", Schema::Any, true),
-    ]);
+    let stage = stage_schema();
     let budget = Schema::object([
         ("pivots", Schema::nullable(Schema::Int), true),
         ("nodes", Schema::nullable(Schema::Int), true),
@@ -500,6 +544,42 @@ pub fn report_schema() -> aov_support::schema::Schema {
         ),
         ("stages", Schema::array(stage), true),
         ("timing", Schema::Any, false),
+        ("diag_path", Schema::Str, false),
+    ])
+}
+
+/// Schema of one `counters` array (`[{name, count}]`); shared by the
+/// run report and the diagnostic bundle.
+pub(crate) fn counters_schema() -> aov_support::schema::Schema {
+    use aov_support::schema::Schema;
+    Schema::array(Schema::object([
+        ("name", Schema::Str, true),
+        ("count", Schema::Int, true),
+    ]))
+}
+
+/// Schema of one [`StageReport`] JSON object; shared by the run report
+/// and the diagnostic bundle (whose `stages` array is the same shape).
+pub(crate) fn stage_schema() -> aov_support::schema::Schema {
+    use aov_support::schema::Schema;
+    Schema::object([
+        ("name", Schema::Str, true),
+        ("outcome", Schema::Str, true),
+        ("reason", Schema::Str, false),
+        ("error_chain", Schema::array(Schema::Str), false),
+        ("micros", Schema::Int, true),
+        ("counters", counters_schema(), true),
+        (
+            "alloc",
+            Schema::object([
+                ("allocs", Schema::Int, true),
+                ("bytes", Schema::Int, true),
+                ("peak", Schema::Int, true),
+                ("max_bits", Schema::Int, true),
+            ]),
+            true,
+        ),
+        ("detail", Schema::Any, true),
     ])
 }
 
@@ -514,6 +594,7 @@ pub struct Pipeline {
     runs: usize,
     schedule_override: Option<Schedule>,
     budget: BudgetSpec,
+    diag_dir: Option<std::path::PathBuf>,
 }
 
 impl Pipeline {
@@ -529,6 +610,7 @@ impl Pipeline {
             runs: 1,
             schedule_override: None,
             budget: BudgetSpec::default(),
+            diag_dir: None,
         }
     }
 
@@ -609,6 +691,15 @@ impl Pipeline {
         self
     }
 
+    /// Writes a crash-diagnostic bundle (`aov-diag/1`, see
+    /// [`crate::diag`]) into `dir` whenever a run lands anywhere but
+    /// [`Health::Ok`] — including hard failures, whose partial stage
+    /// ladder is preserved. The directory is created on demand.
+    pub fn diag_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.diag_dir = Some(dir.into());
+        self
+    }
+
     /// Repeats the whole pipeline `runs` times (`<= 1` means once).
     /// The returned report is the *fastest* run, with a
     /// [`RunTiming`] min/median summary attached so single-run noise
@@ -671,21 +762,122 @@ impl Pipeline {
         })
     }
 
-    /// One full pass over every stage of the ladder.
+    /// One full pass over every stage of the ladder, plus the
+    /// crash-diagnostic hook: any run that lands off [`Health::Ok`]
+    /// (including hard failures, whose partial ladder survives) writes
+    /// an `aov-diag/1` bundle when a [`Pipeline::diag_dir`] is set.
     fn run_once(&self) -> Result<Report, EngineError> {
-        let p = &self.program;
         let check_params = self.resolved_params()?;
         if self.memoize {
             aov_lp::memo::set_enabled(true);
         }
+        // A fresh flight-recorder ring per run: a crash bundle must
+        // carry this run's event tail, not a previous run's.
+        aov_trace::recorder::clear();
         // A fresh budget per run: repeated runs each get the full
         // allowance, and the deadline clock starts here.
         let budget = self.budget.to_budget();
         let mut stages: Vec<StageReport> = Vec::new();
         let run_before = counters::snapshot();
         let t_start = Instant::now();
+        let out = self.ladder(&budget, &check_params, &mut stages);
+        let total_micros = t_start.elapsed().as_micros();
+        let run_counters = counters::delta(&run_before, &counters::snapshot());
+        match out {
+            Ok(out) => {
+                let mut report = Report {
+                    program: self.program.name().to_string(),
+                    workers: self.workers,
+                    memoized: self.memoize,
+                    arrays: self
+                        .program
+                        .arrays()
+                        .iter()
+                        .map(|a| a.name().to_string())
+                        .collect(),
+                    ov: out.ov,
+                    aov: out.aov,
+                    aov_source: out.aov_source,
+                    code: out.code,
+                    equivalent: out.equivalent,
+                    check_params,
+                    total_micros,
+                    counters: run_counters,
+                    stages,
+                    timing: None,
+                    budget: self.budget,
+                    diag_path: None,
+                };
+                if report.health() != Health::Ok {
+                    report.diag_path = self.write_diag(
+                        &report.stages,
+                        &budget,
+                        &report.counters,
+                        report.health(),
+                        None,
+                    );
+                }
+                Ok(report)
+            }
+            Err(e) => {
+                // Hard failure: there is no report, but the partial
+                // ladder, the recorder ring and the budget state still
+                // describe what happened.
+                self.write_diag(&stages, &budget, &run_counters, Health::Failed, Some(&e));
+                Err(e)
+            }
+        }
+    }
 
-        run_stage(&mut stages, "ir", || {
+    /// Writes the crash-diagnostic bundle when a `--diag-dir` is
+    /// configured, returning its path. I/O problems are swallowed into
+    /// a counter — a failing diagnostic write must never mask the run's
+    /// own verdict.
+    fn write_diag(
+        &self,
+        stages: &[StageReport],
+        budget: &Budget,
+        run_counters: &[(String, u64)],
+        health: Health,
+        error: Option<&EngineError>,
+    ) -> Option<String> {
+        let dir = self.diag_dir.as_ref()?;
+        match crate::diag::write_bundle(
+            dir,
+            &self.program,
+            self.workers,
+            health,
+            stages,
+            budget,
+            self.budget,
+            run_counters,
+            error,
+        ) {
+            Ok(path) => {
+                aov_support::static_counter!("engine.diag.bundles")
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(path.display().to_string())
+            }
+            Err(_) => {
+                aov_support::static_counter!("engine.diag.write_failed")
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The stage ladder proper. Stage reports land in `stages`, which
+    /// outlives an early hard-failure return so crash bundles keep the
+    /// partial ladder.
+    fn ladder(
+        &self,
+        budget: &Budget,
+        check_params: &[i64],
+        stages: &mut Vec<StageReport>,
+    ) -> Result<LadderOut, EngineError> {
+        let p = &self.program;
+
+        run_stage(stages, "ir", || {
             p.validate()
                 .map_err(|e| EngineError::Unsupported(format!("invalid program: {e}")))?;
             done(
@@ -697,12 +889,12 @@ impl Pipeline {
             )
         })?;
 
-        run_stage(&mut stages, "dependences", || {
+        run_stage(stages, "dependences", || {
             let deps = analysis::dependences(p);
             done((), Json::obj().field("count", deps.len()))
         })?;
 
-        run_stage(&mut stages, "legal_schedule", || {
+        run_stage(stages, "legal_schedule", || {
             let (space, poly) =
                 legal::legal_schedule_polyhedron(p).map_err(CoreError::Polyhedra)?;
             // Project away the parameter/constant coefficients (FM
@@ -726,7 +918,7 @@ impl Pipeline {
             )
         })?;
 
-        let sched: Option<Schedule> = run_stage(&mut stages, "schedule", || {
+        let sched: Option<Schedule> = run_stage(stages, "schedule", || {
             let (sched, overridden) = match &self.schedule_override {
                 Some(s) => {
                     if !legal::is_legal(p, s) {
@@ -736,7 +928,7 @@ impl Pipeline {
                     }
                     (s.clone(), true)
                 }
-                None => match scheduler::find_schedule_with_budgeted(p, &[], &budget) {
+                None => match scheduler::find_schedule_with_budgeted(p, &[], budget) {
                     Ok(s) => (s, false),
                     // No 1-D affine schedule: degrade with a diagnostic
                     // naming the violated dependence; the AOV-only
@@ -758,16 +950,16 @@ impl Pipeline {
         })?;
 
         let ov: Option<OvResult> = match &sched {
-            None => skip_stage(&mut stages, "problem1", "no schedule to optimize against"),
-            Some(s) => run_stage(&mut stages, "problem1", || {
-                let ov = problems::ov_for_schedule_budgeted(p, s, self.workers, &budget)?;
+            None => skip_stage(stages, "problem1", "no schedule to optimize against"),
+            Some(s) => run_stage(stages, "problem1", || {
+                let ov = problems::ov_for_schedule_budgeted(p, s, self.workers, budget)?;
                 let detail = ov_detail(p, &ov);
                 done(ov, detail)
             })?,
         };
 
-        let aov_pair: Option<(OvResult, &'static str)> = run_stage(&mut stages, "aov", || {
-            match problems::aov_budgeted(p, self.workers, &budget) {
+        let aov_pair: Option<(OvResult, &'static str)> = run_stage(stages, "aov", || {
+            match problems::aov_budgeted(p, self.workers, budget) {
                 Ok(aov) => {
                     let detail = ov_detail(p, &aov);
                     done((aov, "farkas"), detail)
@@ -804,24 +996,20 @@ impl Pipeline {
 
         let sched2: Option<Schedule> = match &aov {
             None => skip_stage(
-                &mut stages,
+                stages,
                 "problem2",
                 "no occupancy vectors to schedule against",
             ),
-            Some(aov_r) => run_stage(&mut stages, "problem2", || {
-                let sched2 = problems::best_schedule_for_ov_budgeted(p, aov_r.vectors(), &budget)?;
+            Some(aov_r) => run_stage(stages, "problem2", || {
+                let sched2 = problems::best_schedule_for_ov_budgeted(p, aov_r.vectors(), budget)?;
                 let detail = Json::obj().field("theta", sched2.display(p).to_string());
                 done(sched2, detail)
             })?,
         };
 
         let transforms: Option<Vec<StorageTransform>> = match &aov {
-            None => skip_stage(
-                &mut stages,
-                "storage_transform",
-                "no occupancy vectors to apply",
-            ),
-            Some(aov_r) => run_stage(&mut stages, "storage_transform", || {
+            None => skip_stage(stages, "storage_transform", "no occupancy vectors to apply"),
+            Some(aov_r) => run_stage(stages, "storage_transform", || {
                 let transforms = p
                     .arrays()
                     .iter()
@@ -843,8 +1031,8 @@ impl Pipeline {
         };
 
         let code: Option<String> = match &transforms {
-            None => skip_stage(&mut stages, "codegen", "no storage transform to print"),
-            Some(ts) => run_stage(&mut stages, "codegen", || {
+            None => skip_stage(stages, "codegen", "no storage transform to print"),
+            Some(ts) => run_stage(stages, "codegen", || {
                 let code = codegen::transformed_code(p, ts);
                 let detail = Json::obj().field("lines", code.lines().count());
                 done(code, detail)
@@ -852,27 +1040,23 @@ impl Pipeline {
         };
 
         let equivalent: Option<bool> = match (&transforms, &sched, &sched2) {
-            (None, _, _) => skip_stage(
-                &mut stages,
-                "equivalence",
-                "no storage transform to validate",
-            ),
+            (None, _, _) => skip_stage(stages, "equivalence", "no storage transform to validate"),
             (Some(_), None, None) => {
-                skip_stage(&mut stages, "equivalence", "no schedule to execute under")
+                skip_stage(stages, "equivalence", "no schedule to execute under")
             }
-            (Some(ts), s1, s2) => run_stage(&mut stages, "equivalence", || {
+            (Some(ts), s1, s2) => run_stage(stages, "equivalence", || {
                 // The AOV must work under every available schedule: the
                 // dependence-only one and the storage-constrained one
                 // from Problem 2.
                 let mut verdict = true;
                 let mut detail = Json::obj();
                 if let Some(s) = s1 {
-                    let ok = semantics_preserved(p, &check_params, s, ts);
+                    let ok = semantics_preserved(p, check_params, s, ts);
                     verdict &= ok;
                     detail = detail.field("under_found_schedule", ok);
                 }
                 if let Some(s) = s2 {
-                    let ok = semantics_preserved(p, &check_params, s, ts);
+                    let ok = semantics_preserved(p, check_params, s, ts);
                     verdict &= ok;
                     detail = detail.field("under_best_schedule", ok);
                 }
@@ -881,25 +1065,15 @@ impl Pipeline {
         };
 
         if self.machine {
-            self.machine_stage(&mut stages)?;
+            self.machine_stage(stages)?;
         }
 
-        Ok(Report {
-            program: p.name().to_string(),
-            workers: self.workers,
-            memoized: self.memoize,
-            arrays: p.arrays().iter().map(|a| a.name().to_string()).collect(),
+        Ok(LadderOut {
             ov,
             aov,
             aov_source,
             code,
             equivalent,
-            check_params,
-            total_micros: t_start.elapsed().as_micros(),
-            counters: counters::delta(&run_before, &counters::snapshot()),
-            stages,
-            timing: None,
-            budget: self.budget,
         })
     }
 
@@ -959,6 +1133,16 @@ impl Pipeline {
     }
 }
 
+/// What the stage ladder hands back to [`Pipeline::run_once`] for the
+/// final report (everything else lives in the stage reports).
+struct LadderOut {
+    ov: Option<OvResult>,
+    aov: Option<OvResult>,
+    aov_source: Option<&'static str>,
+    code: Option<String>,
+    equivalent: Option<bool>,
+}
+
 /// Shorthand for a stage body that completed normally.
 fn done<T>(value: T, detail: Json) -> Result<(T, Json, StageOutcome), EngineError> {
     Ok((value, detail, StageOutcome::Ok))
@@ -974,8 +1158,27 @@ fn skip_stage<T>(stages: &mut Vec<StageReport>, name: &'static str, reason: &str
         outcome: StageOutcome::Skipped {
             reason: reason.to_string(),
         },
+        allocs: 0,
+        alloc_bytes: 0,
+        alloc_peak: 0,
+        max_bits: 0,
+        error_chain: Vec::new(),
     });
     None
+}
+
+/// Walks an error's `source()` chain into display strings, outermost
+/// first. Consecutive identical links (transparent wrappers whose
+/// `Display` just forwards) collapse into one.
+pub(crate) fn error_chain_of(e: &dyn std::error::Error) -> Vec<String> {
+    let mut chain = vec![e.to_string()];
+    let mut cur = e.source();
+    while let Some(next) = cur {
+        chain.push(next.to_string());
+        cur = next.source();
+    }
+    chain.dedup();
+    chain
 }
 
 /// Runs `f` as the named stage of the ladder: opens the
@@ -989,9 +1192,18 @@ fn run_stage<T>(
     name: &'static str,
     f: impl FnOnce() -> Result<(T, Json, StageOutcome), EngineError>,
 ) -> Result<Option<T>, EngineError> {
+    use aov_support::alloc;
+    use aov_trace::recorder::{self, EventKind};
+
     let site = format!("pipeline.{name}");
     let _span = aov_trace::span!(site.clone());
+    recorder::record(EventKind::StageEnter, name, stages.len() as u64, 0);
     let before = counters::snapshot();
+    let alloc_before = alloc::stats();
+    // Per-stage peak: reset the high-water to the current live level so
+    // `alloc_peak` reports the peak *during* this stage (still an
+    // absolute live-byte level, not a delta).
+    alloc::reset_peak();
     let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         aov_fault::chaos::tick(&site).map_err(|e| EngineError::Core(CoreError::Fault(e)))?;
@@ -1005,38 +1217,91 @@ fn run_stage<T>(
     });
     let micros = t0.elapsed().as_micros();
     let counters = counters::delta(&before, &counters::snapshot());
+    let alloc_after = alloc::stats();
+    let allocs = alloc_after.allocs.saturating_sub(alloc_before.allocs);
+    let alloc_bytes = alloc_after.bytes.saturating_sub(alloc_before.bytes);
+    let alloc_peak = alloc_after.peak.max(0) as u64;
+    let max_bits = alloc_after.max_bits.saturating_sub(alloc_before.max_bits);
+    // Mirror the moved counters into the flight recorder so a crash
+    // bundle's tail shows where solver effort went, then close the
+    // stage window (a = micros, b = outcome/error class ordinal).
+    for (counter_name, delta) in &counters {
+        recorder::record(EventKind::Counter, counter_name, *delta, 0);
+    }
+    let outcome_code = |o: &StageOutcome| match o {
+        StageOutcome::Ok => 0,
+        StageOutcome::Degraded { .. } => 1,
+        StageOutcome::Skipped { .. } => 2,
+        StageOutcome::Failed { .. } => 3,
+    };
+    let micros_u64 = u64::try_from(micros).unwrap_or(u64::MAX);
     match result {
         Ok((value, detail, outcome)) => {
+            recorder::record(
+                EventKind::StageExit,
+                name,
+                micros_u64,
+                outcome_code(&outcome),
+            );
             stages.push(StageReport {
                 name,
                 micros,
                 counters,
                 detail,
                 outcome,
+                allocs,
+                alloc_bytes,
+                alloc_peak,
+                max_bits,
+                error_chain: Vec::new(),
             });
             Ok(Some(value))
         }
         Err(e) if e.is_degradable() => {
+            let outcome = StageOutcome::Degraded {
+                reason: e.to_string(),
+            };
+            recorder::record(
+                EventKind::StageExit,
+                name,
+                micros_u64,
+                outcome_code(&outcome),
+            );
             stages.push(StageReport {
                 name,
                 micros,
                 counters,
                 detail: Json::Null,
-                outcome: StageOutcome::Degraded {
-                    reason: e.to_string(),
-                },
+                outcome,
+                allocs,
+                alloc_bytes,
+                alloc_peak,
+                max_bits,
+                error_chain: error_chain_of(&e),
             });
             Ok(None)
         }
         Err(e) => {
+            let outcome = StageOutcome::Failed {
+                error: e.to_string(),
+            };
+            recorder::record(
+                EventKind::StageExit,
+                name,
+                micros_u64,
+                outcome_code(&outcome),
+            );
             stages.push(StageReport {
                 name,
                 micros,
                 counters,
                 detail: Json::Null,
-                outcome: StageOutcome::Failed {
-                    error: e.to_string(),
-                },
+                outcome,
+                allocs,
+                alloc_bytes,
+                alloc_peak,
+                max_bits,
+                error_chain: error_chain_of(&e),
             });
             Err(e)
         }

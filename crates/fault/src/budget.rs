@@ -264,6 +264,16 @@ impl Budget {
             return Err(self.exceeded(Resource::Cancelled, site));
         }
         if count.is_multiple_of(DEADLINE_STRIDE) {
+            // Piggyback the flight-recorder heartbeat on the deadline
+            // stride: one ring event per DEADLINE_STRIDE ticks keeps
+            // the amortized cost sub-nanosecond while the ring tail
+            // still shows budget progress leading into a failure.
+            aov_trace::recorder::record(
+                aov_trace::recorder::EventKind::BudgetTick,
+                site,
+                self.pivots_spent(),
+                self.nodes_spent(),
+            );
             if let Some(deadline) = self.inner.deadline {
                 if Instant::now() >= deadline {
                     return Err(self.exceeded(Resource::WallClock, site));
@@ -280,6 +290,22 @@ impl Budget {
             Resource::WallClock => self.inner.deadline_ms,
             Resource::Cancelled => 0,
         };
+        // Cold path: stamp the trip into the flight recorder, labelled
+        // with the span active on the tripping thread (works with full
+        // tracing off — lite spans keep the label stack) so the crash
+        // bundle names *where* the budget died, not just the checkpoint.
+        let label = aov_trace::current_span_label();
+        let spent = match resource {
+            Resource::Pivots => self.pivots_spent(),
+            Resource::Nodes => self.nodes_spent(),
+            _ => 0,
+        };
+        aov_trace::recorder::record(
+            aov_trace::recorder::EventKind::BudgetTrip,
+            label.as_deref().unwrap_or(site),
+            limit,
+            spent,
+        );
         BudgetExceeded {
             resource,
             limit,

@@ -186,6 +186,12 @@ pub fn tick(site: &str) -> Result<(), AovError> {
         // retried solve cannot fire twice.
         *guard = None;
         ARMED.store(false, Ordering::SeqCst);
+        aov_trace::recorder::record(
+            aov_trace::recorder::EventKind::ChaosFired,
+            site,
+            visit,
+            kind as u64,
+        );
         kind
     };
     match fired {

@@ -93,7 +93,17 @@ impl fmt::Display for AovError {
     }
 }
 
-impl std::error::Error for AovError {}
+impl std::error::Error for AovError {
+    /// The budget trip is the one variant wrapping a structured cause;
+    /// exposing it lets diagnostic bundles walk `source()` chains
+    /// uniformly instead of special-casing each layer's wrapper.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AovError::BudgetExceeded(b) => Some(b),
+            _ => None,
+        }
+    }
+}
 
 impl From<BudgetExceeded> for AovError {
     fn from(b: BudgetExceeded) -> Self {

@@ -338,6 +338,7 @@ impl Model {
             vars = self.num_vars(),
             constraints = self.num_constraints()
         );
+        self.record_coeff_histogram();
         if crate::memo::enabled() {
             let key = {
                 let _s = aov_trace::span!("lp.canonicalize");
@@ -365,6 +366,53 @@ impl Model {
             let _s = aov_trace::span!("lp.simplex");
             simplex::solve(self, budget)
         }
+    }
+
+    /// One pass over the model's input coefficients per solve,
+    /// bucketing each by the wider of its numerator/denominator
+    /// bit-length. The histogram counters
+    /// (`lp.solve.coeff_bits.le_64` … `.gt_256`) say how wide the
+    /// *inputs* were; `lp.simplex.coeff_bits_max` (updated per pivot)
+    /// says how wide the tableau *grew* — the gap between the two is
+    /// the numeric-growth cost of the solve.
+    fn record_coeff_histogram(&self) {
+        let mut buckets = [0u64; 4];
+        let mut widest = 0u64;
+        let mut note = |v: &Rational| {
+            let bits = v.numer().bits().max(v.denom().bits()) as u64;
+            widest = widest.max(bits);
+            let idx = match bits {
+                0..=64 => 0,
+                65..=128 => 1,
+                129..=256 => 2,
+                _ => 3,
+            };
+            buckets[idx] += 1;
+        };
+        for (e, _) in &self.constraints {
+            for c in e.coeffs().iter() {
+                note(c);
+            }
+            note(e.constant_term());
+        }
+        if let Some(obj) = &self.objective {
+            for c in obj.coeffs().iter() {
+                note(c);
+            }
+        }
+        const NAMES: [&str; 4] = [
+            "lp.solve.coeff_bits.le_64",
+            "lp.solve.coeff_bits.le_128",
+            "lp.solve.coeff_bits.le_256",
+            "lp.solve.coeff_bits.gt_256",
+        ];
+        for (name, &n) in NAMES.iter().zip(&buckets) {
+            if n > 0 {
+                aov_support::counters::add(name, n);
+            }
+        }
+        aov_support::counters::record_max("lp.solve.coeff_bits_max", widest);
+        aov_support::alloc::record_bits(widest);
     }
 
     /// Solves with integrality on variables marked by

@@ -172,11 +172,40 @@ struct Tableau {
     obj_rhs: Rational,
 }
 
+/// Per-pivot numeric-growth accumulator: limb totals and the widest
+/// coefficient written, gathered locally in the update loops and
+/// flushed with two atomic ops per pivot so the hot loops stay free of
+/// shared-memory traffic.
+#[derive(Default)]
+struct GrowthMeter {
+    limbs: u64,
+    bits: u64,
+}
+
+impl GrowthMeter {
+    #[inline]
+    fn note(&mut self, v: &Rational) {
+        self.limbs += (v.numer().limbs() + v.denom().limbs()) as u64;
+        self.bits = self.bits.max(v.numer().bits().max(v.denom().bits()) as u64);
+    }
+
+    fn flush(self) {
+        aov_support::static_counter!("lp.simplex.coeff_limbs_total")
+            .fetch_add(self.limbs, std::sync::atomic::Ordering::Relaxed);
+        aov_support::counters::record_max("lp.simplex.coeff_bits_max", self.bits);
+        // Feed the same width into the span-scoped telemetry so the
+        // flame table's max_bits column names the span that grew.
+        aov_support::alloc::record_bits(self.bits);
+    }
+}
+
 impl Tableau {
     fn pivot(&mut self, r: usize, c: usize) {
+        let mut growth = GrowthMeter::default();
         let inv = self.rows[r][c].recip();
         for v in self.rows[r].iter_mut() {
             *v = &*v * &inv;
+            growth.note(v);
         }
         self.rhs[r] = &self.rhs[r] * &inv;
         let pivot_row = self.rows[r].clone();
@@ -188,17 +217,21 @@ impl Tableau {
             let f = self.rows[rr][c].clone();
             for (v, p) in self.rows[rr].iter_mut().zip(&pivot_row) {
                 *v = &*v - &(&f * p);
+                growth.note(v);
             }
             self.rhs[rr] = &self.rhs[rr] - &(&f * &pivot_rhs);
+            growth.note(&self.rhs[rr]);
         }
         if !self.obj[c].is_zero() {
             let f = self.obj[c].clone();
             for (v, p) in self.obj.iter_mut().zip(&pivot_row) {
                 *v = &*v - &(&f * p);
+                growth.note(v);
             }
             self.obj_rhs = &self.obj_rhs - &(&f * &pivot_rhs);
         }
         self.basis[r] = c;
+        growth.flush();
     }
 
     /// Runs simplex iterations with Bland's rule on the columns in

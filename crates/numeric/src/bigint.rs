@@ -91,6 +91,13 @@ impl BigInt {
         }
     }
 
+    /// Number of 64-bit limbs storing the magnitude (0 for zero) — the
+    /// unit the numeric-growth telemetry counts, since limbs are what
+    /// heap usage and arithmetic cost scale with.
+    pub fn limbs(&self) -> usize {
+        self.mag.len()
+    }
+
     /// Construct from sign and little-endian limbs (normalizing).
     fn from_sign_mag(sign: i8, mut mag: Vec<u64>) -> BigInt {
         while mag.last() == Some(&0) {

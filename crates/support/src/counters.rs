@@ -36,6 +36,18 @@ pub fn add(name: &str, delta: u64) {
     counter(name).fetch_add(delta, Ordering::Relaxed);
 }
 
+/// Raises `counter(name)` to at least `value` (relaxed `fetch_max`).
+///
+/// A *max counter* is monotone like an additive counter, so it flows
+/// through [`snapshot`]/[`delta`] unchanged — but a per-stage delta
+/// reads as "how much the high-water mark rose during the stage", and
+/// the running maximum at the end of stage *k* is the cumulative sum
+/// of the first *k* deltas. Used for quantities like the largest
+/// coefficient bit-width seen in simplex.
+pub fn record_max(name: &str, value: u64) {
+    counter(name).fetch_max(value, Ordering::Relaxed);
+}
+
 /// Current values of all registered counters, sorted by name.
 pub fn snapshot() -> Vec<(String, u64)> {
     let reg = registry().lock().expect("counter registry poisoned");

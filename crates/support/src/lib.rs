@@ -22,8 +22,12 @@
 //! * [`schema`] — a structural checker for versioned JSON artifacts
 //!   (`BENCH_*.json`) with path-annotated mismatch reports,
 //! * [`digest`] — FNV-1a content digests used to fingerprint figure
-//!   outputs inside perf artifacts.
+//!   outputs inside perf artifacts,
+//! * [`alloc`] — a counting `#[global_allocator]` wrapper with
+//!   per-scope (per-span) attribution, the memory axis of the
+//!   observability layer.
 
+pub mod alloc;
 pub mod bench;
 pub mod counters;
 pub mod digest;

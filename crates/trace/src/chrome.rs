@@ -73,6 +73,7 @@ mod tests {
             fields: vec![("dep", "3".to_string())],
             start_ns: 1_500,
             dur_ns: 2_500,
+            ..SpanRecord::default()
         }
     }
 

@@ -19,6 +19,15 @@ pub struct FlameRow {
     pub p50_ns: u64,
     /// 95th-percentile single-span duration (nearest-rank).
     pub p95_ns: u64,
+    /// Heap allocations charged to spans of this name themselves
+    /// (self-bytes semantics, like `self_ns`).
+    pub allocs: u64,
+    /// Heap bytes charged to spans of this name themselves.
+    pub alloc_bytes: u64,
+    /// Largest per-span high-water mark of net live bytes.
+    pub alloc_peak: u64,
+    /// Largest numeric bit-width reported inside any span of this name.
+    pub max_bits: u64,
 }
 
 /// A flame table: one [`FlameRow`] per span name, sorted by descending
@@ -28,13 +37,22 @@ pub struct FlameTable {
     rows: Vec<FlameRow>,
 }
 
-/// Nearest-rank percentile of a sorted sample (`q` in 0..=100).
+/// Nearest-rank percentile of a sorted sample (`q` clamped to
+/// 0..=100). Degenerate samples are explicit rather than falling out
+/// of the rank arithmetic: an empty sample reports 0 and a singleton
+/// reports its only element for every `q`, so p95 of a span called
+/// once is the span's own duration — well-defined, if uninformative.
 fn percentile(sorted: &[u64], q: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+    match sorted {
+        [] => 0,
+        [only] => *only,
+        _ => {
+            let rank = (q.min(100) * sorted.len() as u64)
+                .div_ceil(100)
+                .clamp(1, sorted.len() as u64) as usize;
+            sorted[rank - 1]
+        }
     }
-    let rank = (q * sorted.len() as u64).div_ceil(100).max(1) as usize;
-    sorted[rank.min(sorted.len()) - 1]
 }
 
 impl FlameTable {
@@ -75,6 +93,10 @@ impl FlameTable {
                     self_ns,
                     p50_ns: percentile(&durs, 50),
                     p95_ns: percentile(&durs, 95),
+                    allocs: rs.iter().map(|r| r.alloc_allocs).sum(),
+                    alloc_bytes: rs.iter().map(|r| r.alloc_bytes).sum(),
+                    alloc_peak: rs.iter().map(|r| r.alloc_peak).max().unwrap_or(0),
+                    max_bits: rs.iter().map(|r| r.max_bits).max().unwrap_or(0),
                 }
             })
             .collect();
@@ -122,6 +144,29 @@ impl FlameTable {
         }
         out
     }
+
+    /// Renders the memory/numeric companion table (`--profile --mem`):
+    /// the same rows, with the heap and bit-width columns instead of
+    /// the percentile columns.
+    pub fn render_mem(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>10} {:>12} {:>12} {:>9}\n",
+            "span", "calls", "allocs", "bytes", "peak", "max_bits"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<34} {:>8} {:>10} {:>12} {:>12} {:>9}\n",
+                r.name,
+                r.count,
+                r.allocs,
+                format_bytes(r.alloc_bytes),
+                format_bytes(r.alloc_peak),
+                r.max_bits,
+            ));
+        }
+        out
+    }
 }
 
 impl ToJson for FlameRow {
@@ -133,12 +178,30 @@ impl ToJson for FlameRow {
             .field("self_ns", self.self_ns)
             .field("p50_ns", self.p50_ns)
             .field("p95_ns", self.p95_ns)
+            .field("allocs", self.allocs)
+            .field("alloc_bytes", self.alloc_bytes)
+            .field("alloc_peak", self.alloc_peak)
+            .field("max_bits", self.max_bits)
     }
 }
 
 impl ToJson for FlameTable {
     fn to_json(&self) -> Json {
         self.rows.to_json()
+    }
+}
+
+/// Human-readable byte counts (`412 B`, `3.2 KiB`, `1.3 MiB`, `2.1 GiB`).
+pub fn format_bytes(b: u64) -> String {
+    let b = b as f64;
+    if b >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} GiB", b / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{b:.0} B")
     }
 }
 
@@ -164,11 +227,10 @@ mod tests {
         SpanRecord {
             id,
             parent,
-            thread: 0,
             name: name.to_string(),
-            fields: Vec::new(),
             start_ns,
             dur_ns,
+            ..SpanRecord::default()
         }
     }
 
@@ -210,6 +272,56 @@ mod tests {
         assert_eq!(percentile(&[7], 95), 7);
         assert_eq!(percentile(&[1, 2], 50), 1);
         assert_eq!(percentile(&[1, 2], 95), 2);
+    }
+
+    #[test]
+    fn percentile_well_defined_below_two_samples() {
+        // Degenerate samples: every quantile of an empty sample is 0,
+        // every quantile of a singleton is the sole element — in
+        // particular p95 of a single-call span equals its duration and
+        // never reads out of bounds.
+        for q in [0, 1, 50, 95, 100, 250] {
+            assert_eq!(percentile(&[], q), 0, "q={q}");
+            assert_eq!(percentile(&[42], q), 42, "q={q}");
+        }
+        // Out-of-range q clamps instead of over-ranking.
+        assert_eq!(percentile(&[1, 2, 3], 100), 3);
+        assert_eq!(percentile(&[1, 2, 3], 7000), 3);
+        assert_eq!(percentile(&[1, 2, 3], 0), 1);
+        // A single-call span's row has p50 == p95 == its duration.
+        let t = FlameTable::build(&[rec(1, None, "once", 0, 1234)]);
+        let row = t.row("once").unwrap();
+        assert_eq!(row.p50_ns, 1234);
+        assert_eq!(row.p95_ns, 1234);
+    }
+
+    #[test]
+    fn alloc_columns_aggregate_sum_and_max() {
+        let mut a = rec(1, None, "m", 0, 10);
+        a.alloc_allocs = 3;
+        a.alloc_bytes = 1000;
+        a.alloc_peak = 800;
+        a.max_bits = 64;
+        let mut b = rec(2, None, "m", 20, 10);
+        b.alloc_allocs = 2;
+        b.alloc_bytes = 500;
+        b.alloc_peak = 900;
+        b.max_bits = 130;
+        let t = FlameTable::build(&[a, b]);
+        let row = t.row("m").unwrap();
+        assert_eq!(row.allocs, 5);
+        assert_eq!(row.alloc_bytes, 1500);
+        assert_eq!(row.alloc_peak, 900, "peak is a max, not a sum");
+        assert_eq!(row.max_bits, 130);
+        let mem = t.render_mem();
+        assert!(mem.contains("max_bits"), "{mem}");
+        assert!(mem.contains("1.5 KiB"), "{mem}");
+        let j = t.to_json();
+        let aov_support::Json::Arr(rows) = &j else {
+            panic!("expected array");
+        };
+        assert_eq!(rows[0].get("alloc_bytes"), Some(&Json::Int(1500)));
+        assert_eq!(rows[0].get("max_bits"), Some(&Json::Int(130)));
     }
 
     #[test]

@@ -22,23 +22,38 @@
 //! * [`chrome`] — Chrome trace-event JSON, loadable in Perfetto or
 //!   `chrome://tracing`, one track per worker thread,
 //! * [`flame`] — an in-process self-time/total-time flame table with
-//!   call counts and p50/p95 duration histograms,
+//!   call counts, p50/p95 duration histograms, and per-span heap
+//!   columns fed by `aov_support::alloc`,
 //! * [`metrics`] — a single `Json` report merging span aggregates with
 //!   the `aov-support::counters` registry.
 //!
+//! # Memory attribution
+//!
+//! While full tracing is enabled, every span opens an
+//! `aov_support::alloc` scope, so its [`SpanRecord`] carries the
+//! allocations, bytes, and peak net bytes charged to the span itself
+//! (self-bytes — children's traffic lands on the children, exactly like
+//! `self_ns` in the flame table), plus the largest numeric bit-width
+//! the solvers reported inside it.
+//!
 //! # Cost when disabled
 //!
-//! Tracing is off by default. The [`span!`] macro checks one relaxed
-//! atomic load before evaluating its name or field expressions, so a
-//! disabled span costs a load and a branch — no allocation, no clock
-//! read, no lock.
+//! Full tracing is off by default. A disabled [`span!`] still feeds the
+//! always-on [`recorder`] ring (one enter and one exit event, tens of
+//! nanoseconds, no allocation) and maintains the thread's span-label
+//! stack so budget trips can name the active span — but it evaluates
+//! only the name expression, never the fields, and records nothing to
+//! the sink. Turning the recorder off too ([`recorder::set_recording`])
+//! reduces a disabled span to one atomic load and a branch.
 //!
 //! # Cross-thread parenting
 //!
 //! A scoped fan-out captures [`current_context`] before spawning and
 //! calls [`adopt`] inside each worker; spans the worker opens then hang
 //! off the capturing span, so traces stay hierarchical across the
-//! per-orthant solver threads.
+//! per-orthant solver threads. The context also carries the innermost
+//! allocation scope — adopted workers charge their heap traffic to the
+//! span that spawned them even when tracing is disabled.
 //!
 //! # Determinism
 //!
@@ -51,7 +66,9 @@
 pub mod chrome;
 pub mod flame;
 pub mod metrics;
+pub mod recorder;
 
+use recorder::EventKind;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -65,6 +82,17 @@ static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the trace epoch (shared by spans and the ring).
+pub(crate) fn now_ns() -> u64 {
+    Instant::now().duration_since(epoch()).as_nanos() as u64
+}
+
+/// The calling thread's trace track id (also stamped on ring events).
+pub(crate) fn thread_track_id() -> u64 {
+    TLS.try_with(|tls| tls.borrow().thread_id)
+        .unwrap_or(0xffff_ffff)
 }
 
 fn sink() -> &'static Mutex<Vec<SpanRecord>> {
@@ -88,7 +116,7 @@ pub fn enabled() -> bool {
 }
 
 /// One finished span.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Unique id (sequential, process-wide).
     pub id: u64,
@@ -105,12 +133,49 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall-clock duration, nanoseconds.
     pub dur_ns: u64,
+    /// Heap allocations charged to this span itself (not children).
+    pub alloc_allocs: u64,
+    /// Heap bytes charged to this span itself.
+    pub alloc_bytes: u64,
+    /// High-water mark of net live bytes while the span was innermost,
+    /// clamped at zero.
+    pub alloc_peak: u64,
+    /// Largest numeric bit-width reported inside the span (0 = none).
+    pub max_bits: u64,
+}
+
+/// A span label truncated to the recorder's inline capacity; kept on
+/// the thread's label stack so [`current_span_label`] works without
+/// allocation even for always-on lite spans.
+#[derive(Clone, Copy)]
+struct SmallLabel {
+    bytes: [u8; recorder::LABEL_BYTES],
+    len: u8,
+}
+
+impl SmallLabel {
+    fn new(name: &str) -> SmallLabel {
+        let src = name.as_bytes();
+        let len = src.len().min(recorder::LABEL_BYTES);
+        let mut bytes = [0u8; recorder::LABEL_BYTES];
+        bytes[..len].copy_from_slice(&src[..len]);
+        SmallLabel {
+            bytes,
+            len: len as u8,
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.bytes[..self.len as usize]).unwrap_or("")
+    }
 }
 
 struct ThreadState {
     thread_id: u64,
-    /// Open span ids, innermost last.
+    /// Open span ids, innermost last (full-tracing spans only).
     stack: Vec<u64>,
+    /// Labels of every open span — full *and* lite — innermost last.
+    labels: Vec<SmallLabel>,
     /// Parent inherited from another thread via [`adopt`].
     adopted: Option<u64>,
 }
@@ -119,26 +184,46 @@ thread_local! {
     static TLS: RefCell<ThreadState> = RefCell::new(ThreadState {
         thread_id: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
         stack: Vec::new(),
+        labels: Vec::new(),
         adopted: None,
     });
 }
 
-/// A handle naming the current innermost span, for handing to another
-/// thread (capture with [`current_context`], install with [`adopt`]).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SpanContext {
-    parent: Option<u64>,
+/// The name of the innermost span open on this thread, tracing on or
+/// off. Budget trips use this to stamp the active span into the flight
+/// recorder and the diagnostic bundle.
+#[must_use]
+pub fn current_span_label() -> Option<String> {
+    TLS.try_with(|tls| tls.borrow().labels.last().map(|l| l.as_str().to_string()))
+        .ok()
+        .flatten()
 }
 
-/// The context under which new spans on this thread would nest.
+/// A handle naming the current innermost span and allocation scope, for
+/// handing to another thread (capture with [`current_context`], install
+/// with [`adopt`]).
+#[derive(Debug, Clone, Default)]
+pub struct SpanContext {
+    parent: Option<u64>,
+    alloc: Option<aov_support::alloc::ScopeHandle>,
+}
+
+/// The context under which new spans on this thread would nest. The
+/// allocation scope is captured even while tracing is disabled, so
+/// stage-level memory attribution survives fan-outs in untraced runs.
 pub fn current_context() -> SpanContext {
+    let alloc = aov_support::alloc::current_handle();
     if !enabled() {
-        return SpanContext::default();
+        return SpanContext {
+            parent: None,
+            alloc,
+        };
     }
     TLS.with(|tls| {
         let tls = tls.borrow();
         SpanContext {
             parent: tls.stack.last().copied().or(tls.adopted),
+            alloc,
         }
     })
 }
@@ -147,16 +232,20 @@ pub fn current_context() -> SpanContext {
 pub struct AdoptGuard {
     prev: Option<u64>,
     installed: bool,
+    _alloc: Option<aov_support::alloc::AllocScope>,
 }
 
 /// Installs `ctx` as the parent for spans opened on this thread while
-/// the guard lives. Used by scoped fan-outs to keep worker spans nested
-/// under the span that spawned them.
-pub fn adopt(ctx: SpanContext) -> AdoptGuard {
+/// the guard lives, and re-opens the captured allocation scope here.
+/// Used by scoped fan-outs to keep worker spans nested under — and
+/// worker heap traffic charged to — the span that spawned them.
+pub fn adopt(ctx: &SpanContext) -> AdoptGuard {
+    let alloc = ctx.alloc.as_ref().map(aov_support::alloc::adopt);
     if !enabled() {
         return AdoptGuard {
             prev: None,
             installed: false,
+            _alloc: alloc,
         };
     }
     TLS.with(|tls| {
@@ -166,12 +255,19 @@ pub fn adopt(ctx: SpanContext) -> AdoptGuard {
         AdoptGuard {
             prev,
             installed: true,
+            _alloc: alloc,
         }
     })
 }
 
 impl Drop for AdoptGuard {
     fn drop(&mut self) {
+        // A fan-out worker is about to finish: drain its batched
+        // allocation tallies so the stage-boundary reading on the
+        // spawning thread sees the worker's traffic (the allocator's
+        // global ledger is flushed per-thread in windows — see
+        // `aov_support::alloc`).
+        aov_support::alloc::flush_local();
         if self.installed {
             TLS.with(|tls| tls.borrow_mut().adopted = self.prev);
         }
@@ -186,33 +282,70 @@ struct ActiveSpan {
     fields: Vec<(&'static str, String)>,
     start: Instant,
     start_ns: u64,
+    alloc: aov_support::alloc::AllocScope,
+}
+
+/// A lightweight always-on span: feeds the flight recorder and the
+/// label stack, records nothing to the sink.
+struct LiteSpan {
+    label: SmallLabel,
+    start: Instant,
+}
+
+enum GuardInner {
+    Off,
+    Lite(LiteSpan),
+    Full(ActiveSpan),
 }
 
 /// RAII guard of one span; records the span on drop. Obtain via
 /// [`span!`].
-pub struct SpanGuard(Option<ActiveSpan>);
+pub struct SpanGuard(GuardInner);
 
 impl SpanGuard {
-    /// The no-op guard handed out while tracing is disabled.
+    /// The no-op guard handed out while both tracing and the flight
+    /// recorder are off.
     #[inline]
     pub fn disabled() -> SpanGuard {
-        SpanGuard(None)
+        SpanGuard(GuardInner::Off)
+    }
+
+    /// Opens a recorder-only span (the tracing-disabled arm of
+    /// [`span!`]): one ring event on entry and exit, a label-stack
+    /// push, no sink record and no allocation.
+    pub fn enter_lite(name: &str) -> SpanGuard {
+        if !recorder::recording() {
+            return SpanGuard::disabled();
+        }
+        let label = SmallLabel::new(name);
+        let _ = TLS.try_with(|tls| tls.borrow_mut().labels.push(label));
+        recorder::record(EventKind::SpanEnter, label.as_str(), 0, 0);
+        SpanGuard(GuardInner::Lite(LiteSpan {
+            label,
+            start: Instant::now(),
+        }))
     }
 
     /// Opens a span (the enabled arm of [`span!`]). Prefer the macro,
     /// which checks [`enabled`] before evaluating any argument.
     pub fn enter_with(name: String, fields: Vec<(&'static str, String)>) -> SpanGuard {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let label = SmallLabel::new(&name);
         let (parent, thread) = TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
             let parent = tls.stack.last().copied().or(tls.adopted);
             let thread = tls.thread_id;
             tls.stack.push(id);
+            tls.labels.push(label);
             (parent, thread)
         });
+        recorder::record(EventKind::SpanEnter, label.as_str(), id, 0);
+        // The allocation scope opens last so the guard's own
+        // bookkeeping above charges the *enclosing* span.
+        let alloc = aov_support::alloc::scope();
         let start = Instant::now();
         let start_ns = start.duration_since(epoch()).as_nanos() as u64;
-        SpanGuard(Some(ActiveSpan {
+        SpanGuard(GuardInner::Full(ActiveSpan {
             id,
             parent,
             thread,
@@ -220,40 +353,70 @@ impl SpanGuard {
             fields,
             start,
             start_ns,
+            alloc,
         }))
     }
 
-    /// The id of this span, if it is recording.
+    /// The id of this span, if it is fully recording.
     pub fn id(&self) -> Option<u64> {
-        self.0.as_ref().map(|s| s.id)
+        match &self.0 {
+            GuardInner::Full(s) => Some(s.id),
+            _ => None,
+        }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(span) = self.0.take() else { return };
-        let dur_ns = span.start.elapsed().as_nanos() as u64;
-        TLS.with(|tls| {
-            let mut tls = tls.borrow_mut();
-            // Guards are scope-bound, so this is a plain pop; tolerate
-            // out-of-order drops by searching.
-            match tls.stack.last() {
-                Some(&top) if top == span.id => {
-                    tls.stack.pop();
-                }
-                _ => tls.stack.retain(|&id| id != span.id),
+        match std::mem::replace(&mut self.0, GuardInner::Off) {
+            GuardInner::Off => {}
+            GuardInner::Lite(span) => {
+                let dur_ns = span.start.elapsed().as_nanos() as u64;
+                let _ = TLS.try_with(|tls| {
+                    tls.borrow_mut().labels.pop();
+                });
+                recorder::record(EventKind::SpanExit, span.label.as_str(), 0, dur_ns);
             }
-        });
-        let record = SpanRecord {
-            id: span.id,
-            parent: span.parent,
-            thread: span.thread,
-            name: span.name,
-            fields: span.fields,
-            start_ns: span.start_ns,
-            dur_ns,
-        };
-        sink().lock().expect("trace sink poisoned").push(record);
+            GuardInner::Full(span) => {
+                let dur_ns = span.start.elapsed().as_nanos() as u64;
+                let alloc_stats = span.alloc.stats();
+                // Close the allocation scope before the sink push so
+                // the record's own storage charges the enclosing span.
+                drop(span.alloc);
+                TLS.with(|tls| {
+                    let mut tls = tls.borrow_mut();
+                    // Guards are scope-bound, so this is a plain pop;
+                    // tolerate out-of-order drops by searching.
+                    match tls.stack.last() {
+                        Some(&top) if top == span.id => {
+                            tls.stack.pop();
+                        }
+                        _ => tls.stack.retain(|&id| id != span.id),
+                    }
+                    tls.labels.pop();
+                });
+                recorder::record(EventKind::SpanExit, &span.name, span.id, dur_ns);
+                let record = SpanRecord {
+                    id: span.id,
+                    parent: span.parent,
+                    thread: span.thread,
+                    name: span.name,
+                    fields: span.fields,
+                    start_ns: span.start_ns,
+                    dur_ns,
+                    alloc_allocs: alloc_stats.allocs,
+                    alloc_bytes: alloc_stats.bytes,
+                    alloc_peak: alloc_stats.peak.max(0) as u64,
+                    max_bits: alloc_stats.max_bits,
+                };
+                // Sink maintenance (the record vector doubling) is
+                // telemetry bookkeeping: exempt it from scope
+                // attribution so growth reallocations never charge
+                // whichever user span happens to enclose this drop.
+                let _pause = aov_support::alloc::exempt();
+                sink().lock().expect("trace sink poisoned").push(record);
+            }
+        }
     }
 }
 
@@ -264,8 +427,9 @@ impl Drop for SpanGuard {
 /// ```
 ///
 /// The name may be any expression yielding a `String`-convertible value;
-/// field values use their `Display` form. Nothing — not even the name
-/// expression — is evaluated while tracing is disabled.
+/// field values use their `Display` form. While tracing is disabled
+/// only the name expression is evaluated (for the flight-recorder
+/// event); the fields never are.
 #[macro_export]
 macro_rules! span {
     ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
@@ -278,7 +442,7 @@ macro_rules! span {
                 )),*],
             )
         } else {
-            $crate::SpanGuard::disabled()
+            $crate::SpanGuard::enter_lite(::std::convert::AsRef::<str>::as_ref(&$name))
         }
     };
 }
@@ -366,6 +530,31 @@ mod tests {
     }
 
     #[test]
+    fn disabled_span_still_feeds_recorder_and_labels() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        recorder::clear();
+        {
+            let _s = span!("test.lite_span");
+            assert_eq!(current_span_label().as_deref(), Some("test.lite_span"));
+        }
+        assert!(
+            current_span_label().is_none()
+                || current_span_label().as_deref() != Some("test.lite_span")
+        );
+        let events = recorder::snapshot();
+        let enter = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnter && e.label == "test.lite_span");
+        let exit = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanExit && e.label == "test.lite_span");
+        assert!(enter.is_some(), "lite enter recorded");
+        assert!(exit.is_some(), "lite exit recorded");
+        assert!(drain().is_empty(), "lite spans never reach the sink");
+    }
+
+    #[test]
     fn nesting_and_fields() {
         let (_, records) = with_tracing(|| {
             let _a = span!("test.outer", k = 7);
@@ -378,6 +567,36 @@ mod tests {
         assert_eq!(roots[0].fields, vec![("k", "7".to_string())]);
         assert_eq!(roots[0].children.len(), 1);
         assert_eq!(roots[0].children[0].name, "test.inner");
+    }
+
+    #[test]
+    fn spans_carry_their_own_alloc_traffic() {
+        let (_, records) = with_tracing(|| {
+            let _a = span!("test.alloc_outer");
+            {
+                let _b = span!("test.alloc_inner");
+                // `black_box` keeps the optimizer from eliding the
+                // otherwise-unused allocation.
+                let v = std::hint::black_box(vec![0u8; 1_000_000]);
+                aov_support::alloc::record_bits(129);
+                drop(v);
+            }
+        });
+        let inner = records
+            .iter()
+            .find(|r| r.name == "test.alloc_inner")
+            .unwrap();
+        assert!(inner.alloc_bytes >= 1_000_000, "{inner:?}");
+        assert!(inner.alloc_peak >= 1_000_000, "{inner:?}");
+        assert_eq!(inner.max_bits, 129);
+        let outer = records
+            .iter()
+            .find(|r| r.name == "test.alloc_outer")
+            .unwrap();
+        assert!(
+            outer.alloc_bytes < 1_000_000,
+            "inner traffic must not leak to the parent: {outer:?}"
+        );
     }
 
     #[test]
@@ -402,6 +621,7 @@ mod tests {
         let (_, records) = with_tracing(|| {
             let root = span!("test.root");
             let ctx = current_context();
+            let ctx = &ctx;
             std::thread::scope(|s| {
                 for w in 0..2u64 {
                     s.spawn(move || {
@@ -433,13 +653,37 @@ mod tests {
     }
 
     #[test]
+    fn adopted_workers_charge_the_capturing_span() {
+        let (_, records) = with_tracing(|| {
+            let root = span!("test.alloc_root");
+            let ctx = current_context();
+            let ctx = &ctx;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _adopt = adopt(ctx);
+                    // No span of its own: traffic lands on the adopted
+                    // (root) scope.
+                    let v = std::hint::black_box(vec![0u8; 500_000]);
+                    drop(v);
+                });
+            });
+            drop(root);
+        });
+        let root = records
+            .iter()
+            .find(|r| r.name == "test.alloc_root")
+            .unwrap();
+        assert!(root.alloc_bytes >= 500_000, "{root:?}");
+    }
+
+    #[test]
     fn adopt_restores_previous_parent() {
         let (_, records) = with_tracing(|| {
             let outer = span!("test.a");
             let ctx = current_context();
             drop(outer);
             {
-                let _adopt = adopt(ctx);
+                let _adopt = adopt(&ctx);
                 let _in_a = span!("test.under_a");
             }
             let _free = span!("test.free");

@@ -44,10 +44,18 @@ pub fn snapshot(records: &[SpanRecord], counters: &[(String, u64)]) -> Json {
                 Json::Float(hits as f64 / lookups as f64)
             },
         );
+    let alloc = aov_support::alloc::stats();
+    let alloc_json = Json::obj()
+        .field("allocs", alloc.allocs)
+        .field("bytes", alloc.bytes)
+        .field("live", alloc.live)
+        .field("peak", alloc.peak)
+        .field("max_bits", alloc.max_bits);
     Json::obj()
         .field("spans", flame.to_json())
         .field("counters", counter_json)
         .field("memo", memo)
+        .field("alloc", alloc_json)
 }
 
 /// Span aggregates alone (no counters), capped to the `top` rows by
@@ -65,12 +73,9 @@ mod tests {
     fn merges_spans_and_counters() {
         let records = vec![SpanRecord {
             id: 1,
-            parent: None,
-            thread: 0,
             name: "lp.simplex".to_string(),
-            fields: Vec::new(),
-            start_ns: 0,
             dur_ns: 500,
+            ..SpanRecord::default()
         }];
         let counters = vec![
             ("lp.memo.hits".to_string(), 3),
@@ -102,12 +107,9 @@ mod tests {
         let records: Vec<SpanRecord> = (0..5u64)
             .map(|i| SpanRecord {
                 id: i + 1,
-                parent: None,
-                thread: 0,
                 name: format!("span{i}"),
-                fields: Vec::new(),
-                start_ns: 0,
                 dur_ns: 500 - i * 100,
+                ..SpanRecord::default()
             })
             .collect();
         let Json::Arr(rows) = span_aggregates(&records, 3) else {

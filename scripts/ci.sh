@@ -73,4 +73,26 @@ if [ "$status" -ne 0 ]; then
 fi
 ./target/release/aov --check-report "$chaos_file"
 
+echo "== diag smoke"
+# One injected fault with --diag-dir armed must produce exactly one
+# crash-diagnostic bundle that validates against the aov-diag/1 schema
+# (aov inspect --check) and renders without error.
+diag_dir="$(mktemp -d /tmp/aov-diag-smoke.XXXXXX)"
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file"; rm -rf "$diag_dir"' EXIT
+status=0
+AOV_CHAOS="site=lp.simplex,kind=panic,nth=2" \
+    ./target/release/aov example1 --workers 2 --diag-dir "$diag_dir" \
+    > /dev/null 2> /dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "diag smoke: expected exit 3 (degraded), got $status"
+    exit 1
+fi
+bundles=("$diag_dir"/aov-diag-*.json)
+if [ "${#bundles[@]}" -ne 1 ] || [ ! -f "${bundles[0]}" ]; then
+    echo "diag smoke: expected exactly one bundle in $diag_dir, found: ${bundles[*]}"
+    exit 1
+fi
+./target/release/aov inspect "${bundles[0]}" --check
+./target/release/aov inspect "${bundles[0]}" > /dev/null
+
 echo "CI green."

@@ -7,18 +7,34 @@
 # https://ui.perfetto.dev or chrome://tracing — one track per worker
 # thread, pipeline stages as root spans.
 #
-# Usage: scripts/profile.sh <example1|example2|example3|example4> [trace-file] [workers]
+# With --mem (anywhere in the arguments), the profile also prints the
+# memory flame table: allocations, bytes, peak live bytes and the max
+# coefficient bit-width attributed to each span.
+#
+# Usage: scripts/profile.sh <example1|example2|example3|example4> [trace-file] [workers] [--mem]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-example="${1:?usage: scripts/profile.sh <example1..example4> [trace-file] [workers]}"
+mem_flag=""
+args=()
+for arg in "$@"; do
+    if [ "$arg" = "--mem" ]; then
+        mem_flag="--mem"
+    else
+        args+=("$arg")
+    fi
+done
+set -- "${args[@]:-}"
+
+example="${1:?usage: scripts/profile.sh <example1..example4> [trace-file] [workers] [--mem]}"
 trace_file="${2:-/tmp/aov-${example}-trace.json}"
 workers="${3:-8}"
 
 cargo build --release --offline --workspace
 
+# shellcheck disable=SC2086 # $mem_flag is deliberately unquoted-empty
 ./target/release/aov "$example" --memoize --workers "$workers" \
-    --profile --trace "$trace_file" --compact > /dev/null
+    --profile $mem_flag --trace "$trace_file" --compact > /dev/null
 
 ./target/release/aov --check-trace "$trace_file"
 echo "Load $trace_file in https://ui.perfetto.dev to explore the run."

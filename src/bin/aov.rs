@@ -26,6 +26,14 @@
 //!                      span flame table with the solver counters
 //!   --profile          print a per-example flame table and memo
 //!                      hit-rate summary to stderr
+//!   --mem              with --profile: also print the memory flame
+//!                      table (allocations, bytes, peak live bytes and
+//!                      max coefficient bit-width per span)
+//!   --diag-dir DIR     write an `aov-diag/1` crash-diagnostic bundle
+//!                      into DIR whenever a run degrades or fails: the
+//!                      stage ladder, error chain, budget state,
+//!                      counters, allocator snapshot and the flight
+//!                      recorder's event tail (see `aov inspect`)
 //!   --budget-pivots N  cap total simplex pivots per run; exceeding the
 //!                      cap degrades the tripping stage (exit 3), it
 //!                      never kills the process
@@ -35,6 +43,12 @@
 //!                      kind=error|panic|budget[,nth=N][,seed=S]
 //!                      (the AOV_CHAOS environment variable takes the
 //!                      same spec; the flag wins when both are set)
+//!
+//!   The flight recorder is always armed. The counting allocator's
+//!   byte accounting arms only when one of `--profile`, `--mem`,
+//!   `--trace` or `--diag-dir` will consume it (and under `aov
+//!   bench`); plain runs disarm it — their reports carry frozen
+//!   alloc columns — keeping telemetry within its 1%-of-wall budget.
 //!
 //! aov bench [options]
 //!
@@ -57,6 +71,14 @@
 //!   --budget-pivots N     solver budget passed through to every
 //!   --budget-nodes N      pipeline run; a tripped budget degrades the
 //!   --budget-ms N         run and the suite refuses to record it
+//!
+//! aov inspect BUNDLE [--check]
+//!
+//!   Render a crash-diagnostic bundle written via `--diag-dir`: the
+//!   error chain, the stage ladder with allocator columns, the budget
+//!   state and the flight-recorder timeline tail. With `--check`,
+//!   validate the bundle against the `aov-diag/1` schema instead and
+//!   exit 0/1.
 //!
 //! aov --check-trace FILE
 //!
@@ -96,6 +118,8 @@ struct Options {
     compact: bool,
     trace: Option<String>,
     profile: bool,
+    mem: bool,
+    diag_dir: Option<String>,
     check_trace: Option<String>,
     check_report: Option<String>,
     budget: BudgetSpec,
@@ -107,12 +131,14 @@ fn usage() -> ! {
         "usage: aov <example1|example2|example3|example4|unschedulable|all> \
          [--workers N] [--sequential] [--memoize] [--legacy-memo-keys] \
          [--machine] [--params A,B,..] [--runs N] [--compact] \
-         [--trace FILE] [--profile] [--budget-pivots N] \
+         [--trace FILE] [--profile] [--mem] [--diag-dir DIR] \
+         [--budget-pivots N] \
          [--budget-nodes N] [--budget-ms N] [--chaos SPEC]\n       \
          aov bench [--runs N] [--out FILE] [--baseline FILE] \
          [--fail-on-regression] [--examples A,B] [--workers N] [--quick] \
          [--no-figures] [--check FILE] [--budget-pivots N] \
          [--budget-nodes N] [--budget-ms N]\n       \
+         aov inspect BUNDLE [--check]\n       \
          aov --check-trace FILE\n       \
          aov --check-report FILE\n\n\
          exit codes: 0 ok, 1 inequivalent/regression, 2 failed, \
@@ -152,6 +178,8 @@ fn parse(args: &[String]) -> Options {
         compact: false,
         trace: None,
         profile: false,
+        mem: false,
+        diag_dir: None,
         check_trace: None,
         check_report: None,
         budget: BudgetSpec::default(),
@@ -192,6 +220,11 @@ fn parse(args: &[String]) -> Options {
                 None => usage(),
             },
             "--profile" => opts.profile = true,
+            "--mem" => opts.mem = true,
+            "--diag-dir" => match it.next() {
+                Some(d) => opts.diag_dir = Some(d.clone()),
+                None => usage(),
+            },
             "--check-trace" => match it.next() {
                 Some(f) => opts.check_trace = Some(f.clone()),
                 None => usage(),
@@ -496,10 +529,198 @@ fn bench_main(args: &[String]) -> i32 {
     }
 }
 
+/// String field accessor with a `"?"` fallback for rendering.
+fn jstr<'a>(j: &'a Json, key: &str) -> &'a str {
+    match j.get(key) {
+        Some(Json::Str(s)) => s,
+        _ => "?",
+    }
+}
+
+/// Integer field accessor with a `0` fallback for rendering.
+fn jint(j: &Json, key: &str) -> i64 {
+    match j.get(key) {
+        Some(Json::Int(n)) => *n,
+        _ => 0,
+    }
+}
+
+/// Array field accessor with an empty fallback for rendering.
+fn jarr<'a>(j: &'a Json, key: &str) -> &'a [Json] {
+    match j.get(key) {
+        Some(Json::Arr(a)) => a,
+        _ => &[],
+    }
+}
+
+/// `aov inspect`: render (or, with `--check`, just validate) one
+/// `aov-diag/1` crash-diagnostic bundle.
+fn inspect_main(args: &[String]) -> i32 {
+    let mut path: Option<&str> = None;
+    let mut check = false;
+    for arg in args {
+        match arg.as_str() {
+            "--check" => check = true,
+            p if !p.starts_with('-') && path.is_none() => path = Some(p),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("aov inspect: {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("aov inspect: {path}: invalid JSON: {e}");
+            return 1;
+        }
+    };
+    // Version gate and schema validation run in both modes; --check
+    // just stops after the verdict.
+    match doc.get("schema") {
+        Some(Json::Str(v)) if v == aov_engine::diag::SCHEMA => {}
+        other => {
+            eprintln!(
+                "aov inspect: {path}: unsupported schema {other:?} (want {:?})",
+                aov_engine::diag::SCHEMA
+            );
+            return 1;
+        }
+    }
+    if let Err(errors) = aov_support::schema::validate(&doc, &aov_engine::diag::diag_schema()) {
+        eprintln!("aov inspect: {path}: schema violations:");
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        return 1;
+    }
+    if check {
+        eprintln!("aov inspect: {path}: ok ({})", aov_engine::diag::SCHEMA);
+        return 0;
+    }
+    render_bundle(path, &doc);
+    0
+}
+
+/// Human rendering of a validated bundle: identity, budget state, the
+/// error chain, the stage ladder with allocator columns, the heaviest
+/// allocating stages and the flight-recorder timeline tail.
+fn render_bundle(path: &str, doc: &Json) {
+    println!(
+        "== {path}: {} (health {}) ==",
+        jstr(doc, "program"),
+        jstr(doc, "health")
+    );
+    if let Some(id) = doc.get("identity") {
+        println!(
+            "engine {}, program digest {}",
+            jstr(id, "version"),
+            jstr(id, "program_digest")
+        );
+    }
+    if let Some(b) = doc.get("budget") {
+        let limit = |k: &str| match b.get("limits").and_then(|l| l.get(k)) {
+            Some(Json::Int(n)) => n.to_string(),
+            _ => "-".to_string(),
+        };
+        println!(
+            "workers {}, budget: pivots {} (spent {}), nodes {} (spent {}), \
+             deadline {} ms, cancelled {}",
+            jint(doc, "workers"),
+            limit("pivots"),
+            jint(b, "pivots_spent"),
+            limit("nodes"),
+            jint(b, "nodes_spent"),
+            limit("ms"),
+            matches!(b.get("cancelled"), Some(Json::Bool(true)))
+        );
+    }
+    match doc.get("error") {
+        Some(err @ Json::Obj(_)) => {
+            let stage = match err.get("stage") {
+                Some(Json::Str(s)) => s.as_str(),
+                _ => "?",
+            };
+            println!("\nerror (stage {stage}):");
+            for (depth, link) in jarr(err, "chain").iter().enumerate() {
+                if let Json::Str(s) = link {
+                    let arrow = if depth == 0 { "" } else { "<- " };
+                    println!("  {}{arrow}{s}", "  ".repeat(depth));
+                }
+            }
+        }
+        _ => println!("\nerror: none recorded"),
+    }
+    println!("\nstages:");
+    println!(
+        "{:<18} {:>8} {:>10} {:>9} {:>12} {:>12} {:>8}  reason",
+        "stage", "outcome", "micros", "allocs", "bytes", "peak", "max_bits"
+    );
+    for s in jarr(doc, "stages") {
+        let a = |k: &str| s.get("alloc").map_or(0, |a| jint(a, k));
+        println!(
+            "{:<18} {:>8} {:>10} {:>9} {:>12} {:>12} {:>8}  {}",
+            jstr(s, "name"),
+            jstr(s, "outcome"),
+            jint(s, "micros"),
+            a("allocs"),
+            a("bytes"),
+            a("peak"),
+            a("max_bits"),
+            match s.get("reason") {
+                Some(Json::Str(r)) => r.as_str(),
+                _ => "",
+            }
+        );
+    }
+    let mut by_bytes: Vec<(&str, i64)> = jarr(doc, "stages")
+        .iter()
+        .map(|s| {
+            (
+                jstr(s, "name"),
+                s.get("alloc").map_or(0, |a| jint(a, "bytes")),
+            )
+        })
+        .collect();
+    by_bytes.sort_by_key(|entry| std::cmp::Reverse(entry.1));
+    println!("\ntop allocation stages:");
+    for (name, bytes) in by_bytes.iter().take(3) {
+        println!("  {name:<18} {bytes:>12} bytes");
+    }
+    if let Some(events) = doc.get("events") {
+        let ring = jarr(events, "ring");
+        let tail = &ring[ring.len().saturating_sub(20)..];
+        println!(
+            "\ntimeline tail ({} of {} recorded events):",
+            tail.len(),
+            jint(events, "recorded")
+        );
+        for e in tail {
+            println!(
+                "  {:>14} ns  t{:<2} {:<12} {:<26} a={} b={}",
+                jint(e, "t_ns"),
+                jint(e, "thread"),
+                jstr(e, "kind"),
+                jstr(e, "label"),
+                jint(e, "a"),
+                jint(e, "b")
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         std::process::exit(bench_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("inspect") {
+        std::process::exit(inspect_main(&args[1..]));
     }
     let opts = parse(&args);
 
@@ -525,6 +746,20 @@ fn main() {
                 std::process::exit(64);
             }
         }
+    }
+
+    // Telemetry arming policy: the flight recorder always runs (its
+    // ring feeds crash bundles and costs well under 1% of a run), but
+    // the counting allocator's byte accounting only pays for itself
+    // when something consumes the numbers — a flame table, a trace
+    // file, or a crash bundle. Plain runs disarm it: Example 1 makes
+    // ~27M heap operations in under half a second, so even a
+    // nanosecond of per-event accounting busts the 1% telemetry
+    // budget (see EXPERIMENTS.md for the measurements).
+    let wants_alloc_telemetry =
+        opts.profile || opts.mem || opts.trace.is_some() || opts.diag_dir.is_some();
+    if !wants_alloc_telemetry {
+        aov_support::alloc::set_counting(false);
     }
 
     let tracing = opts.trace.is_some() || opts.profile;
@@ -556,14 +791,20 @@ fn main() {
         if let Some(ps) = &opts.params {
             pipeline = pipeline.check_params(ps.clone());
         }
+        if let Some(dir) = &opts.diag_dir {
+            pipeline = pipeline.diag_dir(dir.clone());
+        }
         match pipeline.run() {
             Ok(report) => {
                 if tracing {
                     let records = aov_trace::drain();
                     if opts.profile {
-                        print_profile(name, &records, &report);
+                        print_profile(name, &records, &report, opts.mem);
                     }
                     all_records.extend(records);
+                }
+                if let Some(path) = &report.diag_path {
+                    eprintln!("aov: {name}: diagnostic bundle written to {path}");
                 }
                 match report.health() {
                     Health::Ok => {}
@@ -586,6 +827,9 @@ fn main() {
                 // Hard failure: non-degradable error (illegal schedule
                 // override, unsupported program, stage abort).
                 eprintln!("aov: {name}: {e}");
+                if let Some(dir) = &opts.diag_dir {
+                    eprintln!("aov: {name}: diagnostic bundle written into {dir}");
+                }
                 std::process::exit(2);
             }
         }
@@ -626,11 +870,21 @@ fn main() {
     });
 }
 
-/// Per-example profile: flame table plus the run's memo economics.
-fn print_profile(name: &str, records: &[aov_trace::SpanRecord], report: &aov_engine::Report) {
+/// Per-example profile: flame table plus the run's memo economics;
+/// `mem` adds the allocator/numeric-growth columns.
+fn print_profile(
+    name: &str,
+    records: &[aov_trace::SpanRecord],
+    report: &aov_engine::Report,
+    mem: bool,
+) {
     eprintln!("== profile: {name} ({} spans) ==", records.len());
     let table = aov_trace::flame::FlameTable::build(records);
     eprint!("{}", table.render());
+    if mem {
+        eprintln!("-- memory --");
+        eprint!("{}", table.render_mem());
+    }
     let hits = report.counter("lp.memo.hits");
     let misses = report.counter("lp.memo.misses");
     match report.memo_hit_rate() {
