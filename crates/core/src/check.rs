@@ -7,7 +7,7 @@
 //! tests, and the `_search` solver variants in [`crate::problems`] are
 //! built directly on them.
 
-use crate::storage::exact_z;
+use crate::storage::{exact_z, mirror_guard_row};
 use aov_ir::{analysis, ArrayId, Dependence, Program};
 use aov_linalg::AffineExpr;
 use aov_polyhedra::{PolyhedraError, Polyhedron};
@@ -78,18 +78,30 @@ impl<'a> Checker<'a> {
             assert_eq!(v.len(), t.depth(), "vector dimension");
             let z = exact_z(self.p, dep, v);
             let region = z.intersect(&self.p.embed_param_domain(r.depth()));
-            if region.is_empty() {
-                continue;
+            if !region.is_empty() {
+                let h_plus_v: Vec<AffineExpr> = dep
+                    .h
+                    .iter()
+                    .zip(v)
+                    .map(|(hk, &vk)| hk + &AffineExpr::constant(dim, vk.into()))
+                    .collect();
+                let form = legal::difference_form(self.p, &self.space, dep, &h_plus_v, 0).negated();
+                let over_domain = form.fix_unknowns(&point);
+                if !region.implies_nonneg(&over_domain) {
+                    return false;
+                }
             }
-            let h_plus_v: Vec<AffineExpr> = dep
-                .h
-                .iter()
-                .zip(v)
-                .map(|(hk, &vk)| hk + &AffineExpr::constant(dim, vk.into()))
-                .collect();
-            let form = legal::difference_form(self.p, &self.space, dep, &h_plus_v, 0).negated();
-            let over_domain = form.fix_unknowns(&point);
-            if !region.implies_nonneg(&over_domain) {
+            // Sign-symmetric storage class: a reachable mirror
+            // overwriter h - v demands a_T·v >= 1 (see `exact_z`).
+            let neg_v: Vec<i64> = v.iter().map(|&c| -c).collect();
+            let z_minus = exact_z(self.p, dep, &neg_v);
+            if !z_minus
+                .intersect(&self.p.embed_param_domain(r.depth()))
+                .is_empty()
+                && mirror_guard_row(&self.space, dep, v)
+                    .eval(&point)
+                    .is_negative()
+            {
                 return false;
             }
         }
@@ -122,23 +134,35 @@ impl<'a> Checker<'a> {
             let dim = r.depth() + self.p.num_params();
             assert_eq!(v.len(), t.depth(), "vector dimension");
             let z = exact_z(self.p, &dep, v);
-            if z.intersect(&self.p.embed_param_domain(r.depth()))
+            if !z
+                .intersect(&self.p.embed_param_domain(r.depth()))
                 .is_empty()
             {
-                continue;
-            }
-            let h_plus_v: Vec<AffineExpr> = dep
-                .h
-                .iter()
-                .zip(v)
-                .map(|(hk, &vk)| hk + &AffineExpr::constant(dim, vk.into()))
-                .collect();
-            let form = legal::difference_form(self.p, &self.space, &dep, &h_plus_v, 0).negated();
-            let rows = eliminate_to_linear(&form, &z, r.depth(), self.p.param_domain())?;
-            for row in rows {
-                if !legal_poly.implies_nonneg(&row) {
-                    return Ok(false);
+                let h_plus_v: Vec<AffineExpr> = dep
+                    .h
+                    .iter()
+                    .zip(v)
+                    .map(|(hk, &vk)| hk + &AffineExpr::constant(dim, vk.into()))
+                    .collect();
+                let form =
+                    legal::difference_form(self.p, &self.space, &dep, &h_plus_v, 0).negated();
+                let rows = eliminate_to_linear(&form, &z, r.depth(), self.p.param_domain())?;
+                for row in rows {
+                    if !legal_poly.implies_nonneg(&row) {
+                        return Ok(false);
+                    }
                 }
+            }
+            // Sign-symmetric storage class: a reachable mirror
+            // overwriter h - v demands a_T·v >= 1 (see `exact_z`).
+            let neg_v: Vec<i64> = v.iter().map(|&c| -c).collect();
+            let z_minus = exact_z(self.p, &dep, &neg_v);
+            if !z_minus
+                .intersect(&self.p.embed_param_domain(r.depth()))
+                .is_empty()
+                && !legal_poly.implies_nonneg(&mirror_guard_row(&self.space, &dep, v))
+            {
+                return Ok(false);
             }
         }
         Ok(true)
@@ -190,6 +214,45 @@ mod tests {
         assert!(checker.valid_for_all_schedules(b, &[1, 1]).unwrap());
         assert!(!checker.valid_for_all_schedules(a, &[0, 1]).unwrap());
         assert!(!checker.valid_for_all_schedules(a, &[1, 0]).unwrap());
+    }
+
+    /// Found by the differential fuzzer (seed 42): with the read offset
+    /// larger than half the constant trip count, `h + v` for `v = -1`
+    /// falls outside the writer's domain, but the mirror overwriter
+    /// `h - v` is in-domain and clobbers the live value. The one-sided
+    /// `Z` pruning used to accept `(-1)` (modulation 1 — a single cell)
+    /// as an AOV; the dynamic equivalence stage refuted it.
+    #[test]
+    fn mirror_overwriter_rejects_unit_vectors() {
+        // array A[1]; stmt S1(i) { 1 <= i <= 3; A[i] = f(A[i-2], i); }
+        let mut b = aov_ir::ProgramBuilder::new("clipped_self_read");
+        let a = b.array("A", 1);
+        let mut s = b.statement("S1", &["i"]);
+        s.bound(0, s.constant(1), s.constant(3));
+        s.writes(a);
+        let r = s.read(a, vec![&s.iter(0) - &s.constant(2)]);
+        s.body(aov_ir::Expr::call(
+            "f",
+            vec![aov_ir::Expr::Read(r), aov_ir::Expr::Iter(0)],
+        ));
+        b.add_statement(s);
+        let p = b.build().unwrap();
+
+        let mut checker = Checker::new(&p);
+        // The value written at i=1 is read at i=3. With v = -1, cell
+        // class {x - k} makes the i=2 write clobber it; with v = +1 the
+        // i=2 write is the h+v overwriter directly. Both are illegal for
+        // the (only legal) forward schedule, hence for all schedules.
+        assert!(!checker.valid_for_all_schedules(a, &[-1]).unwrap());
+        assert!(!checker.valid_for_all_schedules(a, &[1]).unwrap());
+        // v = 2 maps the overwriter onto the value's own writer: legal.
+        assert!(checker.valid_for_all_schedules(a, &[2]).unwrap());
+
+        // Same story under the concrete sequential schedule Θ = i.
+        let seq = Schedule::uniform_for(&p, &[AffineExpr::from_i64(&[1], 0)]);
+        assert!(!checker.valid_for_schedule(a, &[-1], &seq));
+        assert!(!checker.valid_for_schedule(a, &[1], &seq));
+        assert!(checker.valid_for_schedule(a, &[2], &seq));
     }
 
     #[test]

@@ -50,6 +50,20 @@ pub fn sign_patterns(dim: usize) -> Vec<Orthant> {
 
 /// The exact domain `Z` of a storage constraint for a concrete `v`:
 /// `dep.domain ∩ {i | h(i, N) + v ∈ D_T}`, over the target space.
+///
+/// Note the sign subtlety: the storage mapping identifies `A[x]` with
+/// `A[x + kv]` for *every* integer `k`, so `v` and `-v` induce the same
+/// storage. Callers deciding legality must therefore also consider the
+/// mirror region `exact_z(p, dep, -v)` (the `h - v` overwriter): on a
+/// bounded domain the `h + v` point can fall outside `D_T` while the
+/// `h - v` write exists, and a schedule with `a_T·v < 0` then clobbers
+/// the live value from the mirror side. Whenever the mirror region is
+/// nonempty, the single guard row `a_T·v >= 1` ([`mirror_guard_row`])
+/// restores soundness: for affine `Θ`, `Θ_T(h+v) − Θ_T(h) = a_T·v`, so
+/// the guard makes every `k <= -1` class member write *strictly before*
+/// the value's own write (harmless — the value overwrites it), while
+/// `k >= 2` overwriters are covered by the `k = 1` rows plus convexity
+/// of `D_T` (`h + v` is the integral midpoint of `h` and `h + 2v`).
 pub fn exact_z(p: &Program, dep: &Dependence, v: &[i64]) -> Polyhedron {
     let r = p.statement(dep.target);
     let t = p.statement(dep.source);
@@ -102,17 +116,30 @@ pub fn storage_rows_concrete(
         let dim = r.depth() + p.num_params();
         let z = exact_z(p, dep, v.components());
         // Skip constraints whose Z is empty for every parameter value.
-        if z.intersect(&p.embed_param_domain(r.depth())).is_empty() {
-            continue;
+        if !z.intersect(&p.embed_param_domain(r.depth())).is_empty() {
+            let h_plus_v: Vec<AffineExpr> = dep
+                .h
+                .iter()
+                .zip(v.components())
+                .map(|(hk, &vk)| hk + &AffineExpr::constant(dim, vk.into()))
+                .collect();
+            let form = legal::difference_form(p, space, dep, &h_plus_v, 0).negated();
+            for row in eliminate_to_linear(&form, &z, r.depth(), p.param_domain())? {
+                if !out.contains(&row) {
+                    out.push(row);
+                }
+            }
         }
-        let h_plus_v: Vec<AffineExpr> = dep
-            .h
-            .iter()
-            .zip(v.components())
-            .map(|(hk, &vk)| hk + &AffineExpr::constant(dim, vk.into()))
-            .collect();
-        let form = legal::difference_form(p, space, dep, &h_plus_v, 0).negated();
-        for row in eliminate_to_linear(&form, &z, r.depth(), p.param_domain())? {
+        // Storage classes {x + kv} are sign-symmetric: wherever the
+        // mirror overwriter h - v exists, guard with a_T·v >= 1 (see
+        // `exact_z`).
+        let neg_v: Vec<i64> = v.components().iter().map(|&c| -c).collect();
+        let z_minus = exact_z(p, dep, &neg_v);
+        if !z_minus
+            .intersect(&p.embed_param_domain(r.depth()))
+            .is_empty()
+        {
+            let row = mirror_guard_row(space, dep, v.components());
             if !out.contains(&row) {
                 out.push(row);
             }
@@ -121,13 +148,38 @@ pub fn storage_rows_concrete(
     Ok(out)
 }
 
+/// The mirror-overwriter guard `a_T·v - 1 >= 0` as a row over the
+/// schedule space, for the writer statement of `dep` (see `exact_z`).
+pub fn mirror_guard_row(space: &ScheduleSpace, dep: &Dependence, v: &[i64]) -> AffineExpr {
+    let mut row = AffineExpr::constant(space.dim(), (-1i64).into());
+    for (k, &vk) in v.iter().enumerate() {
+        let var = AffineExpr::var(space.dim(), space.iter_coeff(dep.source, k));
+        row = &row + &var.scale(&vk.into());
+    }
+    row
+}
+
 /// Whether a dependence's storage constraint can be active for *some*
 /// occupancy vector in the given orthant (and some parameters): the
-/// joint polyhedron over `(i, N, v_A)` is nonempty.
+/// joint polyhedron over `(i, N, v_A)` is nonempty for the `h + v`
+/// overwriter *or* its sign-symmetric mirror `h - v` (storage classes
+/// `{x + kv}` contain both, see `exact_z`).
 pub fn dependence_active_in_orthant(
     p: &Program,
     dep: &Dependence,
     orthant_for_array: &[i8],
+) -> bool {
+    overwriter_reachable(p, dep, orthant_for_array, 1)
+        || overwriter_reachable(p, dep, orthant_for_array, -1)
+}
+
+/// One direction of the activity test: the joint `(i, N, v_A)`
+/// polyhedron with `D_T` imposed at `h(i, N) + sign·v` is nonempty.
+fn overwriter_reachable(
+    p: &Program,
+    dep: &Dependence,
+    orthant_for_array: &[i8],
+    sign: i64,
 ) -> bool {
     let r = p.statement(dep.target);
     let t = p.statement(dep.source);
@@ -147,11 +199,11 @@ pub fn dependence_active_in_orthant(
             Constraint::ge0(e)
         });
     }
-    // D_T at h(i, N) + v.
+    // D_T at h(i, N) + sign·v.
     let mut subs: Vec<AffineExpr> = Vec::with_capacity(d_v + np);
     for (k, hk) in dep.h.iter().enumerate() {
         let mut e = hk.embed(dim, &embed_in);
-        e = &e + &AffineExpr::var(dim, d_i + np + k);
+        e = &e + &AffineExpr::var(dim, d_i + np + k).scale(&sign.into());
         subs.push(e);
     }
     for j in 0..np {

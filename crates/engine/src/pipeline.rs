@@ -694,7 +694,8 @@ impl Pipeline {
     /// Writes a crash-diagnostic bundle (`aov-diag/1`, see
     /// [`crate::diag`]) into `dir` whenever a run lands anywhere but
     /// [`Health::Ok`] — including hard failures, whose partial stage
-    /// ladder is preserved. The directory is created on demand.
+    /// ladder is preserved — or completes healthy but with dynamic
+    /// equivalence refuted. The directory is created on demand.
     pub fn diag_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.diag_dir = Some(dir.into());
         self
@@ -808,7 +809,11 @@ impl Pipeline {
                     budget: self.budget,
                     diag_path: None,
                 };
-                if report.health() != Health::Ok {
+                // Refuted equivalence is as diagnosable as a degraded
+                // run: the transform executed but changed semantics, so
+                // the bundle hook fires for it too (the fuzz harness
+                // leans on this to capture mismatch evidence).
+                if report.health() != Health::Ok || report.equivalent == Some(false) {
                     report.diag_path = self.write_diag(
                         &report.stages,
                         &budget,

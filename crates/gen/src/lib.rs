@@ -1,0 +1,357 @@
+//! `aov-gen`: seeded random generation of valid affine programs.
+//!
+//! The generator emits programs that are **valid by construction** —
+//! every [`Program::validate`] invariant holds structurally, without
+//! needing expensive polyhedral disjointness checks:
+//!
+//! * one statement per array (single writer, no overlap checks),
+//! * statement depth equals its array's dimensionality,
+//! * rectangular domains `1 <= it <= bound` with parameter or constant
+//!   upper bounds,
+//! * self-reads use lexicographically negative uniform offsets (always
+//!   schedulable on their own: weight vector `((c+1)^{d-1}, …, c+1, 1)`
+//!   dominates any bounded lex-positive distance),
+//! * cross-reads only reference arrays written by *earlier* statements
+//!   (the dependence graph between statements stays acyclic),
+//!
+//! with a tunable rate of deliberately **unschedulable** programs (the
+//! `A[i][j-1]` + `A[i-1][m]` pattern of `aov_ir::examples::unschedulable`)
+//! so the pipeline's degradation ladder gets fuzzed too.
+//!
+//! Every generated program renders through [`aov_lang::to_source`] (the
+//! printer self-checks the reparse), which is what lets the fuzz harness
+//! write minimal `.aov` repro files via [`shrink`].
+//!
+//! # Examples
+//!
+//! ```
+//! use aov_gen::{generate, GenConfig};
+//!
+//! let a = generate(42, &GenConfig::default());
+//! let b = generate(42, &GenConfig::default());
+//! assert_eq!(a.source, b.source); // bit-identical for equal seeds
+//! assert!(a.program.validate().is_ok());
+//! ```
+
+// Library code must surface failures as values (see `aov-fault`);
+// `unwrap`/`expect` are reserved for tests. (Generator invariant
+// violations are bugs and use explicit `panic!` with context.)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod shrink;
+
+use aov_ir::{ArrayId, Expr, Program, ProgramBuilder};
+use aov_linalg::AffineExpr;
+use aov_support::rng::Rng;
+
+/// Tuning knobs for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of statements (= arrays); at least 1.
+    pub max_stmts: usize,
+    /// Maximum loop depth per statement; at least 1. Depth 3 programs
+    /// are solver-expensive (see `BENCH_2.json`), so the default stays
+    /// at 2.
+    pub max_depth: usize,
+    /// Maximum reads per statement.
+    pub max_reads: usize,
+    /// Constant upper bounds are drawn from `2..=max_const_bound`.
+    pub max_const_bound: i64,
+    /// Percentage (0..=100) of programs seeded with the unschedulable
+    /// `A[i][j-1]` + `A[i-1][m]` pattern.
+    pub unschedulable_pct: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_stmts: 2,
+            max_depth: 2,
+            max_reads: 3,
+            max_const_bound: 6,
+            unschedulable_pct: 15,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A smaller profile for smoke tests (`aov fuzz --quick`).
+    pub fn quick() -> Self {
+        GenConfig {
+            max_stmts: 2,
+            max_depth: 2,
+            max_reads: 2,
+            max_const_bound: 4,
+            unschedulable_pct: 15,
+        }
+    }
+}
+
+/// What kind of program a seed produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// All reads are constructed to keep a 1-d affine schedule possible
+    /// (cross-statement reads may still defeat the scheduler — the fuzz
+    /// harness treats degradation as a legitimate outcome).
+    General,
+    /// Contains the forced unschedulable dependence pattern.
+    UnschedulableBiased,
+}
+
+/// A generated program plus everything a fuzz case needs.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The valid program (name `gen_{seed:016x}`).
+    pub program: Program,
+    /// Canonical `.aov` source (round-trip-checked by the printer).
+    pub source: String,
+    /// Small concrete parameter values for interpreter-based checking.
+    pub check_params: Vec<i64>,
+    /// Generation flavor.
+    pub flavor: Flavor,
+}
+
+const PARAM_NAMES: [&str; 2] = ["n", "m"];
+const ARRAY_NAMES: [&str; 4] = ["A", "B", "C", "D"];
+const ITER_NAMES: [&str; 3] = ["i", "j", "k"];
+const FUNC_NAMES: [&str; 5] = ["f", "g", "h", "min", "add"];
+
+/// The upper bound of one loop dimension.
+#[derive(Debug, Clone, Copy)]
+enum Bound {
+    Param(usize),
+    Const(i64),
+}
+
+/// Deterministically generates one valid program for `seed`.
+///
+/// Equal `(seed, cfg)` produce bit-identical results on every platform.
+///
+/// # Panics
+///
+/// Panics only on internal generator bugs (an emitted program failing
+/// validation or printing) — never on any seed/config combination.
+pub fn generate(seed: u64, cfg: &GenConfig) -> Generated {
+    let mut rng = Rng::new(seed);
+    let name = format!("gen_{seed:016x}");
+
+    let nparams = rng.usize_in(1, PARAM_NAMES.len());
+    let nstmts = rng.usize_in(1, cfg.max_stmts.clamp(1, ARRAY_NAMES.len()));
+    let max_depth = cfg.max_depth.clamp(1, ITER_NAMES.len());
+
+    // Plan depths first; the unschedulable pattern needs a depth-2 victim.
+    let mut depths: Vec<usize> = (0..nstmts).map(|_| rng.usize_in(1, max_depth)).collect();
+    let unsched = max_depth >= 2 && rng.u64_below(100) < cfg.unschedulable_pct.min(100);
+    let victim = if unsched {
+        let v = rng.usize_in(0, nstmts - 1);
+        depths[v] = 2;
+        Some(v)
+    } else {
+        None
+    };
+
+    let mut b = ProgramBuilder::new(name);
+    for pname in PARAM_NAMES.iter().take(nparams) {
+        b.param_min(*pname, 1);
+    }
+    let arrays: Vec<(ArrayId, usize)> = depths
+        .iter()
+        .enumerate()
+        .map(|(k, &d)| (b.array(ARRAY_NAMES[k], d), d))
+        .collect();
+
+    for (k, &depth) in depths.iter().enumerate() {
+        let iters = &ITER_NAMES[..depth];
+        let mut sb = b.statement(format!("S{}", k + 1), iters);
+
+        // Rectangular bounds `1 <= it_d <= ub_d`. The victim's innermost
+        // bound must be a parameter: the forced read of the previous
+        // row's *last* element only defeats affine scheduling when the
+        // row length is unbounded.
+        let mut bounds: Vec<Bound> = (0..depth)
+            .map(|_| {
+                if rng.u64_below(100) < 60 {
+                    Bound::Param(rng.usize_in(0, nparams - 1))
+                } else {
+                    Bound::Const(rng.i64_in(2, cfg.max_const_bound.max(2)))
+                }
+            })
+            .collect();
+        if victim == Some(k) {
+            bounds[1] = Bound::Param(rng.usize_in(0, nparams - 1));
+        }
+        for (d, bound) in bounds.iter().enumerate() {
+            let ub = match bound {
+                Bound::Param(p) => sb.param(*p),
+                Bound::Const(c) => sb.constant(*c),
+            };
+            sb.bound(d, sb.constant(1), ub);
+        }
+        sb.writes(arrays[k].0);
+
+        let nreads = if victim == Some(k) {
+            2
+        } else {
+            rng.usize_in(0, cfg.max_reads)
+        };
+        for r in 0..nreads {
+            if victim == Some(k) {
+                // The two-read unschedulable pattern.
+                let idx = if r == 0 {
+                    vec![sb.iter(0), &sb.iter(1) - &sb.constant(1)]
+                } else {
+                    let last = match bounds[1] {
+                        Bound::Param(p) => sb.param(p),
+                        Bound::Const(c) => sb.constant(c),
+                    };
+                    vec![&sb.iter(0) - &sb.constant(1), last]
+                };
+                sb.read(arrays[k].0, idx);
+                continue;
+            }
+            let cross = k > 0 && rng.u64_below(100) < 40;
+            if cross {
+                let target = rng.usize_in(0, k - 1);
+                let (aid, adim) = arrays[target];
+                let idx: Vec<AffineExpr> = (0..adim)
+                    .map(|d| {
+                        let it = sb.iter(d.min(depth - 1));
+                        match rng.u64_below(100) {
+                            // Backward uniform offset: always causally safe.
+                            0..=59 => &it + &sb.constant(rng.i64_in(-2, 0)),
+                            // Boundary column/row.
+                            60..=74 => sb.constant(rng.i64_in(1, 2)),
+                            // Affine reversal (non-uniform, Example 4 style).
+                            75..=89 => &sb.param(rng.usize_in(0, nparams - 1)) - &it,
+                            // Forward offset: legality is the solver's problem.
+                            _ => &it + &sb.constant(1),
+                        }
+                    })
+                    .collect();
+                sb.read(aid, idx);
+            } else {
+                // Lexicographically negative uniform self-offset.
+                let q = rng.usize_in(0, depth - 1);
+                let idx: Vec<AffineExpr> = (0..depth)
+                    .map(|d| {
+                        let off = match d.cmp(&q) {
+                            std::cmp::Ordering::Less => 0,
+                            std::cmp::Ordering::Equal => rng.i64_in(-2, -1),
+                            std::cmp::Ordering::Greater => rng.i64_in(-2, 2),
+                        };
+                        &sb.iter(d) + &sb.constant(off)
+                    })
+                    .collect();
+                sb.read(arrays[k].0, idx);
+            }
+        }
+
+        // Body: one call over all reads (ascending, so the program
+        // pretty-prints) plus the iterators for read-free statements.
+        let mut args: Vec<Expr> = (0..nreads).map(Expr::Read).collect();
+        if args.is_empty() || rng.bool() {
+            args.extend((0..depth).map(Expr::Iter));
+        }
+        let fname = *rng.choose(&FUNC_NAMES);
+        sb.body(Expr::call(fname, args));
+        b.add_statement(sb);
+    }
+
+    let program = match b.build() {
+        Ok(p) => p,
+        Err(e) => panic!("generator emitted invalid program for seed {seed}: {e}"),
+    };
+    let source = match aov_lang::to_source(&program) {
+        Ok(s) => s,
+        Err(e) => panic!("generator emitted unprintable program for seed {seed}: {e}"),
+    };
+    let check_params = (0..nparams).map(|_| rng.i64_in(2, 4)).collect();
+    Generated {
+        program,
+        source,
+        check_params,
+        flavor: if unsched {
+            Flavor::UnschedulableBiased
+        } else {
+            Flavor::General
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = GenConfig::default();
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.check_params, b.check_params);
+            assert_eq!(a.flavor, b.flavor);
+            assert!(aov_lang::structural_eq(&a.program, &b.program));
+        }
+    }
+
+    #[test]
+    fn many_seeds_are_valid_and_printable() {
+        let cfg = GenConfig::default();
+        let mut unsched = 0;
+        for seed in 0..300 {
+            let g = generate(seed, &cfg);
+            assert!(g.program.validate().is_ok(), "seed {seed}");
+            // Source round-trips (to_source already self-checked; also
+            // confirm the parse path directly).
+            let back = aov_lang::parse(&g.source).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(aov_lang::structural_eq(&g.program, &back), "seed {seed}");
+            assert_eq!(g.check_params.len(), g.program.num_params());
+            assert!(g.check_params.iter().all(|&v| (2..=4).contains(&v)));
+            if g.flavor == Flavor::UnschedulableBiased {
+                unsched += 1;
+            }
+        }
+        // ~15% of 300; loose bounds to stay robust to RNG details.
+        assert!(
+            (10..=100).contains(&unsched),
+            "unschedulable count {unsched}"
+        );
+    }
+
+    #[test]
+    fn unschedulable_flavor_defeats_the_scheduler() {
+        let cfg = GenConfig {
+            unschedulable_pct: 100,
+            ..GenConfig::default()
+        };
+        let g = generate(7, &cfg);
+        assert_eq!(g.flavor, Flavor::UnschedulableBiased);
+    }
+
+    #[test]
+    fn quick_profile_is_smaller() {
+        let q = GenConfig::quick();
+        assert!(q.max_reads <= GenConfig::default().max_reads);
+        assert!(q.max_const_bound <= GenConfig::default().max_const_bound);
+    }
+
+    #[test]
+    fn domains_are_bounded_once_params_fixed() {
+        // Needed by the interpreter oracle: every statement must have
+        // finitely many iteration points under concrete parameters.
+        for seed in 0..50 {
+            let g = generate(seed, &GenConfig::default());
+            for sid in g.program.stmt_ids() {
+                let pts = aov_interp::domain::iteration_points(&g.program, sid, &g.check_params);
+                let depth = g.program.statement(sid).depth();
+                let limit = 8i64.pow(depth as u32);
+                assert!(
+                    (pts.len() as i64) <= limit,
+                    "seed {seed}: {} points at depth {depth}",
+                    pts.len()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Deterministic greedy shrinking of failing programs.
+//!
+//! Given a program and a predicate "does this still fail?", repeatedly
+//! tries structure-reducing edits (drop a statement, drop a read, move
+//! index offsets toward zero) and keeps any candidate that still fails,
+//! until a fixed point or the evaluation budget runs out. The result is
+//! what the fuzz harness writes out as a minimal `.aov` repro.
+
+use aov_ir::{ArrayId, Expr, Program, ProgramBuilder};
+use aov_linalg::AffineExpr;
+use aov_numeric::Rational;
+use aov_polyhedra::Constraint;
+
+/// A mutable mirror of [`Program`] that can be edited and rebuilt.
+#[derive(Debug, Clone)]
+struct Spec {
+    name: String,
+    params: Vec<String>,
+    param_cs: Vec<Constraint>,
+    arrays: Vec<(String, usize)>,
+    stmts: Vec<StmtSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct StmtSpec {
+    name: String,
+    iters: Vec<String>,
+    cs: Vec<Constraint>,
+    writes: usize,
+    reads: Vec<(usize, Vec<AffineExpr>)>,
+    body: Expr,
+}
+
+impl Spec {
+    fn from_program(p: &Program) -> Spec {
+        Spec {
+            name: p.name().to_string(),
+            params: p.params().names().to_vec(),
+            param_cs: p.param_domain().constraints().to_vec(),
+            arrays: p
+                .arrays()
+                .iter()
+                .map(|a| (a.name().to_string(), a.dim()))
+                .collect(),
+            stmts: p
+                .statements()
+                .iter()
+                .map(|s| StmtSpec {
+                    name: s.name().to_string(),
+                    iters: s.iters().to_vec(),
+                    cs: s.domain().constraints().to_vec(),
+                    writes: s.writes().0,
+                    reads: s
+                        .reads()
+                        .iter()
+                        .map(|r| (r.array().0, r.index().to_vec()))
+                        .collect(),
+                    body: s.body().clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn build(&self) -> Result<Program, String> {
+        let mut b = ProgramBuilder::new(self.name.clone());
+        for p in &self.params {
+            b.param(p.clone());
+        }
+        for c in &self.param_cs {
+            b.param_constraint(c.clone());
+        }
+        for (name, dim) in &self.arrays {
+            b.array(name.clone(), *dim);
+        }
+        for s in &self.stmts {
+            let iters: Vec<&str> = s.iters.iter().map(String::as_str).collect();
+            let mut sb = b.statement(s.name.clone(), &iters);
+            for c in &s.cs {
+                if c.dim() != sb.dim() {
+                    return Err("constraint dimension drift".into());
+                }
+                sb.constraint(c.clone());
+            }
+            sb.writes(ArrayId(s.writes));
+            for (aid, idx) in &s.reads {
+                sb.read(ArrayId(*aid), idx.clone());
+            }
+            sb.body(s.body.clone());
+            b.add_statement(sb);
+        }
+        b.build()
+    }
+}
+
+/// Renumbers `Expr::Read` after removing read `gone`.
+fn remap_reads(e: &Expr, gone: usize) -> Expr {
+    match e {
+        Expr::Read(k) if *k == gone => Expr::Const(0),
+        Expr::Read(k) if *k > gone => Expr::Read(k - 1),
+        Expr::Read(k) => Expr::Read(*k),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter().map(|a| remap_reads(a, gone)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// All structure-reducing candidates, biggest reductions first.
+fn candidates(s: &Spec) -> Vec<Spec> {
+    let mut out = Vec::new();
+
+    // Drop a whole statement (and its array) when nothing else writes or
+    // reads that array.
+    if s.stmts.len() > 1 {
+        for k in 0..s.stmts.len() {
+            let a = s.stmts[k].writes;
+            let sole_writer = s
+                .stmts
+                .iter()
+                .enumerate()
+                .all(|(j, t)| j == k || t.writes != a);
+            let unread_elsewhere = s
+                .stmts
+                .iter()
+                .enumerate()
+                .all(|(j, t)| j == k || t.reads.iter().all(|(ra, _)| *ra != a));
+            if !(sole_writer && unread_elsewhere) {
+                continue;
+            }
+            let mut c = s.clone();
+            c.stmts.remove(k);
+            c.arrays.remove(a);
+            for t in &mut c.stmts {
+                if t.writes > a {
+                    t.writes -= 1;
+                }
+                for (ra, _) in &mut t.reads {
+                    if *ra > a {
+                        *ra -= 1;
+                    }
+                }
+            }
+            out.push(c);
+        }
+    }
+
+    // Drop one read.
+    for k in 0..s.stmts.len() {
+        for r in 0..s.stmts[k].reads.len() {
+            let mut c = s.clone();
+            c.stmts[k].reads.remove(r);
+            c.stmts[k].body = remap_reads(&c.stmts[k].body, r);
+            out.push(c);
+        }
+    }
+
+    // Move one index-offset constant toward zero.
+    for k in 0..s.stmts.len() {
+        for r in 0..s.stmts[k].reads.len() {
+            for d in 0..s.stmts[k].reads[r].1.len() {
+                let e = &s.stmts[k].reads[r].1[d];
+                let konst = e.constant_term();
+                if konst.is_zero() {
+                    continue;
+                }
+                let step = if konst.is_negative() { 1 } else { -1 };
+                let mut c = s.clone();
+                c.stmts[k].reads[r].1[d] = e + &AffineExpr::constant(e.dim(), Rational::from(step));
+                out.push(c);
+            }
+        }
+    }
+
+    out
+}
+
+/// Greedily shrinks `p` while `still_failing` stays true, spending at
+/// most `max_evals` predicate evaluations. Returns the smallest failing
+/// program found (possibly `p` itself). Deterministic: candidate order
+/// is fixed and the first improvement is taken each round.
+pub fn shrink<F>(p: &Program, mut still_failing: F, max_evals: usize) -> Program
+where
+    F: FnMut(&Program) -> bool,
+{
+    let mut best_spec = Spec::from_program(p);
+    let mut best = p.clone();
+    let mut evals = 0usize;
+    'outer: loop {
+        for cand in candidates(&best_spec) {
+            if evals >= max_evals {
+                break 'outer;
+            }
+            let Ok(prog) = cand.build() else { continue };
+            evals += 1;
+            if still_failing(&prog) {
+                best_spec = cand;
+                best = prog;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GenConfig};
+
+    /// Shrinking with an always-true predicate minimizes hard.
+    #[test]
+    fn shrinks_to_minimal_when_everything_fails() {
+        let g = generate(3, &GenConfig::default());
+        let small = shrink(&g.program, |_| true, 500);
+        let reads: usize = small.statements().iter().map(|s| s.reads().len()).sum();
+        assert_eq!(small.statements().len(), 1);
+        assert_eq!(reads, 0);
+        assert!(small.validate().is_ok());
+        assert!(aov_lang::to_source(&small).is_ok());
+    }
+
+    /// A predicate keyed on a specific read keeps that read alive.
+    #[test]
+    fn preserves_the_failing_feature() {
+        let g = generate(11, &GenConfig::default());
+        let total_reads: usize = g.program.statements().iter().map(|s| s.reads().len()).sum();
+        if total_reads == 0 {
+            return; // nothing to preserve for this seed
+        }
+        let small = shrink(
+            &g.program,
+            |p| p.statements().iter().any(|s| !s.reads().is_empty()),
+            500,
+        );
+        let reads: usize = small.statements().iter().map(|s| s.reads().len()).sum();
+        assert_eq!(reads, 1, "should shrink to exactly one read");
+    }
+
+    /// Never-failing predicate returns the original untouched.
+    #[test]
+    fn original_kept_when_nothing_reproduces() {
+        let g = generate(5, &GenConfig::default());
+        let same = shrink(&g.program, |_| false, 500);
+        assert!(aov_lang::structural_eq(&g.program, &same));
+    }
+
+    /// Offsets are pulled toward zero.
+    #[test]
+    fn offsets_shrink_toward_zero() {
+        let g = generate(9, &GenConfig::default());
+        let small = shrink(&g.program, |_| true, 500);
+        for s in small.statements() {
+            for acc in s.reads() {
+                for e in acc.index() {
+                    assert!(e.constant_term().is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_shrinking() {
+        let g = generate(21, &GenConfig::default());
+        let a = shrink(&g.program, |p| !p.statements().is_empty(), 300);
+        let b = shrink(&g.program, |p| !p.statements().is_empty(), 300);
+        assert!(aov_lang::structural_eq(&a, &b));
+    }
+}

@@ -1,0 +1,112 @@
+//! Spanned syntax tree for `.aov` programs (the parser's output, the
+//! lowering pass's input).
+
+use crate::diag::Span;
+
+/// A whole `.aov` source file.
+#[derive(Debug, Clone)]
+pub struct Ast {
+    pub name: String,
+    pub name_span: Span,
+    pub items: Vec<Item>,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `param n;` or `param n >= 1;`
+    Param {
+        name: String,
+        span: Span,
+        min: Option<i64>,
+    },
+    /// `assume <chain>;` — a constraint over the structural parameters.
+    Assume(RelChain),
+    /// `array A[2];`
+    Array {
+        name: String,
+        span: Span,
+        dim: usize,
+        dim_span: Span,
+    },
+    /// `stmt S(i, j) { ... }`
+    Stmt(StmtAst),
+}
+
+/// A statement block.
+#[derive(Debug, Clone)]
+pub struct StmtAst {
+    pub name: String,
+    pub span: Span,
+    pub iters: Vec<(String, Span)>,
+    /// Domain constraints, in source order.
+    pub constraints: Vec<RelChain>,
+    /// The single write access (LHS of the `=`).
+    pub write: WriteAst,
+    pub body: Bexpr,
+}
+
+/// The write access `A[i][j]` on the left of `=`.
+#[derive(Debug, Clone)]
+pub struct WriteAst {
+    pub array: String,
+    pub span: Span,
+    /// One index expression per array dimension; lowering checks each is
+    /// exactly the corresponding loop iterator.
+    pub indices: Vec<Aff>,
+}
+
+/// A chained relation `e0 op e1 op e2 ...` (at least one operator); each
+/// adjacent pair lowers to one constraint.
+#[derive(Debug, Clone)]
+pub struct RelChain {
+    pub exprs: Vec<Aff>,
+    pub ops: Vec<(RelOp, Span)>,
+}
+
+/// Relational operator in a constraint chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Eq,
+}
+
+/// A syntactic affine expression: a signed sum of terms.
+#[derive(Debug, Clone)]
+pub struct Aff {
+    pub terms: Vec<AffTerm>,
+    pub span: Span,
+}
+
+/// One term of an affine expression: `coeff` (sign folded in) times an
+/// optional variable.
+#[derive(Debug, Clone)]
+pub struct AffTerm {
+    pub coeff: i64,
+    pub var: Option<(String, Span)>,
+}
+
+/// A statement-body expression.
+#[derive(Debug, Clone)]
+pub enum Bexpr {
+    /// Integer literal (sign folded in).
+    Int(i64, Span),
+    /// A loop iterator or structural parameter.
+    Var(String, Span),
+    /// `f(a, b, ...)`
+    Call(String, Span, Vec<Bexpr>),
+    /// `A[aff][aff]...`
+    Read(String, Span, Vec<Aff>),
+    /// `a + b` / `a - b` sugar (lowers to `add`/`sub` calls).
+    Binop(BinOp, Box<Bexpr>, Box<Bexpr>),
+}
+
+/// Body-level binary operator sugar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+}

@@ -1,0 +1,75 @@
+//! The built-in `.aov` corpus: the paper's four examples plus the
+//! unschedulable stress program, serialized by [`crate::to_source`] and
+//! checked in under `examples/` at the workspace root.
+//!
+//! The files are the canonical printer output — the golden tests in
+//! `tests/roundtrip.rs` pin `to_source(hand_built) == file bytes` and
+//! `parse(file) ≡ hand_built`, so any grammar or printer drift shows up
+//! as a corpus diff. Regenerate after an intentional change with
+//! `cargo test -p aov-lang regenerate_corpus -- --ignored`.
+
+/// Names and source text of the built-in corpus, in paper order.
+pub const SOURCES: [(&str, &str); 5] = [
+    ("example1", include_str!("../../../examples/example1.aov")),
+    ("example2", include_str!("../../../examples/example2.aov")),
+    ("example3", include_str!("../../../examples/example3.aov")),
+    ("example4", include_str!("../../../examples/example4.aov")),
+    (
+        "unschedulable",
+        include_str!("../../../examples/unschedulable.aov"),
+    ),
+];
+
+/// Source text of a built-in corpus program by name.
+pub fn source(name: &str) -> Option<&'static str> {
+    SOURCES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, src)| *src)
+}
+
+/// The corpus program names, in order.
+pub fn names() -> impl Iterator<Item = &'static str> {
+    SOURCES.iter().map(|(n, _)| *n)
+}
+
+/// The hand-built twin of a corpus program.
+pub fn hand_built(name: &str) -> Option<aov_ir::Program> {
+    use aov_ir::examples;
+    Some(match name {
+        "example1" => examples::example1(),
+        "example2" => examples::example2(),
+        "example3" => examples::example3(),
+        "example4" => examples::example4(),
+        "unschedulable" => examples::unschedulable(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rewrites the corpus files from the hand-built programs. Run after
+    /// an intentional grammar/printer change, then review the diff:
+    /// `cargo test -p aov-lang regenerate_corpus -- --ignored`
+    #[test]
+    #[ignore]
+    fn regenerate_corpus() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+        for name in names() {
+            let p = hand_built(name).unwrap();
+            let src = crate::to_source(&p).unwrap();
+            std::fs::write(root.join(format!("{name}.aov")), src).unwrap();
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(source("example1").is_some());
+        assert!(source("nope").is_none());
+        assert!(hand_built("unschedulable").is_some());
+        assert!(hand_built("nope").is_none());
+        assert_eq!(names().count(), 5);
+    }
+}

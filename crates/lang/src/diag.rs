@@ -1,0 +1,97 @@
+//! Caret-span diagnostics for parse and lowering errors.
+
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A parse/lowering error with enough context to render a caret under the
+/// offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the error.
+    pub line: u32,
+    /// 1-based column of the error.
+    pub col: u32,
+    /// The full source line the error points into (empty if out of range).
+    pub line_text: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at `span`, capturing the source line from `src`.
+    pub fn at<S: Into<String>>(src: &str, span: Span, message: S) -> Self {
+        let line_text = src
+            .lines()
+            .nth(span.line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .to_string();
+        Diagnostic {
+            message: message.into(),
+            line: span.line,
+            col: span.col,
+            line_text,
+        }
+    }
+
+    /// Renders the classic three-line caret form, naming `file`:
+    ///
+    /// ```text
+    /// error: expected `;`
+    ///  --> prog.aov:3:12
+    ///   |
+    /// 3 | param n >= 1
+    ///   |            ^
+    /// ```
+    pub fn render(&self, file: &str) -> String {
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let caret_pad = " ".repeat(self.col.saturating_sub(1) as usize);
+        format!(
+            "error: {msg}\n{pad} --> {file}:{line}:{col}\n{pad} |\n{gutter} | {text}\n{pad} | {caret_pad}^\n",
+            msg = self.message,
+            line = self.line,
+            col = self.col,
+            text = self.line_text,
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_line_and_renders_caret() {
+        let src = "first line\nparam n >= ;\nlast";
+        let d = Diagnostic::at(src, Span { line: 2, col: 12 }, "expected integer");
+        assert_eq!(d.line_text, "param n >= ;");
+        let r = d.render("p.aov");
+        assert!(r.contains("error: expected integer"));
+        assert!(r.contains("--> p.aov:2:12"));
+        assert!(r.contains("2 | param n >= ;"));
+        // Caret under column 12.
+        let caret_line = r.lines().last().unwrap();
+        assert_eq!(caret_line.find('^'), Some(4 + 11));
+    }
+
+    #[test]
+    fn out_of_range_line_is_empty() {
+        let d = Diagnostic::at("one", Span { line: 9, col: 1 }, "eof");
+        assert_eq!(d.line_text, "");
+        assert!(d.to_string().contains("9:1"));
+    }
+}

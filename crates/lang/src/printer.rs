@@ -1,0 +1,355 @@
+//! Canonical pretty-printer: [`Program`] → `.aov` source.
+//!
+//! The output is designed to reparse to a structurally identical program
+//! (checked by a built-in self-check), which is what makes golden-file
+//! round-trip tests and generator shrink-repro files possible:
+//!
+//! * constraints are stored normalized (integer, coprime coefficients),
+//!   and normalization is idempotent, so printing a stored constraint and
+//!   reparsing it reproduces the constraint exactly;
+//! * adjacent constraint pairs in `bound()` shape are re-sugared to
+//!   `lo <= i <= hi;` chains, which lower back to the same two
+//!   constraints in the same order;
+//! * `param_min`-shaped leading parameter constraints are re-sugared to
+//!   `param n >= min;`, everything else becomes an `assume`;
+//! * array reads are inlined into the body in read-index order, so the
+//!   reparse registers them with identical indices.
+
+use aov_ir::{Expr, Program, Statement};
+use aov_linalg::{AffineExpr, VarSet};
+use aov_numeric::Rational;
+use aov_polyhedra::Constraint;
+use std::fmt;
+
+/// Why a program could not be rendered as `.aov` source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrintError(pub String);
+
+impl fmt::Display for PrintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot print program: {}", self.0)
+    }
+}
+
+impl std::error::Error for PrintError {}
+
+const KEYWORDS: [&str; 5] = ["program", "param", "array", "stmt", "assume"];
+
+fn check_ident(name: &str, what: &str) -> Result<(), PrintError> {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if !head_ok || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(PrintError(format!(
+            "{what} `{name}` is not a valid identifier"
+        )));
+    }
+    if KEYWORDS.contains(&name) {
+        return Err(PrintError(format!(
+            "{what} `{name}` collides with a keyword"
+        )));
+    }
+    Ok(())
+}
+
+fn int_of(r: &Rational, what: &str) -> Result<i64, PrintError> {
+    r.to_i64()
+        .filter(|_| r.is_integer())
+        .ok_or_else(|| PrintError(format!("{what} {r} is not a (small) integer")))
+}
+
+/// Renders an affine expression in the canonical parseable form
+/// (`2*i - j + 3`, `-i`, `0`, ...). All coefficients must be integers.
+fn render_affine(e: &AffineExpr, vars: &VarSet) -> Result<String, PrintError> {
+    let mut out = String::new();
+    for k in 0..e.dim() {
+        let c = int_of(e.coeff(k), "coefficient")?;
+        if c == 0 {
+            continue;
+        }
+        if out.is_empty() {
+            if c < 0 {
+                out.push('-');
+            }
+        } else {
+            out.push_str(if c < 0 { " - " } else { " + " });
+        }
+        let a = c.unsigned_abs();
+        if a != 1 {
+            out.push_str(&format!("{a}*"));
+        }
+        out.push_str(vars.name(k));
+    }
+    let k = int_of(e.constant_term(), "constant")?;
+    if k != 0 || out.is_empty() {
+        if out.is_empty() {
+            out.push_str(&k.to_string());
+        } else {
+            out.push_str(if k < 0 { " - " } else { " + " });
+            out.push_str(&k.unsigned_abs().to_string());
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a constraint as a standalone line (`expr >= 0` / `expr == 0`).
+fn render_constraint(c: &Constraint, vars: &VarSet) -> Result<String, PrintError> {
+    let rel = if c.is_equality() { "==" } else { ">=" };
+    Ok(format!("{} {rel} 0", render_affine(c.expr(), vars)?))
+}
+
+/// Recognizes the `param_min` shape: `+1·x_k - min >= 0` with no other
+/// coefficients. Returns `min`.
+fn param_min_shape(c: &Constraint, k: usize) -> Option<i64> {
+    if c.is_equality() {
+        return None;
+    }
+    let e = c.expr();
+    if e.coeff(k) != &Rational::from(1) {
+        return None;
+    }
+    for j in 0..e.dim() {
+        if j != k && !e.coeff(j).is_zero() {
+            return None;
+        }
+    }
+    let konst = e.constant_term();
+    konst
+        .is_integer()
+        .then(|| konst.to_i64())
+        .flatten()
+        .map(|v| -v)
+}
+
+/// Recognizes a `bound()`-shaped pair: `c1 = it_k - lo >= 0`,
+/// `c2 = hi - it_k >= 0` for some iterator `k < depth`. Returns the
+/// rendered `lo <= it <= hi` chain.
+fn bound_pair(c1: &Constraint, c2: &Constraint, depth: usize, vars: &VarSet) -> Option<String> {
+    if c1.is_equality() || c2.is_equality() {
+        return None;
+    }
+    let one = Rational::from(1);
+    for k in 0..depth {
+        if c1.expr().coeff(k) == &one && c2.expr().coeff(k) == &-&one {
+            let it = AffineExpr::var(c1.dim(), k);
+            let lo = &it - c1.expr();
+            let hi = &it + c2.expr();
+            let (Ok(lo), Ok(hi)) = (render_affine(&lo, vars), render_affine(&hi, vars)) else {
+                return None;
+            };
+            return Some(format!("{lo} <= {} <= {hi}", vars.name(k)));
+        }
+    }
+    None
+}
+
+fn render_access(
+    p: &Program,
+    s: &Statement,
+    read: usize,
+    vars: &VarSet,
+) -> Result<String, PrintError> {
+    let acc = &s.reads()[read];
+    let name = p.array(acc.array()).name();
+    check_ident(name, "array name")?;
+    let mut out = String::from(name);
+    for idx in acc.index() {
+        out.push('[');
+        out.push_str(&render_affine(idx, vars)?);
+        out.push(']');
+    }
+    Ok(out)
+}
+
+fn render_body(p: &Program, s: &Statement, e: &Expr, vars: &VarSet) -> Result<String, PrintError> {
+    match e {
+        Expr::Read(k) => {
+            if *k >= s.reads().len() {
+                return Err(PrintError(format!("body references missing read #{k}")));
+            }
+            render_access(p, s, *k, vars)
+        }
+        Expr::Call(name, args) => {
+            check_ident(name, "function name")?;
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| render_body(p, s, a, vars))
+                .collect::<Result<_, _>>()?;
+            Ok(format!("{name}({})", rendered.join(", ")))
+        }
+        Expr::Const(v) => Ok(v.to_string()),
+        Expr::Iter(k) => {
+            let name = s
+                .iters()
+                .get(*k)
+                .ok_or_else(|| PrintError(format!("body references missing iterator #{k}")))?;
+            Ok(name.clone())
+        }
+        Expr::Param(k) => {
+            if *k >= p.num_params() {
+                return Err(PrintError(format!(
+                    "body references missing parameter #{k}"
+                )));
+            }
+            Ok(p.params().names()[*k].clone())
+        }
+    }
+}
+
+fn render_stmt(p: &Program, s: &Statement, out: &mut String) -> Result<(), PrintError> {
+    check_ident(s.name(), "statement name")?;
+    for it in s.iters() {
+        check_ident(it, "iterator name")?;
+    }
+    let vars = s.space(p.params());
+    out.push_str(&format!("stmt {}({}) {{\n", s.name(), s.iters().join(", ")));
+
+    // Domain constraints: re-sugar adjacent bound pairs, print the rest
+    // bare. Either form reparses to the identical constraint sequence.
+    let cs = s.domain().constraints();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 1 < cs.len() {
+            if let Some(line) = bound_pair(&cs[i], &cs[i + 1], s.depth(), &vars) {
+                out.push_str(&format!("  {line};\n"));
+                i += 2;
+                continue;
+            }
+        }
+        out.push_str(&format!("  {};\n", render_constraint(&cs[i], &vars)?));
+        i += 1;
+    }
+
+    // The body's reads must be exactly 0..n in pre-order: the reparse
+    // registers reads as it meets them, so any other shape would permute
+    // the access list.
+    let seen = s.body().reads();
+    let want: Vec<usize> = (0..s.reads().len()).collect();
+    if seen != want {
+        return Err(PrintError(format!(
+            "statement `{}` body reads {seen:?} are not exactly 0..{} in order",
+            s.name(),
+            s.reads().len()
+        )));
+    }
+
+    let array = p.array(s.writes()).name();
+    check_ident(array, "array name")?;
+    let mut lhs = String::from(array);
+    for it in s.iters() {
+        lhs.push('[');
+        lhs.push_str(it);
+        lhs.push(']');
+    }
+    let body = render_body(p, s, s.body(), &vars)?;
+    out.push_str(&format!("  {lhs} = {body};\n}}\n"));
+    Ok(())
+}
+
+/// Renders `p` as `.aov` source and self-checks that the output reparses
+/// to a structurally identical program.
+///
+/// # Errors
+///
+/// Returns a [`PrintError`] when the program cannot be expressed in the
+/// surface language (non-integer coefficients, invalid identifiers,
+/// out-of-order read references) or the self-check fails.
+pub fn to_source(p: &Program) -> Result<String, PrintError> {
+    check_ident(p.name(), "program name")?;
+    let mut out = format!("program {};\n", p.name());
+
+    if p.num_params() > 0 {
+        out.push('\n');
+    }
+    let pcs = p.param_domain().constraints();
+    let mut ptr = 0;
+    for (k, name) in p.params().names().iter().enumerate() {
+        check_ident(name, "parameter name")?;
+        if ptr < pcs.len() {
+            if let Some(min) = param_min_shape(&pcs[ptr], k) {
+                out.push_str(&format!("param {name} >= {min};\n"));
+                ptr += 1;
+                continue;
+            }
+        }
+        out.push_str(&format!("param {name};\n"));
+    }
+    for c in &pcs[ptr..] {
+        out.push_str(&format!("assume {};\n", render_constraint(c, p.params())?));
+    }
+
+    if !p.arrays().is_empty() {
+        out.push('\n');
+    }
+    for a in p.arrays() {
+        check_ident(a.name(), "array name")?;
+        out.push_str(&format!("array {}[{}];\n", a.name(), a.dim()));
+    }
+
+    for s in p.statements() {
+        out.push('\n');
+        render_stmt(p, s, &mut out)?;
+    }
+
+    // Self-check: the output must reparse to the same structure.
+    match crate::parse(&out) {
+        Ok(back) if crate::structural_eq(p, &back) => Ok(out),
+        Ok(_) => Err(PrintError(
+            "round-trip self-check failed: reparse differs structurally".into(),
+        )),
+        Err(d) => Err(PrintError(format!(
+            "round-trip self-check failed to reparse: {d}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aov_ir::examples;
+
+    #[test]
+    fn all_examples_print_and_roundtrip() {
+        for p in [
+            examples::example1(),
+            examples::example2(),
+            examples::example3(),
+            examples::example4(),
+            examples::unschedulable(),
+            examples::heat1d(),
+            examples::prefix_sum(),
+            examples::wavefront2d(),
+            examples::skewed_stencil(),
+            examples::example1_sized(4, 5),
+        ] {
+            // to_source self-checks the round-trip already; just unwrap.
+            let src = to_source(&p).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert!(src.starts_with(&format!("program {};", p.name())));
+        }
+    }
+
+    #[test]
+    fn printing_is_a_fixed_point() {
+        let p = examples::example3();
+        let s1 = to_source(&p).unwrap();
+        let p2 = crate::parse(&s1).unwrap();
+        let s2 = to_source(&p2).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn bound_sugar_is_recovered() {
+        let src = to_source(&examples::example1()).unwrap();
+        assert!(src.contains("1 <= i <= n;"), "{src}");
+        assert!(src.contains("1 <= j <= m;"), "{src}");
+        assert!(src.contains("param n >= 1;"), "{src}");
+    }
+
+    #[test]
+    fn non_bound_constraints_print_bare() {
+        let src = to_source(&examples::skewed_stencil()).unwrap();
+        // The extra `i <= j + n` constraint is not a bound pair.
+        assert!(src.contains(">= 0;"), "{src}");
+    }
+}

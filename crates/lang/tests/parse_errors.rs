@@ -1,0 +1,146 @@
+//! Negative corpus: every malformed input must produce a caret
+//! diagnostic pointing at a sensible line/column — never a panic, never
+//! a silent acceptance.
+
+use aov_lang::parse;
+
+/// (source, expected message fragment, expected 1-based line).
+const NEGATIVE: &[(&str, &str, u32)] = &[
+    // Lexer errors.
+    ("program p$;\n", "unexpected character", 1),
+    (
+        "program p;\nparam n >= 99999999999999999999;\n",
+        "out of range",
+        2,
+    ),
+    // Parser errors.
+    ("", "expected keyword `program`", 1),
+    ("program ;\n", "expected program name", 1),
+    ("program p\nparam n;\n", "expected `;`", 2),
+    (
+        "program p;\nbogus x;\n",
+        "expected `param`, `assume`, `array` or `stmt`",
+        2,
+    ),
+    ("program p;\narray A;\n", "expected `[`", 2),
+    (
+        "program p;\narray A[0];\n",
+        "dimensionality must be >= 1",
+        2,
+    ),
+    (
+        "program p;\nstmt S() {}\n",
+        "expected loop iterator name",
+        2,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= i <= 4;\n",
+        "unclosed statement block",
+        5,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  i;\n  A[i] = 0;\n}\n",
+        "relational operator",
+        4,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= i <= 4;\n  A[i] = ;\n}\n",
+        "expected an expression",
+        5,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= i <= 4;\n  A[i] = 1;\n  A[i] = 2;\n}\n",
+        "more than one write",
+        6,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= i <= 4;\n}\n",
+        "has no write",
+        3,
+    ),
+    // Lowering errors.
+    ("program p;\nparam n;\nparam n;\n", "duplicate parameter", 3),
+    (
+        "program p;\narray A[1];\narray A[2];\n",
+        "duplicate array",
+        3,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= i <= 4;\n  B[i] = 0;\n}\n",
+        "unknown array `B`",
+        5,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= q <= 4;\n  A[i] = 0;\n}\n",
+        "unknown variable `q`",
+        4,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i, i) {\n  1 <= i <= 4;\n  A[i] = 0;\n}\n",
+        "duplicate loop iterator",
+        3,
+    ),
+    (
+        "program p;\nparam n >= 1;\narray A[1];\nstmt S(n) {\n  1 <= n <= 4;\n  A[n] = 0;\n}\n",
+        "shadows a structural parameter",
+        4,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= i <= 4;\n  A[2*i] = 0;\n}\n",
+        "must be the loop iterator",
+        5,
+    ),
+    (
+        "program p;\narray A[2];\nstmt S(i) {\n  1 <= i <= 4;\n  A[i] = 0;\n}\n",
+        "write to `A` has 1 indices",
+        5,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= i <= 4;\n  A[i] = A[i - 1][i];\n}\n",
+        "read of `A` has 2 indices",
+        5,
+    ),
+    (
+        "program p;\narray A[1];\nstmt S(i) {\n  1 <= i <= 4;\n  A[i] = 0;\n}\nparam n;\n",
+        "parameters must be declared before statements",
+        7,
+    ),
+    // Validation failures surface as diagnostics, too.
+    (
+        "program p;\narray A[1];\narray B[1];\nstmt S(i) {\n  1 <= i <= 4;\n  A[i] = 0;\n}\n",
+        "never written",
+        1,
+    ),
+];
+
+#[test]
+fn negative_corpus_produces_caret_diagnostics() {
+    for (src, fragment, line) in NEGATIVE {
+        let err = match parse(src) {
+            Err(e) => e,
+            Ok(_) => panic!("accepted malformed input:\n{src}"),
+        };
+        assert!(
+            err.message.contains(fragment),
+            "wrong message for:\n{src}\n  got: {}\n  want fragment: {fragment}",
+            err.message
+        );
+        assert_eq!(
+            err.line, *line,
+            "wrong line for:\n{src}\n  got {} want {line} ({})",
+            err.line, err.message
+        );
+        // Renders without panicking and includes the caret scaffolding.
+        let rendered = err.render("test.aov");
+        assert!(rendered.contains("error: "), "{rendered}");
+        assert!(rendered.contains("^"), "{rendered}");
+        assert!(rendered.contains(&format!("test.aov:{}:{}", err.line, err.col)));
+    }
+}
+
+#[test]
+fn diagnostic_points_at_offending_column() {
+    let err = parse("program p;\nparam n >= ;\n").unwrap_err();
+    assert_eq!((err.line, err.col), (2, 12));
+    assert_eq!(err.line_text, "param n >= ;");
+}

@@ -1,0 +1,69 @@
+//! Golden round-trip tests over the built-in `.aov` corpus.
+//!
+//! Pins three properties per corpus program:
+//! 1. the checked-in file is byte-identical to the canonical printer
+//!    output of the hand-built program (printer golden),
+//! 2. parsing the file yields a program structurally identical to the
+//!    hand-built one (parser golden),
+//! 3. print → parse → print is a fixed point.
+
+use aov_lang::{corpus, parse, structural_eq, to_source};
+
+#[test]
+fn corpus_files_match_printer_output() {
+    for name in corpus::names() {
+        let hand = corpus::hand_built(name).unwrap();
+        let printed = to_source(&hand).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let file = corpus::source(name).unwrap();
+        assert_eq!(
+            printed, file,
+            "{name}.aov is stale — regenerate with \
+             `cargo test -p aov-lang regenerate_corpus -- --ignored`"
+        );
+    }
+}
+
+#[test]
+fn corpus_files_parse_to_hand_built_programs() {
+    for name in corpus::names() {
+        let parsed = parse(corpus::source(name).unwrap())
+            .unwrap_or_else(|e| panic!("{name}: {}", e.render(&format!("{name}.aov"))));
+        let hand = corpus::hand_built(name).unwrap();
+        assert!(
+            structural_eq(&parsed, &hand),
+            "{name}: parsed program differs from hand-built"
+        );
+        assert!(parsed.validate().is_ok(), "{name}: parsed program invalid");
+    }
+}
+
+#[test]
+fn print_parse_print_is_fixed_point() {
+    for name in corpus::names() {
+        let s1 = corpus::source(name).unwrap();
+        let p = parse(s1).unwrap();
+        let s2 = to_source(&p).unwrap();
+        assert_eq!(s1, s2, "{name}: print∘parse not a fixed point");
+    }
+}
+
+#[test]
+fn auxiliary_examples_roundtrip_structurally() {
+    use aov_ir::examples;
+    for p in [
+        examples::heat1d(),
+        examples::prefix_sum(),
+        examples::wavefront2d(),
+        examples::skewed_stencil(),
+        examples::example1_sized(3, 4),
+        examples::wavefront2d_sized(4, 4),
+    ] {
+        let src = to_source(&p).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+        let back = parse(&src).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+        assert!(
+            structural_eq(&p, &back),
+            "{} differs after round-trip",
+            p.name()
+        );
+    }
+}

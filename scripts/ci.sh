@@ -73,12 +73,36 @@ if [ "$status" -ne 0 ]; then
 fi
 ./target/release/aov --check-report "$chaos_file"
 
+echo "== parse round-trip"
+# Every corpus file must parse, print, and reparse to a fixed point
+# (aov run --check), and a malformed file must produce a caret
+# diagnostic with usage exit code 64, not a crash.
+./target/release/aov run --check examples/*.aov
+bad_file="$(mktemp /tmp/aov-bad-smoke.XXXXXX.aov)"
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file"' EXIT
+printf 'program broken;\nstmt S(i) {\n  1 <= i <= ;\n}\n' > "$bad_file"
+status=0
+./target/release/aov run "$bad_file" > /dev/null 2> /dev/null || status=$?
+if [ "$status" -ne 64 ]; then
+    echo "parse round-trip: malformed file: expected exit 64, got $status"
+    exit 1
+fi
+
+echo "== fuzz smoke"
+# A quick differential campaign must complete cleanly: exit 0 means
+# every case is ok or legitimately degraded — zero oracle mismatches,
+# zero panics, zero schema-invalid reports.
+repro_dir="$(mktemp -d /tmp/aov-fuzz-smoke.XXXXXX)"
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file"; rm -rf "$repro_dir"' EXIT
+./target/release/aov fuzz --seed 1 --count 25 --quick \
+    --repro-dir "$repro_dir" --compact > /dev/null
+
 echo "== diag smoke"
 # One injected fault with --diag-dir armed must produce exactly one
 # crash-diagnostic bundle that validates against the aov-diag/1 schema
 # (aov inspect --check) and renders without error.
 diag_dir="$(mktemp -d /tmp/aov-diag-smoke.XXXXXX)"
-trap 'rm -f "$trace_file" "$bench_file" "$chaos_file"; rm -rf "$diag_dir"' EXIT
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file"; rm -rf "$repro_dir" "$diag_dir"' EXIT
 status=0
 AOV_CHAOS="site=lp.simplex,kind=panic,nth=2" \
     ./target/release/aov example1 --workers 2 --diag-dir "$diag_dir" \

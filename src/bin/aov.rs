@@ -1,13 +1,26 @@
 //! The `aov` command line: run the instrumented pipeline on one of the
-//! paper's examples and print a JSON report, or drive the benchmark
+//! paper's examples or a `.aov` source file and print a JSON report,
+//! fuzz the pipeline differentially, or drive the benchmark
 //! observatory.
 //!
 //! ```text
 //! aov <example1|example2|example3|example4|unschedulable|all> [options]
+//! aov run FILE.aov [options]
 //!
 //!   (`unschedulable` is the degradation-ladder demo: a program with no
 //!   one-dimensional affine schedule; the run exits 3 with a report
 //!   naming the violated dependence)
+//!
+//!   `aov run` sends a textual program through the identical pipeline;
+//!   a syntax or lowering error prints a caret diagnostic and exits 64.
+//!
+//!   --example NAME     load a built-in example *through the parser*
+//!                      (the checked-in examples/NAME.aov corpus file)
+//!                      instead of the hand-built constructor; positional
+//!                      names keep the hand-built path
+//!   --check            parse only: verify each file/example parses and
+//!                      that print ∘ parse is a fixed point, then exit
+//!                      without running the pipeline
 //!
 //!   --workers N        fan the per-orthant solvers out over N threads
 //!                      (default: available parallelism, capped at 8)
@@ -49,6 +62,35 @@
 //!   `--trace` or `--diag-dir` will consume it (and under `aov
 //!   bench`); plain runs disarm it — their reports carry frozen
 //!   alloc columns — keeping telemetry within its 1%-of-wall budget.
+//!
+//! aov fuzz [options]
+//!
+//!   Differential fuzzing: seeded random programs through the full
+//!   pipeline. Every report is validated against the report schema, and
+//!   each healthy run is re-checked by an independent oracle that
+//!   rebuilds the storage transforms from the report's published AOV
+//!   vectors and replays both executions through the interpreter.
+//!   Mismatching or failing cases are shrunk to a minimal `.aov` repro
+//!   plus a crash-diagnostic bundle. Deterministic: a campaign is a
+//!   pure function of (--seed, --count, profile) — never of --workers.
+//!
+//!   --seed S           campaign seed (default 1); case i uses
+//!                      mix(S, i)
+//!   --count N          number of cases (default 100)
+//!   --quick            smaller programs, tighter budgets (CI smoke)
+//!   --workers N        solver fan-out threads per case
+//!   --repro-dir DIR    where minimal repros and diag bundles land
+//!                      (default fuzz-repros/)
+//!   --out FILE         write the campaign summary JSON here
+//!                      (default: stdout)
+//!   --compact          one-line summary JSON
+//!   --budget-pivots N  override the per-case work budget; wall-clock
+//!   --budget-nodes N   budgets are refused (their trips are
+//!                      nondeterministic)
+//!
+//!   exit: 0 clean, 1 any mismatch, 2 any failure or schema-invalid
+//!   report (degraded cases — unschedulable seeds, budget trips — are
+//!   expected and do not gate)
 //!
 //! aov bench [options]
 //!
@@ -107,8 +149,28 @@ use aov_engine::{BudgetSpec, Health, Pipeline};
 use aov_fault::chaos;
 use aov_support::{Json, ToJson};
 
+/// One program request on the main command line, in the order given.
+enum ProgramSpec {
+    /// A positional example name — the hand-built constructor path.
+    Builtin(String),
+    /// `--example NAME` — the checked-in corpus file through the parser.
+    Example(String),
+    /// `aov run FILE.aov` — a user source file through the parser.
+    File(String),
+}
+
+impl ProgramSpec {
+    /// Display label for reports and error messages.
+    fn label(&self) -> &str {
+        match self {
+            ProgramSpec::Builtin(s) | ProgramSpec::Example(s) | ProgramSpec::File(s) => s,
+        }
+    }
+}
+
 struct Options {
-    programs: Vec<String>,
+    programs: Vec<ProgramSpec>,
+    check_syntax: bool,
     workers: usize,
     memoize: bool,
     legacy_memo_keys: bool,
@@ -133,7 +195,12 @@ fn usage() -> ! {
          [--machine] [--params A,B,..] [--runs N] [--compact] \
          [--trace FILE] [--profile] [--mem] [--diag-dir DIR] \
          [--budget-pivots N] \
-         [--budget-nodes N] [--budget-ms N] [--chaos SPEC]\n       \
+         [--budget-nodes N] [--budget-ms N] [--chaos SPEC] \
+         [--example NAME] [--check]\n       \
+         aov run FILE.aov [same options]\n       \
+         aov fuzz [--seed S] [--count N] [--quick] [--workers N] \
+         [--repro-dir DIR] [--out FILE] [--compact] [--budget-pivots N] \
+         [--budget-nodes N]\n       \
          aov bench [--runs N] [--out FILE] [--baseline FILE] \
          [--fail-on-regression] [--examples A,B] [--workers N] [--quick] \
          [--no-figures] [--check FILE] [--budget-pivots N] \
@@ -166,9 +233,12 @@ fn parse_budget_flag(
     true
 }
 
-fn parse(args: &[String]) -> Options {
+/// Parses the main command line; under `run_mode` (`aov run …`),
+/// positional arguments are `.aov` file paths instead of example names.
+fn parse(args: &[String], run_mode: bool) -> Options {
     let mut opts = Options {
         programs: Vec::new(),
+        check_syntax: false,
         workers: aov_bench::default_workers(),
         memoize: false,
         legacy_memo_keys: false,
@@ -237,17 +307,102 @@ fn parse(args: &[String]) -> Options {
                 Some(spec) => opts.chaos = Some(spec.clone()),
                 None => usage(),
             },
-            "all" => {
-                opts.programs.extend((1..=4).map(|k| format!("example{k}")));
+            "--example" => match it.next() {
+                Some(name) => opts.programs.push(ProgramSpec::Example(name.clone())),
+                None => usage(),
+            },
+            "--check" => opts.check_syntax = true,
+            "all" if !run_mode => {
+                opts.programs
+                    .extend((1..=4).map(|k| ProgramSpec::Builtin(format!("example{k}"))));
             }
-            name if !name.starts_with('-') => opts.programs.push(name.to_string()),
+            name if !name.starts_with('-') => opts.programs.push(if run_mode {
+                ProgramSpec::File(name.to_string())
+            } else {
+                ProgramSpec::Builtin(name.to_string())
+            }),
             _ => usage(),
         }
     }
     if opts.programs.is_empty() && opts.check_trace.is_none() && opts.check_report.is_none() {
         usage();
     }
+    if opts.check_syntax
+        && opts
+            .programs
+            .iter()
+            .any(|s| matches!(s, ProgramSpec::Builtin(_)))
+    {
+        // --check is a parser-path mode; hand-built names have no
+        // source text to check.
+        usage();
+    }
     opts
+}
+
+/// Reads and parses the source behind a parser-path program spec,
+/// exiting 64 with a caret diagnostic on any syntax or lowering error.
+fn load_source_program(spec: &ProgramSpec) -> (String, aov_ir::Program) {
+    let (display, source) = match spec {
+        ProgramSpec::Builtin(_) => unreachable!("builtin specs never take the parser path"),
+        ProgramSpec::Example(name) => match aov_lang::corpus::source(name) {
+            Some(src) => (format!("examples/{name}.aov"), src.to_string()),
+            None => {
+                eprintln!(
+                    "aov: --example {name}: unknown (expected one of {})",
+                    aov_lang::corpus::names().collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(64);
+            }
+        },
+        ProgramSpec::File(path) => match std::fs::read_to_string(path) {
+            Ok(src) => (path.clone(), src),
+            Err(e) => {
+                eprintln!("aov: {path}: {e}");
+                std::process::exit(64);
+            }
+        },
+    };
+    match aov_lang::parse(&source) {
+        Ok(p) => (display, p),
+        Err(d) => {
+            eprintln!("{}", d.render(&display));
+            std::process::exit(64);
+        }
+    }
+}
+
+/// `--check`: parse every file/example and verify print ∘ parse is a
+/// fixed point, without running the pipeline. Exits 64 on the first
+/// diagnostic (inside [`load_source_program`]).
+fn check_syntax_main(opts: &Options) -> i32 {
+    let mut bad = 0;
+    for spec in &opts.programs {
+        let (display, program) = load_source_program(spec);
+        let roundtrip = aov_lang::to_source(&program)
+            .map_err(|e| e.to_string())
+            .and_then(|src| {
+                aov_lang::parse(&src)
+                    .map_err(|d| d.to_string())
+                    .map(|back| aov_lang::structural_eq(&program, &back))
+            });
+        match roundtrip {
+            Ok(true) => eprintln!(
+                "aov: {display}: ok (program {}, {} statement(s))",
+                program.name(),
+                program.statements().len()
+            ),
+            Ok(false) => {
+                eprintln!("aov: {display}: print ∘ parse is not a fixed point");
+                bad += 1;
+            }
+            Err(e) => {
+                eprintln!("aov: {display}: not reprintable: {e}");
+                bad += 1;
+            }
+        }
+    }
+    i32::from(bad > 0)
 }
 
 /// Validates a written pipeline report (healthy or degraded) against
@@ -714,6 +869,122 @@ fn render_bundle(path: &str, doc: &Json) {
     }
 }
 
+/// `aov fuzz`: run a differential fuzzing campaign (see [`aov::fuzz`]).
+fn fuzz_main(args: &[String]) -> i32 {
+    let mut seed: u64 = 1;
+    let mut count: usize = 100;
+    let mut quick = false;
+    let mut workers = aov_bench::default_workers();
+    let mut repro_dir: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut compact = false;
+    let mut budget = BudgetSpec::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if parse_budget_flag(&mut budget, arg, &mut it) {
+            continue;
+        }
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => usage(),
+            },
+            "--count" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => count = n,
+                None => usage(),
+            },
+            "--quick" => quick = true,
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => workers = w,
+                None => usage(),
+            },
+            "--repro-dir" => match it.next() {
+                Some(d) => repro_dir = Some(d.clone()),
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(f.clone()),
+                None => usage(),
+            },
+            "--compact" => compact = true,
+            _ => usage(),
+        }
+    }
+    if budget.ms.is_some() {
+        eprintln!(
+            "aov fuzz: wall-clock budgets are nondeterministic; use --budget-pivots/--budget-nodes"
+        );
+        std::process::exit(64);
+    }
+    let mut cfg = if quick {
+        aov::fuzz::FuzzConfig::quick(seed, count)
+    } else {
+        aov::fuzz::FuzzConfig::new(seed, count)
+    };
+    cfg.workers = workers;
+    if let Some(p) = budget.pivots {
+        cfg.budget.pivots = Some(p);
+    }
+    if let Some(n) = budget.nodes {
+        cfg.budget.nodes = Some(n);
+    }
+    if let Some(dir) = repro_dir {
+        cfg.repro_dir = dir.into();
+    }
+    // The oracle re-executes every healthy case through the
+    // interpreter; per-event allocator accounting would dominate.
+    aov_support::alloc::set_counting(false);
+    eprintln!(
+        "aov fuzz: seed {seed}, {count} case(s), workers {workers}{}",
+        if quick { ", quick" } else { "" }
+    );
+    let summary = aov::fuzz::run(&cfg, |case| {
+        if case.verdict != aov::fuzz::Verdict::Ok {
+            eprintln!(
+                "aov fuzz: case {} ({}): {} — {}{}",
+                case.index,
+                case.program,
+                case.verdict.name(),
+                case.detail,
+                case.repro
+                    .as_ref()
+                    .map_or(String::new(), |p| format!(" [repro {}]", p.display()))
+            );
+        }
+    });
+    eprintln!(
+        "aov fuzz: {} ok, {} degraded, {} mismatch, {} failed, {} schema violation(s) in {} µs",
+        summary.count(aov::fuzz::Verdict::Ok),
+        summary.count(aov::fuzz::Verdict::Degraded),
+        summary.count(aov::fuzz::Verdict::Mismatch),
+        summary.count(aov::fuzz::Verdict::Failed),
+        summary.schema_violations(),
+        summary.total_micros
+    );
+    let doc = summary.to_json();
+    let text = if compact {
+        let mut line = doc.to_compact();
+        line.push('\n');
+        line
+    } else {
+        doc.to_pretty()
+    };
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("aov fuzz: cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("aov fuzz: summary written to {path}");
+        }
+        None => {
+            use std::io::Write;
+            let _ = std::io::stdout().write_all(text.as_bytes());
+        }
+    }
+    summary.exit_code()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
@@ -722,13 +993,20 @@ fn main() {
     if args.first().map(String::as_str) == Some("inspect") {
         std::process::exit(inspect_main(&args[1..]));
     }
-    let opts = parse(&args);
+    if args.first().map(String::as_str) == Some("fuzz") {
+        std::process::exit(fuzz_main(&args[1..]));
+    }
+    let run_mode = args.first().map(String::as_str) == Some("run");
+    let opts = parse(if run_mode { &args[1..] } else { &args }, run_mode);
 
     if let Some(path) = &opts.check_trace {
         std::process::exit(check_trace(path));
     }
     if let Some(path) = &opts.check_report {
         std::process::exit(check_report(path));
+    }
+    if opts.check_syntax {
+        std::process::exit(check_syntax_main(&opts));
     }
 
     // Arm chaos injection: the --chaos flag wins over AOV_CHAOS.
@@ -774,13 +1052,19 @@ fn main() {
     let mut all_records: Vec<aov_trace::SpanRecord> = Vec::new();
     let mut any_degraded = false;
     let mut any_inequivalent = false;
-    for name in &opts.programs {
-        let mut pipeline = match Pipeline::for_example(name) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("aov: {e}");
-                std::process::exit(64);
-            }
+    for spec in &opts.programs {
+        let name = &spec.label().to_string();
+        // Program resolution runs inside the loop so the parser's
+        // `lang.parse`/`lang.lower` spans land in --profile/--trace.
+        let mut pipeline = match spec {
+            ProgramSpec::Builtin(name) => match Pipeline::for_example(name) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("aov: {e}");
+                    std::process::exit(64);
+                }
+            },
+            parser_path => Pipeline::new(load_source_program(parser_path).1),
         };
         pipeline = pipeline
             .workers(opts.workers)

@@ -1,0 +1,597 @@
+//! Differential fuzzing of the whole pipeline.
+//!
+//! Each case draws a seeded program from [`aov_gen`], runs it through the
+//! instrumented [`aov_engine::Pipeline`], validates the emitted report
+//! against [`aov_engine::report_schema`], and — for healthy runs —
+//! re-derives the storage transforms from the *published* AOV vectors and
+//! replays both executions through [`aov_interp`], asserting that the
+//! transformed, scheduled program computes the same value for every
+//! statement instance as the original. The engine's own equivalence
+//! stage is thereby cross-checked by an oracle that only trusts the
+//! report, not the engine's internals.
+//!
+//! Verdicts per case:
+//!
+//! * `ok` — every stage ran, both the engine's check and the independent
+//!   oracle agree the semantics are preserved;
+//! * `degraded` — a legitimate outcome: the program has no 1-d affine
+//!   schedule (the generator seeds some on purpose) or a work budget
+//!   tripped; the degradation ladder, not the fuzzer, owns these;
+//! * `mismatch` — the differential oracle (or the engine's own check)
+//!   refutes the transformation: a real storage/schedule bug;
+//! * `failed` — a hard failure, an isolated panic, or a report that does
+//!   not match the schema.
+//!
+//! Mismatching and failing cases are shrunk with [`aov_gen::shrink`] to a
+//! minimal reproducer, written as a `.aov` file (plus a crash-diagnostic
+//! bundle from re-running the shrunk case with a diag dir) so a failure
+//! is actionable without re-running the fuzzer.
+//!
+//! Determinism: per-case seeds are `mix(seed, index)`, budgets are
+//! work-based (pivots/nodes, never wall-clock), and the generator,
+//! solver fan-out and shrinker are all deterministic — so a summary is a
+//! pure function of `(seed, count, config)`, independent of `--workers`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use aov_core::problems;
+use aov_core::transform::StorageTransform;
+use aov_engine::{report_schema, BudgetSpec, Health, Pipeline, Report};
+use aov_gen::{generate, shrink::shrink, Flavor, GenConfig, Generated};
+use aov_interp::validate::semantics_preserved;
+use aov_ir::Program;
+use aov_support::rng::mix;
+use aov_support::{Json, ToJson};
+use aov_trace::span;
+
+/// Configuration for one fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign seed; case `i` uses `mix(seed, i)`.
+    pub seed: u64,
+    /// Number of cases.
+    pub count: usize,
+    /// Solver fan-out threads per pipeline run.
+    pub workers: usize,
+    /// Smaller programs, tighter budgets, fewer shrink evaluations.
+    pub quick: bool,
+    /// Where minimal `.aov` repros and diag bundles land.
+    pub repro_dir: PathBuf,
+    /// Work budget per pipeline run. Wall-clock budgets are refused:
+    /// their trips are nondeterministic and would make a campaign
+    /// unreproducible.
+    pub budget: BudgetSpec,
+    /// Program-shape knobs passed to the generator.
+    pub gen: GenConfig,
+}
+
+impl FuzzConfig {
+    /// The default campaign shape for `seed`: full-size generator
+    /// profile and a generous work budget (a budget trip is a
+    /// legitimate degraded outcome, not a fuzzing bug, so the cap only
+    /// exists to bound runaway cases).
+    pub fn new(seed: u64, count: usize) -> Self {
+        FuzzConfig {
+            seed,
+            count,
+            workers: 1,
+            quick: false,
+            repro_dir: PathBuf::from("fuzz-repros"),
+            budget: BudgetSpec {
+                pivots: Some(2_000_000),
+                nodes: Some(200_000),
+                ms: None,
+            },
+            gen: GenConfig::default(),
+        }
+    }
+
+    /// The `--quick` smoke profile: smaller programs, tighter budgets.
+    pub fn quick(seed: u64, count: usize) -> Self {
+        FuzzConfig {
+            quick: true,
+            budget: BudgetSpec {
+                pivots: Some(400_000),
+                nodes: Some(40_000),
+                ms: None,
+            },
+            gen: GenConfig::quick(),
+            ..FuzzConfig::new(seed, count)
+        }
+    }
+
+    /// Shrink-phase budget: full pipeline evaluations per failing case.
+    fn shrink_evals(&self) -> usize {
+        if self.quick {
+            15
+        } else {
+            40
+        }
+    }
+}
+
+/// Classification of one fuzz case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Healthy run, equivalence confirmed by engine and oracle.
+    Ok,
+    /// Unschedulable program or tripped budget — the ladder degraded
+    /// deterministically, nothing to report.
+    Degraded,
+    /// The transformation changed observable semantics.
+    Mismatch,
+    /// Hard failure, isolated panic, or schema-invalid report.
+    Failed,
+}
+
+impl Verdict {
+    /// Stable lowercase name (used in JSON and file names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Degraded => "degraded",
+            Verdict::Mismatch => "mismatch",
+            Verdict::Failed => "failed",
+        }
+    }
+}
+
+/// The outcome of one fuzz case.
+#[derive(Debug)]
+pub struct CaseResult {
+    /// Case index within the campaign.
+    pub index: usize,
+    /// The derived per-case seed (`mix(campaign_seed, index)`).
+    pub seed: u64,
+    /// Program name (`gen_{seed:016x}`).
+    pub program: String,
+    /// Generator flavor of the program.
+    pub flavor: Flavor,
+    /// Final classification.
+    pub verdict: Verdict,
+    /// One-line human explanation of the verdict.
+    pub detail: String,
+    /// Whether the emitted report matched [`report_schema`].
+    pub schema_ok: bool,
+    /// Path of the minimal `.aov` repro (mismatch/failed only).
+    pub repro: Option<PathBuf>,
+    /// Path of the crash-diagnostic bundle for the shrunk case.
+    pub diag: Option<String>,
+    /// Wall-clock for the case, including shrinking.
+    pub micros: u128,
+}
+
+impl ToJson for CaseResult {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("index", self.index)
+            .field("seed", format!("{:#018x}", self.seed).as_str())
+            .field("program", self.program.as_str())
+            .field(
+                "flavor",
+                match self.flavor {
+                    Flavor::General => "general",
+                    Flavor::UnschedulableBiased => "unschedulable_biased",
+                },
+            )
+            .field("verdict", self.verdict.name())
+            .field("detail", self.detail.as_str())
+            .field("schema_ok", self.schema_ok)
+            .field(
+                "repro",
+                self.repro
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::from(p.display().to_string().as_str())),
+            )
+            .field(
+                "diag",
+                self.diag
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::from(p.as_str())),
+            )
+            .field("micros", self.micros as i64)
+    }
+}
+
+/// Aggregate result of a fuzzing campaign.
+#[derive(Debug)]
+pub struct FuzzSummary {
+    /// The campaign seed.
+    pub seed: u64,
+    /// All case results, in index order.
+    pub cases: Vec<CaseResult>,
+    /// Total wall-clock for the campaign.
+    pub total_micros: u128,
+}
+
+impl FuzzSummary {
+    /// Number of cases with the given verdict.
+    #[must_use]
+    pub fn count(&self, v: Verdict) -> usize {
+        self.cases.iter().filter(|c| c.verdict == v).count()
+    }
+
+    /// Number of reports that violated the report schema.
+    #[must_use]
+    pub fn schema_violations(&self) -> usize {
+        self.cases.iter().filter(|c| !c.schema_ok).count()
+    }
+
+    /// Campaign exit code: failures dominate mismatches dominate ok.
+    /// Degraded cases are expected (unschedulable seeds, budget trips)
+    /// and do not affect the exit code.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        if self.count(Verdict::Failed) > 0 || self.schema_violations() > 0 {
+            2
+        } else if self.count(Verdict::Mismatch) > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl ToJson for FuzzSummary {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema", "aov-fuzz/1")
+            .field("seed", format!("{:#018x}", self.seed).as_str())
+            .field("count", self.cases.len())
+            .field(
+                "verdicts",
+                Json::obj()
+                    .field("ok", self.count(Verdict::Ok))
+                    .field("degraded", self.count(Verdict::Degraded))
+                    .field("mismatch", self.count(Verdict::Mismatch))
+                    .field("failed", self.count(Verdict::Failed)),
+            )
+            .field("schema_violations", self.schema_violations())
+            .field("total_micros", self.total_micros as i64)
+            .field(
+                "cases",
+                self.cases.iter().map(ToJson::to_json).collect::<Vec<_>>(),
+            )
+    }
+}
+
+/// Structural schema of [`FuzzSummary::to_json`], pinned so campaign
+/// summaries stay machine-readable the way pipeline reports do.
+pub fn summary_schema() -> aov_support::schema::Schema {
+    use aov_support::schema::Schema;
+    let case = Schema::object([
+        ("index", Schema::Int, true),
+        ("seed", Schema::Str, true),
+        ("program", Schema::Str, true),
+        ("flavor", Schema::Str, true),
+        ("verdict", Schema::Str, true),
+        ("detail", Schema::Str, true),
+        ("schema_ok", Schema::Bool, true),
+        ("repro", Schema::nullable(Schema::Str), true),
+        ("diag", Schema::nullable(Schema::Str), true),
+        ("micros", Schema::Int, true),
+    ]);
+    Schema::object([
+        ("schema", Schema::Str, true),
+        ("seed", Schema::Str, true),
+        ("count", Schema::Int, true),
+        (
+            "verdicts",
+            Schema::object([
+                ("ok", Schema::Int, true),
+                ("degraded", Schema::Int, true),
+                ("mismatch", Schema::Int, true),
+                ("failed", Schema::Int, true),
+            ]),
+            true,
+        ),
+        ("schema_violations", Schema::Int, true),
+        ("total_micros", Schema::Int, true),
+        ("cases", Schema::array(case), true),
+    ])
+}
+
+/// How one pipeline+oracle evaluation of a program went. Shared by the
+/// main loop and the shrink predicate so a repro is kept only when it
+/// reproduces the *same class* of failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Evaluation {
+    Ok,
+    Degraded(String),
+    Mismatch(String),
+    Failed(String),
+}
+
+impl Evaluation {
+    fn verdict(&self) -> Verdict {
+        match self {
+            Evaluation::Ok => Verdict::Ok,
+            Evaluation::Degraded(_) => Verdict::Degraded,
+            Evaluation::Mismatch(_) => Verdict::Mismatch,
+            Evaluation::Failed(_) => Verdict::Failed,
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            Evaluation::Ok => "equivalence confirmed by engine and oracle".to_string(),
+            Evaluation::Degraded(s) | Evaluation::Mismatch(s) | Evaluation::Failed(s) => s.clone(),
+        }
+    }
+}
+
+/// Runs the full campaign. Progress lines go to stderr via `progress`
+/// (pass a no-op to silence).
+pub fn run(cfg: &FuzzConfig, mut progress: impl FnMut(&CaseResult)) -> FuzzSummary {
+    let t0 = Instant::now();
+    let mut cases = Vec::with_capacity(cfg.count);
+    for index in 0..cfg.count {
+        let case = run_case(cfg, index);
+        progress(&case);
+        cases.push(case);
+    }
+    FuzzSummary {
+        seed: cfg.seed,
+        cases,
+        total_micros: t0.elapsed().as_micros(),
+    }
+}
+
+/// One case: generate, evaluate, and on mismatch/failure shrink and
+/// write a repro.
+fn run_case(cfg: &FuzzConfig, index: usize) -> CaseResult {
+    let t0 = Instant::now();
+    let case_seed = mix(cfg.seed, index as u64);
+    let _span = span!("fuzz.case", index = index, seed = case_seed);
+    let g: Generated = generate(case_seed, &cfg.gen);
+    let (eval, schema_ok) = evaluate(cfg, &g.program, &g.check_params);
+
+    let mut repro = None;
+    let mut diag = None;
+    if matches!(eval, Evaluation::Mismatch(_) | Evaluation::Failed(_)) {
+        let want = eval.verdict();
+        let small = shrink(
+            &g.program,
+            |p| evaluate(cfg, p, &g.check_params).0.verdict() == want,
+            cfg.shrink_evals(),
+        );
+        let (r, d) = write_repro(cfg, index, case_seed, &small, &g.check_params);
+        repro = r;
+        diag = d;
+    }
+
+    CaseResult {
+        index,
+        seed: case_seed,
+        program: g.program.name().to_string(),
+        flavor: g.flavor,
+        verdict: eval.verdict(),
+        detail: eval.detail(),
+        schema_ok,
+        repro,
+        diag,
+        micros: t0.elapsed().as_micros(),
+    }
+}
+
+/// Pipeline + schema check + independent differential oracle for one
+/// program. Returns the evaluation and whether the report (if any)
+/// matched the schema.
+fn evaluate(cfg: &FuzzConfig, program: &Program, check_params: &[i64]) -> (Evaluation, bool) {
+    let pipeline = Pipeline::new(program.clone())
+        .workers(cfg.workers)
+        .check_params(check_params.to_vec())
+        .budget(cfg.budget);
+    // Stage panics are isolated inside the engine; this outer guard only
+    // catches harness-level bugs, which classify as failures too.
+    let report = match catch_unwind(AssertUnwindSafe(|| pipeline.run())) {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => return (Evaluation::Failed(format!("engine error: {e}")), true),
+        Err(payload) => {
+            return (
+                Evaluation::Failed(format!("panic: {}", panic_message(&payload))),
+                true,
+            )
+        }
+    };
+    let schema_ok = aov_support::schema::validate(&report.to_json(), &report_schema()).is_ok();
+    let eval = classify(program, check_params, &report);
+    if !schema_ok {
+        return (
+            Evaluation::Failed("report violates the report schema".to_string()),
+            false,
+        );
+    }
+    (eval, schema_ok)
+}
+
+/// Maps a completed report to an evaluation, applying the independent
+/// oracle to healthy runs.
+fn classify(program: &Program, check_params: &[i64], report: &Report) -> Evaluation {
+    if report.health() == Health::Failed {
+        let stage = report
+            .stages
+            .iter()
+            .find(|s| s.outcome.class() == "failed")
+            .map_or("?", |s| s.name);
+        return Evaluation::Failed(format!("stage {stage} failed hard"));
+    }
+    if report.equivalent == Some(false) {
+        return Evaluation::Mismatch("engine equivalence stage refuted the transform".to_string());
+    }
+    if report.health() == Health::Degraded {
+        let why: Vec<String> = report
+            .stages
+            .iter()
+            .filter(|s| s.outcome.class() != "ok")
+            .map(|s| format!("{} {}", s.name, s.outcome.class()))
+            .collect();
+        return Evaluation::Degraded(why.join(", "));
+    }
+    oracle(program, check_params, report)
+}
+
+/// The independent differential oracle: rebuild the storage transforms
+/// from the report's published AOV vectors, re-derive a legal schedule
+/// for them, and replay both executions through the interpreter.
+fn oracle(program: &Program, check_params: &[i64], report: &Report) -> Evaluation {
+    let Some(aov) = &report.aov else {
+        // A healthy run without vectors has nothing to refute.
+        return Evaluation::Ok;
+    };
+    let vectors = aov.vectors().to_vec();
+    let p = program.clone();
+    let params = check_params.to_vec();
+    let out = catch_unwind(AssertUnwindSafe(move || -> Result<bool, String> {
+        let transforms = p
+            .arrays()
+            .iter()
+            .enumerate()
+            .zip(&vectors)
+            .map(|((aidx, _), v)| StorageTransform::new(&p, aov_ir::ArrayId(aidx), v))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("reported AOV is not transformable: {e}"))?;
+        let sched = problems::best_schedule_for_ov(&p, &vectors)
+            .map_err(|e| format!("no schedule for the reported AOV: {e}"))?;
+        Ok(semantics_preserved(&p, &params, &sched, &transforms))
+    }));
+    match out {
+        Ok(Ok(true)) => Evaluation::Ok,
+        Ok(Ok(false)) => Evaluation::Mismatch(
+            "oracle: transformed execution differs from reference values".to_string(),
+        ),
+        Ok(Err(e)) => Evaluation::Mismatch(format!("oracle: {e}")),
+        Err(payload) => Evaluation::Failed(format!("oracle panic: {}", panic_message(&payload))),
+    }
+}
+
+/// Writes the minimal `.aov` repro and re-runs the shrunk case with a
+/// diag dir so the bundle lands next to it. Both writes are
+/// best-effort: a failing disk must not mask the fuzzing verdict.
+fn write_repro(
+    cfg: &FuzzConfig,
+    index: usize,
+    case_seed: u64,
+    small: &Program,
+    check_params: &[i64],
+) -> (Option<PathBuf>, Option<String>) {
+    let Ok(source) = aov_lang::to_source(small) else {
+        return (None, None);
+    };
+    if std::fs::create_dir_all(&cfg.repro_dir).is_err() {
+        return (None, None);
+    }
+    let path = cfg
+        .repro_dir
+        .join(format!("case_{index:04}_{case_seed:016x}.aov"));
+    if std::fs::write(&path, &source).is_err() {
+        return (None, None);
+    }
+    // A bundle for the shrunk case: stage ladder, error chain, budget
+    // state and the flight-recorder tail (see `aov inspect`). The diag
+    // hook fires for any non-Ok health and for refuted equivalence.
+    let diag = Pipeline::new(small.clone())
+        .workers(cfg.workers)
+        .check_params(check_params.to_vec())
+        .budget(cfg.budget)
+        .diag_dir(&cfg.repro_dir)
+        .run()
+        .ok()
+        .and_then(|r| r.diag_path);
+    (Some(path), diag)
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(cfg: &FuzzConfig) -> FuzzSummary {
+        run(cfg, |_| {})
+    }
+
+    /// A small campaign completes with schema-valid reports and no
+    /// mismatches; unschedulable seeds surface as degraded, not failed.
+    #[test]
+    fn quick_campaign_is_clean() {
+        let cfg = FuzzConfig::quick(7, 12);
+        let summary = quiet(&cfg);
+        assert_eq!(summary.cases.len(), 12);
+        assert_eq!(summary.schema_violations(), 0);
+        assert_eq!(summary.count(Verdict::Mismatch), 0, "{:#?}", summary.cases);
+        assert_eq!(summary.count(Verdict::Failed), 0, "{:#?}", summary.cases);
+        assert_eq!(summary.exit_code(), 0);
+    }
+
+    /// Summaries match their own schema.
+    #[test]
+    fn summary_matches_schema() {
+        let summary = quiet(&FuzzConfig::quick(3, 4));
+        aov_support::schema::validate(&summary.to_json(), &summary_schema())
+            .expect("summary schema");
+    }
+
+    /// The campaign is a pure function of (seed, count, config):
+    /// worker count changes nothing observable.
+    #[test]
+    fn campaign_is_deterministic_across_workers() {
+        let print = |workers: usize| {
+            let mut cfg = FuzzConfig::quick(11, 6);
+            cfg.workers = workers;
+            quiet(&cfg)
+                .cases
+                .iter()
+                .map(|c| (c.seed, c.verdict, c.detail.clone()))
+                .collect::<Vec<_>>()
+        };
+        let base = print(1);
+        for workers in 2..=4 {
+            assert_eq!(print(workers), base, "workers {workers}");
+        }
+    }
+
+    /// `fuzz.case` spans are emitted per case.
+    #[test]
+    fn emits_case_spans() {
+        aov_trace::set_enabled(true);
+        aov_trace::clear();
+        let _ = quiet(&FuzzConfig::quick(5, 2));
+        let names: Vec<String> = aov_trace::drain().into_iter().map(|r| r.name).collect();
+        aov_trace::set_enabled(false);
+        assert_eq!(
+            names.iter().filter(|n| n.as_str() == "fuzz.case").count(),
+            2,
+            "{names:?}"
+        );
+    }
+
+    /// A forced mismatch (via a broken oracle summary) is classified,
+    /// shrunk and written out. Exercised indirectly: degraded verdicts
+    /// never write repros, mismatch classification is covered by the
+    /// unit classify() path below.
+    #[test]
+    fn classify_flags_refuted_equivalence() {
+        let g = generate(1, &GenConfig::quick());
+        let report = Pipeline::new(g.program.clone())
+            .check_params(g.check_params.clone())
+            .run()
+            .expect("pipeline runs");
+        let mut refuted = report;
+        refuted.equivalent = Some(false);
+        let eval = classify(&g.program, &g.check_params, &refuted);
+        assert_eq!(eval.verdict(), Verdict::Mismatch);
+    }
+}

@@ -22,6 +22,13 @@
 //!   bench harness, property-test runner, counter registry).
 //! * [`trace`] — hierarchical tracing and solver profiling (spans,
 //!   Chrome-trace export, flame tables, metrics snapshots).
+//! * [`lang`] — the `.aov` textual frontend: lexer, parser, lowering to
+//!   the IR with caret diagnostics, and a canonical pretty-printer.
+//! * [`gen`] — the seeded program generator and shrinker behind
+//!   `aov fuzz`.
+//! * [`fuzz`] — the differential fuzz harness (`aov fuzz`): generated
+//!   programs through the pipeline, reports schema-checked, healthy
+//!   runs re-validated by an interpreter-based oracle.
 //!
 //! ## Quickstart
 //!
@@ -38,10 +45,14 @@
 //! # }
 //! ```
 
+pub mod fuzz;
+
 pub use aov_core as core;
 pub use aov_engine as engine;
+pub use aov_gen as gen;
 pub use aov_interp as interp;
 pub use aov_ir as ir;
+pub use aov_lang as lang;
 pub use aov_linalg as linalg;
 pub use aov_lp as lp;
 pub use aov_machine as machine;
