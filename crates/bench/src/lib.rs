@@ -28,6 +28,7 @@ use aov_support::{Json, ToJson};
 
 pub mod legacy;
 pub mod observatory;
+pub mod pdiff;
 pub mod regress;
 
 /// A regenerated artifact: headline result plus printable lines.

@@ -50,6 +50,10 @@ pub struct SuiteConfig {
     /// degrades the run, and [`run_suite`] rejects degraded runs rather
     /// than recording partial numbers.
     pub budget: BudgetSpec,
+    /// When set, one `aov-profile/1` document per example
+    /// (`profile_<example>.json`, built from the traced first run) is
+    /// written into this directory for `aov pdiff` to consume.
+    pub profile_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SuiteConfig {
@@ -60,8 +64,14 @@ impl Default for SuiteConfig {
             workers: default_workers(),
             quick: false,
             figures: true,
-            span_rows: 24,
+            // Raised from 24 when the p2.* polyhedral spans landed:
+            // ~15 new rows per example would otherwise crowd the
+            // pipeline stage rows out of the top-by-self-time list and
+            // break baseline continuity (spans present in an old
+            // artifact going "missing" in the new one).
+            span_rows: 48,
             budget: BudgetSpec::default(),
+            profile_dir: None,
         }
     }
 }
@@ -288,6 +298,17 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
         let records = aov_trace::drain();
         let first = outcome?;
         reject_degraded(name, &first)?;
+        if let Some(dir) = &cfg.profile_dir {
+            let doc =
+                aov_engine::profile::build_profile(&first, &records, &pipeline.program_digest());
+            std::fs::create_dir_all(dir).map_err(|e| {
+                EngineError::Unsupported(format!("cannot create profile dir {dir:?}: {e}"))
+            })?;
+            let path = dir.join(format!("profile_{name}.json"));
+            std::fs::write(&path, format!("{}\n", doc.to_pretty())).map_err(|e| {
+                EngineError::Unsupported(format!("cannot write profile {path:?}: {e}"))
+            })?;
+        }
         let spans = aov_trace::metrics::span_aggregates(&records, cfg.span_rows);
         let alloc = Json::obj()
             .field("allocs", alloc_after.allocs - alloc_before.allocs)

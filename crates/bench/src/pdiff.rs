@@ -1,0 +1,421 @@
+//! Differential profiling: comparing two `aov-profile/1` artifacts.
+//!
+//! `aov pdiff BASE NEW` answers the question the next optimization PR
+//! will be refereed by: *where* did the time, the allocations and the
+//! solver effort move between two runs — per span, not per wall clock.
+//! Both artifacts are flattened into namespaced metrics and judged with
+//! the same noise-aware band semantics as the bench regression gate
+//! ([`crate::regress`]):
+//!
+//! * span self/total times — [`MetricClass::Time`]: a change gates only
+//!   when it clears both the relative band and the absolute floor
+//!   (converted to microseconds, the floor's unit),
+//! * span call counts, allocation counts and counter deltas —
+//!   [`MetricClass::Count`]: a narrow relative band absorbs incidental
+//!   ordering drift,
+//! * the program name and its IR digest — [`MetricClass::Exact`]:
+//!   diffing profiles of two different inputs is itself the error,
+//! * spans present on only one side are `New`/`Missing` — reported,
+//!   never gating (an instrumentation PR must not trip its own gate).
+//!
+//! Two profiles of identical runs therefore always diff clean, and the
+//! flame-diff report ([`render`]) shows every span side by side sorted
+//! by where the biggest self-time movement happened.
+
+use crate::regress::{compare_metrics, Comparison, Metric, MetricClass, Status, Tolerance};
+use aov_support::Json;
+
+fn as_f64(v: &Json) -> f64 {
+    match v {
+        Json::Int(i) => *i as f64,
+        Json::Float(f) => *f,
+        _ => 0.0,
+    }
+}
+
+/// Flattens one `aov-profile/1` document into comparable metrics.
+/// Tolerant of partially-formed documents, like `regress::flatten`;
+/// strict validation is `aov inspect --check`'s job.
+pub fn flatten_profile(doc: &Json) -> Vec<Metric> {
+    let mut out = Vec::new();
+    let mut push = |key: String, class: MetricClass, value: Json| {
+        out.push(Metric { key, class, value });
+    };
+    if let Some(p) = doc.get("program") {
+        push("program".to_string(), MetricClass::Exact, p.clone());
+    }
+    if let Some(d) = doc.get("identity").and_then(|i| i.get("program_digest")) {
+        push("program_digest".to_string(), MetricClass::Exact, d.clone());
+    }
+    if let Some(w) = doc.get("wall_us") {
+        push("wall_us".to_string(), MetricClass::Time, w.clone());
+    }
+    if let Some(Json::Arr(rows)) = doc.get("flame") {
+        for r in rows {
+            let Some(Json::Str(name)) = r.get("name") else {
+                continue;
+            };
+            // Times are stored in nanoseconds but judged in
+            // microseconds — the unit of the Time tolerance floor.
+            for (field, key) in [("self_ns", "self_us"), ("total_ns", "total_us")] {
+                if let Some(v) = r.get(field) {
+                    push(
+                        format!("span.{name}.{key}"),
+                        MetricClass::Time,
+                        Json::Float(as_f64(v) / 1000.0),
+                    );
+                }
+            }
+            for field in ["count", "allocs", "max_bits"] {
+                if let Some(v) = r.get(field) {
+                    push(
+                        format!("span.{name}.{field}"),
+                        MetricClass::Count,
+                        v.clone(),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(Json::Arr(counters)) = doc.get("counters") {
+        for c in counters {
+            if let (Some(Json::Str(name)), Some(count)) = (c.get("name"), c.get("count")) {
+                push(format!("counter.{name}"), MetricClass::Count, count.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Compares two parsed profile documents.
+pub fn diff(base: &Json, current: &Json, tol: &Tolerance) -> Comparison {
+    compare_metrics(&flatten_profile(base), &flatten_profile(current), tol)
+}
+
+/// One flame row's numbers, for the side-by-side report.
+#[derive(Default, Clone, Copy)]
+struct RowSide {
+    present: bool,
+    count: u64,
+    self_ns: u64,
+    alloc_bytes: u64,
+}
+
+fn row_sides(doc: &Json) -> Vec<(String, RowSide)> {
+    let mut out = Vec::new();
+    if let Some(Json::Arr(rows)) = doc.get("flame") {
+        for r in rows {
+            if let Some(Json::Str(name)) = r.get("name") {
+                let num = |f: &str| r.get(f).map_or(0, |v| as_f64(v) as u64);
+                out.push((
+                    name.clone(),
+                    RowSide {
+                        present: true,
+                        count: num("count"),
+                        self_ns: num("self_ns"),
+                        alloc_bytes: num("alloc_bytes"),
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the grouped flame-diff report: a header identifying both
+/// runs, every span side by side (union of both flame tables, sorted by
+/// absolute self-time movement), then the non-`Within` counter deltas,
+/// then the gate summary line.
+pub fn render(base: &Json, current: &Json, cmp: &Comparison) -> String {
+    let prog = |d: &Json| match d.get("program") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => "?".to_string(),
+    };
+    let wall = |d: &Json| d.get("wall_us").map_or(0.0, as_f64);
+    let mut out = format!(
+        "profile diff: {} ({:.3} s) → {} ({:.3} s)\n",
+        prog(base),
+        wall(base) / 1e6,
+        prog(current),
+        wall(current) / 1e6,
+    );
+
+    // Union of span names, each with both sides.
+    let mut rows: Vec<(String, RowSide, RowSide)> = Vec::new();
+    for (name, side) in row_sides(base) {
+        rows.push((name, side, RowSide::default()));
+    }
+    for (name, side) in row_sides(current) {
+        match rows.iter_mut().find(|(n, _, _)| *n == name) {
+            Some((_, _, cur)) => *cur = side,
+            None => rows.push((name, RowSide::default(), side)),
+        }
+    }
+    rows.sort_by_key(|(_, b, c)| std::cmp::Reverse(b.self_ns.abs_diff(c.self_ns)));
+
+    let verdict_of = |key: &str| {
+        cmp.deltas
+            .iter()
+            .find(|d| d.key == key)
+            .map_or("-", |d| match d.status {
+                Status::Within => "within",
+                Status::Improved => "improved",
+                Status::Regressed => "REGRESSED",
+                Status::New => "new",
+                Status::Missing => "missing",
+            })
+    };
+    let ms = |ns: u64| ns as f64 / 1e6;
+    out.push_str(&format!(
+        "{:<34} {:>10} {:>12} {:>12} {:>8} {:>10}  {}\n",
+        "span", "calls", "self(base)", "self(new)", "Δ%", "Δbytes", "verdict"
+    ));
+    for (name, b, c) in &rows {
+        let pct = if b.self_ns == 0 {
+            f64::INFINITY
+        } else {
+            (ms(c.self_ns) - ms(b.self_ns)) / ms(b.self_ns) * 100.0
+        };
+        let pct_str = if !b.present || !c.present {
+            "-".to_string()
+        } else if pct.is_infinite() {
+            "inf".to_string()
+        } else {
+            format!("{pct:+.1}")
+        };
+        let dbytes = c.alloc_bytes as i128 - b.alloc_bytes as i128;
+        out.push_str(&format!(
+            "{:<34} {:>10} {:>12} {:>12} {:>8} {:>10}  {}\n",
+            name,
+            if c.present { c.count } else { b.count },
+            if b.present {
+                format!("{:.3} ms", ms(b.self_ns))
+            } else {
+                "-".to_string()
+            },
+            if c.present {
+                format!("{:.3} ms", ms(c.self_ns))
+            } else {
+                "-".to_string()
+            },
+            pct_str,
+            if dbytes == 0 {
+                "=".to_string()
+            } else {
+                format!("{dbytes:+}")
+            },
+            verdict_of(&format!("span.{name}.self_us")),
+        ));
+    }
+
+    let moved: Vec<_> = cmp
+        .deltas
+        .iter()
+        .filter(|d| d.key.starts_with("counter.") && d.status != Status::Within)
+        .collect();
+    if !moved.is_empty() {
+        out.push_str("counters that moved:\n");
+        for d in moved {
+            out.push_str(&format!(
+                "  {:<9} {:<44} {}\n",
+                verdict_of(&d.key),
+                d.key,
+                d.note
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "summary: {} regressed, {} improved, {} within noise, {} new, {} missing\n",
+        cmp.count(Status::Regressed),
+        cmp.count(Status::Improved),
+        cmp.count(Status::Within),
+        cmp.count(Status::New),
+        cmp.count(Status::Missing),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal synthetic profile with two spans and one counter.
+    fn profile(p2_self_ns: i64, dd_self_ns: i64, dd_calls: i64, vertices: i64) -> Json {
+        let row = |name: &str, self_ns: i64, count: i64| {
+            Json::obj()
+                .field("name", name)
+                .field("count", count)
+                .field("total_ns", self_ns * 2)
+                .field("self_ns", self_ns)
+                .field("p50_ns", 100)
+                .field("p95_ns", 200)
+                .field("allocs", 10)
+                .field("alloc_bytes", 4096)
+                .field("alloc_peak", 2048)
+                .field("max_bits", 8)
+        };
+        Json::obj()
+            .field("schema", "aov-profile/1")
+            .field("program", "example1")
+            .field("workers", 1)
+            .field("health", "ok")
+            .field("wall_us", 300_000)
+            .field(
+                "flame",
+                vec![
+                    row("pipeline.problem2", p2_self_ns, 1),
+                    row("p2.dd.step", dd_self_ns, dd_calls),
+                ],
+            )
+            .field(
+                "counters",
+                vec![Json::obj()
+                    .field("name", "polyhedra.dd.vertices")
+                    .field("count", vertices)],
+            )
+            .field(
+                "identity",
+                Json::obj()
+                    .field("version", "0.1.0")
+                    .field("program_digest", "feedface00000000")
+                    .field("flame_digest", "0123456789abcdef"),
+            )
+    }
+
+    fn status_of(c: &Comparison, key: &str) -> Status {
+        c.deltas
+            .iter()
+            .find(|d| d.key == key)
+            .unwrap_or_else(|| panic!("no delta for {key}"))
+            .status
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let a = profile(140_000_000, 90_000_000, 3551, 5499);
+        let cmp = diff(&a, &a, &Tolerance::default());
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.count(Status::Within), cmp.deltas.len());
+        let report = render(&a, &a, &cmp);
+        assert!(report.contains("summary: 0 regressed"), "{report}");
+    }
+
+    #[test]
+    fn improvement_is_reported_not_gating() {
+        let base = profile(140_000_000, 90_000_000, 3551, 5499);
+        let cur = profile(20_000_000, 90_000_000, 3551, 5499);
+        let cmp = diff(&base, &cur, &Tolerance::default());
+        assert!(!cmp.has_regressions());
+        assert_eq!(
+            status_of(&cmp, "span.pipeline.problem2.self_us"),
+            Status::Improved
+        );
+        assert!(render(&base, &cur, &cmp).contains("improved"));
+    }
+
+    #[test]
+    fn span_self_time_regression_gates() {
+        let base = profile(140_000_000, 90_000_000, 3551, 5499);
+        let cur = profile(400_000_000, 90_000_000, 3551, 5499);
+        let cmp = diff(&base, &cur, &Tolerance::default());
+        assert!(cmp.has_regressions());
+        assert_eq!(
+            status_of(&cmp, "span.pipeline.problem2.self_us"),
+            Status::Regressed
+        );
+        assert!(render(&base, &cur, &cmp).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn jitter_inside_band_does_not_gate() {
+        // +30% self time and +2% vertices: both inside their bands.
+        let base = profile(140_000_000, 90_000_000, 3551, 5499);
+        let cur = profile(182_000_000, 90_000_000, 3551, 5600);
+        let cmp = diff(&base, &cur, &Tolerance::default());
+        assert!(!cmp.has_regressions());
+    }
+
+    #[test]
+    fn tiny_absolute_moves_never_gate() {
+        // 2 ms → 6 ms self (4 → 12 ms total) is +200% but every move
+        // stays under the 10 ms floor.
+        let base = profile(2_000_000, 1_000_000, 3551, 5499);
+        let cur = profile(6_000_000, 1_000_000, 3551, 5499);
+        let cmp = diff(&base, &cur, &Tolerance::default());
+        assert!(!cmp.has_regressions());
+    }
+
+    #[test]
+    fn counter_blowup_gates_and_is_rendered() {
+        let base = profile(140_000_000, 90_000_000, 3551, 5499);
+        let cur = profile(140_000_000, 90_000_000, 3551, 12_000);
+        let cmp = diff(&base, &cur, &Tolerance::default());
+        assert_eq!(
+            status_of(&cmp, "counter.polyhedra.dd.vertices"),
+            Status::Regressed
+        );
+        let report = render(&base, &cur, &cmp);
+        assert!(report.contains("counters that moved"), "{report}");
+    }
+
+    /// Appends one flame row to a profile document in place.
+    fn push_row(doc: &mut Json, name: &str, self_ns: i64) {
+        let Json::Obj(fields) = doc else {
+            panic!("profile must be an object");
+        };
+        for (k, v) in fields.iter_mut() {
+            if k == "flame" {
+                let Json::Arr(rows) = v else {
+                    panic!("flame must be an array");
+                };
+                rows.push(
+                    Json::obj()
+                        .field("name", name)
+                        .field("count", 12)
+                        .field("self_ns", self_ns),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_span_never_gates() {
+        let base = profile(140_000_000, 90_000_000, 3551, 5499);
+        let mut cur = profile(140_000_000, 90_000_000, 3551, 5499);
+        push_row(&mut cur, "p2.vertex_enum", 5_000_000);
+        let cmp = diff(&base, &cur, &Tolerance::default());
+        assert!(!cmp.has_regressions());
+        assert_eq!(status_of(&cmp, "span.p2.vertex_enum.self_us"), Status::New);
+        // The new span still shows up in the flame-diff table.
+        assert!(render(&base, &cur, &cmp).contains("p2.vertex_enum"));
+    }
+
+    #[test]
+    fn missing_span_never_gates() {
+        let mut base = profile(140_000_000, 90_000_000, 3551, 5499);
+        push_row(&mut base, "old.monolith", 50_000_000);
+        let cur = profile(140_000_000, 90_000_000, 3551, 5499);
+        let cmp = diff(&base, &cur, &Tolerance::default());
+        assert!(!cmp.has_regressions());
+        assert_eq!(
+            status_of(&cmp, "span.old.monolith.self_us"),
+            Status::Missing
+        );
+    }
+
+    #[test]
+    fn diffing_different_programs_is_an_error_by_exact_class() {
+        let base = profile(140_000_000, 90_000_000, 3551, 5499);
+        let mut cur = profile(140_000_000, 90_000_000, 3551, 5499);
+        if let Json::Obj(fields) = &mut cur {
+            for (k, v) in fields.iter_mut() {
+                if k == "program" {
+                    *v = Json::Str("example3".to_string());
+                }
+            }
+        }
+        let cmp = diff(&base, &cur, &Tolerance::default());
+        assert!(cmp.has_regressions());
+        assert_eq!(status_of(&cmp, "program"), Status::Regressed);
+    }
+}

@@ -101,6 +101,30 @@ pub fn flatten(artifact: &Json) -> Vec<Metric> {
                     }
                 }
             }
+            if let Some(Json::Arr(spans)) = e.get("spans") {
+                for s in spans {
+                    let Some(Json::Str(name)) = s.get("name") else {
+                        continue;
+                    };
+                    // Span self-times are recorded in nanoseconds but
+                    // judged in microseconds, the unit of the Time
+                    // tolerance floor.
+                    if let Some(self_ns) = s.get("self_ns") {
+                        push(
+                            format!("{prog}.span.{name}.self_us"),
+                            MetricClass::Time,
+                            &Json::Float(as_f64(self_ns) / 1000.0),
+                        );
+                    }
+                    if let Some(count) = s.get("count") {
+                        push(
+                            format!("{prog}.span.{name}.count"),
+                            MetricClass::Count,
+                            count,
+                        );
+                    }
+                }
+            }
             if let Some(Json::Arr(counters)) = e.get("counters") {
                 for c in counters {
                     if let (Some(Json::Str(name)), Some(count)) = (c.get("name"), c.get("count")) {
@@ -228,10 +252,15 @@ fn judge(base: &Metric, cur: &Metric, tol: &Tolerance) -> Delta {
 
 /// Compares two parsed artifacts metric by metric.
 pub fn compare(baseline: &Json, current: &Json, tol: &Tolerance) -> Comparison {
-    let base = flatten(baseline);
-    let cur = flatten(current);
+    compare_metrics(&flatten(baseline), &flatten(current), tol)
+}
+
+/// Compares two pre-flattened metric sets with the same band semantics
+/// as [`compare`]. Other artifact kinds (`aov-profile/1` in
+/// [`crate::pdiff`]) flatten themselves and share the judge.
+pub fn compare_metrics(base: &[Metric], cur: &[Metric], tol: &Tolerance) -> Comparison {
     let mut deltas = Vec::new();
-    for m in &cur {
+    for m in cur {
         match base.iter().find(|b| b.key == m.key) {
             Some(b) => deltas.push(judge(b, m, tol)),
             None => deltas.push(Delta {
@@ -241,7 +270,7 @@ pub fn compare(baseline: &Json, current: &Json, tol: &Tolerance) -> Comparison {
             }),
         }
     }
-    for b in &base {
+    for b in base {
         if !cur.iter().any(|m| m.key == b.key) {
             deltas.push(Delta {
                 key: b.key.clone(),

@@ -430,13 +430,23 @@ pub fn best_schedule_for_ov_budgeted(
     vectors: &[OccupancyVector],
     budget: &Budget,
 ) -> Result<Schedule, CoreError> {
-    let (space, mut rows) = legal::schedule_constraints(p)?;
-    let deps = analysis::dependences(p);
-    for r in storage_rows_concrete(p, &space, &deps, vectors)? {
-        if !rows.contains(&r) {
-            rows.push(r);
+    let (space, mut rows) = {
+        let _s = aov_trace::span!("p2.legal_constraints");
+        legal::schedule_constraints(p)?
+    };
+    let deps = {
+        let _s = aov_trace::span!("p2.dependences");
+        analysis::dependences(p)
+    };
+    {
+        let _s = aov_trace::span!("p2.storage_rows", deps = deps.len());
+        for r in storage_rows_concrete(p, &space, &deps, vectors)? {
+            if !rows.contains(&r) {
+                rows.push(r);
+            }
         }
     }
+    let _s = aov_trace::span!("p2.solve", rows = rows.len());
     Ok(scheduler::solve_budgeted(p, &space, rows, &[], budget)?)
 }
 

@@ -109,7 +109,8 @@ pub fn storage_rows_concrete(
 ) -> Result<Vec<AffineExpr>, PolyhedraError> {
     assert_eq!(vectors.len(), p.arrays().len(), "one vector per array");
     let mut out: Vec<AffineExpr> = Vec::new();
-    for dep in deps {
+    for (didx, dep) in deps.iter().enumerate() {
+        let _span = aov_trace::span!("p2.storage_dep", dep = didx);
         let t = p.statement(dep.source);
         let v = &vectors[t.writes().0];
         let r = p.statement(dep.target);

@@ -381,6 +381,29 @@ impl Report {
         self.stages.iter().find(|s| s.name == name)
     }
 
+    /// A minimal report for unit tests of artifact builders.
+    #[cfg(test)]
+    pub(crate) fn empty_for_test(program: &str) -> Report {
+        Report {
+            program: program.to_string(),
+            workers: 1,
+            memoized: false,
+            stages: Vec::new(),
+            ov: None,
+            aov: None,
+            aov_source: None,
+            arrays: Vec::new(),
+            code: None,
+            equivalent: None,
+            check_params: Vec::new(),
+            total_micros: 0,
+            counters: Vec::new(),
+            timing: None,
+            budget: BudgetSpec::default(),
+            diag_path: None,
+        }
+    }
+
     /// Whole-run verdict: `Failed` if any stage failed hard, `Degraded`
     /// if any stage degraded or was skipped, `Ok` otherwise.
     #[must_use]
@@ -635,6 +658,14 @@ impl Pipeline {
             }
         };
         Ok(Pipeline::new(program))
+    }
+
+    /// FNV-1a digest of the program IR — the identity stamped into diag
+    /// bundles and `aov-profile/1` artifacts, so either document can be
+    /// matched to the exact input that produced it.
+    #[must_use]
+    pub fn program_digest(&self) -> String {
+        aov_support::digest::fnv1a_hex(format!("{:?}", self.program).as_bytes())
     }
 
     /// Fans the per-orthant solvers out over `workers` threads

@@ -7,6 +7,7 @@ use aov_numeric::Rational;
 /// Eliminates dimension `k`; see [`Polyhedron::eliminate_dim`].
 pub(crate) fn eliminate_dim(p: &Polyhedron, k: usize) -> Polyhedron {
     assert!(k < p.dim(), "eliminating dimension {k} of {}", p.dim());
+    let _span = aov_trace::span!("p2.fm.project", dim = k, rows = p.constraints().len());
     aov_support::static_counter!("polyhedra.fm.eliminations")
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let dim = p.dim();

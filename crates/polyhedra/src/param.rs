@@ -68,6 +68,13 @@ pub fn parameterized_vertices(
     n_elim: usize,
     param_domain: &Polyhedron,
 ) -> Result<Vec<Chamber>, PolyhedraError> {
+    let _span = aov_trace::span!(
+        "p2.vertex_enum",
+        n_elim = n_elim,
+        rows = system.constraints().len(),
+    );
+    aov_support::static_counter!("polyhedra.param.vertex_enums")
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let n_params = system
         .dim()
         .checked_sub(n_elim)
@@ -280,6 +287,10 @@ fn split(
     depth: usize,
     out: &mut Vec<Chamber>,
 ) -> Result<(), PolyhedraError> {
+    // Hot span: chamber splitting recurses thousands of times per
+    // vertex enumeration — lite-mode ring events here would flood the
+    // flight recorder (see `hot_span!`).
+    let _span = aov_trace::hot_span!("p2.chamber", depth = depth, active = active.len());
     let gens = domain.generators();
     if gens.is_empty() {
         return Ok(());
@@ -333,6 +344,8 @@ fn split(
             }
         }
     }
+    aov_support::static_counter!("polyhedra.param.chambers")
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     out.push(Chamber { domain, vertices });
     Ok(())
 }

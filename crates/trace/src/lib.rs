@@ -447,6 +447,31 @@ macro_rules! span {
     };
 }
 
+/// Opens a span on a *hot* call site — one entered so often that its
+/// lite-mode ring events would flood the flight recorder and scroll
+/// away the low-rate evidence crash bundles rely on (stage
+/// transitions, chaos markers, budget trips): a 4096-slot ring holds
+/// well under a second of `polyhedra::dd` churn. While tracing is
+/// enabled the guard records a full span exactly like [`span!`]; while
+/// disabled it is a free no-op — no ring events, no label push, no
+/// timestamps.
+#[macro_export]
+macro_rules! hot_span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::enter_with(
+                ::std::string::String::from($name),
+                ::std::vec![$((
+                    ::std::stringify!($key),
+                    ::std::string::ToString::to_string(&$value),
+                )),*],
+            )
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
 /// Removes and returns every finished span, sorted by
 /// `(thread, start, id)` for deterministic downstream processing.
 pub fn drain() -> Vec<SpanRecord> {

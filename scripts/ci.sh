@@ -88,12 +88,25 @@ if [ "$status" -ne 64 ]; then
     exit 1
 fi
 
+echo "== profile smoke"
+# One profiled run must produce a schema-valid aov-profile/1 artifact
+# (aov inspect --check picks the schema from the tag), render without
+# error, and diff cleanly against itself: a self-comparison with zero
+# regressions is the comparator's ground-truth invariant.
+profile_file="$(mktemp /tmp/aov-profile-smoke.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file" "$profile_file"' EXIT
+./target/release/aov example1 --memoize --profile-out "$profile_file" \
+    > /dev/null 2> /dev/null
+./target/release/aov inspect "$profile_file" --check
+./target/release/aov inspect "$profile_file" > /dev/null
+./target/release/aov pdiff "$profile_file" "$profile_file" > /dev/null
+
 echo "== fuzz smoke"
 # A quick differential campaign must complete cleanly: exit 0 means
 # every case is ok or legitimately degraded — zero oracle mismatches,
 # zero panics, zero schema-invalid reports.
 repro_dir="$(mktemp -d /tmp/aov-fuzz-smoke.XXXXXX)"
-trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file"; rm -rf "$repro_dir"' EXIT
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file" "$profile_file"; rm -rf "$repro_dir"' EXIT
 ./target/release/aov fuzz --seed 1 --count 25 --quick \
     --repro-dir "$repro_dir" --compact > /dev/null
 
@@ -102,7 +115,7 @@ echo "== diag smoke"
 # crash-diagnostic bundle that validates against the aov-diag/1 schema
 # (aov inspect --check) and renders without error.
 diag_dir="$(mktemp -d /tmp/aov-diag-smoke.XXXXXX)"
-trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file"; rm -rf "$repro_dir" "$diag_dir"' EXIT
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file" "$profile_file"; rm -rf "$repro_dir" "$diag_dir"' EXIT
 status=0
 AOV_CHAOS="site=lp.simplex,kind=panic,nth=2" \
     ./target/release/aov example1 --workers 2 --diag-dir "$diag_dir" \

@@ -42,6 +42,17 @@
 //!   --mem              with --profile: also print the memory flame
 //!                      table (allocations, bytes, peak live bytes and
 //!                      max coefficient bit-width per span)
+//!   --profile-out FILE write a schema-versioned `aov-profile/1` JSON
+//!                      artifact (flame table, counters, identity
+//!                      digests) for the run; render it with
+//!                      `aov inspect`, compare two with `aov pdiff`
+//!                      (single program only — suites use
+//!                      `aov bench --profile-dir`)
+//!   --progress         print a once-a-second heartbeat to stderr while
+//!                      the pipeline runs: current stage and span,
+//!                      pivot/vertex rates, elapsed time against any
+//!                      wall-clock budget; read-only sampling of the
+//!                      flight recorder, no cost when absent
 //!   --diag-dir DIR     write an `aov-diag/1` crash-diagnostic bundle
 //!                      into DIR whenever a run degrades or fails: the
 //!                      stage ladder, error chain, budget state,
@@ -110,16 +121,33 @@
 //!   --no-figures          skip the figure suite
 //!   --check FILE          validate an existing artifact against the
 //!                         schema instead of running anything
+//!   --profile-dir DIR     also write one `aov-profile/1` artifact per
+//!                         example (profile_<name>.json) from the
+//!                         suite's traced run
 //!   --budget-pivots N     solver budget passed through to every
 //!   --budget-nodes N      pipeline run; a tripped budget degrades the
 //!   --budget-ms N         run and the suite refuses to record it
 //!
-//! aov inspect BUNDLE [--check]
+//! aov pdiff BASE NEW [--time-rel F] [--time-floor-us N]
 //!
-//!   Render a crash-diagnostic bundle written via `--diag-dir`: the
-//!   error chain, the stage ladder with allocator columns, the budget
-//!   state and the flight-recorder timeline tail. With `--check`,
-//!   validate the bundle against the `aov-diag/1` schema instead and
+//!   Differential profiling: compare two `aov-profile/1` artifacts with
+//!   the bench suite's noise-aware bands (relative band plus an
+//!   absolute floor for span times, a drift band for counters). Prints
+//!   a grouped flame-diff report — spans sorted by self-time movement,
+//!   counters that moved, a verdict per row. Spans present on only one
+//!   side read New/Missing and never gate. Exit 0 when clean, 1 when
+//!   any metric regresses beyond tolerance. Comparing an artifact
+//!   against itself is always clean.
+//!
+//! aov inspect FILE [--check]
+//!
+//!   Render an `aov-diag/1` crash-diagnostic bundle (written via
+//!   `--diag-dir`) — the error chain, the stage ladder with allocator
+//!   columns, the budget state and the flight-recorder timeline tail —
+//!   or an `aov-profile/1` profile artifact (written via
+//!   `--profile-out`) — the flame table with allocator columns and the
+//!   counter table. The schema tag in the file picks the renderer.
+//!   With `--check`, validate against the matching schema instead and
 //!   exit 0/1.
 //!
 //! aov --check-trace FILE
@@ -180,6 +208,8 @@ struct Options {
     compact: bool,
     trace: Option<String>,
     profile: bool,
+    profile_out: Option<String>,
+    progress: bool,
     mem: bool,
     diag_dir: Option<String>,
     check_trace: Option<String>,
@@ -193,7 +223,8 @@ fn usage() -> ! {
         "usage: aov <example1|example2|example3|example4|unschedulable|all> \
          [--workers N] [--sequential] [--memoize] [--legacy-memo-keys] \
          [--machine] [--params A,B,..] [--runs N] [--compact] \
-         [--trace FILE] [--profile] [--mem] [--diag-dir DIR] \
+         [--trace FILE] [--profile] [--profile-out FILE] [--progress] \
+         [--mem] [--diag-dir DIR] \
          [--budget-pivots N] \
          [--budget-nodes N] [--budget-ms N] [--chaos SPEC] \
          [--example NAME] [--check]\n       \
@@ -203,9 +234,11 @@ fn usage() -> ! {
          [--budget-nodes N]\n       \
          aov bench [--runs N] [--out FILE] [--baseline FILE] \
          [--fail-on-regression] [--examples A,B] [--workers N] [--quick] \
-         [--no-figures] [--check FILE] [--budget-pivots N] \
+         [--no-figures] [--check FILE] [--profile-dir DIR] \
+         [--budget-pivots N] \
          [--budget-nodes N] [--budget-ms N]\n       \
-         aov inspect BUNDLE [--check]\n       \
+         aov pdiff BASE NEW\n       \
+         aov inspect FILE [--check]\n       \
          aov --check-trace FILE\n       \
          aov --check-report FILE\n\n\
          exit codes: 0 ok, 1 inequivalent/regression, 2 failed, \
@@ -248,6 +281,8 @@ fn parse(args: &[String], run_mode: bool) -> Options {
         compact: false,
         trace: None,
         profile: false,
+        profile_out: None,
+        progress: false,
         mem: false,
         diag_dir: None,
         check_trace: None,
@@ -290,6 +325,11 @@ fn parse(args: &[String], run_mode: bool) -> Options {
                 None => usage(),
             },
             "--profile" => opts.profile = true,
+            "--profile-out" => match it.next() {
+                Some(f) => opts.profile_out = Some(f.clone()),
+                None => usage(),
+            },
+            "--progress" => opts.progress = true,
             "--mem" => opts.mem = true,
             "--diag-dir" => match it.next() {
                 Some(d) => opts.diag_dir = Some(d.clone()),
@@ -336,6 +376,12 @@ fn parse(args: &[String], run_mode: bool) -> Options {
         // --check is a parser-path mode; hand-built names have no
         // source text to check.
         usage();
+    }
+    if opts.profile_out.is_some() && opts.programs.len() != 1 {
+        // One artifact, one program: suites get per-example artifacts
+        // via `aov bench --profile-dir`.
+        eprintln!("aov: --profile-out expects exactly one program");
+        std::process::exit(64);
     }
     opts
 }
@@ -484,6 +530,7 @@ struct BenchOptions {
     quick: bool,
     figures: bool,
     check: Option<String>,
+    profile_dir: Option<String>,
     budget: BudgetSpec,
 }
 
@@ -501,6 +548,7 @@ fn parse_bench(args: &[String]) -> BenchOptions {
         quick: false,
         figures: true,
         check: None,
+        profile_dir: None,
         budget: BudgetSpec::default(),
     };
     let mut it = args.iter();
@@ -543,6 +591,10 @@ fn parse_bench(args: &[String]) -> BenchOptions {
             "--no-figures" => opts.figures = false,
             "--check" => match it.next() {
                 Some(f) => opts.check = Some(f.clone()),
+                None => usage(),
+            },
+            "--profile-dir" => match it.next() {
+                Some(d) => opts.profile_dir = Some(d.clone()),
                 None => usage(),
             },
             _ => usage(),
@@ -598,6 +650,7 @@ fn bench_main(args: &[String]) -> i32 {
         quick: opts.quick,
         figures: opts.figures,
         budget: opts.budget,
+        profile_dir: opts.profile_dir.clone().map(Into::into),
         ..SuiteConfig::default()
     };
     eprintln!(
@@ -684,6 +737,52 @@ fn bench_main(args: &[String]) -> i32 {
     }
 }
 
+/// `aov pdiff BASE NEW`: noise-aware comparison of two `aov-profile/1`
+/// artifacts. Exit 0 clean, 1 when any metric regresses beyond
+/// tolerance, 64 on usage.
+fn pdiff_main(args: &[String]) -> i32 {
+    let mut paths: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            p if !p.starts_with('-') => paths.push(p),
+            _ => usage(),
+        }
+    }
+    let [base_path, new_path] = paths[..] else {
+        usage()
+    };
+    let mut docs = Vec::new();
+    for path in [base_path, new_path] {
+        let doc = match read_artifact(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("aov pdiff: {e}");
+                return 1;
+            }
+        };
+        if let Err(errors) = aov_engine::profile::validate(&doc) {
+            eprintln!(
+                "aov pdiff: {path}: not a valid {} artifact:",
+                aov_engine::profile::SCHEMA
+            );
+            for e in &errors {
+                eprintln!("  {e}");
+            }
+            return 1;
+        }
+        docs.push(doc);
+    }
+    let (base, new) = (&docs[0], &docs[1]);
+    let cmp = aov_bench::pdiff::diff(base, new, &regress::Tolerance::default());
+    print!("{}", aov_bench::pdiff::render(base, new, &cmp));
+    if cmp.has_regressions() {
+        eprintln!("aov pdiff: FAILED: regressions beyond tolerance");
+        1
+    } else {
+        0
+    }
+}
+
 /// String field accessor with a `"?"` fallback for rendering.
 fn jstr<'a>(j: &'a Json, key: &str) -> &'a str {
     match j.get(key) {
@@ -735,19 +834,34 @@ fn inspect_main(args: &[String]) -> i32 {
             return 1;
         }
     };
-    // Version gate and schema validation run in both modes; --check
-    // just stops after the verdict.
-    match doc.get("schema") {
-        Some(Json::Str(v)) if v == aov_engine::diag::SCHEMA => {}
+    // The schema tag picks the renderer: crash bundles and profile
+    // artifacts share this entry point. Version gate and schema
+    // validation run in both modes; --check just stops after the
+    // verdict.
+    let tag = match doc.get("schema") {
+        Some(Json::Str(v)) => v.clone(),
         other => {
             eprintln!(
-                "aov inspect: {path}: unsupported schema {other:?} (want {:?})",
-                aov_engine::diag::SCHEMA
+                "aov inspect: {path}: unsupported schema {other:?} (want {:?} or {:?})",
+                aov_engine::diag::SCHEMA,
+                aov_engine::profile::SCHEMA
             );
             return 1;
         }
-    }
-    if let Err(errors) = aov_support::schema::validate(&doc, &aov_engine::diag::diag_schema()) {
+    };
+    let schema = match tag.as_str() {
+        t if t == aov_engine::diag::SCHEMA => aov_engine::diag::diag_schema(),
+        t if t == aov_engine::profile::SCHEMA => aov_engine::profile::profile_schema(),
+        _ => {
+            eprintln!(
+                "aov inspect: {path}: unsupported schema {tag:?} (want {:?} or {:?})",
+                aov_engine::diag::SCHEMA,
+                aov_engine::profile::SCHEMA
+            );
+            return 1;
+        }
+    };
+    if let Err(errors) = aov_support::schema::validate(&doc, &schema) {
         eprintln!("aov inspect: {path}: schema violations:");
         for e in &errors {
             eprintln!("  {e}");
@@ -755,11 +869,59 @@ fn inspect_main(args: &[String]) -> i32 {
         return 1;
     }
     if check {
-        eprintln!("aov inspect: {path}: ok ({})", aov_engine::diag::SCHEMA);
+        eprintln!("aov inspect: {path}: ok ({tag})");
         return 0;
     }
-    render_bundle(path, &doc);
+    if tag == aov_engine::profile::SCHEMA {
+        render_profile_artifact(path, &doc);
+    } else {
+        render_bundle(path, &doc);
+    }
     0
+}
+
+/// Human rendering of a validated `aov-profile/1` artifact: identity,
+/// the flame table with allocator columns, and the counter table.
+fn render_profile_artifact(path: &str, doc: &Json) {
+    println!(
+        "== {path}: {} (health {}, wall {} µs) ==",
+        jstr(doc, "program"),
+        jstr(doc, "health"),
+        jint(doc, "wall_us")
+    );
+    if let Some(id) = doc.get("identity") {
+        println!(
+            "engine {}, program digest {}, flame digest {}",
+            jstr(id, "version"),
+            jstr(id, "program_digest"),
+            jstr(id, "flame_digest")
+        );
+    }
+    let flame = jarr(doc, "flame");
+    println!("\nflame ({} span name(s)):", flame.len());
+    println!(
+        "{:<34} {:>7} {:>12} {:>12} {:>9} {:>12} {:>8}",
+        "span", "count", "total µs", "self µs", "allocs", "bytes", "max_bits"
+    );
+    // Artifact rows arrive in FlameTable order (total time, heaviest
+    // first); render preserves it.
+    for row in flame {
+        println!(
+            "{:<34} {:>7} {:>12} {:>12} {:>9} {:>12} {:>8}",
+            jstr(row, "name"),
+            jint(row, "count"),
+            jint(row, "total_ns") / 1000,
+            jint(row, "self_ns") / 1000,
+            jint(row, "allocs"),
+            jint(row, "alloc_bytes"),
+            jint(row, "max_bits")
+        );
+    }
+    let counters = jarr(doc, "counters");
+    println!("\ncounters ({}):", counters.len());
+    for c in counters {
+        println!("  {:<40} {:>12}", jstr(c, "name"), jint(c, "count"));
+    }
 }
 
 /// Human rendering of a validated bundle: identity, budget state, the
@@ -961,6 +1123,14 @@ fn fuzz_main(args: &[String]) -> i32 {
         summary.schema_violations(),
         summary.total_micros
     );
+    for (label, verdict) in [
+        ("ok", aov::fuzz::Verdict::Ok),
+        ("degraded", aov::fuzz::Verdict::Degraded),
+    ] {
+        if let Some((min, median, max)) = summary.timing(verdict) {
+            eprintln!("aov fuzz: {label:<8} case wall µs: min {min}, median {median}, max {max}");
+        }
+    }
     let doc = summary.to_json();
     let text = if compact {
         let mut line = doc.to_compact();
@@ -995,6 +1165,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         std::process::exit(fuzz_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("pdiff") {
+        std::process::exit(pdiff_main(&args[1..]));
     }
     let run_mode = args.first().map(String::as_str) == Some("run");
     let opts = parse(if run_mode { &args[1..] } else { &args }, run_mode);
@@ -1034,19 +1207,31 @@ fn main() {
     // ~27M heap operations in under half a second, so even a
     // nanosecond of per-event accounting busts the 1% telemetry
     // budget (see EXPERIMENTS.md for the measurements).
-    let wants_alloc_telemetry =
-        opts.profile || opts.mem || opts.trace.is_some() || opts.diag_dir.is_some();
+    let wants_alloc_telemetry = opts.profile
+        || opts.mem
+        || opts.trace.is_some()
+        || opts.diag_dir.is_some()
+        || opts.profile_out.is_some();
     if !wants_alloc_telemetry {
         aov_support::alloc::set_counting(false);
     }
 
-    let tracing = opts.trace.is_some() || opts.profile;
+    let tracing = opts.trace.is_some() || opts.profile || opts.profile_out.is_some();
     if tracing {
         aov_trace::set_enabled(true);
     }
     if opts.legacy_memo_keys {
         aov_lp::memo::set_legacy_keys(true);
     }
+
+    // The sampler only reads: flight-recorder snapshots and relaxed
+    // counter loads. Solver threads never see it.
+    let sampler = opts.progress.then(|| {
+        aov_engine::progress::ProgressSampler::start(
+            std::time::Duration::from_secs(1),
+            opts.budget.ms,
+        )
+    });
 
     let mut reports = Vec::new();
     let mut all_records: Vec<aov_trace::SpanRecord> = Vec::new();
@@ -1085,6 +1270,18 @@ fn main() {
                     if opts.profile {
                         print_profile(name, &records, &report, opts.mem);
                     }
+                    if let Some(path) = &opts.profile_out {
+                        let doc = aov_engine::profile::build_profile(
+                            &report,
+                            &records,
+                            &pipeline.program_digest(),
+                        );
+                        if let Err(e) = std::fs::write(path, format!("{}\n", doc.to_pretty())) {
+                            eprintln!("aov: cannot write profile {path}: {e}");
+                            std::process::exit(1);
+                        }
+                        eprintln!("aov: {name}: profile artifact written to {path}");
+                    }
                     all_records.extend(records);
                 }
                 if let Some(path) = &report.diag_path {
@@ -1117,6 +1314,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(s) = sampler {
+        s.finish();
     }
 
     if let Some(path) = &opts.trace {

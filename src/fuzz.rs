@@ -220,6 +220,24 @@ impl FuzzSummary {
         self.cases.iter().filter(|c| !c.schema_ok).count()
     }
 
+    /// Wall-time aggregate over the cases with the given verdict:
+    /// `(min, median, max)` microseconds, `None` when no case has it.
+    /// The median is the lower middle element — deterministic and
+    /// integer, which matters more for campaign diffing than the
+    /// half-step of precision an interpolated median would add.
+    #[must_use]
+    pub fn timing(&self, v: Verdict) -> Option<(u128, u128, u128)> {
+        let mut times: Vec<u128> = self
+            .cases
+            .iter()
+            .filter(|c| c.verdict == v)
+            .map(|c| c.micros)
+            .collect();
+        times.sort_unstable();
+        let (first, last) = (times.first()?, times.last()?);
+        Some((*first, times[(times.len() - 1) / 2], *last))
+    }
+
     /// Campaign exit code: failures dominate mismatches dominate ok.
     /// Degraded cases are expected (unschedulable seeds, budget trips)
     /// and do not affect the exit code.
@@ -251,6 +269,28 @@ impl ToJson for FuzzSummary {
             )
             .field("schema_violations", self.schema_violations())
             .field("total_micros", self.total_micros as i64)
+            .field("timing", {
+                let verdicts = [
+                    ("ok", Verdict::Ok),
+                    ("degraded", Verdict::Degraded),
+                    ("mismatch", Verdict::Mismatch),
+                    ("failed", Verdict::Failed),
+                ];
+                let mut obj = Json::obj();
+                for (name, v) in verdicts {
+                    obj = obj.field(
+                        name,
+                        match self.timing(v) {
+                            Some((min, median, max)) => Json::obj()
+                                .field("min_micros", min as i64)
+                                .field("median_micros", median as i64)
+                                .field("max_micros", max as i64),
+                            None => Json::Null,
+                        },
+                    );
+                }
+                obj
+            })
             .field(
                 "cases",
                 self.cases.iter().map(ToJson::to_json).collect::<Vec<_>>(),
@@ -290,6 +330,23 @@ pub fn summary_schema() -> aov_support::schema::Schema {
         ),
         ("schema_violations", Schema::Int, true),
         ("total_micros", Schema::Int, true),
+        (
+            "timing",
+            {
+                let agg = Schema::nullable(Schema::object([
+                    ("min_micros", Schema::Int, true),
+                    ("median_micros", Schema::Int, true),
+                    ("max_micros", Schema::Int, true),
+                ]));
+                Schema::object([
+                    ("ok", agg.clone(), true),
+                    ("degraded", agg.clone(), true),
+                    ("mismatch", agg.clone(), true),
+                    ("failed", agg, true),
+                ])
+            },
+            true,
+        ),
         ("cases", Schema::array(case), true),
     ])
 }
@@ -534,6 +591,46 @@ mod tests {
         assert_eq!(summary.count(Verdict::Mismatch), 0, "{:#?}", summary.cases);
         assert_eq!(summary.count(Verdict::Failed), 0, "{:#?}", summary.cases);
         assert_eq!(summary.exit_code(), 0);
+    }
+
+    /// Per-verdict wall-time aggregates: sorted min/median/max over
+    /// exactly the cases carrying the verdict, `None` for absent ones.
+    #[test]
+    fn timing_aggregates_per_verdict() {
+        let case = |index, verdict, micros| CaseResult {
+            index,
+            seed: index as u64,
+            program: format!("gen_{index}"),
+            flavor: Flavor::General,
+            verdict,
+            detail: String::new(),
+            schema_ok: true,
+            repro: None,
+            diag: None,
+            micros,
+        };
+        let summary = FuzzSummary {
+            seed: 1,
+            cases: vec![
+                case(0, Verdict::Ok, 500),
+                case(1, Verdict::Degraded, 9000),
+                case(2, Verdict::Ok, 100),
+                case(3, Verdict::Ok, 300),
+                case(4, Verdict::Ok, 200),
+            ],
+            total_micros: 10_100,
+        };
+        // Even count: the median is the lower middle element.
+        assert_eq!(summary.timing(Verdict::Ok), Some((100, 200, 500)));
+        assert_eq!(summary.timing(Verdict::Degraded), Some((9000, 9000, 9000)));
+        assert_eq!(summary.timing(Verdict::Mismatch), None);
+        let json = summary.to_json();
+        let timing = json.get("timing").expect("timing object");
+        assert_eq!(
+            timing.get("ok").and_then(|t| t.get("median_micros")),
+            Some(&Json::Int(200))
+        );
+        assert_eq!(timing.get("mismatch"), Some(&Json::Null));
     }
 
     /// Summaries match their own schema.
