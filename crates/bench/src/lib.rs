@@ -30,6 +30,7 @@ pub mod legacy;
 pub mod observatory;
 pub mod pdiff;
 pub mod regress;
+pub mod trend;
 
 /// A regenerated artifact: headline result plus printable lines.
 #[derive(Debug, Clone)]

@@ -18,17 +18,33 @@
 //! checked ([`artifact_schema`]); `aov bench --check FILE` and the CI
 //! smoke step validate written files against it. [`crate::regress`]
 //! compares two artifacts.
+//!
+//! # Measurement integrity (`aov-bench/2`)
+//!
+//! Version 2 artifacts additionally record *how* the numbers were
+//! taken: a [`Calibration`] block (machine-speed microprobes measured
+//! right before the suite ran, so comparisons across artifacts can
+//! normalize away container speed drift) and an `environment` block
+//! (worker count, allocator/recorder arming, ring capacity, and the
+//! digest of each program measured — the context a number is
+//! meaningless without). Version 1 artifacts (`BENCH_0`–`BENCH_3`)
+//! stay readable through [`upgrade`], which grafts a neutral
+//! calibration and a best-effort environment onto the parsed document.
 
 use std::time::Instant;
 
 use crate::{default_workers, figure_specs, reject_degraded, FigureCtx, EXAMPLES};
 use aov_engine::{BudgetSpec, EngineError, Pipeline, Report, Stat};
+use aov_support::calibrate::Calibration;
 use aov_support::digest::fnv1a_hex;
 use aov_support::schema::{self, Schema};
 use aov_support::{Json, ToJson};
 
 /// Artifact format identifier; bump on breaking shape changes.
-pub const SCHEMA_VERSION: &str = "aov-bench/1";
+pub const SCHEMA_VERSION: &str = "aov-bench/2";
+
+/// The previous artifact format, still accepted via [`upgrade`].
+pub const SCHEMA_VERSION_V1: &str = "aov-bench/1";
 
 /// What to run and how often.
 #[derive(Debug, Clone)]
@@ -242,6 +258,12 @@ pub struct Artifact {
     pub workers: usize,
     pub quick: bool,
     pub figures_enabled: bool,
+    /// Machine-speed microprobes measured right before the suite ran;
+    /// [`Calibration::neutral`] on artifacts upgraded from v1.
+    pub calibration: Calibration,
+    /// Recording-time context: worker count, allocator/recorder arming,
+    /// ring capacity, per-program digests. See [`environment_schema`].
+    pub environment: Json,
     pub examples: Vec<ExampleBench>,
     pub figures: Vec<FigureBench>,
 }
@@ -265,6 +287,8 @@ impl ToJson for Artifact {
                             .collect::<Vec<_>>(),
                     ),
             )
+            .field("calibration", self.calibration.to_json())
+            .field("environment", self.environment.clone())
             .field("examples", self.examples.to_json())
             .field("figures", self.figures.to_json())
     }
@@ -279,6 +303,11 @@ impl ToJson for Artifact {
 /// input): a baseline built from partial results would poison every
 /// later regression comparison, so degraded runs are rejected outright.
 pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
+    // Calibrate before the suite: the microprobes cost a fraction of a
+    // second and fingerprint the machine speed the timings below were
+    // taken at.
+    let calibration = Calibration::measure();
+    let mut programs: Vec<Json> = Vec::new();
     let mut examples: Vec<ExampleBench> = Vec::new();
     let mut first_reports: Vec<Report> = Vec::new();
     for name in &cfg.examples {
@@ -286,6 +315,11 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
             .workers(cfg.workers)
             .memoize(true)
             .budget(cfg.budget);
+        programs.push(
+            Json::obj()
+                .field("name", name.as_str())
+                .field("digest", pipeline.program_digest().as_str()),
+        );
         // Traced first run: span attribution, counters, digests, and
         // the allocator/numeric-growth telemetry of one full pass.
         aov_trace::clear();
@@ -343,14 +377,125 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
         }
     }
 
+    let environment = Json::obj()
+        .field("workers", cfg.workers)
+        .field("alloc_counting", aov_support::alloc::counting())
+        .field("recorder_recording", aov_trace::recorder::recording())
+        .field("recorder_slots", aov_trace::recorder::slots())
+        .field("programs", programs);
+
     Ok(Artifact {
         runs: cfg.runs,
         workers: cfg.workers,
         quick: cfg.quick,
         figures_enabled: cfg.figures,
+        calibration,
+        environment,
         examples,
         figures,
     })
+}
+
+/// The structural schema of a v2 artifact's `environment` block. The
+/// arming flags and ring capacity are nullable because artifacts
+/// upgraded from v1 never recorded them.
+fn environment_schema() -> Schema {
+    Schema::object([
+        ("workers", Schema::Int, true),
+        ("alloc_counting", Schema::nullable(Schema::Bool), true),
+        ("recorder_recording", Schema::nullable(Schema::Bool), true),
+        ("recorder_slots", Schema::nullable(Schema::Int), true),
+        (
+            "programs",
+            Schema::array(Schema::object([
+                ("name", Schema::Str, true),
+                ("digest", Schema::Str, true),
+            ])),
+            true,
+        ),
+    ])
+}
+
+/// The structural schema of a v2 artifact's `calibration` block
+/// (written by [`Calibration`]'s `ToJson`; probe fields are null when
+/// neutral).
+fn calibration_schema() -> Schema {
+    Schema::object([
+        ("measured", Schema::Bool, true),
+        ("cpu_ns", Schema::nullable(Schema::Num), true),
+        ("alloc_ns", Schema::nullable(Schema::Num), true),
+        ("bigint_ns", Schema::nullable(Schema::Num), true),
+        ("score", Schema::nullable(Schema::Num), true),
+    ])
+}
+
+/// Upgrades a parsed artifact document to the current schema version.
+///
+/// `aov-bench/2` documents pass through unchanged. `aov-bench/1`
+/// documents (the BENCH_0–BENCH_3 era) gain what v2 requires:
+///
+/// * a **neutral** `calibration` block — v1 never measured the machine,
+///   and pretending otherwise would poison normalization, so consumers
+///   see `measured: false` and fall back to data-derived estimates;
+/// * a best-effort `environment` block — the worker count comes from
+///   the recorded suite config, the per-program digests from each
+///   example's `code_digest`, and the arming flags read null (unknown);
+/// * an `upgraded_from` marker naming the original version.
+///
+/// # Errors
+///
+/// A message naming the offending schema tag when the document is not a
+/// recognized artifact version (or has no schema tag at all).
+pub fn upgrade(doc: Json) -> Result<(Json, bool), String> {
+    match doc.get("schema") {
+        Some(Json::Str(tag)) if tag == SCHEMA_VERSION => Ok((doc, false)),
+        Some(Json::Str(tag)) if tag == SCHEMA_VERSION_V1 => {
+            let workers = doc
+                .get("suite")
+                .and_then(|s| s.get("workers"))
+                .cloned()
+                .unwrap_or(Json::Null);
+            let programs: Vec<Json> = match doc.get("examples") {
+                Some(Json::Arr(examples)) => examples
+                    .iter()
+                    .filter_map(|e| {
+                        let name = e.get("program")?.clone();
+                        let digest = e.get("code_digest")?.clone();
+                        Some(Json::obj().field("name", name).field("digest", digest))
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            let environment = Json::obj()
+                .field("workers", workers)
+                .field("alloc_counting", Json::Null)
+                .field("recorder_recording", Json::Null)
+                .field("recorder_slots", Json::Null)
+                .field("programs", programs);
+            let Json::Obj(mut fields) = doc else {
+                return Err("artifact document is not an object".to_string());
+            };
+            for (key, value) in &mut fields {
+                if key == "schema" {
+                    *value = Json::Str(SCHEMA_VERSION.to_string());
+                }
+            }
+            fields.push((
+                "calibration".to_string(),
+                Calibration::neutral().to_json(),
+            ));
+            fields.push(("environment".to_string(), environment));
+            fields.push((
+                "upgraded_from".to_string(),
+                Json::Str(SCHEMA_VERSION_V1.to_string()),
+            ));
+            Ok((Json::Obj(fields), true))
+        }
+        Some(Json::Str(tag)) => Err(format!(
+            "unrecognized artifact schema {tag:?} (expected {SCHEMA_VERSION} or {SCHEMA_VERSION_V1})"
+        )),
+        _ => Err("artifact document has no schema tag".to_string()),
+    }
 }
 
 /// The structural schema every `BENCH_*.json` document must satisfy.
@@ -369,6 +514,10 @@ pub fn artifact_schema() -> Schema {
             ]),
             true,
         ),
+        ("calibration", calibration_schema(), true),
+        ("environment", environment_schema(), true),
+        // Present only on documents [`upgrade`]d from an older version.
+        ("upgraded_from", Schema::Str, false),
         (
             "examples",
             Schema::array(Schema::object([

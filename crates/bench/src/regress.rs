@@ -25,7 +25,36 @@
 //! but not gating). Only [`Status::Regressed`] makes
 //! [`Comparison::has_regressions`] true — the `aov bench
 //! --fail-on-regression` exit code.
+//!
+//! # Drift normalization
+//!
+//! Two artifacts are rarely measured at the same machine speed: shared
+//! containers throttle, and a uniformly slower machine is not a slower
+//! program (PR 7's gate run flagged 17 regressions, all of them this).
+//! [`compare`] therefore resolves a [`Drift`] factor between the two
+//! artifacts and judges every Time-class metric on its *normalized*
+//! value (current ÷ factor), reporting raw and normalized movement side
+//! by side. The factor comes from the strongest available evidence:
+//!
+//! 1. **Measured** — both artifacts carry a measured calibration block
+//!    (`aov-bench/2`): the factor is [`Calibration::speed_factor`].
+//!    Authoritative: a program that got uniformly slower on a machine
+//!    whose calibration did not move still gates.
+//! 2. **Estimated** — either side lacks calibration (v1-era baselines):
+//!    the factor is the *median* of current÷baseline ratios over the
+//!    Time metrics both sides measured above the tolerance floor,
+//!    needing at least [`MIN_ESTIMATE_SAMPLES`] of them and clamped to
+//!    `[0.25, 4.0]`. The median moves when the whole suite drifts
+//!    together (machine speed) but stays put when a few metrics regress
+//!    (genuine slowdowns), which still gate against it.
+//! 3. **Neutral** — too few samples to say anything: factor 1, the
+//!    pre-drift-aware behavior.
+//!
+//! Count and Exact classes are never normalized — counters are the
+//! drift-proof backbone precisely because machine speed cannot move
+//! them.
 
+use aov_support::calibrate::Calibration;
 use aov_support::Json;
 
 /// How far a metric may move before it counts as a real change.
@@ -168,6 +197,124 @@ pub fn flatten(artifact: &Json) -> Vec<Metric> {
     out
 }
 
+/// Minimum qualifying Time-metric pairs before a drift estimate is
+/// trusted (below this, a couple of genuinely regressed metrics could
+/// drag the median and launder themselves).
+pub const MIN_ESTIMATE_SAMPLES: usize = 8;
+
+/// Where a [`Drift`] factor came from — the comparison's confidence in
+/// it, in decreasing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftSource {
+    /// Both artifacts carried measured calibrations.
+    Measured,
+    /// Median of the shared Time-metric ratios (uncalibrated era).
+    Estimated,
+    /// No usable evidence; factor is exactly 1.
+    Neutral,
+}
+
+/// The machine-speed ratio between two artifacts' recording
+/// environments: how much slower (>1) or faster (<1) the current
+/// artifact's machine ran than the baseline's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    pub factor: f64,
+    pub source: DriftSource,
+}
+
+impl Drift {
+    /// No normalization: raw values are judged as-is.
+    #[must_use]
+    pub fn neutral() -> Drift {
+        Drift {
+            factor: 1.0,
+            source: DriftSource::Neutral,
+        }
+    }
+
+    /// Resolves the drift between two parsed artifacts, strongest
+    /// evidence first (see the module docs).
+    #[must_use]
+    pub fn between(
+        baseline: &Json,
+        current: &Json,
+        base_metrics: &[Metric],
+        cur_metrics: &[Metric],
+        tol: &Tolerance,
+    ) -> Drift {
+        let base_cal = Calibration::from_json(baseline.get("calibration"));
+        let cur_cal = Calibration::from_json(current.get("calibration"));
+        if let Some(factor) = Calibration::speed_factor(&base_cal, &cur_cal) {
+            return Drift {
+                factor,
+                source: DriftSource::Measured,
+            };
+        }
+        if let Some(factor) = estimate_drift(base_metrics, cur_metrics, tol) {
+            return Drift {
+                factor,
+                source: DriftSource::Estimated,
+            };
+        }
+        Drift::neutral()
+    }
+
+    /// One-line description for reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self.source {
+            DriftSource::Measured => format!(
+                "time drift ×{:.3} (measured calibration); Time metrics judged normalized",
+                self.factor
+            ),
+            DriftSource::Estimated => format!(
+                "time drift ×{:.3} (estimated: median of shared Time metrics); Time metrics judged normalized",
+                self.factor
+            ),
+            DriftSource::Neutral => "no drift evidence; Time metrics judged raw".to_string(),
+        }
+    }
+}
+
+/// Median of current÷baseline over Time metrics both sides measured
+/// with a baseline above the tolerance floor. `None` below
+/// [`MIN_ESTIMATE_SAMPLES`]; the result is clamped to `[0.25, 4.0]` so
+/// a pathological artifact pair cannot normalize anything away.
+fn estimate_drift(base: &[Metric], cur: &[Metric], tol: &Tolerance) -> Option<f64> {
+    let mut ratios: Vec<f64> = Vec::new();
+    for b in base {
+        if b.class != MetricClass::Time {
+            continue;
+        }
+        let bv = as_f64(&b.value);
+        if bv < tol.time_floor_us {
+            continue;
+        }
+        let Some(c) = cur
+            .iter()
+            .find(|m| m.key == b.key && m.class == MetricClass::Time)
+        else {
+            continue;
+        };
+        let cv = as_f64(&c.value);
+        if cv > 0.0 {
+            ratios.push(cv / bv);
+        }
+    }
+    if ratios.len() < MIN_ESTIMATE_SAMPLES {
+        return None;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let mid = ratios.len() / 2;
+    let median = if ratios.len().is_multiple_of(2) {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    } else {
+        ratios[mid]
+    };
+    Some(median.clamp(0.25, 4.0))
+}
+
 /// The verdict on one metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
@@ -188,14 +335,20 @@ pub enum Status {
 #[derive(Debug, Clone)]
 pub struct Delta {
     pub key: String,
+    /// How the metric was judged (Time deltas are drift-normalized).
+    pub class: MetricClass,
     pub status: Status,
-    /// Human-readable `baseline → current` description.
+    /// Human-readable `baseline → current` description; for Time
+    /// metrics under non-neutral drift it carries both the raw and the
+    /// normalized movement.
     pub note: String,
 }
 
 /// A full baseline-vs-current comparison.
 #[derive(Debug, Clone)]
 pub struct Comparison {
+    /// The drift factor Time metrics were normalized by.
+    pub drift: Drift,
     pub deltas: Vec<Delta>,
 }
 
@@ -207,18 +360,20 @@ fn as_f64(v: &Json) -> f64 {
     }
 }
 
-fn judge(base: &Metric, cur: &Metric, tol: &Tolerance) -> Delta {
+fn judge(base: &Metric, cur: &Metric, tol: &Tolerance, drift: &Drift) -> Delta {
     let key = cur.key.clone();
     if cur.class == MetricClass::Exact {
         return if base.value == cur.value {
             Delta {
                 key,
+                class: MetricClass::Exact,
                 status: Status::Within,
                 note: format!("unchanged ({})", cur.value.to_compact()),
             }
         } else {
             Delta {
                 key,
+                class: MetricClass::Exact,
                 status: Status::Regressed,
                 note: format!(
                     "exact value drifted: {} → {}",
@@ -233,13 +388,28 @@ fn judge(base: &Metric, cur: &Metric, tol: &Tolerance) -> Delta {
         _ => (tol.count_rel, tol.count_floor),
     };
     let (b, c) = (as_f64(&base.value), as_f64(&cur.value));
-    let diff = c - b;
-    let pct = if b == 0.0 {
-        f64::INFINITY
-    } else {
-        diff / b * 100.0
+    // Only Time metrics see the machine: normalize them into the
+    // baseline machine's time before judging. Counters are judged raw.
+    let normalized = cur.class == MetricClass::Time && drift.source != DriftSource::Neutral;
+    let cn = if normalized { c / drift.factor } else { c };
+    let pct = |x: f64| {
+        if b == 0.0 {
+            f64::INFINITY
+        } else {
+            (x - b) / b * 100.0
+        }
     };
-    let note = format!("{b:.0} → {c:.0} ({pct:+.1}%)");
+    let note = if normalized {
+        format!(
+            "{b:.0} → {c:.0} raw ({:+.1}%); ÷{:.3} → {cn:.0} normalized ({:+.1}%)",
+            pct(c),
+            drift.factor,
+            pct(cn)
+        )
+    } else {
+        format!("{b:.0} → {c:.0} ({:+.1}%)", pct(c))
+    };
+    let diff = cn - b;
     let status = if diff > b * rel && diff > floor {
         Status::Regressed
     } else if -diff > b * rel && -diff > floor {
@@ -247,24 +417,47 @@ fn judge(base: &Metric, cur: &Metric, tol: &Tolerance) -> Delta {
     } else {
         Status::Within
     };
-    Delta { key, status, note }
+    Delta {
+        key,
+        class: cur.class,
+        status,
+        note,
+    }
 }
 
-/// Compares two parsed artifacts metric by metric.
+/// Compares two parsed artifacts metric by metric, Time metrics
+/// normalized by the [`Drift`] resolved between the two artifacts.
 pub fn compare(baseline: &Json, current: &Json, tol: &Tolerance) -> Comparison {
-    compare_metrics(&flatten(baseline), &flatten(current), tol)
+    let base_metrics = flatten(baseline);
+    let cur_metrics = flatten(current);
+    let drift = Drift::between(baseline, current, &base_metrics, &cur_metrics, tol);
+    compare_metrics_normalized(&base_metrics, &cur_metrics, tol, drift)
 }
 
 /// Compares two pre-flattened metric sets with the same band semantics
-/// as [`compare`]. Other artifact kinds (`aov-profile/1` in
-/// [`crate::pdiff`]) flatten themselves and share the judge.
+/// as [`compare`] but no drift normalization. Other artifact kinds
+/// (`aov-profile/1` in [`crate::pdiff`]) flatten themselves and share
+/// the judge; their documents carry no calibration, so raw judging is
+/// the honest default.
 pub fn compare_metrics(base: &[Metric], cur: &[Metric], tol: &Tolerance) -> Comparison {
+    compare_metrics_normalized(base, cur, tol, Drift::neutral())
+}
+
+/// [`compare_metrics`] with an explicit drift factor applied to
+/// Time-class metrics.
+pub fn compare_metrics_normalized(
+    base: &[Metric],
+    cur: &[Metric],
+    tol: &Tolerance,
+    drift: Drift,
+) -> Comparison {
     let mut deltas = Vec::new();
     for m in cur {
         match base.iter().find(|b| b.key == m.key) {
-            Some(b) => deltas.push(judge(b, m, tol)),
+            Some(b) => deltas.push(judge(b, m, tol, &drift)),
             None => deltas.push(Delta {
                 key: m.key.clone(),
+                class: m.class,
                 status: Status::New,
                 note: format!("no baseline value (now {})", m.value.to_compact()),
             }),
@@ -274,6 +467,7 @@ pub fn compare_metrics(base: &[Metric], cur: &[Metric], tol: &Tolerance) -> Comp
         if !cur.iter().any(|m| m.key == b.key) {
             deltas.push(Delta {
                 key: b.key.clone(),
+                class: b.class,
                 status: Status::Missing,
                 note: format!(
                     "in baseline ({}) but not measured now",
@@ -282,7 +476,7 @@ pub fn compare_metrics(base: &[Metric], cur: &[Metric], tol: &Tolerance) -> Comp
             });
         }
     }
-    Comparison { deltas }
+    Comparison { drift, deltas }
 }
 
 impl Comparison {
@@ -300,12 +494,13 @@ impl Comparison {
     /// delta grouped by severity.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "regression report: {} regressed, {} improved, {} within noise, {} new, {} missing\n",
+            "regression report: {} regressed, {} improved, {} within noise, {} new, {} missing\n  {}\n",
             self.count(Status::Regressed),
             self.count(Status::Improved),
             self.count(Status::Within),
             self.count(Status::New),
             self.count(Status::Missing),
+            self.drift.describe(),
         );
         for (status, label) in [
             (Status::Regressed, "REGRESSED"),
@@ -324,6 +519,7 @@ impl Comparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aov_support::ToJson;
 
     /// A minimal synthetic artifact with one example and one figure.
     fn artifact(wall_us: i64, aov_us: i64, pivots: i64, digest: &str) -> Json {
@@ -481,5 +677,121 @@ mod tests {
         let c = compare(&Json::obj(), &cur, &Tolerance::default());
         assert!(!c.has_regressions());
         assert_eq!(c.count(Status::New), c.deltas.len());
+    }
+
+    /// A synthetic artifact with enough large Time metrics to qualify
+    /// for drift estimation, each stage scaled by `scale`, optionally
+    /// carrying a measured calibration scaled by `cal_scale`.
+    fn wide_artifact(scales: &[f64], cal_scale: Option<f64>) -> Json {
+        let stat = |v: f64| Json::obj().field("min", v as i64).field("median", v as i64);
+        let base_us = 200_000.0;
+        let stages: Vec<Json> = scales
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                Json::obj()
+                    .field("name", format!("s{i}"))
+                    .field("us", stat(base_us * s))
+            })
+            .collect();
+        let mut doc = Json::obj().field("schema", "aov-bench/2").field(
+            "examples",
+            vec![Json::obj()
+                .field("program", "example1")
+                .field("stages", stages)
+                .field("code_digest", "aaaa")],
+        );
+        if let Some(scale) = cal_scale {
+            doc = doc.field(
+                "calibration",
+                Calibration {
+                    cpu_ns: 1000.0 * scale,
+                    alloc_ns: 800.0 * scale,
+                    bigint_ns: 1200.0 * scale,
+                }
+                .to_json(),
+            );
+        }
+        doc
+    }
+
+    #[test]
+    fn uniform_drift_on_uncalibrated_artifacts_is_estimated_away() {
+        let base = wide_artifact(&[1.0; 10], None);
+        let cur = wide_artifact(&[1.6; 10], None);
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert_eq!(c.drift.source, DriftSource::Estimated);
+        assert!((c.drift.factor - 1.6).abs() < 0.01, "{:?}", c.drift);
+        assert!(!c.has_regressions(), "{}", c.render());
+        // Raw movement (+60%) and normalized movement (~0%) both appear.
+        let d = &c.deltas[0];
+        assert!(
+            d.note.contains("raw") && d.note.contains("normalized"),
+            "{}",
+            d.note
+        );
+    }
+
+    #[test]
+    fn single_metric_step_still_gates_under_estimation() {
+        let base = wide_artifact(&[1.0; 10], None);
+        let mut scales = [1.0; 10];
+        scales[3] = 3.0; // one genuine slowdown among steady metrics
+        let cur = wide_artifact(&scales, None);
+        let c = compare(&base, &cur, &Tolerance::default());
+        // The median ignores the outlier: factor stays ~1.
+        assert!((c.drift.factor - 1.0).abs() < 0.01, "{:?}", c.drift);
+        assert_eq!(
+            status_of(&c, "example1.stage.s3_us").status,
+            Status::Regressed
+        );
+        assert_eq!(c.count(Status::Regressed), 1);
+    }
+
+    /// Measured calibration is authoritative: when the machine provably
+    /// did not slow down, a uniform program slowdown gates even though
+    /// a data-derived estimate would have laundered it.
+    #[test]
+    fn measured_calibration_overrides_estimation() {
+        let base = wide_artifact(&[1.0; 10], Some(1.0));
+        let cur = wide_artifact(&[2.0; 10], Some(1.0));
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert_eq!(c.drift.source, DriftSource::Measured);
+        assert!((c.drift.factor - 1.0).abs() < 1e-9);
+        assert_eq!(c.count(Status::Regressed), 10, "{}", c.render());
+    }
+
+    #[test]
+    fn measured_calibration_normalizes_uniform_machine_slowdown() {
+        let base = wide_artifact(&[1.0; 10], Some(1.0));
+        // Machine 1.5× slower, program timings 1.5× slower: not a
+        // program regression.
+        let cur = wide_artifact(&[1.5; 10], Some(1.5));
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert_eq!(c.drift.source, DriftSource::Measured);
+        assert!((c.drift.factor - 1.5).abs() < 1e-9);
+        assert!(!c.has_regressions(), "{}", c.render());
+        // But a per-metric slowdown on the slower machine still gates.
+        let mut scales = [1.5; 10];
+        scales[0] = 4.5; // 3× slower after normalization
+        let worse = wide_artifact(&scales, Some(1.5));
+        let c = compare(&base, &worse, &Tolerance::default());
+        assert_eq!(
+            status_of(&c, "example1.stage.s0_us").status,
+            Status::Regressed
+        );
+        assert_eq!(c.count(Status::Regressed), 1);
+    }
+
+    #[test]
+    fn too_few_samples_fall_back_to_neutral_raw_judging() {
+        // Three qualifying Time metrics (< MIN_ESTIMATE_SAMPLES):
+        // estimation must not engage, so uniform drift gates raw.
+        let base = wide_artifact(&[1.0; 3], None);
+        let cur = wide_artifact(&[2.0; 3], None);
+        let c = compare(&base, &cur, &Tolerance::default());
+        assert_eq!(c.drift.source, DriftSource::Neutral);
+        assert_eq!(c.count(Status::Regressed), 3);
+        assert!(c.render().contains("no drift evidence"));
     }
 }

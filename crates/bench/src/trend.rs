@@ -1,0 +1,770 @@
+//! Cross-artifact trend analysis: the repo's perf trajectory, not just
+//! pairwise snapshots.
+//!
+//! `aov trend BENCH_0.json … BENCH_N.json` flattens every artifact with
+//! [`crate::regress::flatten`] into per-metric series, normalizes each
+//! artifact's Time metrics onto the *first* artifact's machine speed
+//! (the same [`Drift`] resolution the pairwise gate uses: measured
+//! calibration when both sides have it, the median-ratio estimate for
+//! v1-era artifacts, neutral otherwise), and classifies every series:
+//!
+//! * **Flat** — no movement beyond the tolerance band.
+//! * **Step** — the movement concentrates at one artifact boundary:
+//!   the best median split's jump is carried by a single consecutive
+//!   transition. Steps are what code changes look like.
+//! * **Drift** — significant movement spread across the series. Drift
+//!   across *normalized* values is what residual environment noise (or
+//!   a slow leak) looks like.
+//!
+//! The classifier is median-based on purpose: medians of the two sides
+//! of a split are robust to one noisy recording, so a single outlier
+//! artifact reads as Flat, not as two steps.
+//!
+//! The report groups series by kind (wall clocks, stage times, span
+//! self-times, counters, …) with one sparkline per series; the emitted
+//! document is schema-versioned ([`SCHEMA_VERSION`]) and `aov inspect`
+//! validates and renders it like every other artifact in the repo.
+
+use crate::regress::{flatten, Drift, DriftSource, Metric, MetricClass, Tolerance};
+use aov_support::calibrate::Calibration;
+use aov_support::schema::{self, Schema};
+use aov_support::{Json, ToJson};
+
+/// Trend document format identifier.
+pub const SCHEMA_VERSION: &str = "aov-trend/1";
+
+/// One artifact in the analyzed sequence.
+#[derive(Debug, Clone)]
+pub struct ArtifactInfo {
+    /// Display label (the file name, for CLI runs).
+    pub label: String,
+    /// Whether the artifact carried a measured calibration.
+    pub calibrated: bool,
+    /// Time normalization factor onto the first artifact's machine
+    /// (1.0 for the first artifact itself).
+    pub drift: Drift,
+}
+
+/// How one metric's series moved across the sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    /// Within the tolerance band end to end.
+    Flat,
+    /// Movement concentrated at one artifact boundary: `ratio` is the
+    /// right-side median over the left-side median, `at` the index of
+    /// the first artifact after the step.
+    Step { at: usize, ratio: f64 },
+    /// Significant movement spread across the series.
+    Drift { ratio: f64 },
+}
+
+/// One metric followed across every artifact. `points[i]` is `None`
+/// when artifact `i` did not measure the metric.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub key: String,
+    pub class: MetricClass,
+    /// `(raw, normalized)` per artifact; Count metrics have
+    /// `raw == normalized` (machine speed cannot move them).
+    pub points: Vec<Option<(f64, f64)>>,
+    pub change: Change,
+}
+
+/// A full trend analysis.
+#[derive(Debug, Clone)]
+pub struct Trend {
+    pub artifacts: Vec<ArtifactInfo>,
+    /// Numeric (Time/Count) series, in first-seen key order.
+    pub series: Vec<Series>,
+    /// Exact-class metrics tracked: `(key, flips)` where a flip is a
+    /// value change between consecutive measured artifacts. Digests
+    /// flipping across recordings of the same code is a correctness
+    /// alarm the sparklines cannot show.
+    pub exact_flips: Vec<(String, usize)>,
+}
+
+/// Classifies one series of normalized values (`None` = not measured).
+///
+/// Median-based step-vs-drift detection: the split of the series whose
+/// side medians differ the most is the candidate change point; it only
+/// counts when it clears both the relative band and the absolute floor
+/// (same double test as the pairwise gate). A significant split whose
+/// movement is carried by the single transition at the boundary is a
+/// [`Change::Step`]; significant movement without such a carrier is
+/// [`Change::Drift`].
+fn classify(points: &[Option<f64>], rel: f64, floor: f64) -> Change {
+    let present: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.map(|v| (i, v)))
+        .collect();
+    if present.len() < 2 {
+        return Change::Flat;
+    }
+    let values: Vec<f64> = present.iter().map(|&(_, v)| v).collect();
+    let median = |xs: &[f64]| -> f64 {
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let mid = s.len() / 2;
+        if s.len().is_multiple_of(2) {
+            (s[mid - 1] + s[mid]) / 2.0
+        } else {
+            s[mid]
+        }
+    };
+    let splits: Vec<(usize, f64, f64, f64)> = (1..values.len())
+        .map(|t| {
+            let (ml, mr) = (median(&values[..t]), median(&values[t..]));
+            let movement = if ml > 0.0 && mr > 0.0 {
+                (mr / ml).ln().abs()
+            } else {
+                (mr - ml).abs()
+            };
+            (t, ml, mr, movement)
+        })
+        .collect();
+    let best_movement = splits.iter().map(|&(_, _, _, m)| m).fold(0.0f64, f64::max);
+    // Among the maximal-movement splits (a step plateau produces several
+    // with identical side medians), the one sitting on the largest
+    // consecutive jump is the actual boundary.
+    let boundary_jump = |t: usize| -> f64 {
+        let (a, b) = (values[t - 1], values[t]);
+        if a > 0.0 && b > 0.0 {
+            (b / a).ln().abs()
+        } else {
+            (b - a).abs()
+        }
+    };
+    let (split, ml, mr, _) = splits
+        .iter()
+        .copied()
+        .filter(|&(_, _, _, m)| m >= best_movement - 1e-9)
+        .max_by(|&(ta, ..), &(tb, ..)| {
+            boundary_jump(ta)
+                .partial_cmp(&boundary_jump(tb))
+                .expect("finite jumps")
+        })
+        .expect("at least one split");
+    let ratio = if ml > 0.0 { mr / ml } else { f64::INFINITY };
+    let significant = (mr - ml).abs() > floor
+        && (ratio > 1.0 + rel || (ratio.is_finite() && 1.0 / ratio > 1.0 + rel));
+    if !significant {
+        return Change::Flat;
+    }
+    // Step test: does the single transition at the split carry the
+    // split's movement?
+    let (jl, jr) = (values[split - 1], values[split]);
+    let jump = if jl > 0.0 && jr > 0.0 {
+        (jr / jl).ln().abs()
+    } else {
+        f64::INFINITY
+    };
+    let split_move = if ratio.is_finite() && ratio > 0.0 {
+        ratio.ln().abs()
+    } else {
+        f64::INFINITY
+    };
+    if jump >= 0.8 * split_move {
+        Change::Step {
+            at: present[split].0,
+            ratio,
+        }
+    } else {
+        Change::Drift { ratio }
+    }
+}
+
+/// Analyzes a sequence of **upgraded** artifact documents (callers run
+/// [`observatory::upgrade`] first — the CLI does, and it also schema-
+/// checks there; like [`crate::regress::compare`], the analysis itself
+/// is tolerant of partially-formed documents).
+///
+/// # Errors
+///
+/// Fewer than two artifacts (one snapshot has no trajectory).
+pub fn analyze(inputs: &[(String, Json)], tol: &Tolerance) -> Result<Trend, String> {
+    if inputs.len() < 2 {
+        return Err(format!(
+            "trend needs at least two artifacts, got {}",
+            inputs.len()
+        ));
+    }
+    let flattened: Vec<Vec<Metric>> = inputs.iter().map(|(_, doc)| flatten(doc)).collect();
+
+    // Normalization: every artifact relative to the first.
+    let artifacts: Vec<ArtifactInfo> = inputs
+        .iter()
+        .zip(&flattened)
+        .enumerate()
+        .map(|(i, ((label, doc), metrics))| {
+            let calibrated = Calibration::from_json(doc.get("calibration")).is_measured();
+            let drift = if i == 0 {
+                Drift::neutral()
+            } else {
+                Drift::between(&inputs[0].1, doc, &flattened[0], metrics, tol)
+            };
+            ArtifactInfo {
+                label: label.clone(),
+                calibrated,
+                drift,
+            }
+        })
+        .collect();
+
+    // Per-metric series in first-seen order across all artifacts.
+    let mut keys: Vec<(String, MetricClass)> = Vec::new();
+    for metrics in &flattened {
+        for m in metrics {
+            if !keys.iter().any(|(k, _)| *k == m.key) {
+                keys.push((m.key.clone(), m.class));
+            }
+        }
+    }
+
+    let value_of = |metrics: &[Metric], key: &str| -> Option<Json> {
+        metrics
+            .iter()
+            .find(|m| m.key == key)
+            .map(|m| m.value.clone())
+    };
+    let as_f64 = |v: &Json| -> Option<f64> {
+        match v {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    };
+
+    let mut series = Vec::new();
+    let mut exact_flips = Vec::new();
+    for (key, class) in keys {
+        if class == MetricClass::Exact {
+            let observed: Vec<Json> = flattened.iter().filter_map(|m| value_of(m, &key)).collect();
+            let flips = observed.windows(2).filter(|w| w[0] != w[1]).count();
+            exact_flips.push((key, flips));
+            continue;
+        }
+        let points: Vec<Option<(f64, f64)>> = flattened
+            .iter()
+            .zip(&artifacts)
+            .map(|(metrics, info)| {
+                let raw = value_of(metrics, &key).and_then(|v| as_f64(&v))?;
+                let normalized = if class == MetricClass::Time {
+                    raw / info.drift.factor
+                } else {
+                    raw
+                };
+                Some((raw, normalized))
+            })
+            .collect();
+        let (rel, floor) = match class {
+            MetricClass::Time => (tol.time_rel, tol.time_floor_us),
+            _ => (tol.count_rel, tol.count_floor),
+        };
+        let normalized: Vec<Option<f64>> = points.iter().map(|p| p.map(|(_, n)| n)).collect();
+        let change = classify(&normalized, rel, floor);
+        series.push(Series {
+            key,
+            class,
+            points,
+            change,
+        });
+    }
+
+    Ok(Trend {
+        artifacts,
+        series,
+        exact_flips,
+    })
+}
+
+/// Report group of a metric key, in render order.
+fn group_of(key: &str) -> (usize, &'static str) {
+    if key.ends_with(".wall_us") {
+        (0, "pipeline wall clocks")
+    } else if key.contains(".stage.") {
+        (1, "stage times")
+    } else if key.contains(".span.") && key.ends_with(".self_us") {
+        (2, "span self-times")
+    } else if key.contains(".span.") && key.ends_with(".count") {
+        (3, "span counts")
+    } else if key.contains(".counter.") {
+        (4, "solver counters")
+    } else if key.starts_with("fig.") {
+        (5, "figure times")
+    } else {
+        (6, "other")
+    }
+}
+
+/// Eight-level sparkline of a series' normalized values, `·` for
+/// artifacts that did not measure the metric. Scaled per series from 0
+/// to its max, so a flat series of large values renders as a high flat
+/// line rather than noise.
+fn sparkline(points: &[Option<(f64, f64)>]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = points
+        .iter()
+        .filter_map(|p| p.map(|(_, n)| n))
+        .fold(0.0f64, f64::max);
+    points
+        .iter()
+        .map(|p| match p {
+            None => '·',
+            Some((_, n)) if max <= 0.0 => BARS[0],
+            Some((_, n)) => {
+                let idx = ((n / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+                BARS[idx]
+            }
+        })
+        .collect()
+}
+
+impl Trend {
+    /// Number of series with the given change kind.
+    fn count_changes(&self, step: bool) -> usize {
+        self.series
+            .iter()
+            .filter(|s| {
+                matches!(
+                    (&s.change, step),
+                    (Change::Step { .. }, true) | (Change::Drift { .. }, false)
+                )
+            })
+            .count()
+    }
+
+    /// Series classified [`Change::Flat`].
+    #[must_use]
+    pub fn flat(&self) -> usize {
+        self.series
+            .iter()
+            .filter(|s| s.change == Change::Flat)
+            .count()
+    }
+
+    /// Series classified [`Change::Step`].
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.count_changes(true)
+    }
+
+    /// Series classified [`Change::Drift`].
+    #[must_use]
+    pub fn drifts(&self) -> usize {
+        self.count_changes(false)
+    }
+
+    /// Exact-class value changes summed over all tracked fingerprints.
+    #[must_use]
+    pub fn total_exact_flips(&self) -> usize {
+        self.exact_flips.iter().map(|(_, f)| f).sum()
+    }
+
+    /// Human-readable grouped sparkline report. Every wall-clock series
+    /// renders; other groups render their non-Flat series plus a count
+    /// of the flat remainder.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trend over {} artifacts: {} series ({} flat, {} steps, {} drifts), {} fingerprints ({} flips)\n",
+            self.artifacts.len(),
+            self.series.len(),
+            self.flat(),
+            self.steps(),
+            self.drifts(),
+            self.exact_flips.len(),
+            self.total_exact_flips(),
+        );
+        for info in &self.artifacts {
+            out.push_str(&format!(
+                "  {:<16} {} drift ×{:.3} ({:?})\n",
+                info.label,
+                if info.calibrated {
+                    "calibrated"
+                } else {
+                    "uncalibrated"
+                },
+                info.drift.factor,
+                info.drift.source,
+            ));
+        }
+        let describe = |change: &Change| match change {
+            Change::Flat => "flat".to_string(),
+            Change::Step { at, ratio } => format!("STEP ×{ratio:.2} at #{at}"),
+            Change::Drift { ratio } => format!("DRIFT ×{ratio:.2}"),
+        };
+        for group in 0..7 {
+            let members: Vec<&Series> = self
+                .series
+                .iter()
+                .filter(|s| group_of(&s.key).0 == group)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let name = group_of(&members[0].key).1;
+            let render_all = group == 0;
+            let mut rendered = 0usize;
+            let mut header_done = false;
+            for s in &members {
+                if !render_all && s.change == Change::Flat {
+                    continue;
+                }
+                if !header_done {
+                    out.push_str(&format!("{name}:\n"));
+                    header_done = true;
+                }
+                out.push_str(&format!(
+                    "  {} {:<48} {}\n",
+                    sparkline(&s.points),
+                    s.key,
+                    describe(&s.change)
+                ));
+                rendered += 1;
+            }
+            let flat_rest = members.len() - rendered;
+            if flat_rest > 0 && header_done && !render_all {
+                out.push_str(&format!("  ({flat_rest} more flat series)\n"));
+            } else if !header_done {
+                out.push_str(&format!("{name}: all {} series flat\n", members.len()));
+            }
+        }
+        if self.total_exact_flips() > 0 {
+            out.push_str("fingerprint flips:\n");
+            for (key, flips) in self.exact_flips.iter().filter(|(_, f)| *f > 0) {
+                out.push_str(&format!("  {key}: {flips} flip(s)\n"));
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for Trend {
+    fn to_json(&self) -> Json {
+        let source_name = |s: DriftSource| match s {
+            DriftSource::Measured => "measured",
+            DriftSource::Estimated => "estimated",
+            DriftSource::Neutral => "neutral",
+        };
+        let class_name = |c: MetricClass| match c {
+            MetricClass::Time => "time",
+            MetricClass::Count => "count",
+            MetricClass::Exact => "exact",
+        };
+        Json::obj()
+            .field("schema", SCHEMA_VERSION)
+            .field(
+                "artifacts",
+                self.artifacts
+                    .iter()
+                    .map(|a| {
+                        Json::obj()
+                            .field("label", a.label.as_str())
+                            .field("calibrated", a.calibrated)
+                            .field("drift", a.drift.factor)
+                            .field("drift_source", source_name(a.drift.source))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "series",
+                self.series
+                    .iter()
+                    .map(|s| {
+                        let change = match &s.change {
+                            Change::Flat => Json::obj().field("kind", "flat"),
+                            Change::Step { at, ratio } => Json::obj()
+                                .field("kind", "step")
+                                .field("at", *at)
+                                .field("ratio", *ratio),
+                            Change::Drift { ratio } => {
+                                Json::obj().field("kind", "drift").field("ratio", *ratio)
+                            }
+                        };
+                        Json::obj()
+                            .field("key", s.key.as_str())
+                            .field("class", class_name(s.class))
+                            .field(
+                                "points",
+                                s.points
+                                    .iter()
+                                    .map(|p| match p {
+                                        None => Json::Null,
+                                        Some((raw, normalized)) => Json::obj()
+                                            .field("raw", *raw)
+                                            .field("normalized", *normalized),
+                                    })
+                                    .collect::<Vec<_>>(),
+                            )
+                            .field("change", change)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "fingerprints",
+                self.exact_flips
+                    .iter()
+                    .map(|(key, flips)| {
+                        Json::obj()
+                            .field("key", key.as_str())
+                            .field("flips", *flips)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "summary",
+                Json::obj()
+                    .field("series", self.series.len())
+                    .field("flat", self.flat())
+                    .field("steps", self.steps())
+                    .field("drifts", self.drifts())
+                    .field("exact_flips", self.total_exact_flips()),
+            )
+    }
+}
+
+/// The structural schema every `aov-trend/1` document must satisfy.
+pub fn trend_schema() -> Schema {
+    Schema::object([
+        ("schema", Schema::Str, true),
+        (
+            "artifacts",
+            Schema::array(Schema::object([
+                ("label", Schema::Str, true),
+                ("calibrated", Schema::Bool, true),
+                ("drift", Schema::Num, true),
+                ("drift_source", Schema::Str, true),
+            ])),
+            true,
+        ),
+        (
+            "series",
+            Schema::array(Schema::object([
+                ("key", Schema::Str, true),
+                ("class", Schema::Str, true),
+                (
+                    "points",
+                    Schema::array(Schema::nullable(Schema::object([
+                        ("raw", Schema::Num, true),
+                        ("normalized", Schema::Num, true),
+                    ]))),
+                    true,
+                ),
+                (
+                    "change",
+                    Schema::object([
+                        ("kind", Schema::Str, true),
+                        ("at", Schema::Int, false),
+                        ("ratio", Schema::Num, false),
+                    ]),
+                    true,
+                ),
+            ])),
+            true,
+        ),
+        (
+            "fingerprints",
+            Schema::array(Schema::object([
+                ("key", Schema::Str, true),
+                ("flips", Schema::Int, true),
+            ])),
+            true,
+        ),
+        (
+            "summary",
+            Schema::object([
+                ("series", Schema::Int, true),
+                ("flat", Schema::Int, true),
+                ("steps", Schema::Int, true),
+                ("drifts", Schema::Int, true),
+                ("exact_flips", Schema::Int, true),
+            ]),
+            true,
+        ),
+    ])
+}
+
+/// Validates a parsed trend document against [`trend_schema`].
+///
+/// # Errors
+///
+/// Every structural mismatch, with its JSON path.
+pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    schema::validate(doc, &trend_schema())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observatory;
+
+    fn tol() -> Tolerance {
+        Tolerance::default()
+    }
+
+    #[test]
+    fn classify_flat_series() {
+        let pts: Vec<Option<f64>> = vec![Some(100_000.0), Some(104_000.0), Some(98_000.0)];
+        assert_eq!(classify(&pts, 0.5, 10_000.0), Change::Flat);
+        // One missing point does not upset the verdict.
+        let pts = vec![Some(100_000.0), None, Some(101_000.0)];
+        assert_eq!(classify(&pts, 0.5, 10_000.0), Change::Flat);
+        // Under two present points there is nothing to classify.
+        assert_eq!(classify(&[Some(1.0)], 0.5, 10_000.0), Change::Flat);
+        assert_eq!(classify(&[None, None], 0.5, 10_000.0), Change::Flat);
+    }
+
+    #[test]
+    fn classify_step_lands_on_the_boundary() {
+        let pts: Vec<Option<f64>> = [100_000.0, 101_000.0, 99_000.0, 200_000.0, 202_000.0]
+            .iter()
+            .map(|&v| Some(v))
+            .collect();
+        match classify(&pts, 0.5, 10_000.0) {
+            Change::Step { at, ratio } => {
+                assert_eq!(at, 3);
+                assert!((ratio - 2.0).abs() < 0.1, "{ratio}");
+            }
+            other => panic!("wanted a step, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_gradual_growth_is_drift_not_step() {
+        let pts: Vec<Option<f64>> = [100_000.0, 130_000.0, 169_000.0, 220_000.0, 286_000.0]
+            .iter()
+            .map(|&v| Some(v))
+            .collect();
+        match classify(&pts, 0.5, 10_000.0) {
+            Change::Drift { ratio } => assert!(ratio > 1.0, "{ratio}"),
+            other => panic!("wanted drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_single_outlier_recording_stays_flat() {
+        // The medians shield the split from one bad artifact.
+        let pts: Vec<Option<f64>> = [100_000.0, 101_000.0, 500_000.0, 99_000.0, 100_500.0]
+            .iter()
+            .map(|&v| Some(v))
+            .collect();
+        assert_eq!(classify(&pts, 0.5, 10_000.0), Change::Flat);
+    }
+
+    #[test]
+    fn classify_small_absolute_movement_is_flat() {
+        // 2× ratio but under the 10 ms floor.
+        let pts: Vec<Option<f64>> = vec![Some(2_000.0), Some(2_100.0), Some(4_000.0)];
+        assert_eq!(classify(&pts, 0.5, 10_000.0), Change::Flat);
+    }
+
+    /// Synthetic artifact sequences: uniform machine drift on
+    /// uncalibrated artifacts normalizes away, while a genuine
+    /// per-metric step survives normalization and is localized.
+    #[test]
+    fn uniform_drift_normalizes_away_but_a_real_step_survives() {
+        let artifact = |scales: &[f64]| -> Json {
+            let stat = |v: f64| Json::obj().field("min", v as i64).field("median", v as i64);
+            let stages: Vec<Json> = scales
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    Json::obj()
+                        .field("name", format!("s{i}"))
+                        .field("us", stat(200_000.0 * s))
+                })
+                .collect();
+            Json::obj().field("schema", "aov-bench/1").field(
+                "examples",
+                vec![Json::obj()
+                    .field("program", "example1")
+                    .field("wall_us", stat(200_000.0 * scales.iter().sum::<f64>()))
+                    .field("stages", stages)
+                    .field("code_digest", "aaaa")],
+            )
+        };
+        // Four recordings: machine drifts 1.0 → 1.1 → 1.5 → 1.4
+        // uniformly, and stage s2 *genuinely* doubles from the third
+        // recording on.
+        let seq: Vec<(String, Json)> = [1.0, 1.1, 1.5, 1.4]
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let mut scales = [m; 10];
+                if i >= 2 {
+                    scales[2] = 2.0 * m;
+                }
+                let (doc, _) = observatory::upgrade(artifact(&scales)).expect("upgrades");
+                (format!("t{i}"), doc)
+            })
+            .collect();
+        let trend = analyze(&seq, &tol()).expect("analyzes");
+
+        // Drift factors track the machine, estimated (no calibration).
+        assert!(trend.artifacts.iter().skip(1).all(|a| !a.calibrated));
+        assert_eq!(trend.artifacts[2].drift.source, DriftSource::Estimated);
+        assert!(
+            (trend.artifacts[2].drift.factor - 1.5).abs() < 0.05,
+            "{:?}",
+            trend.artifacts[2].drift
+        );
+
+        // Every stage except s2 is flat after normalization; s2 is a
+        // step at recording #2 with ratio ≈ 2.
+        for s in &trend.series {
+            if s.key == "example1.stage.s2_us" {
+                match &s.change {
+                    Change::Step { at, ratio } => {
+                        assert_eq!(*at, 2, "{:?}", s.change);
+                        assert!((ratio - 2.0).abs() < 0.2, "{ratio}");
+                    }
+                    other => panic!("s2 should step, got {other:?}"),
+                }
+            } else if s.key.contains(".stage.") {
+                assert_eq!(s.change, Change::Flat, "{} moved", s.key);
+            }
+        }
+        // The report renders a sparkline per wall series and names the
+        // step.
+        let report = trend.render();
+        assert!(report.contains("pipeline wall clocks"), "{report}");
+        assert!(report.contains("STEP"), "{report}");
+
+        // The emitted document validates against its own schema and
+        // carries the step.
+        let doc = trend.to_json();
+        validate(&doc).expect("trend document is schema-valid");
+        assert_eq!(doc.get("schema"), Some(&Json::Str(SCHEMA_VERSION.into())));
+        let Some(Json::Obj(summary)) = doc.get("summary") else {
+            panic!("summary missing");
+        };
+        assert!(summary
+            .iter()
+            .any(|(k, v)| k == "steps" && *v == Json::Int(1)));
+    }
+
+    #[test]
+    fn analyze_rejects_degenerate_input() {
+        assert!(analyze(&[], &tol()).is_err());
+        let (doc, _) = observatory::upgrade(
+            Json::parse(include_str!("../../../BENCH_0.json")).expect("parses"),
+        )
+        .expect("upgrades");
+        assert!(analyze(&[("only".into(), doc)], &tol()).is_err());
+    }
+
+    #[test]
+    fn sparkline_handles_missing_and_flat() {
+        let pts = vec![
+            Some((1.0, 100.0)),
+            None,
+            Some((1.0, 50.0)),
+            Some((1.0, 100.0)),
+        ];
+        let line = sparkline(&pts);
+        assert_eq!(line.chars().count(), 4);
+        assert_eq!(line.chars().nth(1), Some('·'));
+        assert_eq!(line.chars().next(), line.chars().nth(3));
+    }
+}

@@ -1,0 +1,107 @@
+//! Wraparound coverage for the configurable flight-recorder ring: the
+//! chaos-matrix suite runs at the default 4096 slots, where a short
+//! pipeline run never wraps. This binary shrinks the ring to the
+//! minimum before anything records — it must be its own process,
+//! because the ring's capacity is fixed at first use — and checks that
+//! a faulting run still leaves a bundle whose ring tail carries the
+//! fault evidence after thousands of events have been evicted.
+
+use std::path::PathBuf;
+
+use aov_engine::diag;
+use aov_engine::{Health, Pipeline};
+use aov_fault::chaos::{self, ChaosSpec, FaultKind};
+use aov_support::{schema, Json};
+use aov_trace::recorder;
+
+#[test]
+fn tiny_ring_wraps_and_still_carries_fault_evidence() {
+    // Before any instrumented work: request the smallest ring. The
+    // request must land (nothing has recorded yet in this process).
+    assert!(
+        recorder::set_slots(1),
+        "capacity request must precede first use"
+    );
+    assert_eq!(recorder::slots(), recorder::MIN_SLOTS);
+
+    // A faulting run: chaos at the last pipeline stage, by which point
+    // the run (spans, counters, budget ticks from every earlier stage)
+    // has recorded far more events than the tiny ring holds.
+    let site = "pipeline.storage_transform";
+    chaos::install(ChaosSpec {
+        site: site.to_string(),
+        kind: FaultKind::Error,
+        nth: 0,
+        seed: 0,
+    });
+    let dir = std::env::temp_dir().join(format!("aov-diag-small-ring-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let head_before = recorder::events_recorded();
+    let report = Pipeline::for_example("example1")
+        .unwrap()
+        .diag_dir(dir.clone())
+        .run()
+        .expect("chaos error degrades, not aborts");
+    chaos::disarm();
+    assert_eq!(report.health(), Health::Degraded);
+
+    // The run provably wrapped the tiny ring.
+    assert!(
+        recorder::events_recorded() - head_before > recorder::MIN_SLOTS as u64,
+        "run recorded {} events, ring holds {}",
+        recorder::events_recorded() - head_before,
+        recorder::MIN_SLOTS
+    );
+    assert!(recorder::snapshot().len() <= recorder::MIN_SLOTS);
+
+    // Exactly one schema-valid bundle, as in the full-size suite.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("diag dir exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "want exactly one bundle");
+    let text = std::fs::read_to_string(entries.pop().unwrap()).expect("bundle readable");
+    let doc = Json::parse(&text).expect("bundle parses");
+    if let Err(errors) = schema::validate(&doc, &diag::diag_schema()) {
+        panic!("bundle schema violations: {errors:#?}");
+    }
+
+    // The drained ring is capacity-bounded, full (eviction actually
+    // happened), ordered, and — the point of eviction keeping the
+    // *newest* events — still ends with the fault.
+    let Some(Json::Arr(ring)) = doc.get("events").and_then(|e| e.get("ring")) else {
+        panic!("bundle has no ring array");
+    };
+    assert!(
+        ring.len() <= recorder::MIN_SLOTS,
+        "ring drained {} events from a {}-slot ring",
+        ring.len(),
+        recorder::MIN_SLOTS
+    );
+    assert!(
+        ring.len() >= recorder::MIN_SLOTS - 4,
+        "a wrapped ring drains full (minus torn slots), got {}",
+        ring.len()
+    );
+    let seqs: Vec<i64> = ring
+        .iter()
+        .map(|e| match e.get("seq") {
+            Some(Json::Int(s)) => *s,
+            other => panic!("event seq: {other:?}"),
+        })
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "drained ring stays ordered across wraparound"
+    );
+    // Ring labels truncate to the recorder's inline capacity.
+    let marker = &site[..site.len().min(24)];
+    assert!(
+        ring.iter().any(|e| {
+            e.get("kind") == Some(&Json::Str("chaos_fired".into()))
+                && e.get("label") == Some(&Json::Str(marker.into()))
+        }),
+        "fault marker survives in the ring tail"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

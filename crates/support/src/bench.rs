@@ -156,7 +156,10 @@ impl Harness {
     }
 }
 
-fn measure<R>(name: &str, config: &BenchConfig, body: &mut impl FnMut() -> R) -> BenchStats {
+/// Measures one closure with the harness's warmup/batch protocol and
+/// returns the raw statistics without printing. The [`Harness`] CLI
+/// path and the [`crate::calibrate`] microprobes share this.
+pub fn measure<R>(name: &str, config: &BenchConfig, body: &mut impl FnMut() -> R) -> BenchStats {
     // Warmup: run for at least `warmup`, counting iterations to estimate
     // the per-iteration cost.
     let warm_start = Instant::now();

@@ -1,0 +1,299 @@
+//! Machine-speed calibration: a deterministic fingerprint of how fast
+//! *this* machine runs fixed work, recorded alongside perf artifacts so
+//! cross-artifact comparisons can tell a slower machine from a slower
+//! program.
+//!
+//! The observatory's regression gate compares wall-clock numbers taken
+//! days apart, often in shared containers whose effective CPU speed
+//! drifts by tens of percent (PR 7 recorded the same binary measuring
+//! 59.5 s one day and 80–86 s another, with bit-identical solver
+//! counters). A [`Calibration`] is three microprobes — each a fixed
+//! amount of work, timed with the [`crate::bench`] harness — chosen to
+//! span the axes the solver stack actually exercises:
+//!
+//! * **cpu** — a pure integer mixing loop (SplitMix64-style rounds):
+//!   raw ALU speed, no memory traffic.
+//! * **alloc** — a burst of small short-lived heap allocations through
+//!   the counting global allocator: allocator round-trip cost, the
+//!   dominant cost of the exact kernel (runs are allocation-bound).
+//! * **bigint** — schoolbook multi-limb multiplication with a freshly
+//!   allocated result vector per product: the shape of small-`BigInt`
+//!   arithmetic (carry chains + one short-lived allocation), without a
+//!   dependency cycle on `aov-numeric`.
+//!
+//! Each probe reports the *minimum* per-iteration nanoseconds over
+//! several measured batches — the most interruption-robust statistic —
+//! so two calibrations of the same machine agree within a narrow band
+//! while a container throttled to 70% shows every probe proportionally
+//! slower. [`Calibration::speed_factor`] turns two measured
+//! calibrations into a single normalization factor (geometric mean of
+//! the per-probe ratios); artifacts upgraded from pre-calibration
+//! schema versions carry [`Calibration::neutral`], which yields no
+//! factor and lets consumers fall back to data-derived estimates.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use crate::bench::{measure, BenchConfig};
+use crate::json::{Json, ToJson};
+
+/// The three probe timings, per-iteration nanoseconds. All zero means
+/// "neutral": no calibration was measured (legacy artifacts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Integer-mixing probe, ns/iteration.
+    pub cpu_ns: f64,
+    /// Allocation-churn probe, ns/iteration.
+    pub alloc_ns: f64,
+    /// Small multi-limb multiply probe, ns/iteration.
+    pub bigint_ns: f64,
+}
+
+/// Rounds of the integer-mixing loop per cpu-probe iteration.
+const CPU_ROUNDS: u64 = 4096;
+/// Short-lived allocations per alloc-probe iteration.
+const ALLOC_BURSTS: usize = 64;
+/// Multi-limb products per bigint-probe iteration.
+const BIGINT_PRODUCTS: u64 = 32;
+
+/// Fixed-work integer mixing (SplitMix64 finalizer rounds).
+fn cpu_probe() -> u64 {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..CPU_ROUNDS {
+        x = x.wrapping_add(i).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 31;
+    }
+    x
+}
+
+/// A burst of small short-lived heap allocations of varied sizes.
+fn alloc_probe() -> u64 {
+    let mut acc = 0u64;
+    for k in 0..ALLOC_BURSTS {
+        let cap = 8 + (k & 31) * 4;
+        let mut v: Vec<u64> = Vec::with_capacity(cap);
+        v.push(k as u64);
+        acc = acc.wrapping_add(black_box(&v).capacity() as u64 ^ v[0]);
+    }
+    acc
+}
+
+/// Schoolbook 3×3-limb multiplies, one fresh result vector per product
+/// (the allocation + carry-chain shape of small-`BigInt` arithmetic).
+fn bigint_probe() -> u64 {
+    let a = [
+        0xfeed_face_cafe_f00du64,
+        0x1234_5678_9abc_def0,
+        0x0f1e_2d3c_4b5a_6978,
+    ];
+    let mut b = [3u64, 5, 7];
+    let mut acc = 0u64;
+    for i in 0..BIGINT_PRODUCTS {
+        b[0] = b[0].wrapping_add(i);
+        // A fresh heap vector per product is the point of the probe:
+        // small-BigInt products allocate their result limbs.
+        #[allow(clippy::useless_vec)]
+        let mut out = vec![0u64; 6];
+        for (ai, &x) in a.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (bi, &y) in b.iter().enumerate() {
+                let t = u128::from(out[ai + bi]) + u128::from(x) * u128::from(y) + carry;
+                out[ai + bi] = t as u64;
+                carry = t >> 64;
+            }
+            out[ai + b.len()] = out[ai + b.len()].wrapping_add(carry as u64);
+        }
+        acc = acc.wrapping_add(out[5] ^ out[0]);
+    }
+    acc
+}
+
+/// Probe timing parameters: quick enough to run at every
+/// artifact-record time (~¼ s total), long enough that the minimum
+/// over batches is stable.
+fn probe_config() -> BenchConfig {
+    BenchConfig {
+        warmup: Duration::from_millis(20),
+        batch_target: Duration::from_millis(8),
+        samples: 7,
+    }
+}
+
+impl Calibration {
+    /// Runs the three microprobes and records their minimum
+    /// per-iteration times. Takes roughly a quarter second.
+    #[must_use]
+    pub fn measure() -> Calibration {
+        let cfg = probe_config();
+        Calibration {
+            cpu_ns: measure("calibrate.cpu", &cfg, &mut cpu_probe).min_ns,
+            alloc_ns: measure("calibrate.alloc", &cfg, &mut alloc_probe).min_ns,
+            bigint_ns: measure("calibrate.bigint", &cfg, &mut bigint_probe).min_ns,
+        }
+    }
+
+    /// The no-measurement placeholder attached to artifacts upgraded
+    /// from pre-calibration schema versions.
+    #[must_use]
+    pub fn neutral() -> Calibration {
+        Calibration {
+            cpu_ns: 0.0,
+            alloc_ns: 0.0,
+            bigint_ns: 0.0,
+        }
+    }
+
+    /// Whether this calibration holds real probe timings.
+    #[must_use]
+    pub fn is_measured(&self) -> bool {
+        self.cpu_ns > 0.0 && self.alloc_ns > 0.0 && self.bigint_ns > 0.0
+    }
+
+    /// Scalar machine-slowness score: the geometric mean of the three
+    /// probe times (ns). Higher = slower machine. Zero when neutral.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        if !self.is_measured() {
+            return 0.0;
+        }
+        (self.cpu_ns * self.alloc_ns * self.bigint_ns).cbrt()
+    }
+
+    /// How much slower `current`'s machine ran than `baseline`'s:
+    /// the geometric mean of per-probe ratios. Dividing a wall-clock
+    /// measurement taken on `current`'s machine by this factor expresses
+    /// it in `baseline`-machine time. `None` unless both sides are
+    /// measured — consumers then fall back to estimation or to raw
+    /// comparison.
+    #[must_use]
+    pub fn speed_factor(baseline: &Calibration, current: &Calibration) -> Option<f64> {
+        if !baseline.is_measured() || !current.is_measured() {
+            return None;
+        }
+        let ratio = (current.cpu_ns / baseline.cpu_ns)
+            * (current.alloc_ns / baseline.alloc_ns)
+            * (current.bigint_ns / baseline.bigint_ns);
+        Some(ratio.cbrt())
+    }
+
+    /// Parses a calibration block written by [`ToJson`]; anything
+    /// malformed, null, or absent reads as [`Calibration::neutral`].
+    #[must_use]
+    pub fn from_json(doc: Option<&Json>) -> Calibration {
+        let Some(doc) = doc else {
+            return Calibration::neutral();
+        };
+        let num = |key: &str| match doc.get(key) {
+            Some(Json::Float(f)) if *f > 0.0 => *f,
+            Some(Json::Int(i)) if *i > 0 => *i as f64,
+            _ => 0.0,
+        };
+        let cal = Calibration {
+            cpu_ns: num("cpu_ns"),
+            alloc_ns: num("alloc_ns"),
+            bigint_ns: num("bigint_ns"),
+        };
+        if cal.is_measured() {
+            cal
+        } else {
+            Calibration::neutral()
+        }
+    }
+}
+
+impl ToJson for Calibration {
+    fn to_json(&self) -> Json {
+        let field = |v: f64| {
+            if v > 0.0 {
+                Json::Float(v)
+            } else {
+                Json::Null
+            }
+        };
+        Json::obj()
+            .field("measured", self.is_measured())
+            .field("cpu_ns", field(self.cpu_ns))
+            .field("alloc_ns", field(self.alloc_ns))
+            .field("bigint_ns", field(self.bigint_ns))
+            .field("score", field(self.score()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_is_not_measured_and_scores_zero() {
+        let n = Calibration::neutral();
+        assert!(!n.is_measured());
+        assert_eq!(n.score(), 0.0);
+        assert_eq!(Calibration::speed_factor(&n, &n), None);
+    }
+
+    #[test]
+    fn measured_calibration_round_trips_through_json() {
+        let c = Calibration {
+            cpu_ns: 1200.0,
+            alloc_ns: 900.5,
+            bigint_ns: 2100.0,
+        };
+        let doc = c.to_json();
+        assert_eq!(doc.get("measured"), Some(&Json::Bool(true)));
+        let back = Calibration::from_json(Some(&doc));
+        assert_eq!(back, c);
+        // Neutral round-trips to neutral (nulls, measured=false).
+        let n = Calibration::neutral().to_json();
+        assert_eq!(n.get("measured"), Some(&Json::Bool(false)));
+        assert_eq!(n.get("cpu_ns"), Some(&Json::Null));
+        assert!(!Calibration::from_json(Some(&n)).is_measured());
+        // Absent block reads as neutral.
+        assert!(!Calibration::from_json(None).is_measured());
+    }
+
+    #[test]
+    fn speed_factor_requires_both_sides_measured() {
+        let m = Calibration {
+            cpu_ns: 1000.0,
+            alloc_ns: 1000.0,
+            bigint_ns: 1000.0,
+        };
+        assert_eq!(Calibration::speed_factor(&m, &Calibration::neutral()), None);
+        assert_eq!(Calibration::speed_factor(&Calibration::neutral(), &m), None);
+        // A uniformly 1.5× slower machine reads as factor 1.5.
+        let slower = Calibration {
+            cpu_ns: 1500.0,
+            alloc_ns: 1500.0,
+            bigint_ns: 1500.0,
+        };
+        let f = Calibration::speed_factor(&m, &slower).unwrap();
+        assert!((f - 1.5).abs() < 1e-9, "{f}");
+    }
+
+    /// The determinism contract the comparator depends on: two
+    /// calibrations of the same machine, back to back, agree within a
+    /// pinned band. The band is wide (2×) because CI containers
+    /// genuinely jitter; real cross-day drift episodes measured ~1.4×
+    /// on every probe at once, which the *ratio* of two calibrations
+    /// taken days apart would capture — this test pins the same-moment
+    /// noise floor well inside that signal.
+    #[test]
+    fn consecutive_calibrations_agree_within_band() {
+        let a = Calibration::measure();
+        let b = Calibration::measure();
+        assert!(a.is_measured() && b.is_measured());
+        for (name, x, y) in [
+            ("cpu", a.cpu_ns, b.cpu_ns),
+            ("alloc", a.alloc_ns, b.alloc_ns),
+            ("bigint", a.bigint_ns, b.bigint_ns),
+        ] {
+            let ratio = x / y;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{name} probe unstable: {x:.1} vs {y:.1} ns (ratio {ratio:.2})"
+            );
+        }
+        let f = Calibration::speed_factor(&a, &b).unwrap();
+        assert!((0.5..=2.0).contains(&f), "combined factor {f:.2}");
+    }
+}

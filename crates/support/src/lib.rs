@@ -25,10 +25,14 @@
 //!   outputs inside perf artifacts,
 //! * [`alloc`] — a counting `#[global_allocator]` wrapper with
 //!   per-scope (per-span) attribution, the memory axis of the
-//!   observability layer.
+//!   observability layer,
+//! * [`calibrate`] — deterministic machine-speed microprobes recorded
+//!   into perf artifacts so cross-run comparisons can normalize away
+//!   container speed drift.
 
 pub mod alloc;
 pub mod bench;
+pub mod calibrate;
 pub mod counters;
 pub mod digest;
 pub mod json;

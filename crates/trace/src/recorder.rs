@@ -10,13 +10,25 @@
 //! engine drains the ring into the crash-diagnostic bundle when a stage
 //! degrades or fails.
 //!
+//! # Capacity
+//!
+//! The ring holds [`DEFAULT_RING_CAPACITY`] slots unless resized before
+//! first use: programmatically via [`set_slots`] (the CLI's
+//! `--recorder-slots` flag) or through the [`SLOTS_ENV`] environment
+//! variable. The capacity is fixed once the ring records its first
+//! event — the slot array is allocated exactly once and never moves, so
+//! writers stay lock-free — and requests are clamped to a sane range
+//! and rounded up to a power of two (the index modulo is a mask). Hot
+//! runs whose span/budget churn would scroll crash evidence out of the
+//! default window raise it; wraparound tests shrink it.
+//!
 //! # Ring protocol
 //!
-//! A static array of [`RING_CAPACITY`] slots, every field an atomic, so
-//! concurrent writers and a draining reader are race-free by
-//! construction (no `unsafe`). Writers claim a monotonically increasing
-//! sequence number with one `fetch_add` on `HEAD`; slot `seq % CAPACITY`
-//! then goes through a seqlock cycle:
+//! An array of slots, every field an atomic, so concurrent writers and
+//! a draining reader are race-free by construction (no `unsafe`).
+//! Writers claim a monotonically increasing sequence number with one
+//! `fetch_add` on `HEAD`; slot `seq % CAPACITY` then goes through a
+//! seqlock cycle:
 //!
 //! 1. `seq.swap(0, AcqRel)` marks the slot torn (the RMW's acquire side
 //!    keeps the payload stores below from floating above it),
@@ -37,10 +49,23 @@
 //! store, and one `Instant::now` — tens of nanoseconds per event. No
 //! allocation: labels are truncated into [`LABEL_BYTES`] inline bytes.
 
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Number of slots in the ring. Power of two so the modulo is a mask.
-pub const RING_CAPACITY: usize = 4096;
+/// Ring capacity when neither [`set_slots`] nor [`SLOTS_ENV`] asked for
+/// a different one.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Environment variable consulted for the ring capacity on first use
+/// (overridden by an explicit [`set_slots`] call).
+pub const SLOTS_ENV: &str = "AOV_RECORDER_SLOTS";
+
+/// Smallest capacity a request clamps to (enough that a drained bundle
+/// still shows the failing stage's neighborhood).
+pub const MIN_SLOTS: usize = 64;
+
+/// Largest capacity a request clamps to (1 Mi slots ≈ 64 MiB resident).
+pub const MAX_SLOTS: usize = 1 << 20;
 
 /// Bytes of label text kept per event (longer labels are truncated).
 pub const LABEL_BYTES: usize = 24;
@@ -124,9 +149,56 @@ const EMPTY_SLOT: Slot = Slot {
     label: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
 };
 
-static RING: [Slot; RING_CAPACITY] = [EMPTY_SLOT; RING_CAPACITY];
+/// Capacity requested by [`set_slots`] before the ring materialized
+/// (0 = no request; fall back to [`SLOTS_ENV`], then the default).
+static REQUESTED_SLOTS: AtomicUsize = AtomicUsize::new(0);
+static RING: OnceLock<Box<[Slot]>> = OnceLock::new();
 static HEAD: AtomicU64 = AtomicU64::new(0);
 static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Clamps a capacity request into `[MIN_SLOTS, MAX_SLOTS]` and rounds
+/// up to a power of two so the ring index stays a mask.
+fn clamp_slots(n: usize) -> usize {
+    n.clamp(MIN_SLOTS, MAX_SLOTS).next_power_of_two()
+}
+
+/// The slot array, allocated on first use at the capacity in effect at
+/// that moment. Never reallocated: writers hold `&'static` slots.
+fn ring() -> &'static [Slot] {
+    RING.get_or_init(|| {
+        let requested = REQUESTED_SLOTS.load(Ordering::Relaxed);
+        let n = if requested > 0 {
+            requested
+        } else {
+            std::env::var(SLOTS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_RING_CAPACITY)
+        };
+        let mut slots = Vec::with_capacity(clamp_slots(n));
+        slots.resize_with(clamp_slots(n), || EMPTY_SLOT);
+        slots.into_boxed_slice()
+    })
+}
+
+/// Requests a ring capacity (clamped to `[MIN_SLOTS, MAX_SLOTS]`,
+/// rounded up to a power of two). Returns `true` if the request will
+/// take effect — i.e. the ring has not materialized yet — and `false`
+/// if the capacity was already fixed by an earlier event. Call it
+/// before any instrumented work (the CLI does, straight after flag
+/// parsing).
+pub fn set_slots(n: usize) -> bool {
+    REQUESTED_SLOTS.store(clamp_slots(n), Ordering::Relaxed);
+    RING.get().is_none()
+}
+
+/// The ring's capacity in slots. Forces the ring to materialize, fixing
+/// the capacity.
+#[must_use]
+pub fn slots() -> usize {
+    ring().len()
+}
 
 /// One event read back out of the ring.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,7 +230,7 @@ pub fn recording() -> bool {
 }
 
 /// Total events ever claimed (monotonic; the ring holds the last
-/// [`RING_CAPACITY`] of them).
+/// [`slots`] of them).
 #[must_use]
 pub fn events_recorded() -> u64 {
     HEAD.load(Ordering::Relaxed)
@@ -172,8 +244,9 @@ pub fn record(kind: EventKind, label: &str, a: u64, b: u64) {
     }
     let t_ns = crate::now_ns();
     let thread = crate::thread_track_id();
+    let ring = ring();
     let claim = HEAD.fetch_add(1, Ordering::Relaxed);
-    let slot = &RING[(claim as usize) & (RING_CAPACITY - 1)];
+    let slot = &ring[(claim as usize) & (ring.len() - 1)];
     // Tear the slot; AcqRel keeps the payload stores from floating up.
     slot.seq.swap(0, Ordering::AcqRel);
     let bytes = label.as_bytes();
@@ -201,11 +274,12 @@ pub fn record(kind: EventKind, label: &str, a: u64, b: u64) {
 /// slots. Non-destructive: the ring keeps recording.
 #[must_use]
 pub fn snapshot() -> Vec<Event> {
+    let ring = ring();
     let head = HEAD.load(Ordering::Acquire);
-    let first = head.saturating_sub(RING_CAPACITY as u64);
+    let first = head.saturating_sub(ring.len() as u64);
     let mut out = Vec::with_capacity((head - first) as usize);
     for claim in first..head {
-        let slot = &RING[(claim as usize) & (RING_CAPACITY - 1)];
+        let slot = &ring[(claim as usize) & (ring.len() - 1)];
         let expect = claim + 1;
         if slot.seq.load(Ordering::Acquire) != expect {
             continue;
@@ -248,7 +322,7 @@ pub fn snapshot() -> Vec<Event> {
 /// not carry its predecessor's tail.
 pub fn clear() {
     let head = HEAD.load(Ordering::Acquire);
-    for slot in &RING {
+    for slot in ring() {
         slot.seq.store(0, Ordering::Release);
     }
     // Bump HEAD past anything a straggling writer may still publish
@@ -309,14 +383,15 @@ mod tests {
     fn wraparound_keeps_last_capacity_events() {
         let _g = locked();
         clear();
-        let n = RING_CAPACITY + 100;
+        let capacity = slots();
+        let n = capacity + 100;
         for i in 0..n {
             record(EventKind::BudgetTick, "test.wrap", i as u64, 0);
         }
         let events = snapshot();
         let mine: Vec<&Event> = events.iter().filter(|e| e.label == "test.wrap").collect();
-        assert!(mine.len() <= RING_CAPACITY);
-        assert!(mine.len() >= RING_CAPACITY - 64, "kept {}", mine.len());
+        assert!(mine.len() <= capacity);
+        assert!(mine.len() >= capacity - 64, "kept {}", mine.len());
         // The survivors are the most recent ones, in order.
         let last = mine.last().unwrap();
         assert_eq!(last.a, (n - 1) as u64);
@@ -353,5 +428,30 @@ mod tests {
         record(EventKind::SpanEnter, "test.off", 0, 0);
         set_recording(true);
         assert!(snapshot().iter().all(|e| e.label != "test.off"));
+    }
+
+    #[test]
+    fn capacity_requests_clamp_to_power_of_two_band() {
+        assert_eq!(clamp_slots(0), MIN_SLOTS);
+        assert_eq!(clamp_slots(1), MIN_SLOTS);
+        assert_eq!(clamp_slots(64), 64);
+        assert_eq!(clamp_slots(100), 128);
+        assert_eq!(clamp_slots(4096), 4096);
+        assert_eq!(clamp_slots(usize::MAX), MAX_SLOTS);
+        assert!(clamp_slots(MAX_SLOTS - 1).is_power_of_two());
+    }
+
+    /// Once the ring has materialized, capacity requests report that
+    /// they arrived too late. (The ring is process-global, so this test
+    /// binary's other tests have long since fixed the capacity; the
+    /// dedicated small-ring integration test exercises the
+    /// before-first-use path in its own process.)
+    #[test]
+    fn set_slots_after_first_use_is_rejected() {
+        let _g = locked();
+        let fixed = slots();
+        assert!(fixed.is_power_of_two());
+        assert!(!set_slots(fixed * 2));
+        assert_eq!(slots(), fixed);
     }
 }

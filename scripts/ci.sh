@@ -36,6 +36,25 @@ echo "== bench smoke"
     --out "$bench_file"
 ./target/release/aov bench --check "$bench_file"
 
+echo "== trend smoke"
+# Two quick single-example artifacts from the same binary must trend
+# cleanly: `aov trend` exits 0, and the emitted aov-trend/1 document
+# validates and renders through `aov inspect`. A second recording of
+# identical code drifting or stepping would mean the classifier (or
+# the calibration normalization) is broken.
+bench_file2="$(mktemp /tmp/aov-bench-smoke2.XXXXXX.json)"
+trend_file="$(mktemp /tmp/aov-trend-smoke.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$bench_file" "$bench_file2" "$trend_file" "$chaos_file"' EXIT
+./target/release/aov bench --examples example1 --runs 2 --quick \
+    --no-figures --out "$bench_file2" > /dev/null 2> /dev/null
+./target/release/aov trend "$bench_file" "$bench_file2" --out "$trend_file"
+if grep -q '"kind": "step"\|"kind": "drift"' "$trend_file"; then
+    echo "trend smoke: self-trend of identical code is not clean"
+    exit 1
+fi
+./target/release/aov inspect "$trend_file" --check
+./target/release/aov inspect "$trend_file" > /dev/null
+
 echo "== chaos smoke"
 # One injected fault per pipeline stage (plus a worker panic and a
 # forced budget trip in the solver layers): every run must degrade —

@@ -128,6 +128,21 @@
 //!   --budget-nodes N      pipeline run; a tripped budget degrades the
 //!   --budget-ms N         run and the suite refuses to record it
 //!
+//! aov trend BENCH_0.json BENCH_1.json … [--out FILE] [--compact]
+//!
+//!   Cross-artifact trend analysis: flatten every benchmark artifact
+//!   into per-metric series, normalize Time metrics onto the first
+//!   artifact's machine speed (measured calibration when both sides
+//!   carry one, the median-ratio estimate for v1-era artifacts), and
+//!   classify each series flat / step / drift with a median-based
+//!   change-point detector. Prints a grouped sparkline report; with
+//!   --out also writes a schema-versioned `aov-trend/1` document that
+//!   `aov inspect` validates and renders. v1 artifacts are upgraded in
+//!   memory through the same shim as `aov bench --check`. Exit 0 when
+//!   every input is readable and schema-valid, 1 otherwise (the trend
+//!   itself never gates — gating is the pairwise baseline comparison's
+//!   job).
+//!
 //! aov pdiff BASE NEW [--time-rel F] [--time-floor-us N]
 //!
 //!   Differential profiling: compare two `aov-profile/1` artifacts with
@@ -144,11 +159,20 @@
 //!   Render an `aov-diag/1` crash-diagnostic bundle (written via
 //!   `--diag-dir`) — the error chain, the stage ladder with allocator
 //!   columns, the budget state and the flight-recorder timeline tail —
-//!   or an `aov-profile/1` profile artifact (written via
-//!   `--profile-out`) — the flame table with allocator columns and the
-//!   counter table. The schema tag in the file picks the renderer.
+//!   an `aov-profile/1` profile artifact (written via `--profile-out`)
+//!   — the flame table with allocator columns and the counter table —
+//!   or an `aov-trend/1` trend document (written via `aov trend
+//!   --out`) — the artifact ladder with drift factors and every
+//!   non-flat series. The schema tag in the file picks the renderer.
 //!   With `--check`, validate against the matching schema instead and
 //!   exit 0/1.
+//!
+//! Every subcommand accepts `--recorder-slots N`: size the flight
+//! recorder's ring (power of two, clamped to [64, 1048576]; default
+//! 4096 slots) before its first event. The `AOV_RECORDER_SLOTS`
+//! environment variable takes the same value; the flag wins when both
+//! are set. The capacity is fixed at first use, so a flag given after
+//! the recorder has already recorded is a usage error.
 //!
 //! aov --check-trace FILE
 //!
@@ -238,9 +262,11 @@ fn usage() -> ! {
          [--budget-pivots N] \
          [--budget-nodes N] [--budget-ms N]\n       \
          aov pdiff BASE NEW\n       \
+         aov trend ARTIFACT ARTIFACT.. [--out FILE] [--compact]\n       \
          aov inspect FILE [--check]\n       \
          aov --check-trace FILE\n       \
          aov --check-report FILE\n\n\
+         every subcommand also accepts --recorder-slots N\n\
          exit codes: 0 ok, 1 inequivalent/regression, 2 failed, \
          3 degraded, 64 usage"
     );
@@ -603,10 +629,12 @@ fn parse_bench(args: &[String]) -> BenchOptions {
     opts
 }
 
-/// Validates an artifact file: JSON parse, structural schema, version.
+/// Validates an artifact file: JSON parse, version-aware upgrade,
+/// structural schema. A v1-era artifact passes through the upgrade shim
+/// first and the verdict says so.
 fn check_artifact(path: &str) -> i32 {
-    let doc = match read_artifact(path) {
-        Ok(doc) => doc,
+    let (doc, upgraded) = match read_bench_artifact(path) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("aov bench: {e}");
             return 1;
@@ -619,23 +647,29 @@ fn check_artifact(path: &str) -> i32 {
         }
         return 1;
     }
-    match doc.get("schema") {
-        Some(Json::Str(v)) if v == observatory::SCHEMA_VERSION => {}
-        other => {
-            eprintln!(
-                "aov bench: {path}: unsupported schema version {other:?} (want {:?})",
-                observatory::SCHEMA_VERSION
-            );
-            return 1;
+    eprintln!(
+        "aov bench: {path}: ok ({}{})",
+        observatory::SCHEMA_VERSION,
+        if upgraded {
+            format!(", upgraded from {}", observatory::SCHEMA_VERSION_V1)
+        } else {
+            String::new()
         }
-    }
-    eprintln!("aov bench: {path}: ok ({})", observatory::SCHEMA_VERSION);
+    );
     0
 }
 
 fn read_artifact(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
+/// Reads a benchmark artifact and lifts it to the current schema
+/// version through [`observatory::upgrade`]; the flag reports whether
+/// the shim did any work (the on-disk file was v1).
+fn read_bench_artifact(path: &str) -> Result<(Json, bool), String> {
+    let doc = read_artifact(path)?;
+    observatory::upgrade(doc).map_err(|e| format!("{path}: {e}"))
 }
 
 fn bench_main(args: &[String]) -> i32 {
@@ -718,8 +752,16 @@ fn bench_main(args: &[String]) -> i32 {
             0
         }
         Some(path) => {
-            let baseline = match read_artifact(path) {
-                Ok(doc) => doc,
+            let baseline = match read_bench_artifact(path) {
+                Ok((doc, upgraded)) => {
+                    if upgraded {
+                        eprintln!(
+                            "aov bench: baseline {path} upgraded from {}",
+                            observatory::SCHEMA_VERSION_V1
+                        );
+                    }
+                    doc
+                }
                 Err(e) => {
                     eprintln!("aov bench: {e}");
                     return 1;
@@ -783,6 +825,97 @@ fn pdiff_main(args: &[String]) -> i32 {
     }
 }
 
+/// `aov trend ARTIFACT ARTIFACT.. [--out FILE] [--compact]`: follow
+/// every metric across a sequence of benchmark artifacts. Each input
+/// is schema-checked (after the v1→v2 upgrade shim); the grouped
+/// sparkline report goes to stdout and `--out` additionally writes the
+/// `aov-trend/1` document. Exit 0 on success, 1 on any unreadable or
+/// schema-invalid input, 64 on usage.
+fn trend_main(args: &[String]) -> i32 {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut compact = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(f) => out = Some(f.clone()),
+                None => usage(),
+            },
+            "--compact" => compact = true,
+            p if !p.starts_with('-') => paths.push(p),
+            _ => usage(),
+        }
+    }
+    if paths.len() < 2 {
+        eprintln!(
+            "aov trend: need at least two artifacts, got {}",
+            paths.len()
+        );
+        usage();
+    }
+    let mut inputs: Vec<(String, Json)> = Vec::new();
+    for path in paths {
+        let (doc, upgraded) = match read_bench_artifact(path) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("aov trend: {e}");
+                return 1;
+            }
+        };
+        if let Err(errors) = observatory::validate(&doc) {
+            eprintln!("aov trend: {path}: schema violations:");
+            for e in &errors {
+                eprintln!("  {e}");
+            }
+            return 1;
+        }
+        if upgraded {
+            eprintln!(
+                "aov trend: {path}: upgraded from {}",
+                observatory::SCHEMA_VERSION_V1
+            );
+        }
+        // The label is the file name alone: the report column stays
+        // narrow no matter where the artifacts live.
+        let label = std::path::Path::new(path)
+            .file_name()
+            .map_or_else(|| path.to_string(), |n| n.to_string_lossy().into_owned());
+        inputs.push((label, doc));
+    }
+    let trend = match aov_bench::trend::analyze(&inputs, &regress::Tolerance::default()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("aov trend: {e}");
+            return 1;
+        }
+    };
+    print!("{}", trend.render());
+    if let Some(path) = &out {
+        let doc = trend.to_json();
+        if let Err(errors) = aov_bench::trend::validate(&doc) {
+            eprintln!("aov trend: internal error: document fails its own schema:");
+            for e in &errors {
+                eprintln!("  {e}");
+            }
+            return 1;
+        }
+        let text = if compact {
+            let mut line = doc.to_compact();
+            line.push('\n');
+            line
+        } else {
+            doc.to_pretty()
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("aov trend: cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("aov trend: document written to {path}");
+    }
+    0
+}
+
 /// String field accessor with a `"?"` fallback for rendering.
 fn jstr<'a>(j: &'a Json, key: &str) -> &'a str {
     match j.get(key) {
@@ -842,9 +975,10 @@ fn inspect_main(args: &[String]) -> i32 {
         Some(Json::Str(v)) => v.clone(),
         other => {
             eprintln!(
-                "aov inspect: {path}: unsupported schema {other:?} (want {:?} or {:?})",
+                "aov inspect: {path}: unsupported schema {other:?} (want {:?}, {:?} or {:?})",
                 aov_engine::diag::SCHEMA,
-                aov_engine::profile::SCHEMA
+                aov_engine::profile::SCHEMA,
+                aov_bench::trend::SCHEMA_VERSION
             );
             return 1;
         }
@@ -852,11 +986,13 @@ fn inspect_main(args: &[String]) -> i32 {
     let schema = match tag.as_str() {
         t if t == aov_engine::diag::SCHEMA => aov_engine::diag::diag_schema(),
         t if t == aov_engine::profile::SCHEMA => aov_engine::profile::profile_schema(),
+        t if t == aov_bench::trend::SCHEMA_VERSION => aov_bench::trend::trend_schema(),
         _ => {
             eprintln!(
-                "aov inspect: {path}: unsupported schema {tag:?} (want {:?} or {:?})",
+                "aov inspect: {path}: unsupported schema {tag:?} (want {:?}, {:?} or {:?})",
                 aov_engine::diag::SCHEMA,
-                aov_engine::profile::SCHEMA
+                aov_engine::profile::SCHEMA,
+                aov_bench::trend::SCHEMA_VERSION
             );
             return 1;
         }
@@ -874,10 +1010,81 @@ fn inspect_main(args: &[String]) -> i32 {
     }
     if tag == aov_engine::profile::SCHEMA {
         render_profile_artifact(path, &doc);
+    } else if tag == aov_bench::trend::SCHEMA_VERSION {
+        render_trend_document(path, &doc);
     } else {
         render_bundle(path, &doc);
     }
     0
+}
+
+/// Human rendering of a validated `aov-trend/1` document: the artifact
+/// ladder with drift factors, the summary line, and every non-flat
+/// series with its change verdict.
+fn render_trend_document(path: &str, doc: &Json) {
+    let summary = doc.get("summary").cloned().unwrap_or_else(Json::obj);
+    println!(
+        "== {path}: trend over {} artifacts ({} series: {} flat, {} steps, {} drifts; {} fingerprint flips) ==",
+        jarr(doc, "artifacts").len(),
+        jint(&summary, "series"),
+        jint(&summary, "flat"),
+        jint(&summary, "steps"),
+        jint(&summary, "drifts"),
+        jint(&summary, "exact_flips"),
+    );
+    let jnum = |j: &Json, key: &str| -> f64 {
+        match j.get(key) {
+            Some(Json::Float(f)) => *f,
+            Some(Json::Int(n)) => *n as f64,
+            _ => 0.0,
+        }
+    };
+    for (i, a) in jarr(doc, "artifacts").iter().enumerate() {
+        println!(
+            "  #{i} {:<16} {} drift ×{:.3} ({})",
+            jstr(a, "label"),
+            if matches!(a.get("calibrated"), Some(Json::Bool(true))) {
+                "calibrated"
+            } else {
+                "uncalibrated"
+            },
+            jnum(a, "drift"),
+            jstr(a, "drift_source"),
+        );
+    }
+    let moved: Vec<&Json> = jarr(doc, "series")
+        .iter()
+        .filter(|s| s.get("change").is_some_and(|c| jstr(c, "kind") != "flat"))
+        .collect();
+    println!("\nnon-flat series ({}):", moved.len());
+    for s in moved {
+        let change = s.get("change").cloned().unwrap_or_else(Json::obj);
+        let verdict = match jstr(&change, "kind") {
+            "step" => format!(
+                "STEP ×{:.2} at #{}",
+                jnum(&change, "ratio"),
+                jint(&change, "at")
+            ),
+            "drift" => format!("DRIFT ×{:.2}", jnum(&change, "ratio")),
+            other => other.to_string(),
+        };
+        println!(
+            "  {:<48} [{}] {}",
+            jstr(s, "key"),
+            jstr(s, "class"),
+            verdict
+        );
+    }
+    let flipped: Vec<&Json> = jarr(doc, "fingerprints")
+        .iter()
+        .filter(|f| jint(f, "flips") > 0)
+        .collect();
+    if !flipped.is_empty() {
+        println!("\nfingerprint flips:");
+        for f in flipped {
+            println!("  {:<48} {} flip(s)", jstr(f, "key"), jint(f, "flips"));
+        }
+    }
 }
 
 /// Human rendering of a validated `aov-profile/1` artifact: identity,
@@ -1156,9 +1363,27 @@ fn fuzz_main(args: &[String]) -> i32 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --recorder-slots is global and position-independent: it must land
+    // before the flight recorder's ring is first touched, whichever
+    // subcommand runs. The AOV_RECORDER_SLOTS environment variable is
+    // read lazily by the recorder itself; the flag wins because
+    // set_slots overrides the environment.
+    while let Some(i) = args.iter().position(|a| a == "--recorder-slots") {
+        let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+            usage()
+        };
+        args.drain(i..=i + 1);
+        if !aov_trace::recorder::set_slots(n) {
+            eprintln!("aov: --recorder-slots: the recorder ring is already sized");
+            std::process::exit(64);
+        }
+    }
     if args.first().map(String::as_str) == Some("bench") {
         std::process::exit(bench_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("trend") {
+        std::process::exit(trend_main(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("inspect") {
         std::process::exit(inspect_main(&args[1..]));
