@@ -266,11 +266,16 @@ pub struct Artifact {
     pub environment: Json,
     pub examples: Vec<ExampleBench>,
     pub figures: Vec<FigureBench>,
+    /// Load-test summary from `aov bench --serve-clients N` (an
+    /// `aov-serve/1` loadtest document). Gate-neutral: absent unless
+    /// the flag was given, and no regression comparison reads it.
+    pub serve: Option<Json>,
 }
 
 impl ToJson for Artifact {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let serve = self.serve.clone();
+        let doc = Json::obj()
             .field("schema", SCHEMA_VERSION)
             .field(
                 "suite",
@@ -290,7 +295,11 @@ impl ToJson for Artifact {
             .field("calibration", self.calibration.to_json())
             .field("environment", self.environment.clone())
             .field("examples", self.examples.to_json())
-            .field("figures", self.figures.to_json())
+            .field("figures", self.figures.to_json());
+        match serve {
+            Some(summary) => doc.field("serve", summary),
+            None => doc,
+        }
     }
 }
 
@@ -393,6 +402,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<Artifact, EngineError> {
         environment,
         examples,
         figures,
+        serve: None,
     })
 }
 
@@ -518,6 +528,10 @@ pub fn artifact_schema() -> Schema {
         ("environment", environment_schema(), true),
         // Present only on documents [`upgrade`]d from an older version.
         ("upgraded_from", Schema::Str, false),
+        // Present only when `--serve-clients` ran a load-test campaign.
+        // Kept open-shaped: the loadtest document is informational and
+        // gate-neutral, and its fields may grow without a bench bump.
+        ("serve", Schema::Any, false),
         (
             "examples",
             Schema::array(Schema::object([

@@ -51,6 +51,9 @@ pub fn diag_schema() -> Schema {
         ("seq", Schema::Int, true),
         ("t_ns", Schema::Int, true),
         ("thread", Schema::Int, true),
+        // Present since the daemon's per-request attribution landed;
+        // optional so bundles written by older binaries still validate.
+        ("session", Schema::Int, false),
         ("kind", Schema::Str, true),
         ("label", Schema::Str, true),
         ("a", Schema::Int, true),
@@ -140,6 +143,7 @@ pub(crate) fn build_bundle(
     spec: BudgetSpec,
     run_counters: &[(String, u64)],
     error: Option<&EngineError>,
+    session: u64,
 ) -> Json {
     // The error behind the verdict: a hard failure when one was passed
     // in, otherwise the last degraded/failed stage's captured chain
@@ -194,13 +198,19 @@ pub(crate) fn build_bundle(
                     )
             }),
     };
+    // The ring is process-global. A run with a session id (a daemon
+    // request) keeps only its own timeline, so a request's bundle never
+    // carries a concurrent neighbor's events; session 0 (the CLI's
+    // whole-process runs) keeps everything.
     let ring = recorder::snapshot()
         .into_iter()
+        .filter(|e| session == 0 || e.session == session)
         .map(|e| {
             Json::obj()
                 .field("seq", int(e.seq))
                 .field("t_ns", int(e.t_ns))
                 .field("thread", int(e.thread))
+                .field("session", int(e.session))
                 .field("kind", e.kind.name())
                 .field("label", e.label.as_str())
                 .field("a", int(e.a))
@@ -262,6 +272,39 @@ pub(crate) fn build_bundle(
         )
 }
 
+/// Writes a bundle for a fault at the **service layer** — an `aovd`
+/// request that died before (or outside) the pipeline ladder: a
+/// `serve.*` chaos injection or a supervised worker panic. The stage
+/// ladder is empty (no stage ran); the flight-recorder tail, filtered
+/// to the request's `session`, is the evidence.
+///
+/// # Errors
+///
+/// Filesystem errors only, same contract as the pipeline's own hook.
+pub fn write_service_bundle(
+    dir: &Path,
+    program: &Program,
+    workers: usize,
+    spec: BudgetSpec,
+    message: &str,
+    session: u64,
+) -> std::io::Result<PathBuf> {
+    let budget = Budget::new(spec.pivots, spec.nodes, spec.ms);
+    let error = EngineError::Service(message.to_string());
+    write_bundle(
+        dir,
+        program,
+        workers,
+        Health::Failed,
+        &[],
+        &budget,
+        spec,
+        &[],
+        Some(&error),
+        session,
+    )
+}
+
 /// Process-wide bundle sequence; combined with `create_new` below it
 /// keeps repeated faulty runs from clobbering each other.
 static BUNDLE_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -284,6 +327,7 @@ pub(crate) fn write_bundle(
     spec: BudgetSpec,
     run_counters: &[(String, u64)],
     error: Option<&EngineError>,
+    session: u64,
 ) -> std::io::Result<PathBuf> {
     let bundle = build_bundle(
         program,
@@ -294,6 +338,7 @@ pub(crate) fn write_bundle(
         spec,
         run_counters,
         error,
+        session,
     );
     std::fs::create_dir_all(dir)?;
     loop {

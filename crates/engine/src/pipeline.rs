@@ -52,6 +52,9 @@ pub enum EngineError {
     /// The request is outside the engine's fragment (unknown program,
     /// wrong parameter count, …).
     Unsupported(String),
+    /// A fault at the service layer, before any stage ran (the `aovd`
+    /// daemon's `serve.*` chaos probes and worker panics).
+    Service(String),
 }
 
 impl EngineError {
@@ -70,6 +73,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Core(e) => write!(f, "solver error: {e}"),
             EngineError::Schedule(m) => write!(f, "scheduling error: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Service(m) => write!(f, "service fault: {m}"),
         }
     }
 }
@@ -618,6 +622,7 @@ pub struct Pipeline {
     schedule_override: Option<Schedule>,
     budget: BudgetSpec,
     diag_dir: Option<std::path::PathBuf>,
+    session: u64,
 }
 
 impl Pipeline {
@@ -634,6 +639,7 @@ impl Pipeline {
             schedule_override: None,
             budget: BudgetSpec::default(),
             diag_dir: None,
+            session: 0,
         }
     }
 
@@ -732,6 +738,17 @@ impl Pipeline {
         self
     }
 
+    /// Attributes this run to a session (0 = none, the default). A
+    /// session-attributed run shares the process-global flight-recorder
+    /// ring with concurrent runs instead of clearing it, stamps its
+    /// events with `id`, and filters its crash bundles down to its own
+    /// timeline — this is how the `aovd` daemon keeps one request's
+    /// bundle from carrying a neighbor's events.
+    pub fn session(mut self, id: u64) -> Self {
+        self.session = id;
+        self
+    }
+
     /// Repeats the whole pipeline `runs` times (`<= 1` means once).
     /// The returned report is the *fastest* run, with a
     /// [`RunTiming`] min/median summary attached so single-run noise
@@ -803,9 +820,18 @@ impl Pipeline {
         if self.memoize {
             aov_lp::memo::set_enabled(true);
         }
-        // A fresh flight-recorder ring per run: a crash bundle must
-        // carry this run's event tail, not a previous run's.
-        aov_trace::recorder::clear();
+        // Session-free runs own the process: a fresh flight-recorder
+        // ring per run, so a crash bundle carries this run's event
+        // tail, not a previous run's. Session-attributed runs share
+        // the ring with concurrent neighbors — they must not clear it;
+        // their events are stamped instead and bundles filter on the
+        // stamp.
+        let _session_guard = if self.session == 0 {
+            aov_trace::recorder::clear();
+            None
+        } else {
+            Some(aov_trace::recorder::enter_session(self.session))
+        };
         // A fresh budget per run: repeated runs each get the full
         // allowance, and the deadline clock starts here.
         let budget = self.budget.to_budget();
@@ -888,6 +914,7 @@ impl Pipeline {
             self.budget,
             run_counters,
             error,
+            self.session,
         ) {
             Ok(path) => {
                 aov_support::static_counter!("engine.diag.bundles")

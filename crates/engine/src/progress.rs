@@ -195,6 +195,7 @@ mod tests {
             seq,
             t_ns: 0,
             thread: 0,
+            session: 0,
             kind,
             label: label.to_string(),
             a: 0,

@@ -348,20 +348,24 @@ impl Model {
                     self.canonical_key()
                 }
             };
-            let cached = {
+            let claim = {
                 let _s = aov_trace::span!("lp.memo.lookup");
-                crate::memo::lookup(&key)
+                crate::memo::claim(&key)
             };
-            if let Some(cached) = cached {
-                return Ok(cached);
+            match claim {
+                crate::memo::Claim::Hit(cached) => Ok(cached),
+                crate::memo::Claim::Miss(flight) => {
+                    let outcome = {
+                        let _s = aov_trace::span!("lp.simplex");
+                        // Faults propagate with `?`, dropping the flight
+                        // guard: the claim is abandoned, concurrent
+                        // waiters retry, and nothing partial is cached.
+                        simplex::solve(self, budget)?
+                    };
+                    flight.complete(&outcome);
+                    Ok(outcome)
+                }
             }
-            let outcome = {
-                let _s = aov_trace::span!("lp.simplex");
-                simplex::solve(self, budget)?
-            };
-            // Faults return above: only complete outcomes are cached.
-            crate::memo::store(key, &outcome);
-            Ok(outcome)
         } else {
             let _s = aov_trace::span!("lp.simplex");
             simplex::solve(self, budget)

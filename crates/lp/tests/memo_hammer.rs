@@ -1,0 +1,200 @@
+//! Concurrency contract of the sharded single-flight memo tier.
+//!
+//! Runs in its own process (integration-test binary), so enabling the
+//! global cache and arming a tiny LRU capacity here cannot perturb the
+//! library's unit tests. The tests serialize on a local mutex because
+//! the cache itself is process-global.
+
+use aov_fault::Budget;
+use aov_lp::{memo, Cmp, Model};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static TIER: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TIER.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A small feasible LP, parameterized so distinct `variant`s have
+/// distinct canonical keys while any fixed `variant` is structurally
+/// identical across calls regardless of the variable names used.
+fn model(variant: i64, names: [&str; 2]) -> Model {
+    let mut m = Model::new();
+    let x = m.add_var(names[0]);
+    let y = m.add_var(names[1]);
+    m.set_lower_bound(x, 0.into());
+    m.set_lower_bound(y, 0.into());
+    m.constrain(
+        aov_linalg::AffineExpr::from_i64(&[1, 1], -(variant + 1)),
+        Cmp::Ge,
+    );
+    m.minimize(aov_linalg::AffineExpr::from_i64(&[2, 1], 0));
+    m
+}
+
+/// N threads × M structurally-identical programs: the solver layer must
+/// run **exactly one computation per canonical key**; every other
+/// claimant is served the shared outcome. Exercised directly at the
+/// claim layer (where the guarantee lives) with an instrumented compute
+/// counter, so the assertion is exact rather than statistical.
+#[test]
+fn hammer_single_flight_computes_each_key_once() {
+    let _g = locked();
+    memo::clear();
+    memo::set_capacity(0);
+    const THREADS: usize = 8;
+    const KEYS: usize = 5;
+    let computes = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let computes = &computes;
+            let served = &served;
+            s.spawn(move || {
+                for k in 0..KEYS {
+                    // Rotate the starting key per thread so claims
+                    // collide mid-flight, not just back to back.
+                    let k = (k + t) % KEYS;
+                    let key = format!("test.hammer.single_flight.{k}");
+                    let m = model(k as i64, ["x", "y"]);
+                    let expected = m.solve_lp();
+                    let got = match memo::claim(&key) {
+                        memo::Claim::Hit(outcome) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                            outcome
+                        }
+                        memo::Claim::Miss(flight) => {
+                            computes.fetch_add(1, Ordering::Relaxed);
+                            let outcome = m.solve_lp();
+                            flight.complete(&outcome);
+                            outcome
+                        }
+                    };
+                    assert_eq!(got, expected, "key {key}: wrong-model hit");
+                }
+            });
+        }
+    });
+    assert_eq!(
+        computes.load(Ordering::Relaxed),
+        KEYS as u64,
+        "exactly one computation per canonical key"
+    );
+    assert_eq!(
+        served.load(Ordering::Relaxed),
+        (THREADS * KEYS - KEYS) as u64,
+        "every other claimant is served the shared outcome"
+    );
+    memo::clear();
+}
+
+/// The same hammer through the real solver entry point: N threads solve
+/// M alpha-renamed variants concurrently with memoization on; every
+/// thread must observe the same outcome per variant as a cold
+/// single-threaded solve (a wrong-model hit would diverge).
+#[test]
+fn hammer_solver_path_is_consistent_under_contention() {
+    let _g = locked();
+    memo::clear();
+    memo::set_capacity(0);
+    memo::set_enabled(true);
+    const THREADS: usize = 8;
+    const VARIANTS: i64 = 4;
+    let expected: Vec<_> = (0..VARIANTS)
+        .map(|v| model(v, ["x", "y"]).solve_lp())
+        .collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let expected = &expected;
+            s.spawn(move || {
+                for v in 0..VARIANTS {
+                    // Alternate naming schemes: alpha-renaming must
+                    // land both on the same entry.
+                    let names = if (t + v as usize).is_multiple_of(2) {
+                        ["x", "y"]
+                    } else {
+                        ["lam_0_0", "d_A_0_1"]
+                    };
+                    let got = model(v, names)
+                        .solve_lp_budgeted(&Budget::unlimited())
+                        .expect("unlimited budget never trips");
+                    assert_eq!(&got, &expected[v as usize], "variant {v} diverged");
+                }
+            });
+        }
+    });
+    memo::set_enabled(false);
+}
+
+/// Eviction under a tiny LRU bound must degrade to recomputation, never
+/// to a wrong-model hit: with capacity far below the working set, every
+/// solve still returns the same outcome as an uncached solve.
+#[test]
+fn tiny_lru_bound_never_returns_a_wrong_model_hit() {
+    let _g = locked();
+    memo::clear();
+    const VARIANTS: i64 = 24;
+    // Uncached baselines first: disabling the tier clears it, so the
+    // baselines must not interleave with the bounded-cache solves.
+    let uncached: Vec<_> = (0..VARIANTS)
+        .map(|v| model(v, ["x", "y"]).solve_lp())
+        .collect();
+    memo::set_enabled(true);
+    memo::set_capacity(2); // far below the 24-variant working set
+    let before = memo::stats();
+    for round in 0..3 {
+        for v in 0..VARIANTS {
+            let cached = model(v, ["x", "y"]).solve_lp();
+            assert_eq!(cached, uncached[v as usize], "round {round}, variant {v}");
+        }
+    }
+    let after = memo::stats();
+    assert!(
+        after.evictions > before.evictions,
+        "a 2-entry bound over 24 variants must evict"
+    );
+    // The bound holds approximately: at most one resident entry per
+    // shard stripe.
+    assert!(
+        memo::len() <= aov_lp::memo::SHARD_COUNT,
+        "resident entries {} exceed the per-shard floor",
+        memo::len()
+    );
+    memo::set_capacity(0);
+    memo::set_enabled(false);
+}
+
+/// An abandoned flight (failed computation) wakes waiters into
+/// recomputing rather than hanging or serving a phantom entry.
+#[test]
+fn abandoned_flight_wakes_waiters_into_retry() {
+    let _g = locked();
+    memo::clear();
+    memo::set_capacity(0);
+    let key = "test.hammer.abandon";
+    let m = model(7, ["x", "y"]);
+    let expected = m.solve_lp();
+    let memo::Claim::Miss(flight) = memo::claim(key) else {
+        panic!("first claim must miss");
+    };
+    let waiter = std::thread::spawn({
+        let m = m.clone();
+        move || match memo::claim("test.hammer.abandon") {
+            // Raced in before the owner's claim resolved either way.
+            memo::Claim::Hit(outcome) => outcome,
+            memo::Claim::Miss(flight) => {
+                let outcome = m.solve_lp();
+                flight.complete(&outcome);
+                outcome
+            }
+        }
+    });
+    // Give the waiter a moment to block on the flight, then fail it.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    drop(flight);
+    let got = waiter.join().expect("waiter must not hang or panic");
+    assert_eq!(got, expected);
+    memo::clear();
+}

@@ -1,0 +1,232 @@
+//! In-process load testing: spin up a real `aovd` over loopback TCP,
+//! hammer it with N concurrent clients over the example corpus, and
+//! summarize latencies, shed load, and cross-request memo economics as
+//! a JSON document the bench observatory attaches to its artifact
+//! (`aov bench --serve-clients N`, `scripts/loadtest.sh`).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use aov_support::Json;
+
+use crate::client::{self, ClientConfig};
+use crate::protocol::{self, SolveOptions};
+use crate::server::{Server, ServerConfig};
+
+/// Shape of one load-test campaign.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Corpus example names each client cycles through.
+    pub examples: Vec<String>,
+    /// Passes each client makes over the corpus.
+    pub iterations: usize,
+    /// Daemon worker threads.
+    pub workers: usize,
+    /// Daemon queue bound — small enough that a burst of clients
+    /// provokes real `overloaded` shedding, exercising the backoff.
+    pub queue_limit: usize,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        LoadtestConfig {
+            clients: 8,
+            examples: vec!["example1".to_string()],
+            iterations: 2,
+            workers: 2,
+            queue_limit: 4,
+        }
+    }
+}
+
+/// Runs a campaign against a freshly-started in-process daemon and
+/// returns the summary document. The shared memo tier is armed for the
+/// daemon's lifetime and restored afterwards, so a surrounding bench
+/// suite keeps its own memo economics.
+///
+/// # Errors
+///
+/// Daemon startup failures, or any client whose retries were
+/// exhausted without a terminal frame.
+pub fn run(cfg: &LoadtestConfig) -> Result<Json, String> {
+    let memo_was_enabled = aov_lp::memo::enabled();
+    let server = Server::start(ServerConfig {
+        workers: cfg.workers,
+        queue_limit: cfg.queue_limit,
+        memo: true,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("aovd startup: {e}"))?;
+    let addr = server.addr().to_string();
+    let memo_before = aov_lp::memo::stats();
+
+    let latencies_us: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let attempts = AtomicU64::new(0);
+    let overloaded_retries = AtomicU64::new(0);
+    let hard_errors: AtomicU32 = AtomicU32::new(0);
+    std::thread::scope(|s| {
+        for c in 0..cfg.clients {
+            let addr = &addr;
+            let latencies_us = &latencies_us;
+            let completed = &completed;
+            let failed = &failed;
+            let attempts = &attempts;
+            let overloaded_retries = &overloaded_retries;
+            let hard_errors = &hard_errors;
+            s.spawn(move || {
+                let client_cfg = ClientConfig {
+                    addr: addr.clone(),
+                    retries: 20,
+                    base_ms: 2,
+                    cap_ms: 500,
+                    seed: 0x10ad + c as u64,
+                };
+                let options = SolveOptions {
+                    memoize: true,
+                    ..SolveOptions::default()
+                };
+                for iter in 0..cfg.iterations {
+                    for (e, example) in cfg.examples.iter().enumerate() {
+                        let id = (c * 1_000_000 + iter * 1_000 + e) as i64;
+                        let frame = protocol::solve_frame(id, (example, true), &options);
+                        let start = std::time::Instant::now();
+                        match client::call(&client_cfg, &frame, None) {
+                            Ok(outcome) => {
+                                let us =
+                                    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                                latencies_us
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .push(us);
+                                attempts.fetch_add(u64::from(outcome.attempts), Ordering::Relaxed);
+                                overloaded_retries.fetch_add(
+                                    u64::from(outcome.overloaded_retries),
+                                    Ordering::Relaxed,
+                                );
+                                if outcome.frame.get("type")
+                                    == Some(&Json::Str("report".to_string()))
+                                {
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                hard_errors.fetch_add(1, Ordering::Relaxed);
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // One stats probe for the daemon-side view, then a clean shutdown.
+    let stats = client::call(
+        &ClientConfig {
+            addr: addr.clone(),
+            retries: 3,
+            base_ms: 2,
+            cap_ms: 100,
+            seed: 1,
+        },
+        &protocol::plain_frame("stats", -1),
+        None,
+    )
+    .map(|o| o.frame)
+    .unwrap_or(Json::Null);
+    server.shutdown();
+    let memo_after = aov_lp::memo::stats();
+    if !memo_was_enabled {
+        aov_lp::memo::set_enabled(false); // clears; bench runs stay cold
+    }
+
+    let mut lat = latencies_us
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    lat.sort_unstable();
+    let pick = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+    let hits = memo_after.hits - memo_before.hits;
+    let misses = memo_after.misses - memo_before.misses;
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    if hard_errors.load(Ordering::Relaxed) > 0 {
+        return Err(format!(
+            "{} request(s) exhausted retries without a terminal frame",
+            hard_errors.load(Ordering::Relaxed)
+        ));
+    }
+    Ok(Json::obj()
+        .field("schema", protocol::SCHEMA)
+        .field("type", "loadtest")
+        .field("clients", cfg.clients)
+        .field("iterations", cfg.iterations)
+        .field(
+            "examples",
+            cfg.examples
+                .iter()
+                .map(|e| Json::from(e.as_str()))
+                .collect::<Vec<_>>(),
+        )
+        .field("requests", lat.len())
+        .field("completed", completed.load(Ordering::Relaxed))
+        .field("failed", failed.load(Ordering::Relaxed))
+        .field("attempts", attempts.load(Ordering::Relaxed))
+        .field(
+            "overloaded_retries",
+            overloaded_retries.load(Ordering::Relaxed),
+        )
+        .field(
+            "latency_us",
+            Json::obj()
+                .field("min", pick(&lat, 0))
+                .field("median", pick(&lat, lat.len() / 2))
+                .field("max", pick(&lat, lat.len().saturating_sub(1))),
+        )
+        .field(
+            "memo",
+            Json::obj()
+                .field("hits", hits)
+                .field("misses", misses)
+                .field("hit_rate", hit_rate),
+        )
+        .field("daemon", stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_campaign_completes_with_warm_memo_and_no_restarts() {
+        let cfg = LoadtestConfig {
+            clients: 4,
+            iterations: 2,
+            workers: 1,
+            queue_limit: 2, // tight: shed load must retry to success
+            ..LoadtestConfig::default()
+        };
+        let doc = run(&cfg).expect("campaign completes");
+        let requests = cfg.clients * cfg.iterations * cfg.examples.len();
+        assert_eq!(doc.get("requests"), Some(&Json::Int(requests as i64)));
+        assert_eq!(doc.get("completed"), Some(&Json::Int(requests as i64)));
+        assert_eq!(doc.get("failed"), Some(&Json::Int(0)));
+        // Identical programs across requests: the shared tier must hit.
+        let memo = doc.get("memo").expect("memo block");
+        match memo.get("hit_rate") {
+            Some(Json::Float(rate)) => assert!(*rate > 0.0, "no cross-request hits"),
+            other => panic!("hit_rate missing: {other:?}"),
+        }
+        // No worker was lost to the load.
+        let daemon = doc.get("daemon").expect("daemon stats");
+        assert_eq!(daemon.get("worker_restarts"), Some(&Json::Int(0)));
+    }
+}

@@ -1,0 +1,200 @@
+//! The serve-layer chaos fault matrix.
+//!
+//! Every `serve.*` probe site crossed with every fault kind must
+//! produce the same evidence: a clean, structured `fault` error frame
+//! to the client, a valid `aov-diag/1` service bundle on disk, and a
+//! daemon that keeps serving — the next healthy request's report must
+//! be bit-identical to the pre-fault baseline once run-local noise
+//! (wall-clock micros, allocator columns, watermark counters) is
+//! normalized away.
+
+use std::path::{Path, PathBuf};
+
+use aov_serve::client::{self, ClientConfig};
+use aov_serve::protocol::{self, SolveOptions};
+use aov_serve::server::{Server, ServerConfig};
+use aov_support::Json;
+
+/// Same normalization as `tests/lang_roundtrip.rs`: zero the clocks,
+/// drop allocator snapshots and `*_bits_max` watermark counters.
+fn normalize(j: &Json) -> Json {
+    match j {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| match k.as_str() {
+                    "micros" | "total_micros" => (k.clone(), Json::Int(0)),
+                    "alloc" => (k.clone(), Json::Null),
+                    "counters" => (k.clone(), drop_watermarks(v)),
+                    _ => (k.clone(), normalize(v)),
+                })
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(normalize).collect()),
+        other => other.clone(),
+    }
+}
+
+fn drop_watermarks(counters: &Json) -> Json {
+    let Json::Arr(items) = counters else {
+        return normalize(counters);
+    };
+    Json::Arr(
+        items
+            .iter()
+            .filter(|item| match item {
+                Json::Obj(fields) => !fields.iter().any(|(k, v)| {
+                    k == "name" && matches!(v, Json::Str(s) if s.ends_with("_bits_max"))
+                }),
+                _ => true,
+            })
+            .map(normalize)
+            .collect(),
+    )
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aov-serve-matrix-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn call_one(addr: &str, frame: &Json) -> Json {
+    let cfg = ClientConfig {
+        addr: addr.to_string(),
+        retries: 2,
+        base_ms: 1,
+        cap_ms: 10,
+        seed: 7,
+    };
+    client::call(&cfg, frame, None)
+        .expect("daemon answers")
+        .frame
+}
+
+fn healthy_report_text(addr: &str) -> String {
+    let frame = call_one(
+        addr,
+        &protocol::solve_frame(1, ("example1", true), &SolveOptions::default()),
+    );
+    assert_eq!(
+        frame.get("type"),
+        Some(&Json::Str("report".to_string())),
+        "healthy solve must report: {frame:?}"
+    );
+    assert_eq!(frame.get("exit_code"), Some(&Json::Int(0)));
+    normalize(frame.get("report").expect("report body")).to_pretty()
+}
+
+fn bundle_paths(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn every_site_kind_injection_leaves_uniform_evidence() {
+    let diag = fresh_dir("fault");
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        diag_dir: Some(diag.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr().to_string();
+
+    // First solve populates the shared memo tier (cold: misses); every
+    // later identical solve runs warm (all hits), so the steady-state
+    // baseline — memo economics included — is taken from the second.
+    let _warmup = healthy_report_text(&addr);
+    let baseline = healthy_report_text(&addr);
+    let schema = aov_engine::diag::diag_schema();
+    let mut bundles_before = bundle_paths(&diag).len();
+    for site in ["serve.accept", "serve.request", "serve.memo"] {
+        for kind in ["error", "panic", "budget"] {
+            let tag = format!("{site}/{kind}");
+            let options = SolveOptions {
+                chaos: Some(format!("site={site},kind={kind}")),
+                ..SolveOptions::default()
+            };
+            let frame = call_one(
+                &addr,
+                &protocol::solve_frame(2, ("example1", true), &options),
+            );
+            // Leg 1: a clean structured error, never a dropped
+            // connection or a torn frame.
+            assert_eq!(
+                frame.get("type"),
+                Some(&Json::Str("error".to_string())),
+                "{tag}: {frame:?}"
+            );
+            assert_eq!(
+                frame.get("code"),
+                Some(&Json::Str(protocol::code::FAULT.to_string())),
+                "{tag}: {frame:?}"
+            );
+            let Some(Json::Str(message)) = frame.get("message") else {
+                panic!("{tag}: error frame without message: {frame:?}");
+            };
+            assert!(!message.is_empty(), "{tag}");
+            // Leg 2: exactly one new service bundle, valid aov-diag/1.
+            let bundles = bundle_paths(&diag);
+            assert_eq!(
+                bundles.len(),
+                bundles_before + 1,
+                "{tag}: expected one new bundle"
+            );
+            bundles_before = bundles.len();
+            let newest = bundles.last().unwrap();
+            let text = std::fs::read_to_string(newest).expect("bundle readable");
+            let doc = Json::parse(text.trim()).expect("bundle parses");
+            aov_support::schema::validate(&doc, &schema)
+                .unwrap_or_else(|e| panic!("{tag}: bundle invalid: {e:?}"));
+            assert_eq!(
+                doc.get("health"),
+                Some(&Json::Str("failed".to_string())),
+                "{tag}"
+            );
+            // Leg 3: the daemon keeps serving, bit-identically.
+            assert_eq!(
+                healthy_report_text(&addr),
+                baseline,
+                "{tag}: post-fault report drifted from the baseline"
+            );
+        }
+    }
+
+    // The ledger agrees: one fault per cell, nothing leaked.
+    let stats = call_one(&addr, &protocol::plain_frame("stats", 99));
+    assert_eq!(stats.get("faults"), Some(&Json::Int(9)), "{stats:?}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&diag);
+}
+
+#[test]
+fn engine_sites_are_rejected_as_request_scoped_chaos() {
+    let server = Server::start(ServerConfig::default()).expect("daemon starts");
+    let addr = server.addr().to_string();
+    let options = SolveOptions {
+        chaos: Some("site=lp.simplex,kind=panic".to_string()),
+        ..SolveOptions::default()
+    };
+    let frame = call_one(
+        &addr,
+        &protocol::solve_frame(5, ("example1", true), &options),
+    );
+    assert_eq!(frame.get("type"), Some(&Json::Str("error".to_string())));
+    assert_eq!(
+        frame.get("code"),
+        Some(&Json::Str(protocol::code::BAD_REQUEST.to_string())),
+        "{frame:?}"
+    );
+    server.shutdown();
+}

@@ -206,6 +206,10 @@ pub fn current_span_label() -> Option<String> {
 pub struct SpanContext {
     parent: Option<u64>,
     alloc: Option<aov_support::alloc::ScopeHandle>,
+    /// Flight-recorder session attribution of the capturing thread
+    /// (0 = none). Captured even while tracing is disabled, so a
+    /// daemon request's session survives fan-outs in untraced runs.
+    session: u64,
 }
 
 /// The context under which new spans on this thread would nest. The
@@ -213,10 +217,12 @@ pub struct SpanContext {
 /// stage-level memory attribution survives fan-outs in untraced runs.
 pub fn current_context() -> SpanContext {
     let alloc = aov_support::alloc::current_handle();
+    let session = recorder::current_session();
     if !enabled() {
         return SpanContext {
             parent: None,
             alloc,
+            session,
         };
     }
     TLS.with(|tls| {
@@ -224,6 +230,7 @@ pub fn current_context() -> SpanContext {
         SpanContext {
             parent: tls.stack.last().copied().or(tls.adopted),
             alloc,
+            session,
         }
     })
 }
@@ -233,19 +240,24 @@ pub struct AdoptGuard {
     prev: Option<u64>,
     installed: bool,
     _alloc: Option<aov_support::alloc::AllocScope>,
+    _session: recorder::SessionGuard,
 }
 
 /// Installs `ctx` as the parent for spans opened on this thread while
 /// the guard lives, and re-opens the captured allocation scope here.
 /// Used by scoped fan-outs to keep worker spans nested under — and
-/// worker heap traffic charged to — the span that spawned them.
+/// worker heap traffic charged to — the span that spawned them. The
+/// capturing thread's recorder session attribution is installed too,
+/// so a request's ring events stay stamped across its worker threads.
 pub fn adopt(ctx: &SpanContext) -> AdoptGuard {
     let alloc = ctx.alloc.as_ref().map(aov_support::alloc::adopt);
+    let session = recorder::enter_session(ctx.session);
     if !enabled() {
         return AdoptGuard {
             prev: None,
             installed: false,
             _alloc: alloc,
+            _session: session,
         };
     }
     TLS.with(|tls| {
@@ -256,6 +268,7 @@ pub fn adopt(ctx: &SpanContext) -> AdoptGuard {
             prev,
             installed: true,
             _alloc: alloc,
+            _session: session,
         }
     })
 }

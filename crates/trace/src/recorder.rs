@@ -134,6 +134,8 @@ struct Slot {
     meta: AtomicU64,
     /// Nanoseconds since the trace epoch.
     t_ns: AtomicU64,
+    /// Session id of the recording thread (0 = unattributed).
+    session: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
     label: [AtomicU64; LABEL_WORDS],
@@ -144,6 +146,7 @@ const EMPTY_SLOT: Slot = Slot {
     seq: AtomicU64::new(0),
     meta: AtomicU64::new(0),
     t_ns: AtomicU64::new(0),
+    session: AtomicU64::new(0),
     a: AtomicU64::new(0),
     b: AtomicU64::new(0),
     label: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
@@ -209,11 +212,49 @@ pub struct Event {
     pub t_ns: u64,
     /// Recording thread's trace track id.
     pub thread: u64,
+    /// Session the recording thread was attributed to (0 = none). The
+    /// ring is process-global; a daemon serving concurrent requests
+    /// stamps each request's session so crash bundles can filter out a
+    /// neighbor's timeline (see [`enter_session`]).
+    pub session: u64,
     pub kind: EventKind,
     /// Truncated label (span name, counter name, budget site, …).
     pub label: String,
     pub a: u64,
     pub b: u64,
+}
+
+thread_local! {
+    /// Session id stamped into events this thread records (0 = none).
+    static SESSION: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The session id currently attributed to this thread (0 = none).
+#[must_use]
+pub fn current_session() -> u64 {
+    SESSION.try_with(std::cell::Cell::get).unwrap_or(0)
+}
+
+/// Guard restoring the thread's previous session attribution on drop.
+pub struct SessionGuard {
+    prev: u64,
+}
+
+/// Attributes events this thread records to `session` until the guard
+/// drops (which restores the previous attribution). Fan-out workers
+/// inherit the attribution through [`crate::adopt`], so a request's
+/// events stay stamped across its solver threads.
+#[must_use]
+pub fn enter_session(session: u64) -> SessionGuard {
+    let prev = current_session();
+    let _ = SESSION.try_with(|s| s.set(session));
+    SessionGuard { prev }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        let _ = SESSION.try_with(|s| s.set(self.prev));
+    }
 }
 
 /// Turns the recorder off (and back on). It ships **on**; tests that
@@ -265,6 +306,7 @@ pub fn record(kind: EventKind, label: &str, a: u64, b: u64) {
         Ordering::Relaxed,
     );
     slot.t_ns.store(t_ns, Ordering::Relaxed);
+    slot.session.store(current_session(), Ordering::Relaxed);
     slot.a.store(a, Ordering::Relaxed);
     slot.b.store(b, Ordering::Relaxed);
     slot.seq.store(claim + 1, Ordering::Release);
@@ -286,6 +328,7 @@ pub fn snapshot() -> Vec<Event> {
         }
         let meta = slot.meta.load(Ordering::Relaxed);
         let t_ns = slot.t_ns.load(Ordering::Relaxed);
+        let session = slot.session.load(Ordering::Relaxed);
         let a = slot.a.load(Ordering::Relaxed);
         let b = slot.b.load(Ordering::Relaxed);
         let mut label_bytes = [0u8; LABEL_BYTES];
@@ -308,6 +351,7 @@ pub fn snapshot() -> Vec<Event> {
             seq: claim,
             t_ns,
             thread: meta >> 16,
+            session,
             kind,
             label,
             a,
@@ -439,6 +483,30 @@ mod tests {
         assert_eq!(clamp_slots(4096), 4096);
         assert_eq!(clamp_slots(usize::MAX), MAX_SLOTS);
         assert!(clamp_slots(MAX_SLOTS - 1).is_power_of_two());
+    }
+
+    #[test]
+    fn session_attribution_stamps_nests_and_restores() {
+        let _g = locked();
+        clear();
+        record(EventKind::Counter, "test.sess.none", 0, 0);
+        {
+            let _outer = enter_session(41);
+            record(EventKind::Counter, "test.sess.a", 0, 0);
+            {
+                let _inner = enter_session(42);
+                record(EventKind::Counter, "test.sess.b", 0, 0);
+            }
+            record(EventKind::Counter, "test.sess.a2", 0, 0);
+        }
+        record(EventKind::Counter, "test.sess.after", 0, 0);
+        let events = snapshot();
+        let session_of = |l: &str| events.iter().find(|e| e.label == l).unwrap().session;
+        assert_eq!(session_of("test.sess.none"), 0);
+        assert_eq!(session_of("test.sess.a"), 41);
+        assert_eq!(session_of("test.sess.b"), 42);
+        assert_eq!(session_of("test.sess.a2"), 41);
+        assert_eq!(session_of("test.sess.after"), 0);
     }
 
     /// Once the ring has materialized, capacity requests report that

@@ -151,4 +151,97 @@ fi
 ./target/release/aov inspect "${bundles[0]}" --check
 ./target/release/aov inspect "${bundles[0]}" > /dev/null
 
+echo "== profile wrapper guard"
+# scripts/profile_example3.sh must stay a pure exec wrapper around
+# scripts/profile.sh, and both must advertise the same optional flags:
+# anything else is the flag drift between the two entry points
+# reappearing.
+if ! grep -q 'exec "$(dirname "$0")/profile.sh" example3 "$@"' scripts/profile_example3.sh; then
+    echo "profile wrapper guard: profile_example3.sh no longer delegates to profile.sh"
+    exit 1
+fi
+if grep -qE '^[[:space:]]*(cargo|\./target)' scripts/profile_example3.sh; then
+    echo "profile wrapper guard: the wrapper must not build or invoke the binary itself"
+    exit 1
+fi
+for f in scripts/profile.sh scripts/profile_example3.sh; do
+    if ! grep -q -- '\[trace-file\] \[workers\] \[--mem\]' "$f"; then
+        echo "profile wrapper guard: $f usage drifted from '[trace-file] [workers] [--mem]'"
+        exit 1
+    fi
+done
+
+echo "== serve smoke"
+# aovd on a random port serves three concurrent clients — a healthy
+# solve (exit 0), a budget-tripped solve (degraded, exit 3), and a
+# chaos-injected service panic (structured error frame, exit 2) — then
+# answers a health probe and drains cleanly on SIGTERM. The daemon runs
+# --no-memo so the budget trip stays deterministic (a warm shared tier
+# would satisfy the solve without spending pivots).
+serve_diag="$(mktemp -d /tmp/aov-serve-smoke.XXXXXX)"
+serve_log="$(mktemp /tmp/aov-serve-smoke-log.XXXXXX)"
+serve_chaos_out="$(mktemp /tmp/aov-serve-smoke-chaos.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file" "$profile_file" "$serve_log" "$serve_chaos_out"; rm -rf "$repro_dir" "$diag_dir" "$serve_diag"' EXIT
+./target/release/aov aovd --addr 127.0.0.1:0 --no-memo --workers 2 \
+    --diag-dir "$serve_diag" > "$serve_log" 2> /dev/null &
+aovd_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^aovd: listening on //p' "$serve_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve smoke: daemon never reported a listen address"
+    exit 1
+fi
+./target/release/aov client --addr "$addr" --example example1 \
+    > /dev/null 2> /dev/null & c_healthy=$!
+./target/release/aov client --addr "$addr" --example example1 \
+    --budget-pivots 40 > /dev/null 2> /dev/null & c_budget=$!
+./target/release/aov client --addr "$addr" --example example1 \
+    --chaos site=serve.request,kind=panic \
+    > "$serve_chaos_out" 2> /dev/null & c_chaos=$!
+s_healthy=0; s_budget=0; s_chaos=0
+wait "$c_healthy" || s_healthy=$?
+wait "$c_budget" || s_budget=$?
+wait "$c_chaos" || s_chaos=$?
+if [ "$s_healthy" -ne 0 ]; then
+    echo "serve smoke: healthy solve: expected exit 0, got $s_healthy"
+    exit 1
+fi
+if [ "$s_budget" -ne 3 ]; then
+    echo "serve smoke: budget-tripped solve: expected exit 3 (degraded), got $s_budget"
+    exit 1
+fi
+if [ "$s_chaos" -ne 2 ]; then
+    echo "serve smoke: chaos solve: expected exit 2 (error frame), got $s_chaos"
+    exit 1
+fi
+if ! grep -q '"code": "fault"' "$serve_chaos_out"; then
+    echo "serve smoke: chaos solve did not produce a structured fault frame"
+    exit 1
+fi
+serve_bundles=("$serve_diag"/aov-diag-*.json)
+if [ ! -f "${serve_bundles[0]}" ]; then
+    echo "serve smoke: the injected service fault wrote no diagnostic bundle"
+    exit 1
+fi
+./target/release/aov inspect "${serve_bundles[0]}" --check
+# Capture before grepping: piping the live client into `grep -q` under
+# pipefail races — grep exits at first match, the client takes SIGPIPE
+# on its remaining output lines, and the pipeline reads as failed.
+health_out="$(./target/release/aov client --addr "$addr" --health)"
+if ! printf '%s' "$health_out" | grep -q '"status": "ok"'; then
+    echo "serve smoke: post-fault health probe failed: $health_out"
+    exit 1
+fi
+kill -TERM "$aovd_pid"
+drain_status=0
+wait "$aovd_pid" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+    echo "serve smoke: SIGTERM drain: expected exit 0, got $drain_status"
+    exit 1
+fi
+
 echo "CI green."

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Load-test the service layer: `aov bench --serve-clients N` spins up
+# an in-process aovd over loopback TCP and hammers it with N concurrent
+# clients over the example corpus. The campaign's latencies, shed-load
+# (overloaded) retries and cross-request memo hit rate land in the
+# aov-bench/2 artifact's `serve` block — informational and
+# gate-neutral: no regression comparison reads it.
+#
+# Usage: scripts/loadtest.sh [clients] [out-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+clients="${1:-8}"
+out="${2:-/tmp/aov-loadtest.json}"
+
+cargo build --release --offline --workspace
+
+./target/release/aov bench --examples example1 --runs 1 --quick \
+    --no-figures --serve-clients "$clients" --out "$out" > /dev/null
+./target/release/aov bench --check "$out"
+
+# Surface the recorded campaign summary.
+sed -n '/"serve": {/,/^  }/p' "$out"
+echo "Artifact with serve load-test summary written to $out"

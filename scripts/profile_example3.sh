@@ -3,5 +3,5 @@
 # (Example 3 — 19 dependences, 27 sign patterns). See scripts/profile.sh
 # for the general form.
 #
-# Usage: scripts/profile_example3.sh [trace-file] [workers]
+# Usage: scripts/profile_example3.sh [trace-file] [workers] [--mem]
 exec "$(dirname "$0")/profile.sh" example3 "$@"

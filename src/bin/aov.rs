@@ -259,11 +259,19 @@ fn usage() -> ! {
          aov bench [--runs N] [--out FILE] [--baseline FILE] \
          [--fail-on-regression] [--examples A,B] [--workers N] [--quick] \
          [--no-figures] [--check FILE] [--profile-dir DIR] \
-         [--budget-pivots N] \
+         [--serve-clients N] [--budget-pivots N] \
          [--budget-nodes N] [--budget-ms N]\n       \
          aov pdiff BASE NEW\n       \
          aov trend ARTIFACT ARTIFACT.. [--out FILE] [--compact]\n       \
          aov inspect FILE [--check]\n       \
+         aovd / aov aovd [--addr A] [--workers N] [--queue N] \
+         [--no-memo] [--memo-capacity N] [--pivot-pool N] \
+         [--deadline-ms N] [--diag-dir DIR] [--retry-after-ms N]\n       \
+         aov client [--addr A] [--example NAME | FILE.aov | --stats | \
+         --health | --shutdown] [--workers N] [--memoize] \
+         [--budget-pivots N] [--budget-nodes N] [--budget-ms N] \
+         [--deadline-ms N] [--chaos SPEC] [--retries N] \
+         [--transcript FILE]\n       \
          aov --check-trace FILE\n       \
          aov --check-report FILE\n\n\
          every subcommand also accepts --recorder-slots N\n\
@@ -558,6 +566,7 @@ struct BenchOptions {
     check: Option<String>,
     profile_dir: Option<String>,
     budget: BudgetSpec,
+    serve_clients: Option<usize>,
 }
 
 fn parse_bench(args: &[String]) -> BenchOptions {
@@ -576,6 +585,7 @@ fn parse_bench(args: &[String]) -> BenchOptions {
         check: None,
         profile_dir: None,
         budget: BudgetSpec::default(),
+        serve_clients: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -622,6 +632,10 @@ fn parse_bench(args: &[String]) -> BenchOptions {
             "--profile-dir" => match it.next() {
                 Some(d) => opts.profile_dir = Some(d.clone()),
                 None => usage(),
+            },
+            "--serve-clients" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.serve_clients = Some(n),
+                _ => usage(),
             },
             _ => usage(),
         }
@@ -694,13 +708,43 @@ fn bench_main(args: &[String]) -> i32 {
         cfg.workers,
         if cfg.quick { ", quick" } else { "" }
     );
-    let artifact = match observatory::run_suite(&cfg) {
+    let mut artifact = match observatory::run_suite(&cfg) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("aov bench: {e}");
             return 1;
         }
     };
+    // The load test runs after the suite so its warm shared memo tier
+    // cannot perturb the suite's own memo economics; its summary rides
+    // along in the artifact but no regression gate reads it.
+    if let Some(clients) = opts.serve_clients {
+        // The campaign corpus stays the loadtest default (example1):
+        // identical cheap solves are exactly what exercises admission,
+        // backoff and the shared memo tier; the expensive corpus
+        // entries would only serialize the queue.
+        let lt_cfg = aov_serve::loadtest::LoadtestConfig {
+            clients,
+            ..aov_serve::loadtest::LoadtestConfig::default()
+        };
+        match aov_serve::loadtest::run(&lt_cfg) {
+            Ok(summary) => {
+                let pick = |k: &str| summary.get(k).cloned().unwrap_or(Json::Null);
+                eprintln!(
+                    "aov bench: serve load test: {clients} clients, {} request(s), \
+                     {} overloaded retr(ies), memo {}",
+                    pick("requests").to_compact(),
+                    pick("overloaded_retries").to_compact(),
+                    pick("memo").to_compact(),
+                );
+                artifact.serve = Some(summary);
+            }
+            Err(e) => {
+                eprintln!("aov bench: serve load test failed: {e}");
+                return 1;
+            }
+        }
+    }
     for e in &artifact.examples {
         eprintln!(
             "aov bench: {:<9} wall {} µs (min of {}), memo hit rate {}",
@@ -987,12 +1031,14 @@ fn inspect_main(args: &[String]) -> i32 {
         t if t == aov_engine::diag::SCHEMA => aov_engine::diag::diag_schema(),
         t if t == aov_engine::profile::SCHEMA => aov_engine::profile::profile_schema(),
         t if t == aov_bench::trend::SCHEMA_VERSION => aov_bench::trend::trend_schema(),
+        t if t == aov_serve::protocol::SCHEMA => aov_serve::protocol::transcript_schema(),
         _ => {
             eprintln!(
-                "aov inspect: {path}: unsupported schema {tag:?} (want {:?}, {:?} or {:?})",
+                "aov inspect: {path}: unsupported schema {tag:?} (want {:?}, {:?}, {:?} or {:?})",
                 aov_engine::diag::SCHEMA,
                 aov_engine::profile::SCHEMA,
-                aov_bench::trend::SCHEMA_VERSION
+                aov_bench::trend::SCHEMA_VERSION,
+                aov_serve::protocol::SCHEMA,
             );
             return 1;
         }
@@ -1012,10 +1058,28 @@ fn inspect_main(args: &[String]) -> i32 {
         render_profile_artifact(path, &doc);
     } else if tag == aov_bench::trend::SCHEMA_VERSION {
         render_trend_document(path, &doc);
+    } else if tag == aov_serve::protocol::SCHEMA {
+        render_transcript(path, &doc);
     } else {
         render_bundle(path, &doc);
     }
     0
+}
+
+/// Human rendering of a validated `aov-serve/1` transcript: one line
+/// per captured frame, direction-tagged.
+fn render_transcript(path: &str, doc: &Json) {
+    let frames = jarr(doc, "frames");
+    println!(
+        "== {path}: aov-serve/1 transcript, {} frame(s) ==",
+        frames.len()
+    );
+    for f in frames {
+        let dir = jstr(f, "dir");
+        let arrow = if dir == "send" { "->" } else { "<-" };
+        let frame = f.get("frame").cloned().unwrap_or(Json::Null);
+        println!("  {arrow} {}", frame.to_compact());
+    }
 }
 
 /// Human rendering of a validated `aov-trend/1` document: the artifact
@@ -1362,6 +1426,180 @@ fn fuzz_main(args: &[String]) -> i32 {
     summary.exit_code()
 }
 
+/// `aov aovd`: the persistent solver daemon. Binds, prints the
+/// resolved address (CI captures it from the `listening on` line), and
+/// serves until a `shutdown` frame or SIGTERM asks it to drain; both
+/// paths complete queued and in-flight requests before exiting.
+fn aovd_main(args: &[String]) -> i32 {
+    let mut cfg = aov_serve::server::ServerConfig {
+        addr: "127.0.0.1:7401".to_string(),
+        ..aov_serve::server::ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => cfg.addr = a.clone(),
+                None => usage(),
+            },
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => cfg.workers = w,
+                None => usage(),
+            },
+            "--queue" => match it.next().and_then(|q| q.parse().ok()) {
+                Some(q) => cfg.queue_limit = q,
+                None => usage(),
+            },
+            "--no-memo" => cfg.memo = false,
+            "--memo-capacity" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.memo_capacity = n,
+                None => usage(),
+            },
+            "--pivot-pool" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.pivot_pool = Some(n),
+                None => usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.default_deadline_ms = Some(n),
+                None => usage(),
+            },
+            "--diag-dir" => match it.next() {
+                Some(d) => cfg.diag_dir = Some(d.into()),
+                None => usage(),
+            },
+            "--retry-after-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.retry_after_ms = n,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    // Daemon-level chaos comes from the environment only: there is no
+    // --chaos flag here, mirroring how requests may not arm engine
+    // sites either.
+    if let Err(e) = chaos::install_from_env() {
+        eprintln!("aovd: AOV_CHAOS: {e}");
+        return 64;
+    }
+    let sigterm = aov_serve::server::sigterm_flag();
+    let server = match aov_serve::server::Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("aovd: cannot start: {e}");
+            return 2;
+        }
+    };
+    println!("aovd: listening on {}", server.addr());
+    loop {
+        if sigterm.load(std::sync::atomic::Ordering::SeqCst) {
+            eprintln!("aovd: SIGTERM, draining");
+            server.drain();
+        }
+        if server.draining() {
+            server.shutdown();
+            eprintln!("aovd: drained cleanly");
+            return 0;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+/// `aov client`: one request to a running `aovd`, with retry + backoff.
+/// Exit code mirrors the daemon's verdict: a report's own `exit_code`,
+/// 2 for error frames and transport failures, 0 for the plain frames.
+fn client_main(args: &[String]) -> i32 {
+    let mut cfg = aov_serve::client::ClientConfig::default();
+    let mut options = aov_serve::protocol::SolveOptions::default();
+    let mut program: Option<(String, bool)> = None; // (text, is_example)
+    let mut plain: Option<&str> = None;
+    let mut transcript_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if parse_budget_flag(&mut options.budget, arg, &mut it) {
+            continue;
+        }
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => cfg.addr = a.clone(),
+                None => usage(),
+            },
+            "--example" => match it.next() {
+                Some(name) => program = Some((name.clone(), true)),
+                None => usage(),
+            },
+            "--stats" => plain = Some("stats"),
+            "--health" => plain = Some("health"),
+            "--shutdown" => plain = Some("shutdown"),
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => options.workers = w,
+                None => usage(),
+            },
+            "--memoize" => options.memoize = true,
+            "--deadline-ms" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => options.deadline_ms = Some(n),
+                None => usage(),
+            },
+            "--chaos" => match it.next() {
+                Some(spec) => options.chaos = Some(spec.clone()),
+                None => usage(),
+            },
+            "--retries" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cfg.retries = n,
+                None => usage(),
+            },
+            "--transcript" => match it.next() {
+                Some(f) => transcript_path = Some(f.clone()),
+                None => usage(),
+            },
+            path if !path.starts_with('-') => match std::fs::read_to_string(path) {
+                Ok(text) => program = Some((text, false)),
+                Err(e) => {
+                    eprintln!("aov client: {path}: {e}");
+                    return 2;
+                }
+            },
+            _ => usage(),
+        }
+    }
+    let request = match (plain, &program) {
+        (Some(kind), _) => aov_serve::protocol::plain_frame(kind, 1),
+        (None, Some((text, is_example))) => {
+            aov_serve::protocol::solve_frame(1, (text.as_str(), *is_example), &options)
+        }
+        (None, None) => usage(),
+    };
+    let mut transcript = aov_serve::client::Transcript::default();
+    let outcome = aov_serve::client::call(&cfg, &request, Some(&mut transcript));
+    if let Some(path) = &transcript_path {
+        if let Err(e) = std::fs::write(path, format!("{}\n", transcript.to_json().to_pretty())) {
+            eprintln!("aov client: cannot write transcript {path}: {e}");
+        }
+    }
+    match outcome {
+        Ok(outcome) => {
+            println!("{}", outcome.frame.to_pretty());
+            if outcome.overloaded_retries > 0 {
+                eprintln!(
+                    "aov client: {} attempt(s), {} shed with overloaded",
+                    outcome.attempts, outcome.overloaded_retries
+                );
+            }
+            match outcome.frame.get("type") {
+                Some(Json::Str(t)) if t == "report" => match outcome.frame.get("exit_code") {
+                    Some(Json::Int(code)) => i32::try_from(*code).unwrap_or(2),
+                    _ => 2,
+                },
+                Some(Json::Str(t)) if t == "error" => 2,
+                _ => 0,
+            }
+        }
+        Err(e) => {
+            eprintln!("aov client: {e}");
+            2
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // --recorder-slots is global and position-independent: it must land
@@ -1393,6 +1631,12 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("pdiff") {
         std::process::exit(pdiff_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("aovd") {
+        std::process::exit(aovd_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("client") {
+        std::process::exit(client_main(&args[1..]));
     }
     let run_mode = args.first().map(String::as_str) == Some("run");
     let opts = parse(if run_mode { &args[1..] } else { &args }, run_mode);

@@ -24,6 +24,9 @@
 //!   Chrome-trace export, flame tables, metrics snapshots).
 //! * [`lang`] — the `.aov` textual frontend: lexer, parser, lowering to
 //!   the IR with caret diagnostics, and a canonical pretty-printer.
+//! * [`serve`] — solver-as-a-service: the `aovd` daemon (admission
+//!   control, worker supervision, shared memo tier, chaos probes) and
+//!   its backoff-retrying client.
 //! * [`gen`] — the seeded program generator and shrinker behind
 //!   `aov fuzz`.
 //! * [`fuzz`] — the differential fuzz harness (`aov fuzz`): generated
@@ -59,5 +62,6 @@ pub use aov_machine as machine;
 pub use aov_numeric as numeric;
 pub use aov_polyhedra as polyhedra;
 pub use aov_schedule as schedule;
+pub use aov_serve as serve;
 pub use aov_support as support;
 pub use aov_trace as trace;
