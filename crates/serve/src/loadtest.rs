@@ -5,8 +5,8 @@
 //! (`aov bench --serve-clients N`, `scripts/loadtest.sh`).
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Mutex;
 
+use aov_support::histogram::Histogram;
 use aov_support::Json;
 
 use crate::client::{self, ClientConfig};
@@ -62,7 +62,11 @@ pub fn run(cfg: &LoadtestConfig) -> Result<Json, String> {
     let addr = server.addr().to_string();
     let memo_before = aov_lp::memo::stats();
 
-    let latencies_us: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    // Latencies go into the shared log-bucketed histogram rather than
+    // a raw vector: min/median/max alone hide the tail, and the same
+    // quantile code now serves the daemon's own `metrics` verb.
+    let latencies_us = Histogram::new();
+    let requests = AtomicU64::new(0);
     let completed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let attempts = AtomicU64::new(0);
@@ -72,6 +76,7 @@ pub fn run(cfg: &LoadtestConfig) -> Result<Json, String> {
         for c in 0..cfg.clients {
             let addr = &addr;
             let latencies_us = &latencies_us;
+            let requests = &requests;
             let completed = &completed;
             let failed = &failed;
             let attempts = &attempts;
@@ -98,10 +103,8 @@ pub fn run(cfg: &LoadtestConfig) -> Result<Json, String> {
                             Ok(outcome) => {
                                 let us =
                                     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-                                latencies_us
-                                    .lock()
-                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                                    .push(us);
+                                latencies_us.record(us);
+                                requests.fetch_add(1, Ordering::Relaxed);
                                 attempts.fetch_add(u64::from(outcome.attempts), Ordering::Relaxed);
                                 overloaded_retries.fetch_add(
                                     u64::from(outcome.overloaded_retries),
@@ -146,11 +149,7 @@ pub fn run(cfg: &LoadtestConfig) -> Result<Json, String> {
         aov_lp::memo::set_enabled(false); // clears; bench runs stay cold
     }
 
-    let mut lat = latencies_us
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    lat.sort_unstable();
-    let pick = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+    let lat = latencies_us.snapshot();
     let hits = memo_after.hits - memo_before.hits;
     let misses = memo_after.misses - memo_before.misses;
     let hit_rate = if hits + misses > 0 {
@@ -176,7 +175,7 @@ pub fn run(cfg: &LoadtestConfig) -> Result<Json, String> {
                 .map(|e| Json::from(e.as_str()))
                 .collect::<Vec<_>>(),
         )
-        .field("requests", lat.len())
+        .field("requests", requests.load(Ordering::Relaxed))
         .field("completed", completed.load(Ordering::Relaxed))
         .field("failed", failed.load(Ordering::Relaxed))
         .field("attempts", attempts.load(Ordering::Relaxed))
@@ -187,9 +186,11 @@ pub fn run(cfg: &LoadtestConfig) -> Result<Json, String> {
         .field(
             "latency_us",
             Json::obj()
-                .field("min", pick(&lat, 0))
-                .field("median", pick(&lat, lat.len() / 2))
-                .field("max", pick(&lat, lat.len().saturating_sub(1))),
+                .field("count", lat.count())
+                .field("p50", lat.quantile(0.50))
+                .field("p90", lat.quantile(0.90))
+                .field("p99", lat.quantile(0.99))
+                .field("max", lat.max_value()),
         )
         .field(
             "memo",
@@ -228,5 +229,22 @@ mod tests {
         // No worker was lost to the load.
         let daemon = doc.get("daemon").expect("daemon stats");
         assert_eq!(daemon.get("worker_restarts"), Some(&Json::Int(0)));
+        // Histogram quantiles replace min/median/max: every completed
+        // request was recorded and the tail is ordered.
+        let lat = doc.get("latency_us").expect("latency block");
+        assert_eq!(lat.get("count"), Some(&Json::Int(requests as i64)));
+        let q = |k: &str| match lat.get(k) {
+            Some(Json::Int(v)) => *v,
+            other => panic!("latency_us.{k} missing: {other:?}"),
+        };
+        assert!(q("p50") > 0, "p50 must be nonzero");
+        assert!(
+            q("p50") <= q("p90") && q("p90") <= q("p99"),
+            "quantiles ordered"
+        );
+        assert!(
+            q("p99") / 2 <= q("max"),
+            "max bounds the tail (midpoint slack)"
+        );
     }
 }

@@ -44,7 +44,20 @@
 //! Each solve gets a process-unique session id, stamped into every
 //! flight-recorder event it records (including fan-out workers, via
 //! span-context adoption) — so one request's crash bundle carries only
-//! its own timeline even though the ring is process-global.
+//! its own timeline even though the ring is process-global. The id is
+//! assigned at *admission* (not dequeue), so a `watch`ing connection
+//! can tail a session's events while the solve is still queued.
+//!
+//! # Telemetry
+//!
+//! Every request is decomposed into phases (admission, queue-wait,
+//! solve, serialize, end-to-end) recorded into lock-free latency
+//! histograms, and its end-to-end latency lands under its verdict
+//! (ok/degraded/overloaded/fault). The `metrics` verb returns the
+//! whole plane as an `aov-svcmetrics/1` document; the `watch` verb
+//! streams flight-recorder events live off a persistent ring cursor;
+//! `--access-log` appends one `aov-access/1` line per request. See
+//! [`crate::telemetry`].
 
 use std::collections::VecDeque;
 use std::io::{BufRead as _, BufReader, Write as _};
@@ -57,9 +70,11 @@ use std::time::{Duration, Instant};
 
 use aov_engine::{diag, Health, Pipeline};
 use aov_fault::chaos::{self, ChaosSpec, FaultKind};
-use aov_support::{Json, ToJson as _};
+use aov_support::{digest, Json, ToJson as _};
+use aov_trace::recorder;
 
 use crate::protocol::{self, code, RequestKind, SolveOptions};
+use crate::telemetry::{self, AccessLog, AccessRecord, Phase, Telemetry, Verdict, WindowKind};
 
 /// Pivot-pool charge for a request that declared no pivot budget.
 /// Deliberately generous: unbudgeted requests are the minority tenant,
@@ -91,6 +106,11 @@ pub struct ServerConfig {
     pub diag_dir: Option<PathBuf>,
     /// The hint stamped into `overloaded` rejections.
     pub retry_after_ms: u64,
+    /// Structured access log: one `aov-access/1` line per request
+    /// (None = no log).
+    pub access_log: Option<PathBuf>,
+    /// Size-rotation threshold for the access log.
+    pub access_log_max_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +125,8 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             diag_dir: None,
             retry_after_ms: 25,
+            access_log: None,
+            access_log_max_bytes: telemetry::ACCESS_LOG_MAX_BYTES,
         }
     }
 }
@@ -120,6 +142,17 @@ struct Job {
     pool_charge: u64,
     deadline: Option<Instant>,
     out: Arc<Mutex<TcpStream>>,
+    /// Session id assigned at admission (flight-recorder attribution).
+    session: u64,
+    /// FNV-1a digest of the program source (access-log identity).
+    digest: String,
+    /// When the request line arrived (end-to-end anchor).
+    received_at: Instant,
+    /// When admission pushed the job (queue-wait anchor).
+    enqueued_at: Instant,
+    /// Set once the final response frame for this job went out — the
+    /// signal a same-connection `watch` stream keys its shutdown on.
+    done: Arc<AtomicBool>,
 }
 
 struct Shared {
@@ -136,6 +169,10 @@ struct Shared {
     faults: AtomicU64,
     worker_restarts: AtomicU64,
     inflight: AtomicU64,
+    /// Histograms, rate windows, worker states, uptime.
+    telemetry: Telemetry,
+    /// Structured per-request evidence, when configured.
+    access_log: Option<AccessLog>,
 }
 
 impl Shared {
@@ -144,15 +181,46 @@ impl Shared {
     }
 }
 
+/// Nanoseconds since `start`, saturating.
+fn ns_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The request's knobs as recorded in access-log lines.
+fn knobs_json(options: &SolveOptions) -> Json {
+    let mut budget = Json::obj();
+    if let Some(p) = options.budget.pivots {
+        budget = budget.field("pivots", p);
+    }
+    if let Some(n) = options.budget.nodes {
+        budget = budget.field("nodes", n);
+    }
+    if let Some(ms) = options.budget.ms {
+        budget = budget.field("ms", ms);
+    }
+    let mut knobs = Json::obj()
+        .field("workers", options.workers)
+        .field("memoize", options.memoize)
+        .field("budget", budget);
+    if let Some(ms) = options.deadline_ms {
+        knobs = knobs.field("deadline_ms", ms);
+    }
+    if let Some(chaos) = &options.chaos {
+        knobs = knobs.field("chaos", chaos.as_str());
+    }
+    knobs
+}
+
 /// Writes one frame as a single line. The whole line goes out in one
 /// buffered write under the connection's writer lock — a concurrent
-/// frame can interleave between lines, never inside one.
-fn send(out: &Arc<Mutex<TcpStream>>, frame: &Json) {
+/// frame can interleave between lines, never inside one. Returns
+/// whether the write reached the socket (a `watch` stream stops when
+/// its client hangs up).
+fn send(out: &Arc<Mutex<TcpStream>>, frame: &Json) -> bool {
     let mut line = frame.to_compact();
     line.push('\n');
     let mut stream = out.lock().unwrap_or_else(PoisonError::into_inner);
-    let _ = stream.write_all(line.as_bytes());
-    let _ = stream.flush();
+    stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
 }
 
 /// A running daemon. Dropping the handle does **not** stop it; call
@@ -180,6 +248,10 @@ impl Server {
             aov_lp::memo::set_capacity(cfg.memo_capacity);
         }
         let workers = cfg.workers.max(1);
+        let access_log = match &cfg.access_log {
+            Some(path) => Some(AccessLog::open(path, cfg.access_log_max_bytes)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             pivot_pool: AtomicI64::new(
                 cfg.pivot_pool
@@ -195,15 +267,17 @@ impl Server {
             faults: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            telemetry: Telemetry::new(workers),
+            access_log,
         });
         let accept_handle = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&shared, &listener))
         };
         let worker_handles = (0..workers)
-            .map(|_| {
+            .map(|idx| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || supervise_worker(&shared))
+                std::thread::spawn(move || supervise_worker(&shared, idx))
             })
             .collect();
         Ok(Server {
@@ -327,18 +401,22 @@ fn process_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
     };
     let id = request.id;
     match request.kind {
-        RequestKind::Health => send(
-            out,
-            &protocol::plain_frame("health", id).field(
-                "status",
-                if shared.draining.load(Ordering::Relaxed) {
-                    "draining"
-                } else {
-                    "ok"
-                },
-            ),
-        ),
-        RequestKind::Stats => send(out, &stats_frame(shared, id)),
+        RequestKind::Health => {
+            send(
+                out,
+                &protocol::plain_frame("health", id).field(
+                    "status",
+                    if shared.draining.load(Ordering::Relaxed) {
+                        "draining"
+                    } else {
+                        "ok"
+                    },
+                ),
+            );
+        }
+        RequestKind::Stats => {
+            send(out, &stats_frame(shared, id));
+        }
         RequestKind::Shutdown => {
             send(
                 out,
@@ -347,11 +425,16 @@ fn process_line(shared: &Arc<Shared>, line: &str, out: &Arc<Mutex<TcpStream>>) {
             shared.draining.store(true, Ordering::Relaxed);
             shared.cv.notify_all();
         }
+        RequestKind::Metrics => {
+            send(out, &protocol::metrics_frame(id, svcmetrics_doc(shared)));
+        }
+        RequestKind::Watch { session, for_ms } => watch_stream(shared, id, session, for_ms, out),
         RequestKind::Solve {
             source,
             display,
             options,
-        } => admit_solve(shared, id, &source, display, options, out),
+            watch,
+        } => admit_solve(shared, id, &source, display, options, watch, out),
     }
 }
 
@@ -367,7 +450,180 @@ fn stats_frame(shared: &Shared, id: i64) -> Json {
             shared.worker_restarts.load(Ordering::Relaxed),
         )
         .field("draining", shared.draining.load(Ordering::Relaxed))
+        .field("uptime_ms", shared.telemetry.uptime_ms())
+        .field("workers", shared.telemetry.workers_json())
         .field("memo", protocol::memo_json(&aov_lp::memo::stats()))
+}
+
+/// Builds the `aov-svcmetrics/1` document the `metrics` verb returns.
+fn svcmetrics_doc(shared: &Shared) -> Json {
+    let t = &shared.telemetry;
+    Json::obj()
+        .field("schema", telemetry::SVCMETRICS_SCHEMA)
+        .field("uptime_ms", t.uptime_ms())
+        .field("draining", shared.draining.load(Ordering::Relaxed))
+        .field("queue_depth", shared.lock_queue().len())
+        .field("inflight", shared.inflight.load(Ordering::Relaxed))
+        .field("served", shared.served.load(Ordering::Relaxed))
+        .field("overloaded", shared.overloaded.load(Ordering::Relaxed))
+        .field("faults", shared.faults.load(Ordering::Relaxed))
+        .field(
+            "worker_restarts",
+            shared.worker_restarts.load(Ordering::Relaxed),
+        )
+        .field("workers", t.workers_json())
+        .field("memo", protocol::memo_json(&aov_lp::memo::stats()))
+        .field("windows", t.windows_json())
+        .field("phases", t.phases_json())
+        .field("verdicts", t.verdicts_json())
+}
+
+/// Streams flight-recorder events to this connection until the client
+/// hangs up, the `for_ms` horizon passes, or the daemon drains. The
+/// cursor survives ring wraparound; every batch carries the honest
+/// count of events the subscriber lost to overwrites.
+fn watch_stream(
+    shared: &Arc<Shared>,
+    id: i64,
+    session: u64,
+    for_ms: Option<u64>,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let mut cursor = recorder::Cursor::new();
+    if !send(
+        out,
+        &protocol::plain_frame("watch", id)
+            .field("session", session)
+            .field("status", "ok"),
+    ) {
+        return;
+    }
+    let horizon = for_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut sent = 0u64;
+    let mut dropped_total = 0u64;
+    let reason = loop {
+        let batch = cursor.poll();
+        dropped_total += batch.dropped;
+        let events: Vec<recorder::Event> = batch
+            .events
+            .into_iter()
+            .filter(|e| session == 0 || e.session == session)
+            .collect();
+        if !events.is_empty() || batch.dropped > 0 {
+            sent += events.len() as u64;
+            if !send(out, &protocol::events_frame(id, &events, batch.dropped)) {
+                return; // client gone; nobody left to tell why
+            }
+        }
+        if shared.draining.load(Ordering::Relaxed) {
+            break "draining";
+        }
+        if horizon.is_some_and(|h| Instant::now() >= h) {
+            break "deadline";
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    send(
+        out,
+        &protocol::watch_end_frame(id, reason, sent, dropped_total),
+    );
+}
+
+/// The follow-a-solve stream: after admission queued `session`, tail
+/// its events on the admitting connection until the worker's final
+/// frame went out (`done`), then flush and close the stream.
+fn follow_session(
+    id: i64,
+    session: u64,
+    done: &AtomicBool,
+    mut cursor: recorder::Cursor,
+    out: &Arc<Mutex<TcpStream>>,
+) {
+    let mut sent = 0u64;
+    let mut dropped_total = 0u64;
+    loop {
+        // Read the flag before polling: events recorded before `done`
+        // was set are visible to this (or the final) poll, so the
+        // stream never ends with undelivered events still readable.
+        let finished = done.load(Ordering::Acquire);
+        let batch = cursor.poll();
+        dropped_total += batch.dropped;
+        let events: Vec<recorder::Event> = batch
+            .events
+            .into_iter()
+            .filter(|e| e.session == session)
+            .collect();
+        if !events.is_empty() || batch.dropped > 0 {
+            sent += events.len() as u64;
+            if !send(out, &protocol::events_frame(id, &events, batch.dropped)) {
+                return;
+            }
+        }
+        if finished {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    send(
+        out,
+        &protocol::watch_end_frame(id, "done", sent, dropped_total),
+    );
+}
+
+/// Telemetry for a request shed at admission: the whole request was
+/// the admission walk, so that span doubles as its end-to-end
+/// latency, attributed to the `overloaded` verdict for load-shedding
+/// outcomes and `fault` for malformed/faulted ones.
+fn record_shed(
+    shared: &Shared,
+    id: i64,
+    outcome: &str,
+    received_at: Instant,
+    source: &str,
+    display: &str,
+    options: &SolveOptions,
+) {
+    let total_ns = ns_since(received_at);
+    shared.telemetry.record_phase(Phase::Admission, total_ns);
+    shared.telemetry.record_phase(Phase::EndToEnd, total_ns);
+    let verdict = if matches!(
+        outcome,
+        code::OVERLOADED | code::DEADLINE | code::SHUTTING_DOWN
+    ) {
+        shared.telemetry.windows.bump(WindowKind::Shed, 1);
+        Verdict::Overloaded
+    } else {
+        Verdict::Fault
+    };
+    shared.telemetry.record_verdict(verdict, total_ns);
+    if let Some(log) = &shared.access_log {
+        log.append(&AccessRecord {
+            id,
+            session: 0,
+            program: display,
+            digest: &digest::fnv1a_hex(source.as_bytes()),
+            outcome,
+            exit_code: None,
+            queue_wait_ns: 0,
+            solve_ns: 0,
+            serialize_ns: 0,
+            total_ns,
+            knobs: knobs_json(options),
+            memo_hits: 0,
+            memo_misses: 0,
+        });
+    }
+}
+
+/// Rejects a solve at admission: the error frame, plus — when the
+/// request asked to `watch` — the immediate `watch_end` the client is
+/// owed so its stream terminates instead of waiting on a session that
+/// will never run.
+fn reject(out: &Arc<Mutex<TcpStream>>, id: i64, watch: bool, frame: &Json) {
+    send(out, frame);
+    if watch {
+        send(out, &protocol::watch_end_frame(id, "rejected", 0, 0));
+    }
 }
 
 /// The admission policy: shed load *before* any solver work.
@@ -377,11 +633,25 @@ fn admit_solve(
     source: &str,
     display: String,
     options: SolveOptions,
+    watch: bool,
     out: &Arc<Mutex<TcpStream>>,
 ) {
+    let received_at = Instant::now();
+    shared.telemetry.windows.bump(WindowKind::Requests, 1);
     if shared.draining.load(Ordering::Relaxed) {
-        send(
+        record_shed(
+            shared,
+            id,
+            code::SHUTTING_DOWN,
+            received_at,
+            source,
+            &display,
+            &options,
+        );
+        reject(
             out,
+            id,
+            watch,
             &protocol::error_frame(id, code::SHUTTING_DOWN, "daemon is draining", None),
         );
         return;
@@ -391,8 +661,19 @@ fn admit_solve(
     if let Some(spec) = &options.chaos {
         match ChaosSpec::parse(spec) {
             Ok(parsed) if !parsed.site.starts_with("serve.") => {
-                send(
+                record_shed(
+                    shared,
+                    id,
+                    code::BAD_REQUEST,
+                    received_at,
+                    source,
+                    &display,
+                    &options,
+                );
+                reject(
                     out,
+                    id,
+                    watch,
                     &protocol::error_frame(
                         id,
                         code::BAD_REQUEST,
@@ -408,8 +689,19 @@ fn admit_solve(
             }
             Ok(_) => {}
             Err(e) => {
-                send(
+                record_shed(
+                    shared,
+                    id,
+                    code::BAD_REQUEST,
+                    received_at,
+                    source,
+                    &display,
+                    &options,
+                );
+                reject(
                     out,
+                    id,
+                    watch,
                     &protocol::error_frame(id, code::BAD_REQUEST, &format!("chaos: {e}"), None),
                 );
                 return;
@@ -419,8 +711,19 @@ fn admit_solve(
     let program = match aov_lang::parse(source) {
         Ok(p) => p,
         Err(d) => {
-            send(
+            record_shed(
+                shared,
+                id,
+                code::PARSE,
+                received_at,
+                source,
+                &display,
+                &options,
+            );
+            reject(
                 out,
+                id,
+                watch,
                 &protocol::error_frame(id, code::PARSE, &d.render(&display), None),
             );
             return;
@@ -440,7 +743,21 @@ fn admit_solve(
     if let Some(msg) = accept_fault {
         shared.faults.fetch_add(1, Ordering::Relaxed);
         write_service_diag(shared, &program, &options, &msg);
-        send(out, &protocol::error_frame(id, code::FAULT, &msg, None));
+        record_shed(
+            shared,
+            id,
+            code::FAULT,
+            received_at,
+            source,
+            &display,
+            &options,
+        );
+        reject(
+            out,
+            id,
+            watch,
+            &protocol::error_frame(id, code::FAULT, &msg, None),
+        );
         return;
     }
     let deadline = options
@@ -453,8 +770,19 @@ fn admit_solve(
     if shared.pivot_pool.fetch_sub(charge, Ordering::AcqRel) < charge {
         shared.pivot_pool.fetch_add(charge, Ordering::AcqRel);
         shared.overloaded.fetch_add(1, Ordering::Relaxed);
-        send(
+        record_shed(
+            shared,
+            id,
+            code::OVERLOADED,
+            received_at,
+            source,
+            &display,
+            &options,
+        );
+        reject(
             out,
+            id,
+            watch,
             &protocol::error_frame(
                 id,
                 code::OVERLOADED,
@@ -464,23 +792,46 @@ fn admit_solve(
         );
         return;
     }
+    // Session assigned here — before the queue — so a same-connection
+    // watch can subscribe to it while the job is still waiting.
+    let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let done = Arc::new(AtomicBool::new(false));
     let job = Job {
         id,
+        digest: digest::fnv1a_hex(source.as_bytes()),
         program,
         display,
         options,
         pool_charge,
         deadline,
         out: Arc::clone(out),
+        session,
+        received_at,
+        enqueued_at: Instant::now(),
+        done: Arc::clone(&done),
     };
+    // The follow cursor must exist before a worker can pick the job
+    // up, or the session's first events could be recorded unseen.
+    let follow_cursor = watch.then(recorder::Cursor::new);
     {
         let mut queue = shared.lock_queue();
         if queue.len() >= shared.cfg.queue_limit {
             drop(queue);
             shared.pivot_pool.fetch_add(charge, Ordering::AcqRel);
             shared.overloaded.fetch_add(1, Ordering::Relaxed);
-            send(
+            record_shed(
+                shared,
+                id,
+                code::OVERLOADED,
+                received_at,
+                source,
+                &job.display,
+                &job.options,
+            );
+            reject(
                 out,
+                id,
+                watch,
                 &protocol::error_frame(
                     id,
                     code::OVERLOADED,
@@ -492,25 +843,43 @@ fn admit_solve(
         }
         queue.push_back(job);
     }
+    shared
+        .telemetry
+        .record_phase(Phase::Admission, ns_since(received_at));
     shared.cv.notify_one();
+    if let Some(cursor) = follow_cursor {
+        follow_session(id, session, &done, cursor, out);
+    }
 }
 
 /// The worker supervisor: re-enters the worker loop whenever a panic
 /// escapes the per-job isolation, so a poisoned worker restarts
 /// instead of silently shrinking the pool.
-fn supervise_worker(shared: &Arc<Shared>) {
+fn supervise_worker(shared: &Arc<Shared>, idx: usize) {
     loop {
-        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared))) {
-            Ok(()) => return, // clean drain exit
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared, idx))) {
+            Ok(()) => {
+                // Clean drain exit.
+                shared
+                    .telemetry
+                    .set_worker_state(idx, telemetry::worker_state::IDLE);
+                return;
+            }
             Err(_) => {
                 shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .telemetry
+                    .set_worker_state(idx, telemetry::worker_state::RESTARTING);
             }
         }
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, idx: usize) {
     loop {
+        shared
+            .telemetry
+            .set_worker_state(idx, telemetry::worker_state::IDLE);
         let job = {
             let mut queue = shared.lock_queue();
             loop {
@@ -527,6 +896,12 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queue = guard;
             }
         };
+        shared
+            .telemetry
+            .set_worker_state(idx, telemetry::worker_state::SOLVING);
+        shared
+            .telemetry
+            .record_phase(Phase::QueueWait, ns_since(job.enqueued_at));
         shared.inflight.fetch_add(1, Ordering::Relaxed);
         let outcome = catch_unwind(AssertUnwindSafe(|| process_job(shared, &job)));
         if let Err(panic) = outcome {
@@ -540,13 +915,67 @@ fn worker_loop(shared: &Arc<Shared>) {
                 &job.out,
                 &protocol::error_frame(job.id, code::FAULT, &msg, None),
             );
+            finish_job_telemetry(shared, &job, code::FAULT, None, 0, 0, 0, 0, 0);
         }
+        // Whatever the path, the job's final frame is out: release a
+        // same-connection follow stream.
+        job.done.store(true, Ordering::Release);
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
         shared.served.fetch_add(1, Ordering::Relaxed);
         shared.pivot_pool.fetch_add(
             i64::try_from(job.pool_charge).unwrap_or(i64::MAX),
             Ordering::AcqRel,
         );
+    }
+}
+
+/// End-of-job telemetry shared by every completion path: end-to-end
+/// phase + verdict histograms, the shed window for drops, and the
+/// access-log line.
+#[allow(clippy::too_many_arguments)]
+fn finish_job_telemetry(
+    shared: &Shared,
+    job: &Job,
+    outcome: &str,
+    exit_code: Option<i32>,
+    queue_wait_ns: u64,
+    solve_ns: u64,
+    serialize_ns: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+) {
+    let total_ns = ns_since(job.received_at);
+    shared.telemetry.record_phase(Phase::EndToEnd, total_ns);
+    let verdict = match outcome {
+        "ok" => Verdict::Ok,
+        "degraded" | "failed" => Verdict::Degraded,
+        code::DEADLINE => {
+            shared.telemetry.windows.bump(WindowKind::Shed, 1);
+            Verdict::Overloaded
+        }
+        _ => Verdict::Fault,
+    };
+    shared.telemetry.record_verdict(verdict, total_ns);
+    shared
+        .telemetry
+        .windows
+        .bump(WindowKind::MemoHits, memo_hits);
+    if let Some(log) = &shared.access_log {
+        log.append(&AccessRecord {
+            id: job.id,
+            session: job.session,
+            program: &job.display,
+            digest: &job.digest,
+            outcome,
+            exit_code,
+            queue_wait_ns,
+            solve_ns,
+            serialize_ns,
+            total_ns,
+            knobs: knobs_json(&job.options),
+            memo_hits,
+            memo_misses,
+        });
     }
 }
 
@@ -591,6 +1020,7 @@ fn fire_request_chaos(options: &SolveOptions, site: &str) -> Result<(), String> 
 
 /// Runs one admitted job through the pipeline and answers the client.
 fn process_job(shared: &Arc<Shared>, job: &Job) {
+    let queue_wait_ns = ns_since(job.enqueued_at);
     // Drop-before-solving: a request whose client deadline passed while
     // it sat in the queue gets a deadline error, not a solve.
     let remaining = match job.deadline {
@@ -606,6 +1036,7 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
                         None,
                     ),
                 );
+                finish_job_telemetry(shared, job, code::DEADLINE, None, queue_wait_ns, 0, 0, 0, 0);
                 return;
             }
             Some(deadline.duration_since(now))
@@ -630,6 +1061,7 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
                 &job.out,
                 &protocol::error_frame(job.id, code::FAULT, &msg, None),
             );
+            finish_job_telemetry(shared, job, code::FAULT, None, queue_wait_ns, 0, 0, 0, 0);
             return;
         }
     }
@@ -642,7 +1074,7 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
             .max(1);
         budget.ms = Some(budget.ms.map_or(remaining_ms, |ms| ms.min(remaining_ms)));
     }
-    let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let session = job.session;
     let mut pipeline = Pipeline::new(job.program.clone())
         .workers(job.options.workers.max(1))
         .memoize(job.options.memoize && shared.cfg.memo)
@@ -651,7 +1083,18 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
     if let Some(dir) = &shared.cfg.diag_dir {
         pipeline = pipeline.diag_dir(dir.clone());
     }
-    match pipeline.run() {
+    let memo_before = aov_lp::memo::stats();
+    let solve_start = Instant::now();
+    let result = pipeline.run();
+    let solve_ns = ns_since(solve_start);
+    shared.telemetry.record_phase(Phase::Solve, solve_ns);
+    // Deltas of the shared counters: approximate under concurrent
+    // workers, exact when serial — honest enough for per-request
+    // memo economics.
+    let memo_after = aov_lp::memo::stats();
+    let memo_hits = memo_after.hits.saturating_sub(memo_before.hits);
+    let memo_misses = memo_after.misses.saturating_sub(memo_before.misses);
+    match result {
         Ok(report) => {
             // The CLI's exit-code contract, mirrored per frame.
             let exit_code = match report.health() {
@@ -659,6 +1102,7 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
                 Health::Ok if report.equivalent == Some(false) => 1,
                 Health::Ok => 0,
             };
+            let serialize_start = Instant::now();
             send(
                 &job.out,
                 &protocol::report_frame(
@@ -669,6 +1113,21 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
                     report.to_json(),
                 ),
             );
+            let serialize_ns = ns_since(serialize_start);
+            shared
+                .telemetry
+                .record_phase(Phase::Serialize, serialize_ns);
+            finish_job_telemetry(
+                shared,
+                job,
+                report.health().name(),
+                Some(exit_code),
+                queue_wait_ns,
+                solve_ns,
+                serialize_ns,
+                memo_hits,
+                memo_misses,
+            );
         }
         Err(e) => {
             // Hard failure: the pipeline already wrote its bundle
@@ -677,6 +1136,17 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
             send(
                 &job.out,
                 &protocol::error_frame(job.id, code::FAULT, &format!("{}: {e}", job.display), None),
+            );
+            finish_job_telemetry(
+                shared,
+                job,
+                code::FAULT,
+                None,
+                queue_wait_ns,
+                solve_ns,
+                0,
+                memo_hits,
+                memo_misses,
             );
         }
     }

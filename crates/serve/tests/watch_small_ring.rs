@@ -1,0 +1,130 @@
+//! Watch streaming pinned to the smallest flight-recorder ring (64
+//! slots, what `--recorder-slots 64` gives the binary). The serve
+//! suite's other tests run at the default 4096 slots where a short
+//! campaign never wraps; this binary must be its own process because
+//! the ring's capacity is fixed at first use. It drives concurrent
+//! solves through a followed session and checks the stream survives
+//! wraparound: events arrive in order, the terminal report still
+//! lands, and the accounting (`events_sent` + honest drop counts)
+//! stays consistent while the ring is overwritten underneath the
+//! cursor.
+
+use aov_serve::client;
+use aov_serve::protocol::{self, SolveOptions};
+use aov_serve::server::{Server, ServerConfig};
+use aov_support::Json;
+use aov_trace::recorder;
+
+fn jint(j: &Json, key: &str) -> i64 {
+    match j.get(key) {
+        Some(Json::Int(n)) => *n,
+        other => panic!("{key}: {other:?}"),
+    }
+}
+
+#[test]
+fn followed_solve_streams_in_order_across_ring_wraparound() {
+    assert!(
+        recorder::set_slots(64),
+        "capacity request must precede first use"
+    );
+    assert_eq!(recorder::slots(), 64);
+
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_limit: 16,
+        memo: false, // cold solves: every request records real work
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr().to_string();
+    let head_before = recorder::events_recorded();
+
+    // Churn the ring from neighbor sessions while one solve is
+    // followed: the followed session's events share the 64 slots with
+    // everyone else's, so the cursor must ride through overwrites.
+    let churn = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let cfg = client::ClientConfig {
+                addr,
+                retries: 20,
+                base_ms: 1,
+                cap_ms: 50,
+                seed: 9,
+            };
+            for i in 0..4 {
+                let frame =
+                    protocol::solve_frame(100 + i, ("example1", true), &SolveOptions::default());
+                client::call(&cfg, &frame, None).expect("churn solve completes");
+            }
+        })
+    };
+
+    let request =
+        protocol::solve_frame(7, ("example1", true), &SolveOptions::default()).field("watch", true);
+    let mut event_frames = 0u64;
+    let mut events_seen = 0i64;
+    let mut dropped_in_batches = 0i64;
+    let mut last_seq = -1i64;
+    let mut watch_end: Option<Json> = None;
+    let terminal = client::stream(&addr, &request, |frame| match frame.get("type") {
+        Some(Json::Str(t)) if t == "events" => {
+            event_frames += 1;
+            dropped_in_batches += jint(frame, "dropped");
+            let Some(Json::Arr(events)) = frame.get("events") else {
+                panic!("events frame without events array");
+            };
+            for e in events {
+                let seq = jint(e, "seq");
+                assert!(
+                    seq > last_seq,
+                    "stream went backwards: {seq} after {last_seq}"
+                );
+                last_seq = seq;
+                events_seen += 1;
+                // Session filtering must hold even while the ring is
+                // overwritten by the churn sessions.
+                assert!(jint(e, "session") > 0, "unattributed event in a follow");
+            }
+        }
+        Some(Json::Str(t)) if t == "watch_end" => watch_end = Some(frame.clone()),
+        _ => {}
+    })
+    .expect("followed solve streams to completion");
+    churn.join().expect("churn clients finish");
+
+    assert_eq!(
+        terminal.get("type"),
+        Some(&Json::Str("report".to_string())),
+        "terminal frame is the solve report: {terminal:?}"
+    );
+    assert!(
+        event_frames >= 1,
+        "a followed solve streams at least one batch"
+    );
+    assert!(
+        events_seen >= 1,
+        "the followed session's events reach the client"
+    );
+    let end = watch_end.expect("stream ends with watch_end");
+    assert_eq!(end.get("reason"), Some(&Json::Str("done".to_string())));
+    assert_eq!(
+        jint(&end, "events_sent"),
+        events_seen,
+        "events_sent accounts exactly for delivered events"
+    );
+    assert_eq!(
+        jint(&end, "dropped_total"),
+        dropped_in_batches,
+        "dropped_total sums the per-batch honest drop counts"
+    );
+
+    // The campaign provably wrapped the 64-slot ring.
+    let recorded = recorder::events_recorded() - head_before;
+    assert!(
+        recorded > 64,
+        "campaign recorded {recorded} events, ring holds 64"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,419 @@
+//! A log-bucketed latency histogram with lock-free atomic recording
+//! and exact-deterministic quantile extraction.
+//!
+//! The service plane needs latency *distributions*, not min/median/max
+//! triples: tail latency (p99, p999) is invisible to order statistics
+//! computed over a capped sample vector, and a shared `Mutex<Vec<u64>>`
+//! serializes the very hot path being measured. This histogram is the
+//! HDR-style answer sized for a zero-dep workspace:
+//!
+//! * **Fixed size.** [`BUCKET_COUNT`] buckets cover half-octave
+//!   (~2 buckets per power of two) ranges from 1 ns to ~52 bits of
+//!   nanoseconds (≈ 52 days); everything above lands in a terminal
+//!   overflow bucket. No allocation after construction, ever.
+//! * **Lock-free recording.** [`Histogram::record`] is one relaxed
+//!   `fetch_add` on the value's bucket — safe from any number of
+//!   threads, nanosecond-scale, and never a contention point because
+//!   different latencies hit different cache lines.
+//! * **Deterministic quantiles.** A [`Snapshot`] extracts quantiles by
+//!   nearest-rank walk over the bucket totals: the same totals always
+//!   produce the same answer, so tests can pin values exactly. The
+//!   reported value is the bucket midpoint; with half-octave buckets
+//!   the relative error is bounded by ±25% of the true sample
+//!   (see [`Snapshot::quantile`]).
+//! * **Mergeable.** Bucket-wise addition is associative and
+//!   commutative, so per-thread or per-phase histograms fold into
+//!   totals without coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: `0` holds zeros, `1` holds ones (octave 0 has a
+/// single representable value), octaves `1..OCTAVES` get two half
+/// buckets each, and the last index absorbs overflow.
+pub const BUCKET_COUNT: usize = 2 * OCTAVES + 1;
+
+/// Powers of two covered with half-octave resolution. 2^52 ns is about
+/// 52 days — beyond any latency a request-scoped histogram can see.
+const OCTAVES: usize = 52;
+
+/// Maps a value to its bucket index. Total order is preserved:
+/// `a <= b` implies `index(a) <= index(b)`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        return value as usize; // 0 → bucket 0, 1 → bucket 1
+    }
+    let octave = 63 - value.leading_zeros() as usize; // floor(log2), >= 1
+    if octave >= OCTAVES {
+        return BUCKET_COUNT - 1;
+    }
+    // Split [2^k, 2^(k+1)) at its midpoint 1.5 * 2^k: the bit below
+    // the MSB selects the half.
+    2 * octave + ((value >> (octave - 1)) & 1) as usize
+}
+
+/// The `[lo, hi)` value range a bucket covers. Bucket 0 is `[0, 1)`;
+/// the terminal bucket's `hi` is `u64::MAX`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index <= 1 {
+        return (index as u64, index as u64 + 1);
+    }
+    if index >= BUCKET_COUNT - 1 {
+        return (1 << OCTAVES, u64::MAX);
+    }
+    let octave = index / 2; // >= 1
+    let half = 1u64 << (octave - 1);
+    let lo = (1u64 << octave) + (index % 2) as u64 * half;
+    (lo, lo + half)
+}
+
+/// A fixed-size, lock-free histogram. Construct with
+/// [`Histogram::new`], record from any thread, snapshot to read.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. `const`: usable in statics.
+    #[must_use]
+    pub const fn new() -> Histogram {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKET_COUNT],
+        }
+    }
+
+    /// Records one value: a single relaxed `fetch_add`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram's counts into this one (bucket-wise
+    /// addition — associative and commutative).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total recorded count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the bucket totals. Concurrent recording
+    /// keeps going; the snapshot is internally consistent per bucket
+    /// (each bucket total is exact as of its own load).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counts = [0u64; BUCKET_COUNT];
+        for (c, b) in counts.iter_mut().zip(self.buckets.iter()) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        Snapshot { counts }
+    }
+}
+
+/// An immutable copy of a histogram's bucket totals, with quantile
+/// extraction and merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    counts: [u64; BUCKET_COUNT],
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot::empty()
+    }
+}
+
+impl Snapshot {
+    /// A snapshot with every bucket zero.
+    #[must_use]
+    pub const fn empty() -> Snapshot {
+        Snapshot {
+            counts: [0; BUCKET_COUNT],
+        }
+    }
+
+    /// Total count across all buckets.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket-wise sum (associative, commutative).
+    #[must_use]
+    pub fn merged(&self, other: &Snapshot) -> Snapshot {
+        let mut counts = self.counts;
+        for (c, o) in counts.iter_mut().zip(other.counts.iter()) {
+            *c = c.saturating_add(*o);
+        }
+        Snapshot { counts }
+    }
+
+    /// The nearest-rank quantile, reported as its bucket's midpoint.
+    ///
+    /// `q` is clamped to `[0, 1]`; an empty snapshot reports 0. For a
+    /// value in bucket `[lo, hi)` the midpoint is off by at most half
+    /// the bucket width — ±25% relative for half-octave buckets — and
+    /// the answer is a pure function of the bucket totals, so repeated
+    /// extraction is exactly deterministic.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest rank r (1-based) with r/total >= q.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return lo + (hi.saturating_sub(lo)) / 2;
+            }
+        }
+        0 // unreachable: seen == total >= rank by the loop's end
+    }
+
+    /// The midpoint of the highest nonzero bucket (0 when empty) — an
+    /// upper-bucket estimate of the maximum recorded value.
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        for i in (0..BUCKET_COUNT).rev() {
+            if self.counts[i] > 0 {
+                let (lo, hi) = bucket_bounds(i);
+                return lo + (hi.saturating_sub(lo)) / 2;
+            }
+        }
+        0
+    }
+
+    /// Sparse `(bucket_index, count)` pairs for nonzero buckets —
+    /// the wire form used by `aov-svcmetrics/1`.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from sparse pairs (out-of-range indices are
+    /// ignored; duplicate indices accumulate).
+    #[must_use]
+    pub fn from_buckets(pairs: &[(usize, u64)]) -> Snapshot {
+        let mut counts = [0u64; BUCKET_COUNT];
+        for &(i, c) in pairs {
+            if i < BUCKET_COUNT {
+                counts[i] = counts[i].saturating_add(c);
+            }
+        }
+        Snapshot { counts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_are_consistent() {
+        // Every bucket's bounds tile the line: index(v) == i for all v
+        // in [lo, hi) — spot-check the edges of every bucket.
+        for i in 0..BUCKET_COUNT - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi, "bucket {i}: empty range [{lo}, {hi})");
+            assert_eq!(bucket_index(lo), i, "lo edge of bucket {i}");
+            assert_eq!(bucket_index(hi - 1), i, "hi edge of bucket {i}");
+            let (next_lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi, next_lo, "gap between buckets {i} and {}", i + 1);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        // Monotone over a few decades.
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 5, 8, 100, 1_000, 1_000_000, 1 << 40, 1 << 60] {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_sort_within_bucket_error() {
+        // Seeded log-uniform samples: histogram quantiles must land
+        // within half-octave bucket error (±25% relative, i.e. within
+        // a factor of 1.5) of the exact nearest-rank answer.
+        let mut rng = Rng::new(0x4157_0001);
+        let hist = Histogram::new();
+        let mut samples: Vec<u64> = (0..10_000)
+            .map(|_| {
+                let octave = rng.next_u64() % 30; // 1 ns .. ~1 s
+                let base = 1u64 << octave;
+                base + rng.next_u64() % base.max(1)
+            })
+            .collect();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), samples.len() as u64);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = snap.quantile(q);
+            let lo = exact as f64 / 1.5;
+            let hi = exact as f64 * 1.5;
+            assert!(
+                (approx as f64) >= lo && (approx as f64) <= hi,
+                "q={q}: approx {approx} outside [{lo}, {hi}] around exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_extraction_is_deterministic() {
+        let snap = Snapshot::from_buckets(&[(10, 3), (20, 5), (40, 2)]);
+        let first: Vec<u64> = [0.0, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| snap.quantile(q))
+            .collect();
+        for _ in 0..10 {
+            let again: Vec<u64> = [0.0, 0.5, 0.9, 0.99, 1.0]
+                .iter()
+                .map(|&q| snap.quantile(q))
+                .collect();
+            assert_eq!(first, again);
+        }
+        // p100 lands in the highest nonzero bucket.
+        assert_eq!(snap.quantile(1.0), snap.max_value());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        // Bucket totals are exact under contention: every fetch_add
+        // lands, so the final distribution is deterministic regardless
+        // of interleaving.
+        let hist = Histogram::new();
+        let per_thread = 50_000u64;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let hist = &hist;
+                s.spawn(move || {
+                    let mut rng = Rng::new(0xc0de + t);
+                    for _ in 0..per_thread {
+                        hist.record(1 + rng.next_u64() % 1_000_000);
+                    }
+                });
+            }
+        });
+        assert_eq!(hist.count(), 4 * per_thread);
+        // Replaying the same seeds serially yields identical totals.
+        let serial = Histogram::new();
+        for t in 0..4u64 {
+            let mut rng = Rng::new(0xc0de + t);
+            for _ in 0..per_thread {
+                serial.record(1 + rng.next_u64() % 1_000_000);
+            }
+        }
+        assert_eq!(hist.snapshot(), serial.snapshot());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |seed: u64, n: usize| {
+            let mut rng = Rng::new(seed);
+            let h = Histogram::new();
+            for _ in 0..n {
+                h.record(rng.next_u64() % 1_000_000_000);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (mk(1, 500), mk(2, 700), mk(3, 300));
+        assert_eq!(a.merged(&b), b.merged(&a));
+        assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        assert_eq!(a.merged(&b).count(), a.count() + b.count());
+        // Histogram-level merge matches snapshot-level merge.
+        let h = Histogram::new();
+        let other = Histogram::new();
+        let mut rng = Rng::new(4);
+        for _ in 0..100 {
+            h.record(rng.next_u64() % 1_000);
+            other.record(rng.next_u64() % 1_000_000);
+        }
+        let expect = h.snapshot().merged(&other.snapshot());
+        h.merge_from(&other);
+        assert_eq!(h.snapshot(), expect);
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_the_snapshot() {
+        let mut rng = Rng::new(7);
+        let h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(rng.next_u64() % 10_000_000);
+        }
+        let snap = h.snapshot();
+        let pairs = snap.nonzero_buckets();
+        assert_eq!(Snapshot::from_buckets(&pairs), snap);
+        assert!(pairs.iter().all(|&(_, c)| c > 0));
+    }
+
+    #[test]
+    fn empty_and_zero_edge_cases() {
+        let snap = Snapshot::empty();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.max_value(), 0);
+        let h = Histogram::new();
+        h.record(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.quantile(0.5), 0); // bucket 0 midpoint is 0
+    }
+
+    // Not a correctness test: the EXPERIMENTS.md overhead numbers come
+    // from here. Run with
+    //   cargo test -p aov-support --release -- --ignored \
+    //     measure_record_cost --nocapture
+    #[test]
+    #[ignore = "measurement, run explicitly"]
+    fn measure_record_cost() {
+        let h = Histogram::new();
+        let n: u64 = 10_000_000;
+        let start = std::time::Instant::now();
+        for i in 0..n {
+            // Mixed values across octaves, like real latencies.
+            h.record(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16);
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "histogram record: {n} records in {elapsed:?} -> {:.2} ns/record",
+            elapsed.as_nanos() as f64 / n as f64
+        );
+        assert_eq!(h.snapshot().count(), n);
+    }
+}

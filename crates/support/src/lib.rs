@@ -28,13 +28,18 @@
 //!   observability layer,
 //! * [`calibrate`] — deterministic machine-speed microprobes recorded
 //!   into perf artifacts so cross-run comparisons can normalize away
-//!   container speed drift.
+//!   container speed drift,
+//! * [`histogram`] — a log-bucketed (HDR-style) fixed-size latency
+//!   histogram with lock-free atomic recording, merge, and
+//!   deterministic quantile extraction (replaces `hdrhistogram` for
+//!   the service telemetry plane).
 
 pub mod alloc;
 pub mod bench;
 pub mod calibrate;
 pub mod counters;
 pub mod digest;
+pub mod histogram;
 pub mod json;
 pub mod prop;
 pub mod rng;

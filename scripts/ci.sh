@@ -244,4 +244,73 @@ if [ "$drain_status" -ne 0 ]; then
     exit 1
 fi
 
+echo "== telemetry smoke"
+# aovd with the access log armed serves three clients (one
+# budget-tripped, one following its solve live). The metrics verb must
+# return a schema-valid aov-svcmetrics/1 document whose end-to-end p50
+# is nonzero, the follow stream must yield at least one event frame,
+# `aov top --once` must render, and the access log must validate
+# line-by-line with one line per request.
+telemetry_log="$(mktemp /tmp/aov-telemetry-log.XXXXXX)"
+access_log="$(mktemp /tmp/aov-access-smoke.XXXXXX.jsonl)"
+metrics_out="$(mktemp /tmp/aov-metrics-smoke.XXXXXX.json)"
+watch_out="$(mktemp /tmp/aov-watch-smoke.XXXXXX)"
+trap 'rm -f "$trace_file" "$bench_file" "$chaos_file" "$bad_file" "$profile_file" "$serve_log" "$serve_chaos_out" "$telemetry_log" "$access_log" "$access_log.1" "$metrics_out" "$watch_out"; rm -rf "$repro_dir" "$diag_dir" "$serve_diag"' EXIT
+./target/release/aov aovd --addr 127.0.0.1:0 --no-memo --workers 2 \
+    --access-log "$access_log" > "$telemetry_log" 2> /dev/null &
+aovd2_pid=$!
+addr2=""
+for _ in $(seq 1 100); do
+    addr2="$(sed -n 's/^aovd: listening on //p' "$telemetry_log")"
+    [ -n "$addr2" ] && break
+    sleep 0.1
+done
+if [ -z "$addr2" ]; then
+    echo "telemetry smoke: daemon never reported a listen address"
+    exit 1
+fi
+./target/release/aov client --addr "$addr2" --example example1 \
+    > /dev/null 2> /dev/null & t_healthy=$!
+./target/release/aov client --addr "$addr2" --example example1 \
+    --budget-pivots 40 > /dev/null 2> /dev/null & t_budget=$!
+./target/release/aov client --addr "$addr2" --example example1 --follow \
+    > /dev/null 2> "$watch_out" & t_follow=$!
+t1=0; t2=0; t3=0
+wait "$t_healthy" || t1=$?
+wait "$t_budget" || t2=$?
+wait "$t_follow" || t3=$?
+if [ "$t1" -ne 0 ] || [ "$t2" -ne 3 ] || [ "$t3" -ne 0 ]; then
+    echo "telemetry smoke: client exits: healthy=$t1 (want 0), budget=$t2 (want 3), follow=$t3 (want 0)"
+    exit 1
+fi
+if ! grep -q ' ns  t' "$watch_out"; then
+    echo "telemetry smoke: --follow streamed no event frames"
+    exit 1
+fi
+if ! grep -q 'watch ended (done)' "$watch_out"; then
+    echo "telemetry smoke: --follow stream did not terminate with watch_end"
+    exit 1
+fi
+./target/release/aov client --addr "$addr2" --metrics > "$metrics_out"
+./target/release/aov inspect "$metrics_out" --check
+if ! sed -n '/"name": "end_to_end"/,/"p50_ns"/p' "$metrics_out" \
+    | grep -q '"p50_ns": [1-9]'; then
+    echo "telemetry smoke: end_to_end p50 is zero or missing"
+    exit 1
+fi
+./target/release/aov top "$addr2" --once > /dev/null
+./target/release/aov inspect "$access_log" --check
+if [ "$(grep -c '"schema":"aov-access/1"' "$access_log")" -lt 3 ]; then
+    echo "telemetry smoke: access log is missing request lines:"
+    cat "$access_log"
+    exit 1
+fi
+kill -TERM "$aovd2_pid"
+drain2_status=0
+wait "$aovd2_pid" || drain2_status=$?
+if [ "$drain2_status" -ne 0 ]; then
+    echo "telemetry smoke: SIGTERM drain: expected exit 0, got $drain2_status"
+    exit 1
+fi
+
 echo "CI green."

@@ -19,6 +19,10 @@ cargo build --release --offline --workspace
     --no-figures --serve-clients "$clients" --out "$out" > /dev/null
 ./target/release/aov bench --check "$out"
 
-# Surface the recorded campaign summary.
+# Surface the recorded campaign summary, histogram quantiles included
+# (the serve block's latency_us carries count/p50/p90/p99/max — the
+# tail, not just min/median/max).
 sed -n '/"serve": {/,/^  }/p' "$out"
+echo "latency quantiles (µs):"
+sed -n '/"latency_us": {/,/}/p' "$out"
 echo "Artifact with serve load-test summary written to $out"
